@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ */
+
+#ifndef MITHRIL_BENCH_BENCH_UTIL_HH
+#define MITHRIL_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/table_printer.hh"
+#include "sim/experiment.hh"
+
+namespace mithril::bench
+{
+
+/** Geometric mean of a set of ratios. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Common run-scale knobs taken from the command line. */
+struct BenchScale
+{
+    std::uint32_t cores = 8;
+    std::uint64_t instrPerCore = 80000;
+    std::uint64_t seed = 42;
+
+    static BenchScale
+    fromArgs(int argc, char **argv)
+    {
+        ParamSet params = ParamSet::fromArgs(argc, argv);
+        BenchScale scale;
+        scale.cores = static_cast<std::uint32_t>(
+            params.getUint("cores", scale.cores));
+        scale.instrPerCore =
+            params.getUint("instr", scale.instrPerCore);
+        scale.seed = params.getUint("seed", scale.seed);
+        return scale;
+    }
+
+    sim::RunConfig
+    makeRun(sim::WorkloadKind workload,
+            sim::AttackKind attack = sim::AttackKind::None) const
+    {
+        sim::RunConfig run;
+        run.workload = workload;
+        run.cores = cores;
+        run.instrPerCore = instrPerCore;
+        run.attack = attack;
+        run.seed = seed;
+        return run;
+    }
+};
+
+/** The FlipTH sweep of the evaluation section, descending. */
+inline const std::vector<std::uint32_t> &
+evalFlipThs()
+{
+    static const std::vector<std::uint32_t> values = {
+        50000, 25000, 12500, 6250, 3125, 1500,
+    };
+    return values;
+}
+
+/** Pretty "50k"-style label. */
+inline std::string
+flipThLabel(std::uint32_t flip_th)
+{
+    char buf[32];
+    if (flip_th % 1000 == 0)
+        std::snprintf(buf, sizeof(buf), "%uk", flip_th / 1000);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3fk", flip_th / 1000.0);
+    return buf;
+}
+
+/** Print a section header. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace mithril::bench
+
+#endif // MITHRIL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Figure 2 — Ineffectiveness of RFM-Graphene compared to the original
+ * ARR-Graphene.
+ *
+ * Part 1 (analytic): safe FlipTH as a function of the predefined
+ * threshold for ARR-Graphene (linear) and RFM-Graphene at RFM_TH in
+ * {256, 128, 64, 32} (floored by the queue-drain term).
+ *
+ * Part 2 (measured): the command-level harness runs the concentration
+ * attack against both schemes and reports the highest ground-truth
+ * victim disturbance — the empirical "unsafe FlipTH". The paper's
+ * worked example (threshold 2K, RFM_TH 64 -> ~20K) is reproduced.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/arr_vs_rfm.hh"
+#include "bench_util.hh"
+#include "sim/act_harness.hh"
+#include "trackers/graphene.hh"
+#include "trackers/rfm_graphene.hh"
+
+using namespace mithril;
+
+namespace
+{
+
+/** Measured max disturbance for RFM-Graphene under concentration. */
+double
+measureRfmGraphene(const dram::Timing &timing, std::uint32_t threshold,
+                   std::uint32_t rfm_th)
+{
+    trackers::RfmGrapheneParams params;
+    params.threshold = threshold;
+    params.rfmTh = rfm_th;
+    params.nEntry = trackers::Graphene::requiredEntries(
+        dram::maxActsPerWindow(timing), threshold);
+    params.resetInterval = timing.tREFW;
+    trackers::RfmGraphene tracker(1, params);
+
+    sim::ActHarnessConfig cfg;
+    cfg.timing = timing;
+    cfg.flipTh = 1u << 30;  // Observe disturbance, no flip cap.
+    sim::ActHarness harness(cfg, &tracker);
+
+    // Concentration inside half a window, then hammer the last pair.
+    const std::uint64_t q = std::min<std::uint64_t>(
+        300000 / threshold,
+        dram::maxActsPerWindow(timing) / (2ull * threshold));
+    const std::uint64_t phase1 = q * threshold;
+    harness.run(dram::maxActsPerWindow(timing),
+                [&](std::uint64_t i) {
+                    if (i < phase1)
+                        return static_cast<RowId>(2000 + 2 * (i % q));
+                    const RowId last =
+                        static_cast<RowId>(2000 + 2 * (q - 1));
+                    return (i % 2) ? last : last - 2;
+                });
+    return harness.oracle().maxDisturbanceEver();
+}
+
+/** Measured max disturbance for ARR-Graphene under the same attack. */
+double
+measureArrGraphene(const dram::Timing &timing, std::uint32_t threshold)
+{
+    trackers::GrapheneParams params;
+    params.threshold = threshold;
+    params.nEntry = trackers::Graphene::requiredEntries(
+        dram::maxActsPerWindow(timing), threshold);
+    params.resetInterval = timing.tREFW;
+    trackers::Graphene tracker(1, params);
+
+    sim::ActHarnessConfig cfg;
+    cfg.timing = timing;
+    cfg.flipTh = 1u << 30;
+    sim::ActHarness harness(cfg, &tracker);
+    const std::uint64_t q = 300000 / threshold;
+    const std::uint64_t phase1 =
+        q * static_cast<std::uint64_t>(threshold);
+    harness.run(dram::maxActsPerWindow(timing),
+                [&](std::uint64_t i) {
+                    if (i < phase1)
+                        return static_cast<RowId>(2000 + 2 * (i % q));
+                    const RowId last =
+                        static_cast<RowId>(2000 + 2 * (q - 1));
+                    return (i % 2) ? last : last - 2;
+                });
+    return harness.oracle().maxDisturbanceEver();
+}
+
+} // namespace
+
+int
+main()
+{
+    const dram::Timing timing = dram::ddr5_4800();
+
+    bench::banner("Figure 2 (analytic): safe FlipTH vs predefined "
+                  "threshold");
+    TablePrinter table({"threshold", "ARR-Graphene", "RFM-256",
+                        "RFM-128", "RFM-64", "RFM-32"});
+    for (std::uint32_t t : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+        table.beginRow()
+            .intCell(t)
+            .intCell(static_cast<long long>(
+                analysis::arrGrapheneSafeFlipTh(t)));
+        for (std::uint32_t rfm_th : {256u, 128u, 64u, 32u}) {
+            table.intCell(static_cast<long long>(
+                analysis::rfmGrapheneSafeFlipTh(timing, t, rfm_th)));
+        }
+    }
+    std::printf("%s", table.str().c_str());
+
+    bench::banner("Worked example (Section III-A)");
+    std::printf("threshold 2K, RFM_TH 64: %llu rows can cross the "
+                "threshold in one tREFW;\n"
+                "analytic safe FlipTH = %llu (paper: ~20K, not 10K)\n",
+                static_cast<unsigned long long>(
+                    analysis::concurrentThresholdRows(timing, 2000)),
+                static_cast<unsigned long long>(
+                    analysis::rfmGrapheneSafeFlipTh(timing, 2000, 64)));
+
+    bench::banner("Figure 2 (measured): max ground-truth disturbance "
+                  "under the concentration attack");
+    TablePrinter meas({"threshold", "ARR-Graphene", "RFM-Graphene-64",
+                       "RFM-Graphene-128"});
+    for (std::uint32_t t : {1000u, 2000u, 4000u}) {
+        meas.beginRow()
+            .intCell(t)
+            .num(measureArrGraphene(timing, t), 0)
+            .num(measureRfmGraphene(timing, t, 64), 0)
+            .num(measureRfmGraphene(timing, t, 128), 0);
+    }
+    std::printf("%s", meas.str().c_str());
+    std::printf("\nReading: ARR-Graphene's exposure scales with the "
+                "threshold; RFM-Graphene's\nexposure is dominated by "
+                "the queue-drain term and stays in the tens of "
+                "thousands\nregardless of the threshold — the paper's "
+                "incompatibility argument.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 7 — adaptive refresh: relative dynamic-energy overhead and
+ * additional Nentry versus AdTH.
+ *
+ * For the paper's two configurations, (FlipTH 3.125K, RFM_TH 16) and
+ * (FlipTH 6.25K, RFM_TH 64), and AdTH in {0, 50, 100, 150, 200}:
+ *   - energy overhead of Mithril relative to an unprotected run, for a
+ *     multi-programmed and a multi-threaded workload (simulated);
+ *   - additional Nentry demanded by the Theorem 2 bound (analytic).
+ * The paper's takeaway: AdTH in the 100-200 range nearly eliminates
+ * the energy overhead at a <=12% table-size cost.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/config_solver.hh"
+
+using namespace mithril;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchScale scale = bench::BenchScale::fromArgs(argc, argv);
+    const dram::Timing timing = dram::ddr5_4800();
+    const dram::Geometry geom = dram::paperGeometry();
+    core::ConfigSolver solver(timing, geom);
+
+    const std::pair<std::uint32_t, std::uint32_t> configs[] = {
+        {3125, 16},
+        {6250, 64},
+    };
+    const std::uint32_t ad_ths[] = {0, 50, 100, 150, 200};
+    const sim::WorkloadKind workloads[] = {
+        sim::WorkloadKind::MixHigh,  // Multi-programmed.
+        sim::WorkloadKind::MtFft,    // Multi-threaded.
+    };
+
+    for (const auto &[flip, rfm_th] : configs) {
+        bench::banner("Figure 7 @ (FlipTH " + bench::flipThLabel(flip) +
+                      ", RFM_TH " + std::to_string(rfm_th) + ")");
+
+        const std::uint64_t base_entries =
+            solver.minEntries(flip, rfm_th, 0);
+
+        TablePrinter table({"AdTH", "extra Nentry (%)",
+                            "energy ovh mp (%)",
+                            "energy ovh mt (%)",
+                            "skipped RFMs mp (%)"});
+        for (std::uint32_t ad : ad_ths) {
+            const std::uint64_t entries =
+                solver.minEntries(flip, rfm_th, ad);
+            const double extra =
+                100.0 * (static_cast<double>(entries) -
+                         static_cast<double>(base_entries)) /
+                static_cast<double>(base_entries);
+
+            double ovh[2] = {0.0, 0.0};
+            double skip_pct = 0.0;
+            for (int w = 0; w < 2; ++w) {
+                sim::RunConfig run = scale.makeRun(workloads[w]);
+                trackers::SchemeSpec none;
+                none.kind = trackers::SchemeKind::None;
+                none.flipTh = flip;
+                const sim::RunMetrics base =
+                    sim::runSystem(run, none);
+
+                trackers::SchemeSpec spec;
+                spec.kind = trackers::SchemeKind::Mithril;
+                spec.flipTh = flip;
+                spec.rfmTh = rfm_th;
+                spec.adTh = ad;
+                const sim::RunMetrics m = sim::runSystem(run, spec);
+                ovh[w] = sim::energyOverheadPct(m, base);
+                if (w == 0 && m.rfmIssued > 0) {
+                    skip_pct =
+                        100.0 *
+                        static_cast<double>(m.rfmIssued -
+                                            m.preventiveRefreshes) /
+                        static_cast<double>(m.rfmIssued);
+                }
+            }
+            table.beginRow()
+                .intCell(ad)
+                .num(extra, 1)
+                .num(ovh[0], 3)
+                .num(ovh[1], 3)
+                .num(skip_pct, 1);
+        }
+        std::printf("%s", table.str().c_str());
+    }
+
+    std::printf("\nReading: raising AdTH filters the benign "
+                "large-object-sweep activations, so\nthe preventive-"
+                "refresh energy collapses toward zero, while the "
+                "Theorem 2 table\ninflation stays small — the Figure 7 "
+                "trade-off.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 8 — the lbm-style large-object sweep pattern that motivates
+ * the adaptive threshold.
+ *
+ * (a) Accesses over a large time window cover the footprint broadly.
+ * (b) Inside a small window they concentrate on very few rows.
+ * (c) The activation stream still hits each row ~rowBytes/lineBytes
+ *     times (128 for 8KB rows / 64B lines), which is why AdTH in the
+ *     100-200 range separates benign sweeps from attacks.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_util.hh"
+#include "workload/spec_like.hh"
+
+using namespace mithril;
+
+int
+main()
+{
+    workload::SyntheticParams params;
+    params.base = 0;
+    params.footprint = 256ull << 20;
+    params.meanGap = 28.0;
+    params.seed = 7;
+    workload::StreamSweepGen gen(params, 2ull << 20);
+
+    constexpr std::uint64_t kRowBytes = 8192;
+    constexpr int kWindows = 40;
+    constexpr int kPerWindow = 512;
+
+    bench::banner("Figure 8(a/b): rows touched per small window vs "
+                  "whole run");
+    std::set<std::uint64_t> all_rows;
+    double mean_rows_small = 0.0;
+    std::map<std::uint64_t, std::uint64_t> acts_per_row;
+    for (int w = 0; w < kWindows; ++w) {
+        std::set<std::uint64_t> window_rows;
+        for (int i = 0; i < kPerWindow; ++i) {
+            const auto rec = gen.next();
+            const std::uint64_t row = rec->addr / kRowBytes;
+            window_rows.insert(row);
+            all_rows.insert(row);
+            ++acts_per_row[row];
+        }
+        mean_rows_small += static_cast<double>(window_rows.size());
+    }
+    mean_rows_small /= kWindows;
+
+    TablePrinter table({"metric", "value"});
+    table.beginRow().cell("accesses analysed").intCell(kWindows *
+                                                       kPerWindow);
+    table.beginRow()
+        .cell("rows per 512-access window (mean)")
+        .num(mean_rows_small, 1);
+    table.beginRow()
+        .cell("distinct rows over the whole run")
+        .intCell(static_cast<long long>(all_rows.size()));
+    std::printf("%s", table.str().c_str());
+
+    bench::banner("Figure 8(c): accesses per row within one sweep");
+    double mean_per_row = 0.0;
+    std::uint64_t max_per_row = 0;
+    for (const auto &[row, count] : acts_per_row) {
+        mean_per_row += static_cast<double>(count);
+        max_per_row = std::max(max_per_row, count);
+    }
+    mean_per_row /= static_cast<double>(acts_per_row.size());
+    std::printf("mean accesses per touched row: %.1f (expect ~%llu = "
+                "row bytes / line bytes)\nmax accesses on any row:      "
+                "%llu\n",
+                mean_per_row,
+                static_cast<unsigned long long>(kRowBytes / 64),
+                static_cast<unsigned long long>(max_per_row));
+
+    bench::banner("ASCII view: rows touched per window (row index mod "
+                  "64)");
+    workload::StreamSweepGen gen2(params, 2ull << 20);
+    for (int w = 0; w < 16; ++w) {
+        char line[65] = {};
+        for (int c = 0; c < 64; ++c)
+            line[c] = '.';
+        for (int i = 0; i < 256; ++i) {
+            const auto rec = gen2.next();
+            line[(rec->addr / kRowBytes) % 64] = '#';
+        }
+        std::printf("t=%2d |%s|\n", w, line);
+    }
+    std::printf("\nReading: each window lights up only a couple of row "
+                "slots (the sweep), and\nthe lit slot drifts over time "
+                "— concentrated per-window, uniform overall,\nexactly "
+                "the Figure 8 shape that AdTH ~ 128 exploits.\n");
+    return 0;
+}

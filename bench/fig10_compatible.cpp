@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Figure 10 — comparison with the RFM-interface-compatible schemes
+ * (PARFM, BlockHammer) across FlipTH 50K..1.5K:
+ *
+ *  (a) relative performance on normal workloads (geomean),
+ *  (b) relative performance under a 32-victim multi-sided RH attack,
+ *  (c) relative performance under the BlockHammer-adversarial
+ *      CBF-pollution pattern,
+ *  (d) dynamic energy overhead on normal workloads,
+ *  (e) per-bank table size (also in table4_area).
+ *
+ * Performance is normalized per workload to an unprotected run of the
+ * same workload (and the same attacker for (b)/(c)).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "analysis/area_model.hh"
+#include "bench_util.hh"
+#include "trackers/factory.hh"
+
+using namespace mithril;
+
+namespace
+{
+
+const std::vector<sim::WorkloadKind> kNormal = {
+    sim::WorkloadKind::MixHigh,
+    sim::WorkloadKind::MixBlend,
+    sim::WorkloadKind::MtFft,
+};
+
+struct Cell
+{
+    double perfNormal = 0.0;
+    double perfMultiSided = 0.0;
+    double perfAdversarial = 0.0;
+    double energyOverhead = 0.0;
+    double tableKb = 0.0;
+};
+
+} // namespace
+
+namespace
+{
+
+/** One tREFW of single-bank activations: the warm-up budget. */
+constexpr std::uint64_t kWarmupActs = 600000;
+
+sim::RunConfig
+warmed(sim::RunConfig run)
+{
+    run.trackerWarmupActs = kWarmupActs;
+    run.warmupFromWorkload = (run.attack == sim::AttackKind::None);
+    return run;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchScale scale = bench::BenchScale::fromArgs(argc, argv);
+
+    const trackers::SchemeKind schemes[] = {
+        trackers::SchemeKind::Parfm,
+        trackers::SchemeKind::BlockHammer,
+        trackers::SchemeKind::Mithril,
+        trackers::SchemeKind::MithrilPlus,
+    };
+
+    // Baselines are FlipTH-independent: one per workload/attack combo.
+    trackers::SchemeSpec none;
+    none.kind = trackers::SchemeKind::None;
+    std::vector<sim::RunMetrics> base_normal;
+    for (auto w : kNormal)
+        base_normal.push_back(sim::runSystem(scale.makeRun(w), none));
+    const sim::RunMetrics base_ms = sim::runSystem(
+        scale.makeRun(sim::WorkloadKind::MixHigh,
+                      sim::AttackKind::MultiSided),
+        none);
+    const sim::RunMetrics base_adv = sim::runSystem(
+        scale.makeRun(sim::WorkloadKind::MixHigh,
+                      sim::AttackKind::CbfPollution),
+        none);
+
+    std::map<std::pair<int, std::uint32_t>, Cell> cells;
+    for (std::uint32_t flip : bench::evalFlipThs()) {
+        for (std::size_t s = 0; s < 4; ++s) {
+            trackers::SchemeSpec spec;
+            spec.kind = schemes[s];
+            spec.flipTh = flip;
+            Cell cell;
+
+            std::vector<double> ratios;
+            std::vector<double> energy;
+            for (std::size_t w = 0; w < kNormal.size(); ++w) {
+                const sim::RunMetrics m = sim::runSystem(
+                    warmed(scale.makeRun(kNormal[w])), spec);
+                ratios.push_back(m.aggIpc / base_normal[w].aggIpc);
+                energy.push_back(
+                    sim::energyOverheadPct(m, base_normal[w]));
+                cell.tableKb = m.trackerBytesPerBank / 1024.0;
+            }
+            cell.perfNormal = 100.0 * bench::geomean(ratios);
+            double esum = 0.0;
+            for (double e : energy)
+                esum += e;
+            cell.energyOverhead =
+                esum / static_cast<double>(energy.size());
+
+            const sim::RunMetrics ms = sim::runSystem(
+                warmed(scale.makeRun(sim::WorkloadKind::MixHigh,
+                                     sim::AttackKind::MultiSided)),
+                spec);
+            cell.perfMultiSided = sim::relativePerf(ms, base_ms);
+
+            const sim::RunMetrics adv = sim::runSystem(
+                warmed(scale.makeRun(sim::WorkloadKind::MixHigh,
+                                     sim::AttackKind::CbfPollution)),
+                spec);
+            cell.perfAdversarial = sim::relativePerf(adv, base_adv);
+
+            cells[{static_cast<int>(s), flip}] = cell;
+        }
+    }
+
+    auto print_metric = [&](const char *title, auto getter,
+                            int precision) {
+        bench::banner(title);
+        std::vector<std::string> headers = {"scheme"};
+        for (std::uint32_t flip : bench::evalFlipThs())
+            headers.push_back(bench::flipThLabel(flip));
+        TablePrinter table(headers);
+        for (std::size_t s = 0; s < 4; ++s) {
+            table.beginRow().cell(trackers::schemeName(schemes[s]));
+            for (std::uint32_t flip : bench::evalFlipThs()) {
+                table.num(getter(cells[{static_cast<int>(s), flip}]),
+                          precision);
+            }
+        }
+        std::printf("%s", table.str().c_str());
+    };
+
+    print_metric("Figure 10(a): relative performance, normal "
+                 "workloads (%)",
+                 [](const Cell &c) { return c.perfNormal; }, 2);
+    print_metric("Figure 10(b): relative performance, multi-sided RH "
+                 "attack (%)",
+                 [](const Cell &c) { return c.perfMultiSided; }, 2);
+    print_metric("Figure 10(c): relative performance, "
+                 "BlockHammer-adversarial pattern (%)",
+                 [](const Cell &c) { return c.perfAdversarial; }, 2);
+    print_metric("Figure 10(d): dynamic energy overhead, normal "
+                 "workloads (%)",
+                 [](const Cell &c) { return c.energyOverhead; }, 3);
+    print_metric("Figure 10(e): table size (KB per bank)",
+                 [](const Cell &c) { return c.tableKb; }, 2);
+
+    std::printf("\nReading: Mithril/Mithril+ stay near 100%% "
+                "performance with sub-percent energy\noverheads at "
+                "every FlipTH; PARFM's overheads grow as FlipTH falls "
+                "(lower\nRFM_TH); BlockHammer collapses under the "
+                "adversarial pattern — Figure 10's story.\n");
+    return 0;
+}

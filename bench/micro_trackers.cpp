@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot paths: CbS table
+ * touch under different hit rates, greedy reset, and the per-ACT cost
+ * of every tracker — the operations a per-bank hardware pipeline (and
+ * this simulator) must sustain at one ACT per tRC.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "core/cbs_table.hh"
+#include "core/mithril.hh"
+#include "trackers/blockhammer.hh"
+#include "trackers/factory.hh"
+#include "trackers/graphene.hh"
+
+using namespace mithril;
+
+namespace
+{
+
+void
+BM_CbsTouchHot(benchmark::State &state)
+{
+    // Working set == table: every touch is a hit.
+    const auto entries = static_cast<std::uint32_t>(state.range(0));
+    core::CbsTable table(entries);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            table.touch(static_cast<RowId>(rng.nextBounded(entries))));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CbsTouchHot)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_CbsTouchCold(benchmark::State &state)
+{
+    // Working set >> table: every touch evicts the minimum.
+    const auto entries = static_cast<std::uint32_t>(state.range(0));
+    core::CbsTable table(entries);
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.touch(
+            static_cast<RowId>(rng.nextBounded(1u << 20))));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CbsTouchCold)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_CbsGreedyReset(benchmark::State &state)
+{
+    core::CbsTable table(512);
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        table.touch(static_cast<RowId>(rng.nextZipf(4096, 1.0)));
+    for (auto _ : state) {
+        table.touch(static_cast<RowId>(rng.nextZipf(4096, 1.0)));
+        benchmark::DoNotOptimize(table.resetMaxToMin());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CbsGreedyReset);
+
+void
+BM_TrackerActivate(benchmark::State &state)
+{
+    const auto kind =
+        static_cast<trackers::SchemeKind>(state.range(0));
+    trackers::SchemeSpec spec;
+    spec.kind = kind;
+    spec.flipTh = 6250;
+    auto tracker = trackers::makeScheme(spec, dram::ddr5_4800(),
+                                        dram::paperGeometry());
+    Rng rng(4);
+    std::vector<RowId> arr;
+    Tick now = 0;
+    for (auto _ : state) {
+        arr.clear();
+        tracker->onActivate(0,
+                            static_cast<RowId>(rng.nextBounded(65536)),
+                            now, arr);
+        now += 48640;
+        benchmark::DoNotOptimize(arr.data());
+    }
+    state.SetLabel(tracker->name());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrackerActivate)
+    ->Arg(static_cast<int>(trackers::SchemeKind::Mithril))
+    ->Arg(static_cast<int>(trackers::SchemeKind::Parfm))
+    ->Arg(static_cast<int>(trackers::SchemeKind::BlockHammer))
+    ->Arg(static_cast<int>(trackers::SchemeKind::Graphene))
+    ->Arg(static_cast<int>(trackers::SchemeKind::Twice))
+    ->Arg(static_cast<int>(trackers::SchemeKind::Cbt));
+
+void
+BM_MithrilRfm(benchmark::State &state)
+{
+    core::MithrilParams params;
+    params.nEntry = 512;
+    params.rfmTh = 64;
+    core::Mithril tracker(1, params);
+    Rng rng(5);
+    std::vector<RowId> arr, sel;
+    for (int i = 0; i < 50000; ++i)
+        tracker.onActivate(
+            0, static_cast<RowId>(rng.nextZipf(8192, 0.9)), 0, arr);
+    for (auto _ : state) {
+        tracker.onActivate(
+            0, static_cast<RowId>(rng.nextZipf(8192, 0.9)), 0, arr);
+        sel.clear();
+        tracker.onRfm(0, 0, sel);
+        benchmark::DoNotOptimize(sel.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MithrilRfm);
+
+} // namespace
+
+BENCHMARK_MAIN();

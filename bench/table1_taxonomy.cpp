@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tables I-III — the paper's taxonomy and configuration tables,
+ * regenerated from the implementation itself:
+ *
+ *  Table I: categorization of every implemented scheme (guarantee,
+ *           remedy, location, tracking mechanism), with the location
+ *           read from the live tracker objects.
+ *  Table II: the DRAM refresh / RH / RFM symbols with this build's
+ *           values.
+ *  Table III: the simulated system's architectural parameters from
+ *           the actual timing/geometry presets.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "trackers/factory.hh"
+
+using namespace mithril;
+
+namespace
+{
+
+const char *
+locationName(trackers::Location loc)
+{
+    switch (loc) {
+      case trackers::Location::Mc:         return "MC";
+      case trackers::Location::Dram:       return "DRAM";
+      case trackers::Location::BufferChip: return "buffer chip";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    const dram::Timing timing = dram::ddr5_4800();
+    const dram::Geometry geom = dram::paperGeometry();
+
+    bench::banner("Table I: categorization of the implemented "
+                  "schemes");
+    struct Row
+    {
+        trackers::SchemeKind kind;
+        const char *guarantee;
+        const char *remedy;
+        const char *tracking;
+    };
+    const Row rows[] = {
+        {trackers::SchemeKind::Para, "Probabilistic", "ARR",
+         "probabilistic sampling"},
+        {trackers::SchemeKind::Cbt, "Deterministic", "ARR",
+         "grouped counters (tree)"},
+        {trackers::SchemeKind::Twice, "Deterministic",
+         "ARR (feedback)", "streaming: Lossy Counting"},
+        {trackers::SchemeKind::Graphene, "Deterministic", "ARR",
+         "streaming: Counter-based Summary"},
+        {trackers::SchemeKind::BlockHammer, "Deterministic",
+         "throttling", "streaming: count-min sketch (CBFs)"},
+        {trackers::SchemeKind::Parfm, "Probabilistic", "RFM",
+         "reservoir sampling"},
+        {trackers::SchemeKind::Mithril, "Deterministic", "RFM",
+         "streaming: Counter-based Summary"},
+        {trackers::SchemeKind::MithrilPlus, "Deterministic",
+         "RFM (+MRR skip)", "streaming: Counter-based Summary"},
+    };
+    TablePrinter t1({"scheme", "guarantee", "remedy", "location",
+                     "tracking"});
+    for (const Row &row : rows) {
+        trackers::SchemeSpec spec;
+        spec.kind = row.kind;
+        spec.flipTh = 6250;
+        auto tracker = trackers::makeScheme(spec, timing, geom);
+        t1.beginRow()
+            .cell(trackers::schemeName(row.kind))
+            .cell(row.guarantee)
+            .cell(row.remedy)
+            .cell(locationName(tracker->location()))
+            .cell(row.tracking);
+    }
+    std::printf("%s", t1.str().c_str());
+
+    bench::banner("Table II: refresh / RH / RFM symbols (this build)");
+    TablePrinter t2({"symbol", "value", "meaning"});
+    t2.beginRow().cell("tREFW").cell(
+        formatFixed(tickToMs(timing.tREFW), 0) + " ms")
+        .cell("per-row auto-refresh interval");
+    t2.beginRow().cell("tREFI").cell(
+        formatFixed(tickToNs(timing.tREFI) / 1000.0, 2) + " us")
+        .cell("refresh command interval (8192 groups)");
+    t2.beginRow().cell("tRFC").cell(
+        formatFixed(tickToNs(timing.tRFC), 0) + " ns")
+        .cell("all-bank refresh busy time");
+    t2.beginRow().cell("tRFM").cell(
+        formatFixed(tickToNs(timing.tRFM), 2) + " ns")
+        .cell("per-bank RFM time margin");
+    t2.beginRow().cell("FlipTH").cell("1.5k-50k")
+        .cell("RH threshold swept by the evaluation");
+    t2.beginRow().cell("RFM_TH").cell("16-512")
+        .cell("ACTs per bank between RFM commands");
+    std::printf("%s", t2.str().c_str());
+
+    bench::banner("Table III: architectural parameters (presets)");
+    TablePrinter t3({"parameter", "value"});
+    t3.beginRow().cell("cores").cell("16 x 4-way OOO @ 3.6 GHz "
+                                     "(MLP-window model)");
+    t3.beginRow().cell("LLC").cell("16 MB, 16-way, LRU");
+    t3.beginRow().cell("module").cell("DDR5-4800");
+    t3.beginRow().cell("channels").intCell(geom.channels);
+    t3.beginRow().cell("ranks/channel").intCell(geom.ranksPerChannel);
+    t3.beginRow().cell("banks/rank").intCell(geom.banksPerRank);
+    t3.beginRow().cell("rows/bank").intCell(geom.rowsPerBank);
+    t3.beginRow().cell("row size").cell("8 KB");
+    t3.beginRow().cell("scheduling").cell("BLISS");
+    t3.beginRow().cell("page policy").cell("minimalist-open (4-hit "
+                                           "cap)");
+    t3.beginRow().cell("tRFC, tRC, tRFM").cell(
+        formatFixed(tickToNs(timing.tRFC), 0) + ", " +
+        formatFixed(tickToNs(timing.tRC), 2) + ", " +
+        formatFixed(tickToNs(timing.tRFM), 2) + " ns");
+    t3.beginRow().cell("tRCD, tRP, tCL").cell(
+        formatFixed(tickToNs(timing.tRCD), 2) + " ns each");
+    std::printf("%s", t3.str().c_str());
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: build a Table III system protected by Mithril, run a
+ * memory-intensive 16-core workload plus one double-sided Row Hammer
+ * attacker, and print performance, energy, protection activity, and
+ * the ground-truth safety verdict.
+ *
+ * Usage: quickstart [flip_th=6250] [rfm_th=128] [ad_th=200]
+ *                   [workload=mix-high] [instr=200000] [cores=16]
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/table_printer.hh"
+#include "core/bounds.hh"
+#include "sim/experiment.hh"
+
+using namespace mithril;
+
+int
+main(int argc, char **argv)
+{
+    ParamSet params = ParamSet::fromArgs(argc, argv);
+
+    const auto flip_th =
+        static_cast<std::uint32_t>(params.getUint("flip_th", 6250));
+    const auto rfm_th =
+        static_cast<std::uint32_t>(params.getUint("rfm_th", 128));
+    const auto ad_th =
+        static_cast<std::uint32_t>(params.getUint("ad_th", 200));
+
+    sim::RunConfig run;
+    run.workload =
+        sim::workloadFromName(params.getString("workload", "mix-high"));
+    run.cores =
+        static_cast<std::uint32_t>(params.getUint("cores", 16));
+    run.instrPerCore = params.getUint("instr", 200000);
+    run.attack = sim::AttackKind::DoubleSided;
+
+    trackers::SchemeSpec scheme;
+    scheme.kind = trackers::SchemeKind::Mithril;
+    scheme.flipTh = flip_th;
+    scheme.rfmTh = rfm_th;
+    scheme.adTh = ad_th;
+
+    std::printf("Mithril quickstart\n");
+    std::printf("  workload: %s + 1 double-sided attacker\n",
+                sim::workloadName(run.workload).c_str());
+    std::printf("  FlipTH %u, RFM_TH %u, AdTH %u\n", flip_th, rfm_th,
+                ad_th);
+    const double bound = core::theorem2Bound(run.sys.timing, 512,
+                                             rfm_th, ad_th);
+    std::printf("  (Theorem 2 bound at Nentry=512: M' = %.1f, "
+                "FlipTH/2 = %.1f)\n\n",
+                bound, flip_th / 2.0);
+
+    // Unprotected baseline first, then Mithril.
+    trackers::SchemeSpec none = scheme;
+    none.kind = trackers::SchemeKind::None;
+    const sim::RunMetrics base = sim::runSystem(run, none);
+    const sim::RunMetrics with = sim::runSystem(run, scheme);
+
+    TablePrinter table({"metric", "unprotected", "mithril"});
+    table.beginRow().cell("aggregate IPC").num(base.aggIpc, 3)
+        .num(with.aggIpc, 3);
+    table.beginRow().cell("relative perf (%)").num(100.0, 2)
+        .num(sim::relativePerf(with, base), 2);
+    table.beginRow().cell("dynamic energy (uJ)")
+        .num(base.energyPj / 1e6, 2).num(with.energyPj / 1e6, 2);
+    table.beginRow().cell("ACTs").intCell(
+        static_cast<long long>(base.acts))
+        .intCell(static_cast<long long>(with.acts));
+    table.beginRow().cell("RFM commands").intCell(0)
+        .intCell(static_cast<long long>(with.rfmIssued));
+    table.beginRow().cell("preventive refreshes").intCell(0)
+        .intCell(static_cast<long long>(with.preventiveRefreshes));
+    table.beginRow().cell("max victim disturbance")
+        .num(base.maxDisturbance, 0).num(with.maxDisturbance, 0);
+    table.beginRow().cell("bit flips (ground truth)")
+        .intCell(static_cast<long long>(base.bitFlips))
+        .intCell(static_cast<long long>(with.bitFlips));
+    std::printf("%s\n", table.str().c_str());
+
+    if (with.bitFlips == 0 && with.maxDisturbance < flip_th) {
+        std::printf("verdict: Mithril kept every victim below "
+                    "FlipTH=%u (max disturbance %.0f)\n",
+                    flip_th, with.maxDisturbance);
+    } else {
+        std::printf("verdict: PROTECTION FAILED — %llu bit flips\n",
+                    static_cast<unsigned long long>(with.bitFlips));
+        return 1;
+    }
+    return 0;
+}

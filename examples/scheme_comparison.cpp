@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Scheme comparison: run every protection scheme on one workload (full
+ * system simulation) and print performance, energy, protection
+ * activity, and area side by side — a miniature of the paper's
+ * Figures 10/11 for a single FlipTH.
+ *
+ * Usage: scheme_comparison [flip_th=6250] [workload=mix-high]
+ *                          [cores=8] [instr=100000]
+ *                          [attack=none|double|multi]
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/table_printer.hh"
+#include "sim/experiment.hh"
+
+using namespace mithril;
+
+int
+main(int argc, char **argv)
+{
+    ParamSet params = ParamSet::fromArgs(argc, argv);
+    const auto flip_th =
+        static_cast<std::uint32_t>(params.getUint("flip_th", 6250));
+
+    sim::RunConfig run;
+    run.workload =
+        sim::workloadFromName(params.getString("workload", "mix-high"));
+    run.cores = static_cast<std::uint32_t>(params.getUint("cores", 8));
+    run.instrPerCore = params.getUint("instr", 100000);
+    const std::string attack = params.getString("attack", "none");
+    if (attack == "double")
+        run.attack = sim::AttackKind::DoubleSided;
+    else if (attack == "multi")
+        run.attack = sim::AttackKind::MultiSided;
+    else if (attack != "none")
+        fatal("unknown attack: %s", attack.c_str());
+
+    std::printf("Scheme comparison: %s, %u cores, %llu instr/core, "
+                "FlipTH %u, attack=%s\n\n",
+                sim::workloadName(run.workload).c_str(), run.cores,
+                static_cast<unsigned long long>(run.instrPerCore),
+                flip_th, attack.c_str());
+
+    trackers::SchemeSpec none;
+    none.kind = trackers::SchemeKind::None;
+    none.flipTh = flip_th;
+    const sim::RunMetrics base = sim::runSystem(run, none);
+
+    TablePrinter table({"scheme", "rel perf (%)", "energy ovh (%)",
+                        "prev refreshes", "RFMs", "throttles",
+                        "table KB", "max disturb", "flips"});
+    table.beginRow()
+        .cell("(unprotected)")
+        .num(100.0, 2)
+        .num(0.0, 2)
+        .intCell(0)
+        .intCell(0)
+        .intCell(0)
+        .num(0.0, 2)
+        .num(base.maxDisturbance, 0)
+        .intCell(static_cast<long long>(base.bitFlips));
+
+    const trackers::SchemeKind kinds[] = {
+        trackers::SchemeKind::Mithril,
+        trackers::SchemeKind::MithrilPlus,
+        trackers::SchemeKind::Parfm,
+        trackers::SchemeKind::BlockHammer,
+        trackers::SchemeKind::Para,
+        trackers::SchemeKind::Graphene,
+        trackers::SchemeKind::Twice,
+        trackers::SchemeKind::Cbt,
+    };
+    for (trackers::SchemeKind kind : kinds) {
+        trackers::SchemeSpec spec;
+        spec.kind = kind;
+        spec.flipTh = flip_th;
+        const sim::RunMetrics m = sim::runSystem(run, spec);
+        table.beginRow()
+            .cell(trackers::schemeName(kind))
+            .num(sim::relativePerf(m, base), 2)
+            .num(sim::energyOverheadPct(m, base), 2)
+            .intCell(static_cast<long long>(m.preventiveRefreshes))
+            .intCell(static_cast<long long>(m.rfmIssued))
+            .intCell(static_cast<long long>(m.throttleStalls))
+            .num(m.trackerBytesPerBank / 1024.0, 2)
+            .num(m.maxDisturbance, 0)
+            .intCell(static_cast<long long>(m.bitFlips));
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}

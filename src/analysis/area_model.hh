@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-scheme counter-table sizing model (Table IV, Figure 10(e)).
+ *
+ * Each function returns the counter-table bytes per bank under the
+ * paper's configuration rules for that scheme at the given FlipTH.
+ * MC-side schemes are sized against the conservative worst case the
+ * paper describes; DRAM-side schemes against the per-device reality.
+ */
+
+#ifndef MITHRIL_ANALYSIS_AREA_MODEL_HH
+#define MITHRIL_ANALYSIS_AREA_MODEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/timing.hh"
+
+namespace mithril::analysis
+{
+
+/** Sizing model bound to one timing/geometry preset. */
+class AreaModel
+{
+  public:
+    AreaModel(const dram::Timing &timing,
+              const dram::Geometry &geometry);
+
+    /** Graphene @ MC: CbS sized for threshold FlipTH/4 per tREFW. */
+    double grapheneBytes(std::uint32_t flip_th) const;
+
+    /** Graphene's entry count (shared with the TWiCe model). */
+    std::uint64_t grapheneEntries(std::uint32_t flip_th) const;
+
+    /** TWiCe @ buffer chip: lossy-counting table (ln-factor larger). */
+    double twiceBytes(std::uint32_t flip_th) const;
+
+    /** CBT @ MC: counter-tree budget per the original configuration. */
+    double cbtBytes(std::uint32_t flip_th) const;
+
+    /**
+     * BlockHammer @ MC: dual CBFs with the paper's (CBF size, NBL)
+     * pairs; counter width = ceil(log2(NBL)) + 1.
+     */
+    double blockHammerBytes(std::uint32_t flip_th) const;
+
+    /** The paper's (CBF size, NBL) configuration for a FlipTH. */
+    static std::pair<std::uint32_t, std::uint32_t>
+    blockHammerConfig(std::uint32_t flip_th);
+
+    /**
+     * Mithril @ DRAM via the Theorem 1 solver; empty when the
+     * (FlipTH, RFM_TH) point is infeasible (the '-' cells of Table IV).
+     */
+    std::optional<double> mithrilBytes(std::uint32_t flip_th,
+                                       std::uint32_t rfm_th) const;
+
+    /** Max ACTs a bank can absorb per tREFW (sizing denominator). */
+    std::uint64_t maxActs() const { return maxActs_; }
+
+  private:
+    dram::Timing timing_;
+    dram::Geometry geometry_;
+    std::uint64_t maxActs_;
+    std::uint32_t rowBits_;
+};
+
+/** The FlipTH values of Table IV, descending. */
+const std::vector<std::uint32_t> &tableIvFlipThs();
+
+} // namespace mithril::analysis
+
+#endif // MITHRIL_ANALYSIS_AREA_MODEL_HH

@@ -1,0 +1,36 @@
+#include "arr_vs_rfm.hh"
+
+#include "common/logging.hh"
+
+namespace mithril::analysis
+{
+
+std::uint64_t
+arrGrapheneSafeFlipTh(std::uint32_t threshold)
+{
+    MITHRIL_ASSERT(threshold > 0);
+    // Reset doubling (x2), double-sided attack (x2), plus the ACT that
+    // lands while the ARR is in flight.
+    return 4ull * threshold + 1;
+}
+
+std::uint64_t
+concurrentThresholdRows(const dram::Timing &timing,
+                        std::uint32_t threshold)
+{
+    MITHRIL_ASSERT(threshold > 0);
+    return dram::maxActsPerWindow(timing) / threshold;
+}
+
+std::uint64_t
+rfmGrapheneSafeFlipTh(const dram::Timing &timing,
+                      std::uint32_t threshold, std::uint32_t rfm_th)
+{
+    const std::uint64_t queue = concurrentThresholdRows(timing, threshold);
+    // While the last buffered row drains, its aggressors absorb another
+    // queue * RFM_TH activations on top of the ARR-era bound.
+    return arrGrapheneSafeFlipTh(threshold) +
+           queue * static_cast<std::uint64_t>(rfm_th);
+}
+
+} // namespace mithril::analysis

@@ -1,0 +1,143 @@
+#include "parfm_failure.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mithril::analysis
+{
+
+namespace
+{
+
+/** Natural log of (1 - 1/R)^(F/2). */
+double
+logSurvive(std::uint32_t flip_th, std::uint32_t rfm_th)
+{
+    const double half = static_cast<double>(flip_th) / 2.0;
+    return half * std::log1p(-1.0 / static_cast<double>(rfm_th));
+}
+
+} // namespace
+
+double
+parfmRowFailLog10(const dram::Timing &timing, std::uint32_t flip_th,
+                  std::uint32_t rfm_th)
+{
+    MITHRIL_ASSERT(flip_th >= 2 && rfm_th >= 2);
+    const std::uint64_t w = dram::rfmIntervalsPerWindow(timing, rfm_th);
+    const std::uint64_t half =
+        static_cast<std::uint64_t>(flip_th) / 2;
+    const double ln10 = std::log(10.0);
+
+    if (w <= half) {
+        // One ACT per interval cannot reach FlipTH/2 inside the
+        // window; the attacker's best move is the smallest j > 1 ACTs
+        // per interval that fits (cost-effectiveness, Equation 5,
+        // favours the smallest feasible j). Survival per interval is
+        // then (1 - j/R) across ceil(F/(2j)) sampled intervals.
+        const std::uint64_t j = (half + w - 1) / w;
+        if (j >= rfm_th)
+            return -400.0;  // Sampled with certainty every interval.
+        const std::uint64_t samplings = (half + j - 1) / j;
+        const double ln_q =
+            static_cast<double>(samplings) *
+            std::log1p(-static_cast<double>(j) /
+                       static_cast<double>(rfm_th));
+        // Union bound over start positions inside the window.
+        const double ln_fail =
+            std::log(static_cast<double>(w)) + ln_q;
+        return std::max(-400.0, std::min(0.0, ln_fail / ln10));
+    }
+
+    const double ln_q = logSurvive(flip_th, rfm_th);
+
+    if (ln_q < -600.0) {
+        // Recurrence term underflows; use the tight upper bound
+        // Fail(1) <= (W - F/2) * q / R computed in log space.
+        const double ln_fail =
+            std::log(static_cast<double>(w - half)) -
+            std::log(static_cast<double>(rfm_th)) + ln_q;
+        return ln_fail / ln10;
+    }
+
+    // Exact recurrence in double precision.
+    const double q = std::exp(ln_q);
+    const double rate = q / static_cast<double>(rfm_th);
+    std::vector<double> p(w + 1, 0.0);
+    p[half] = q;
+    for (std::uint64_t i = half + 1; i <= w; ++i) {
+        const std::uint64_t back = i - half - 1;
+        p[i] = p[i - 1] + rate * (1.0 - p[back]);
+        p[i] = std::min(p[i], 1.0);
+    }
+    const double fail = p[w];
+    if (fail <= 0.0)
+        return -400.0;
+    return std::log10(fail);
+}
+
+double
+parfmBankFailLog10(const dram::Timing &timing, std::uint32_t flip_th,
+                   std::uint32_t rfm_th)
+{
+    // Union bound: RFM_TH simultaneously attacked rows per bank.
+    const double row = parfmRowFailLog10(timing, flip_th, rfm_th);
+    return std::min(0.0,
+                    row + std::log10(static_cast<double>(rfm_th)));
+}
+
+double
+parfmSystemFailLog10(const dram::Timing &timing, std::uint32_t flip_th,
+                     std::uint32_t rfm_th, std::uint32_t n_banks)
+{
+    MITHRIL_ASSERT(n_banks >= 1);
+    const double bank = parfmBankFailLog10(timing, flip_th, rfm_th);
+    if (bank > -12.0) {
+        // Large enough to evaluate exactly.
+        const double f = std::pow(10.0, bank);
+        const double sys =
+            1.0 - std::pow(1.0 - f, static_cast<double>(n_banks));
+        return sys > 0.0 ? std::log10(sys) : -400.0;
+    }
+    // 1 - (1-f)^n ~= n*f for tiny f.
+    return std::min(0.0,
+                    bank + std::log10(static_cast<double>(n_banks)));
+}
+
+std::uint32_t
+parfmMaxRfmTh(const dram::Timing &timing, std::uint32_t flip_th,
+              double target_log10, std::uint32_t n_banks)
+{
+    // System failure grows monotonically with RFM_TH (fewer samples per
+    // ACT), so binary search the largest safe value.
+    std::uint32_t lo = 2;
+    std::uint32_t hi = 4096;
+    if (parfmSystemFailLog10(timing, flip_th, lo, n_banks) >
+        target_log10) {
+        return 0;
+    }
+    while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo + 1) / 2;
+        const double fail =
+            parfmSystemFailLog10(timing, flip_th, mid, n_banks);
+        if (fail <= target_log10)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+double
+parfmCostEffectiveness(std::uint32_t rfm_th, std::uint32_t j)
+{
+    MITHRIL_ASSERT(j >= 1 && j <= rfm_th);
+    const double frac = static_cast<double>(j) /
+                        static_cast<double>(rfm_th);
+    return std::pow(1.0 - frac, 1.0 / static_cast<double>(j));
+}
+
+} // namespace mithril::analysis

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PARFM failure-probability analysis (Appendix C).
+ *
+ * Under PARFM the attacker's most cost-effective pattern activates
+ * RFM_TH distinct rows once per RFM interval (Equation 5 is
+ * monotonically decreasing in per-interval ACTs). A target row fails
+ * when it survives FlipTH/2 consecutive RFM samplings without being
+ * picked, captured by the recurrence
+ *
+ *   P[i] = P[i-1] + (1/R)(1 - 1/R)^(F/2) (1 - P[i - F/2 - 1])
+ *
+ * with R = RFM_TH and F = FlipTH, P[i] = 0 for i < F/2 and
+ * P[F/2] = (1 - 1/R)^(F/2). Bank failure is bounded by
+ * R * Fail(1) (first term of the inclusion-exclusion series) and
+ * system failure by 1 - (1 - Fail_bank)^Nbanks.
+ *
+ * Because (1-1/R)^(F/2) underflows double precision for small R, the
+ * implementation works in log space where needed.
+ */
+
+#ifndef MITHRIL_ANALYSIS_PARFM_FAILURE_HH
+#define MITHRIL_ANALYSIS_PARFM_FAILURE_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+
+namespace mithril::analysis
+{
+
+/** log10 of the single-row failure probability within one tREFW. */
+double parfmRowFailLog10(const dram::Timing &timing,
+                         std::uint32_t flip_th, std::uint32_t rfm_th);
+
+/** log10 of the per-bank failure probability (union bound over the
+ *  RFM_TH attacked rows). */
+double parfmBankFailLog10(const dram::Timing &timing,
+                          std::uint32_t flip_th, std::uint32_t rfm_th);
+
+/** log10 of the system failure probability for n_banks banks attacked
+ *  simultaneously (22 in the paper's tFAW-limited system). */
+double parfmSystemFailLog10(const dram::Timing &timing,
+                            std::uint32_t flip_th, std::uint32_t rfm_th,
+                            std::uint32_t n_banks);
+
+/**
+ * Largest RFM_TH whose system failure probability stays below
+ * 10^target_log10 (the paper uses -15). Returns 0 when even RFM_TH = 1
+ * cannot meet the target.
+ */
+std::uint32_t parfmMaxRfmTh(const dram::Timing &timing,
+                            std::uint32_t flip_th,
+                            double target_log10 = -15.0,
+                            std::uint32_t n_banks = 22);
+
+/**
+ * Equation 5: attacker cost-effectiveness of putting j ACTs on one row
+ * per interval; monotonically decreasing in j, which justifies the
+ * 1-ACT-per-row worst case.
+ */
+double parfmCostEffectiveness(std::uint32_t rfm_th, std::uint32_t j);
+
+} // namespace mithril::analysis
+
+#endif // MITHRIL_ANALYSIS_PARFM_FAILURE_HH

@@ -1,0 +1,112 @@
+#include "config.hh"
+
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace mithril
+{
+
+ParamSet
+ParamSet::fromArgs(int argc, const char *const *argv)
+{
+    ParamSet params;
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        auto eq = token.find('=');
+        if (eq == std::string::npos) {
+            params.positional_.push_back(token);
+        } else {
+            params.set(token.substr(0, eq), token.substr(eq + 1));
+        }
+    }
+    return params;
+}
+
+void
+ParamSet::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+ParamSet::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+ParamSet::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+ParamSet::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("parameter %s=%s is not an integer", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+std::uint64_t
+ParamSet::getUint(const std::string &key, std::uint64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("parameter %s=%s is not an unsigned integer", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+ParamSet::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("parameter %s=%s is not a number", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+ParamSet::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("parameter %s=%s is not a boolean", key.c_str(), v.c_str());
+    return def;
+}
+
+std::vector<std::string>
+ParamSet::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_)
+        out.push_back(k);
+    return out;
+}
+
+} // namespace mithril

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simple string key/value parameter set with typed accessors, used to
+ * configure experiments and example binaries from the command line.
+ */
+
+#ifndef MITHRIL_COMMON_CONFIG_HH
+#define MITHRIL_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mithril
+{
+
+/**
+ * A flat parameter dictionary. Accessors return the stored value parsed
+ * to the requested type or the provided default when the key is absent;
+ * a malformed value is a fatal (user) error.
+ */
+class ParamSet
+{
+  public:
+    ParamSet() = default;
+
+    /** Parse "key=value" tokens (e.g. CLI arguments). Unrecognized
+     *  tokens without '=' are collected as positional arguments. */
+    static ParamSet fromArgs(int argc, const char *const *argv);
+
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t def = 0) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t def = 0) const;
+    double getDouble(const std::string &key, double def = 0.0) const;
+    bool getBool(const std::string &key, bool def = false) const;
+
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** All keys in order, for help/diagnostic output. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_CONFIG_HH

@@ -1,0 +1,93 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace mithril
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    MITHRIL_ASSERT(hi > lo);
+    MITHRIL_ASSERT(buckets > 0);
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    total_ += weight;
+    sum_ += v * static_cast<double>(weight);
+    if (v < lo_) {
+        underflow_ += weight;
+    } else if (v >= hi_) {
+        overflow_ += weight;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        idx = std::min(idx, counts_.size() - 1);
+        counts_[idx] += weight;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + static_cast<double>(i) * width_;
+}
+
+double
+Histogram::mean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double
+Histogram::percentile(double frac) const
+{
+    if (total_ == 0)
+        return lo_;
+    frac = std::clamp(frac, 0.0, 1.0);
+    const auto target =
+        static_cast<std::uint64_t>(frac * static_cast<double>(total_));
+    std::uint64_t seen = underflow_;
+    if (seen >= target)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return bucketLo(i) + width_;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::dump() const
+{
+    std::ostringstream os;
+    if (underflow_)
+        os << "(<" << lo_ << ") " << underflow_ << "\n";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os << "[" << bucketLo(i) << ", " << bucketLo(i) + width_ << ") "
+           << counts_[i] << "\n";
+    }
+    if (overflow_)
+        os << "(>=" << hi_ << ") " << overflow_ << "\n";
+    return os.str();
+}
+
+} // namespace mithril

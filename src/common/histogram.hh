@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-bucket histogram for latency and count distributions.
+ */
+
+#ifndef MITHRIL_COMMON_HISTOGRAM_HH
+#define MITHRIL_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mithril
+{
+
+/**
+ * Linear histogram over [lo, hi) with a fixed bucket count; samples
+ * outside the range land in saturating under/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v, std::uint64_t weight = 1);
+    void reset();
+
+    std::uint64_t totalSamples() const { return total_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t bucketCount() const { return counts_.size(); }
+    std::uint64_t bucketValue(std::size_t i) const { return counts_.at(i); }
+
+    /** Lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+
+    /** Mean of all samples (bucket midpoints for in-range samples). */
+    double mean() const;
+
+    /** Value below which the given fraction of samples fall. */
+    double percentile(double frac) const;
+
+    /** Render as "[lo, hi) count" lines, skipping empty buckets. */
+    std::string dump() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_HISTOGRAM_HH

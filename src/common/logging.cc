@@ -1,0 +1,115 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace mithril
+{
+
+namespace
+{
+
+std::string *captureBuffer = nullptr;
+bool throwOnFatal = false;
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info: ";
+      case LogLevel::Warn:   return "warn: ";
+      case LogLevel::Fatal:  return "fatal: ";
+      case LogLevel::Panic:  return "panic: ";
+    }
+    return "?: ";
+}
+
+void
+emit(LogLevel level, const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (len < 0)
+        len = 0;
+
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+
+    std::string line = std::string(levelPrefix(level)) + buf.data() + "\n";
+    if (captureBuffer) {
+        captureBuffer->append(line);
+    } else {
+        std::fputs(line.c_str(), stderr);
+    }
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(level, fmt, args);
+    va_end(args);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Panic, fmt, args);
+    va_end(args);
+    if (throwOnFatal)
+        throw std::runtime_error("panic");
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Fatal, fmt, args);
+    va_end(args);
+    if (throwOnFatal)
+        throw std::runtime_error("fatal");
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Inform, fmt, args);
+    va_end(args);
+}
+
+void
+setLogCapture(std::string *capture)
+{
+    captureBuffer = capture;
+}
+
+void
+setLogThrowOnFatal(bool enable)
+{
+    throwOnFatal = enable;
+}
+
+} // namespace mithril

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  -- internal invariant violated; aborts (simulator bug).
+ * fatal()  -- user/configuration error; exits with status 1.
+ * warn()   -- something questionable happened but the run continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef MITHRIL_COMMON_LOGGING_HH
+#define MITHRIL_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mithril
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Core log sink. Formats like printf and writes to stderr (or a
+ * test-installed capture buffer). Fatal exits; Panic aborts.
+ */
+[[gnu::format(printf, 2, 3)]]
+void logMessage(LogLevel level, const char *fmt, ...);
+
+[[noreturn, gnu::format(printf, 1, 2)]]
+void panic(const char *fmt, ...);
+
+[[noreturn, gnu::format(printf, 1, 2)]]
+void fatal(const char *fmt, ...);
+
+[[gnu::format(printf, 1, 2)]]
+void warn(const char *fmt, ...);
+
+[[gnu::format(printf, 1, 2)]]
+void inform(const char *fmt, ...);
+
+/**
+ * Redirect all log output into an in-memory buffer (for tests).
+ * Passing nullptr restores stderr output.
+ */
+void setLogCapture(std::string *capture);
+
+/** Make fatal()/panic() throw std::runtime_error instead of exiting. */
+void setLogThrowOnFatal(bool enable);
+
+/**
+ * Assert an invariant; panics when it does not hold.
+ * Unlike assert(), always enabled.
+ */
+#define MITHRIL_ASSERT(cond)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::mithril::panic("assertion failed: %s (%s:%d)", #cond,        \
+                             __FILE__, __LINE__);                          \
+        }                                                                  \
+    } while (0)
+
+/** Assert with a printf-style explanation appended. */
+#define MITHRIL_ASSERT_MSG(cond, fmt, ...)                                 \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::mithril::panic("assertion failed: %s — " fmt, #cond,         \
+                             ##__VA_ARGS__);                               \
+        }                                                                  \
+    } while (0)
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_LOGGING_HH

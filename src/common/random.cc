@@ -1,0 +1,144 @@
+#include "random.hh"
+
+#include <cmath>
+
+namespace mithril
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> uniform in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // Shifted geometric: X = 1 + floor(ln(U) / ln(1 - 1/mean)).
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double denom = std::log(1.0 - 1.0 / mean);
+    return 1 + static_cast<std::uint64_t>(std::log(u) / denom);
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    // Rejection-inversion sampling (Hörmann & Derflinger).
+    const double e = 1.0 - s;
+    auto h = [&](double x) {
+        if (std::fabs(e) < 1e-12)
+            return std::log(x);
+        return (std::pow(x, e) - 1.0) / e;
+    };
+    auto h_inv = [&](double x) {
+        if (std::fabs(e) < 1e-12)
+            return std::exp(x);
+        return std::pow(1.0 + e * x, 1.0 / e);
+    };
+    const double hx0 = h(0.5) - std::pow(1.0, -s);
+    const double hn = h(static_cast<double>(n) + 0.5);
+    while (true) {
+        double u = hx0 + nextDouble() * (hn - hx0);
+        double x = h_inv(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n)
+            k = n;
+        double kd = static_cast<double>(k);
+        if (u >= h(kd + 0.5) - std::pow(kd, -s))
+            return k - 1;
+    }
+}
+
+} // namespace mithril

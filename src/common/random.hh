@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic component of the simulator (PARA/PARFM sampling,
+ * workload generators) draws from an explicitly seeded Rng so that runs
+ * are bit-reproducible. No component may use std::rand or wall-clock
+ * seeding.
+ */
+
+#ifndef MITHRIL_COMMON_RANDOM_HH
+#define MITHRIL_COMMON_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mithril
+{
+
+/**
+ * xoshiro256** generator. Small, fast, and high quality; satisfies the
+ * UniformRandomBitGenerator named requirement so it also plugs into
+ * <random> distributions if ever needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) without modulo bias. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish positive gap with the given mean (shifted geometric
+     * distribution, support >= 1). Used by trace generators for
+     * inter-request instruction gaps.
+     */
+    std::uint64_t nextGeometric(double mean);
+
+    /** Zipf-distributed value in [0, n) with exponent s (precomputed CDF
+     *  is not kept; this uses rejection-inversion, O(1) amortized). */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_RANDOM_HH

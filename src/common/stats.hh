@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components register named scalar counters and averages with a
+ * StatRegistry; experiments snapshot, diff, and print them. This mirrors
+ * the role of the gem5 stats package at the scale this simulator needs.
+ */
+
+#ifndef MITHRIL_COMMON_STATS_HH
+#define MITHRIL_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mithril
+{
+
+/** A single named counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    void set(std::uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples and reports their mean/min/max. */
+class Average
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Hierarchical name -> stat map. Ownership of the stat objects stays with
+ * the registry; components hold stable pointers.
+ */
+class StatRegistry
+{
+  public:
+    /** Get or create a counter under the given dotted name. */
+    Counter &counter(const std::string &name);
+
+    /** Get or create an average under the given dotted name. */
+    Average &average(const std::string &name);
+
+    /** Value of a counter (0 when absent). */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** All counters in name order, for printing. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+
+    /** All averages in name order. */
+    std::vector<std::pair<std::string, double>> averageMeans() const;
+
+    /** Reset every stat to zero. */
+    void resetAll();
+
+    /** Render all stats as "name value" lines. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_STATS_HH

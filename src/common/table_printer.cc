@@ -1,0 +1,117 @@
+#include "table_printer.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mithril
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    flushCurrent();
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+TablePrinter &
+TablePrinter::beginRow()
+{
+    flushCurrent();
+    building_ = true;
+    current_.clear();
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::cell(const std::string &text)
+{
+    current_.push_back(text);
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::num(double value, int precision)
+{
+    current_.push_back(formatFixed(value, precision));
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::intCell(long long value)
+{
+    current_.push_back(std::to_string(value));
+    return *this;
+}
+
+void
+TablePrinter::flushCurrent()
+{
+    if (building_) {
+        current_.resize(headers_.size());
+        rows_.push_back(current_);
+        current_.clear();
+        building_ = false;
+    }
+}
+
+std::string
+TablePrinter::str() const
+{
+    // Copy so that a pending beginRow() row is included.
+    TablePrinter copy(*this);
+    copy.flushCurrent();
+
+    std::vector<std::size_t> widths(copy.headers_.size());
+    for (std::size_t c = 0; c < copy.headers_.size(); ++c)
+        widths[c] = copy.headers_[c].size();
+    for (const auto &row : copy.rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c] << " ";
+        }
+        os << "|\n";
+    };
+
+    emit_row(copy.headers_);
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        os << "|" << std::string(widths[c] + 2, '-');
+    os << "|\n";
+    for (const auto &row : copy.rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    os << str();
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+formatKiB(double bytes, int precision)
+{
+    return formatFixed(bytes / 1024.0, precision) + " KB";
+}
+
+} // namespace mithril

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Aligned ASCII table output used by the benchmark binaries to print the
+ * rows/series of each paper table and figure.
+ */
+
+#ifndef MITHRIL_COMMON_TABLE_PRINTER_HH
+#define MITHRIL_COMMON_TABLE_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mithril
+{
+
+/**
+ * Collects rows of string cells and renders them with per-column
+ * alignment. Numeric helpers format with fixed precision.
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a fully formatted row; pads or truncates to column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Start a fresh row to be filled with cell()/num() calls. */
+    TablePrinter &beginRow();
+
+    /** Append a string cell to the row being built. */
+    TablePrinter &cell(const std::string &text);
+
+    /** Append a numeric cell with the given decimal precision. */
+    TablePrinter &num(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    TablePrinter &intCell(long long value);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Render the table to the given stream. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far (including one in progress). */
+    std::size_t rowCount() const
+    {
+        return rows_.size() + (building_ ? 1 : 0);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> current_;
+    bool building_ = false;
+
+    void flushCurrent();
+};
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double value, int precision);
+
+/** Format a count of bytes as "x.yz KB". */
+std::string formatKiB(double bytes, int precision = 2);
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_TABLE_PRINTER_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental scalar types and time units shared across the simulator.
+ *
+ * Simulated time is kept in integer picoseconds (Tick) so that all DDR5
+ * timing parameters (tCK = 416.67 ps for DDR5-4800) can be expressed
+ * exactly enough without floating-point drift in long runs.
+ */
+
+#ifndef MITHRIL_COMMON_TYPES_HH
+#define MITHRIL_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace mithril
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::int64_t;
+
+/** A DRAM row index within one bank. */
+using RowId = std::uint32_t;
+
+/** A flat bank index within the whole memory system. */
+using BankId = std::uint32_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no row". */
+inline constexpr RowId kInvalidRow = 0xffffffffu;
+
+/** Sentinel for "never" / unbounded time. */
+inline constexpr Tick kTickMax = INT64_MAX;
+
+/** Ticks per nanosecond (1 tick = 1 ps). */
+inline constexpr Tick kTickPerNs = 1000;
+
+/** Convert nanoseconds (possibly fractional) to ticks. */
+constexpr Tick
+nsToTick(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTickPerNs) + 0.5);
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+usToTick(double us)
+{
+    return nsToTick(us * 1e3);
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+msToTick(double ms)
+{
+    return nsToTick(ms * 1e6);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+tickToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTickPerNs);
+}
+
+/** Convert ticks to (fractional) milliseconds. */
+constexpr double
+tickToMs(Tick t)
+{
+    return static_cast<double>(t) / (1e6 * static_cast<double>(kTickPerNs));
+}
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_TYPES_HH

@@ -1,0 +1,146 @@
+#include "bounds.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mithril::core
+{
+
+double
+harmonic(std::uint64_t n)
+{
+    if (n < 64) {
+        double h = 0.0;
+        for (std::uint64_t k = 1; k <= n; ++k)
+            h += 1.0 / static_cast<double>(k);
+        return h;
+    }
+    // Asymptotic expansion; error < 1e-10 for n >= 64.
+    const double nd = static_cast<double>(n);
+    const double euler = 0.5772156649015329;
+    return std::log(nd) + euler + 1.0 / (2.0 * nd) -
+           1.0 / (12.0 * nd * nd);
+}
+
+std::uint64_t
+windowIntervals(const dram::Timing &timing, std::uint32_t rfm_th)
+{
+    return dram::rfmIntervalsPerWindow(timing, rfm_th);
+}
+
+double
+theorem1Bound(const dram::Timing &timing, std::uint32_t n_entry,
+              std::uint32_t rfm_th)
+{
+    MITHRIL_ASSERT(n_entry > 0 && rfm_th > 0);
+    const double w = static_cast<double>(windowIntervals(timing, rfm_th));
+    const double n = static_cast<double>(n_entry);
+    const double th = static_cast<double>(rfm_th);
+    return th * harmonic(n_entry) + th / n * (w - 2.0);
+}
+
+std::uint64_t
+adaptiveNStar(std::uint32_t n_entry, std::uint32_t rfm_th,
+              std::uint32_t ad_th)
+{
+    const std::uint64_t num =
+        static_cast<std::uint64_t>(n_entry) * rfm_th;
+    const std::uint64_t den = static_cast<std::uint64_t>(rfm_th) + ad_th;
+    return (num + den - 1) / den;
+}
+
+double
+theorem2Bound(const dram::Timing &timing, std::uint32_t n_entry,
+              std::uint32_t rfm_th, std::uint32_t ad_th)
+{
+    MITHRIL_ASSERT(n_entry > 0 && rfm_th > 0);
+    if (ad_th == 0)
+        return theorem1Bound(timing, n_entry, rfm_th);
+
+    const double w = static_cast<double>(windowIntervals(timing, rfm_th));
+    const double n = static_cast<double>(n_entry);
+    const double th = static_cast<double>(rfm_th);
+    const std::uint64_t n_star = adaptiveNStar(n_entry, rfm_th, ad_th);
+    const double ns = static_cast<double>(n_star);
+
+    return th * harmonic(n_star) +
+           ((w - ns + n - 2.0) * th +
+            (n - ns) * static_cast<double>(ad_th)) /
+               n;
+}
+
+bool
+isSafeConfig(const dram::Timing &timing, std::uint32_t n_entry,
+             std::uint32_t rfm_th, std::uint32_t flip_th,
+             std::uint32_t ad_th, double aggregated_effect)
+{
+    MITHRIL_ASSERT(aggregated_effect > 0.0);
+    const double m = theorem2Bound(timing, n_entry, rfm_th, ad_th);
+    return m < static_cast<double>(flip_th) / aggregated_effect;
+}
+
+double
+aggregatedEffect(std::uint32_t blast_radius)
+{
+    MITHRIL_ASSERT(blast_radius >= 1 && blast_radius <= 3);
+    switch (blast_radius) {
+      case 1: return 2.0;
+      case 2: return 2.5;
+      default: return 3.5;  // Section V-C / BlockHammer's figure.
+    }
+}
+
+std::uint32_t
+wrappingCounterBits(const dram::Timing &timing, std::uint32_t n_entry,
+                    std::uint32_t rfm_th, std::uint32_t ad_th)
+{
+    // The max-min spread never exceeds the per-window growth bound plus
+    // one interval of slack; the wrapping comparison needs one extra
+    // bit so the spread stays below half the counter range.
+    const double m = theorem2Bound(timing, n_entry, rfm_th, ad_th);
+    const double spread = m + static_cast<double>(rfm_th) +
+                          static_cast<double>(ad_th);
+    std::uint32_t bits = 2;
+    while ((1ull << (bits - 1)) <= static_cast<std::uint64_t>(spread) &&
+           bits < 63) {
+        ++bits;
+    }
+    return bits;
+}
+
+std::uint64_t
+lossyCountingEntries(const dram::Timing &timing, std::uint32_t rfm_th,
+                     std::uint32_t flip_th)
+{
+    // Find the CbS entry requirement first.
+    std::uint64_t n_cbs = 0;
+    double h = 0.0;
+    const double w = static_cast<double>(windowIntervals(timing, rfm_th));
+    const double th = static_cast<double>(rfm_th);
+    const double target = static_cast<double>(flip_th) / 2.0;
+    for (std::uint64_t n = 1; n <= 1u << 22; ++n) {
+        h += 1.0 / static_cast<double>(n);
+        const double m = th * h + th / static_cast<double>(n) * (w - 2.0);
+        if (m < target) {
+            n_cbs = n;
+            break;
+        }
+        if (th * h >= target)
+            return 0;  // infeasible even with infinite entries
+    }
+    if (n_cbs == 0)
+        return 0;
+
+    // Manku-Motwani lossy counting needs O((1/eps) * ln(eps * L))
+    // entries for stream length L and error eps; matching the CbS error
+    // budget eps = 1/n_cbs over the per-window ACT stream L = W*RFM_TH
+    // yields the multiplicative ln factor below.
+    const double stream = w * th;
+    const double factor =
+        std::max(1.0, std::log(stream / static_cast<double>(n_cbs)));
+    return static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(n_cbs) * factor));
+}
+
+} // namespace mithril::core

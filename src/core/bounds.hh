@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Closed-form safety bounds of the Mithril paper.
+ *
+ * Theorem 1: with Nentry counter entries and an RFM threshold RFM_TH,
+ * the estimated count of any single row can grow by at most
+ *
+ *   M = sum_{k=1..N} RFM_TH / k  +  (RFM_TH / N) * (W - 2)
+ *
+ * inside one tREFW window, where
+ *
+ *   W = ceil( (tREFW - (tREFW/tREFI) * tRFC) / (tRC * RFM_TH + tRFM) )
+ *
+ * is the number of RFM intervals per window. Configuring M < FlipTH/2
+ * yields deterministic protection against double-sided hammering.
+ *
+ * Theorem 2 extends the bound to the adaptive refresh policy with
+ * skip threshold AdTH:
+ *
+ *   M' = sum_{k=1..n*} RFM_TH / k
+ *      + ((W - n* + N - 2) * RFM_TH + (N - n*) * AdTH) / N
+ *   n* = ceil(N * RFM_TH / (RFM_TH + AdTH))
+ */
+
+#ifndef MITHRIL_CORE_BOUNDS_HH
+#define MITHRIL_CORE_BOUNDS_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+
+namespace mithril::core
+{
+
+/** Harmonic number H_n = sum_{k=1..n} 1/k. */
+double harmonic(std::uint64_t n);
+
+/** The W term: RFM intervals per tREFW window. */
+std::uint64_t windowIntervals(const dram::Timing &timing,
+                              std::uint32_t rfm_th);
+
+/** Theorem 1 bound M on estimated-count growth per tREFW window. */
+double theorem1Bound(const dram::Timing &timing, std::uint32_t n_entry,
+                     std::uint32_t rfm_th);
+
+/** Theorem 2 bound M' under adaptive refresh with threshold ad_th.
+ *  With ad_th == 0 this reduces to Theorem 1's M. */
+double theorem2Bound(const dram::Timing &timing, std::uint32_t n_entry,
+                     std::uint32_t rfm_th, std::uint32_t ad_th);
+
+/** The n* term of Theorem 2. */
+std::uint64_t adaptiveNStar(std::uint32_t n_entry, std::uint32_t rfm_th,
+                            std::uint32_t ad_th);
+
+/**
+ * True when the configuration deterministically protects the given
+ * FlipTH against aggressors with the given aggregated RH effect
+ * (2.0 for classic double-sided; 3.5 for the radius-3 non-adjacent
+ * case of Section V-C).
+ */
+bool isSafeConfig(const dram::Timing &timing, std::uint32_t n_entry,
+                  std::uint32_t rfm_th, std::uint32_t flip_th,
+                  std::uint32_t ad_th = 0,
+                  double aggregated_effect = 2.0);
+
+/**
+ * Aggregated RH effect for a disturbance radius (Section V-C): 2.0
+ * for the classic double-sided case, 3.5 within a radius of 3. The
+ * safety condition becomes M < FlipTH / effect, and a preventive
+ * refresh must cover 2*radius victim rows.
+ */
+double aggregatedEffect(std::uint32_t blast_radius);
+
+/**
+ * Minimum counter width (bits) for the wrapping-counter implementation
+ * of Section IV-E: enough to express twice the maximum in-table spread
+ * (M rounded up, plus one RFM interval of slack).
+ */
+std::uint32_t wrappingCounterBits(const dram::Timing &timing,
+                                  std::uint32_t n_entry,
+                                  std::uint32_t rfm_th,
+                                  std::uint32_t ad_th = 0);
+
+/**
+ * Lossy-Counting (TWiCe-style) table sizing for an RFM-based scheme,
+ * used as the dotted comparison lines of Figure 6. Returns the entry
+ * count needed to guarantee the same FlipTH at the given RFM_TH; Lossy
+ * Counting must provision one entry per row whose count can exceed the
+ * pruning threshold within a window, which is larger than the CbS
+ * requirement by roughly the W/N overlap factor.
+ */
+std::uint64_t lossyCountingEntries(const dram::Timing &timing,
+                                   std::uint32_t rfm_th,
+                                   std::uint32_t flip_th);
+
+} // namespace mithril::core
+
+#endif // MITHRIL_CORE_BOUNDS_HH

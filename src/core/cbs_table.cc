@@ -1,0 +1,357 @@
+#include "cbs_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mithril::core
+{
+
+CbsTable::CbsTable(std::uint32_t n_entry, std::uint32_t counter_bits)
+    : capacity_(n_entry), counterBits_(counter_bits)
+{
+    MITHRIL_ASSERT(capacity_ > 0);
+    MITHRIL_ASSERT(counter_bits >= 2 && counter_bits <= 64);
+
+    rows_.assign(capacity_, kInvalidRow);
+    counts_.assign(capacity_, 0);
+    entryBucket_.assign(capacity_, 0);
+    entryPrev_.assign(capacity_, kNone);
+    entryNext_.assign(capacity_, kNone);
+
+    // Like the hardware, the table is always "full": every entry exists
+    // from the start with counter 0 and an invalid row address. One
+    // bucket (count 0) initially holds all entries.
+    bucketCount_.assign(1, 0);
+    bucketHead_.assign(1, 0);
+    bucketPrev_.assign(1, kNone);
+    bucketNext_.assign(1, kNone);
+    bucketSize_.assign(1, capacity_);
+
+    for (std::uint32_t e = 0; e < capacity_; ++e) {
+        entryPrev_[e] = (e == 0) ? kNone : e - 1;
+        entryNext_[e] = (e + 1 == capacity_) ? kNone : e + 1;
+    }
+    minBucket_ = 0;
+    maxBucket_ = 0;
+}
+
+std::uint32_t
+CbsTable::allocBucket(std::uint64_t count)
+{
+    std::uint32_t b;
+    if (bucketFree_ != kNone) {
+        b = bucketFree_;
+        bucketFree_ = bucketNext_[b];
+    } else {
+        b = static_cast<std::uint32_t>(bucketCount_.size());
+        bucketCount_.push_back(0);
+        bucketHead_.push_back(kNone);
+        bucketPrev_.push_back(kNone);
+        bucketNext_.push_back(kNone);
+        bucketSize_.push_back(0);
+    }
+    bucketCount_[b] = count;
+    bucketHead_[b] = kNone;
+    bucketPrev_[b] = kNone;
+    bucketNext_[b] = kNone;
+    bucketSize_[b] = 0;
+    return b;
+}
+
+void
+CbsTable::freeBucket(std::uint32_t b)
+{
+    bucketNext_[b] = bucketFree_;
+    bucketFree_ = b;
+}
+
+void
+CbsTable::detachEntry(std::uint32_t e)
+{
+    const std::uint32_t b = entryBucket_[e];
+    const std::uint32_t prev = entryPrev_[e];
+    const std::uint32_t next = entryNext_[e];
+    if (prev != kNone)
+        entryNext_[prev] = next;
+    else
+        bucketHead_[b] = next;
+    if (next != kNone)
+        entryPrev_[next] = prev;
+    entryPrev_[e] = kNone;
+    entryNext_[e] = kNone;
+    --bucketSize_[b];
+
+    if (bucketSize_[b] == 0) {
+        const std::uint32_t bp = bucketPrev_[b];
+        const std::uint32_t bn = bucketNext_[b];
+        if (bp != kNone)
+            bucketNext_[bp] = bn;
+        else
+            minBucket_ = bn;
+        if (bn != kNone)
+            bucketPrev_[bn] = bp;
+        else
+            maxBucket_ = bp;
+        freeBucket(b);
+    }
+}
+
+void
+CbsTable::attachWithCount(std::uint32_t e, std::uint64_t count,
+                          std::uint32_t hint_bucket)
+{
+    // Find the bucket with this count, or the position to create it,
+    // scanning forward from the hint (which is at most one step away in
+    // every call pattern used by this class).
+    std::uint32_t prev = kNone;
+    std::uint32_t cur = (hint_bucket != kNone) ? hint_bucket : minBucket_;
+    if (cur != kNone && bucketCount_[cur] > count) {
+        // Walk back to the start; only happens when hint is past the
+        // target (reset-to-min paths pass minBucket_, so this is rare).
+        cur = minBucket_;
+    }
+    while (cur != kNone && bucketCount_[cur] < count) {
+        prev = cur;
+        cur = bucketNext_[cur];
+    }
+
+    std::uint32_t target;
+    if (cur != kNone && bucketCount_[cur] == count) {
+        target = cur;
+    } else {
+        target = allocBucket(count);
+        bucketPrev_[target] = prev;
+        bucketNext_[target] = cur;
+        if (prev != kNone)
+            bucketNext_[prev] = target;
+        else
+            minBucket_ = target;
+        if (cur != kNone)
+            bucketPrev_[cur] = target;
+        else
+            maxBucket_ = target;
+    }
+
+    entryBucket_[e] = target;
+    entryPrev_[e] = kNone;
+    entryNext_[e] = bucketHead_[target];
+    if (bucketHead_[target] != kNone)
+        entryPrev_[bucketHead_[target]] = e;
+    bucketHead_[target] = e;
+    ++bucketSize_[target];
+    counts_[e] = count;
+}
+
+std::uint64_t
+CbsTable::touch(RowId row)
+{
+    ++touches_;
+    std::uint32_t e;
+    auto it = index_.find(row);
+    if (it != index_.end()) {
+        e = it->second;
+    } else {
+        // Miss: evict the head of the minimum bucket and rename it.
+        e = bucketHead_[minBucket_];
+        if (rows_[e] != kInvalidRow)
+            index_.erase(rows_[e]);
+        else
+            ++size_;
+        rows_[e] = row;
+        index_[row] = e;
+    }
+
+    // Increment: move the entry from its bucket (count c) into the
+    // bucket with count c+1.
+    const std::uint32_t b = entryBucket_[e];
+    const std::uint64_t target = counts_[e] + 1;
+    const std::uint32_t next = bucketNext_[b];
+
+    if (bucketSize_[b] == 1 &&
+        (next == kNone || bucketCount_[next] > target)) {
+        // Singleton bucket and no collision ahead: bump in place.
+        bucketCount_[b] = target;
+        counts_[e] = target;
+    } else if (next != kNone && bucketCount_[next] == target) {
+        detachEntry(e);
+        entryBucket_[e] = next;
+        entryPrev_[e] = kNone;
+        entryNext_[e] = bucketHead_[next];
+        if (bucketHead_[next] != kNone)
+            entryPrev_[bucketHead_[next]] = e;
+        bucketHead_[next] = e;
+        ++bucketSize_[next];
+        counts_[e] = target;
+    } else {
+        // Need a fresh bucket between b and next. b survives because it
+        // holds at least one other entry.
+        detachEntry(e);
+        attachWithCount(e, target, b);
+    }
+    return counts_[e];
+}
+
+bool
+CbsTable::contains(RowId row) const
+{
+    return index_.count(row) > 0;
+}
+
+std::uint64_t
+CbsTable::estimate(RowId row) const
+{
+    auto it = index_.find(row);
+    if (it != index_.end())
+        return counts_[it->second];
+    return minValue();
+}
+
+std::uint64_t
+CbsTable::minValue() const
+{
+    return bucketCount_[minBucket_];
+}
+
+std::uint64_t
+CbsTable::maxValue() const
+{
+    return bucketCount_[maxBucket_];
+}
+
+RowId
+CbsTable::maxRow() const
+{
+    const std::uint32_t e = bucketHead_[maxBucket_];
+    return rows_[e];
+}
+
+RowId
+CbsTable::resetMaxToMin()
+{
+    const std::uint32_t e = bucketHead_[maxBucket_];
+    const RowId row = rows_[e];
+    if (row == kInvalidRow)
+        return kInvalidRow;
+    if (maxBucket_ == minBucket_)
+        return row;
+
+    const std::uint64_t target = bucketCount_[minBucket_];
+    detachEntry(e);
+    attachWithCount(e, target, minBucket_);
+    return row;
+}
+
+bool
+CbsTable::resetRowToMin(RowId row)
+{
+    auto it = index_.find(row);
+    if (it == index_.end())
+        return false;
+    const std::uint32_t e = it->second;
+    if (entryBucket_[e] == minBucket_)
+        return true;
+    const std::uint64_t target = bucketCount_[minBucket_];
+    detachEntry(e);
+    attachWithCount(e, target, minBucket_);
+    return true;
+}
+
+void
+CbsTable::clear()
+{
+    const std::uint32_t cap = capacity_;
+    const std::uint32_t bits = counterBits_;
+    *this = CbsTable(cap, bits);
+}
+
+std::vector<CbsTable::Entry>
+CbsTable::entries() const
+{
+    std::vector<Entry> out;
+    out.reserve(size_);
+    for (std::uint32_t e = 0; e < capacity_; ++e) {
+        if (rows_[e] != kInvalidRow)
+            out.push_back(Entry{rows_[e], counts_[e]});
+    }
+    return out;
+}
+
+std::uint64_t
+CbsTable::wrappedValue(RowId row) const
+{
+    const std::uint64_t mask = (counterBits_ >= 64)
+                                   ? ~0ull
+                                   : ((1ull << counterBits_) - 1);
+    return estimate(row) & mask;
+}
+
+bool
+CbsTable::wrappedLess(std::uint64_t a, std::uint64_t b, std::uint32_t bits)
+{
+    MITHRIL_ASSERT(bits >= 2 && bits <= 64);
+    const std::uint64_t mask = (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+    const std::uint64_t diff = (a - b) & mask;
+    const std::uint64_t half = 1ull << (bits - 1);
+    return diff != 0 && diff >= half;
+}
+
+bool
+CbsTable::checkInvariants() const
+{
+    // Bucket list strictly ascending, consistent linkage, sizes match.
+    std::uint32_t seen_entries = 0;
+    std::uint32_t prev_bucket = kNone;
+    std::uint64_t prev_count = 0;
+    bool first = true;
+    for (std::uint32_t b = minBucket_; b != kNone; b = bucketNext_[b]) {
+        if (bucketPrev_[b] != prev_bucket)
+            return false;
+        if (!first && bucketCount_[b] <= prev_count)
+            return false;
+        if (bucketSize_[b] == 0)
+            return false;
+        std::uint32_t n = 0;
+        std::uint32_t prev_e = kNone;
+        for (std::uint32_t e = bucketHead_[b]; e != kNone;
+             e = entryNext_[e]) {
+            if (entryBucket_[e] != b)
+                return false;
+            if (entryPrev_[e] != prev_e)
+                return false;
+            if (counts_[e] != bucketCount_[b])
+                return false;
+            prev_e = e;
+            ++n;
+            if (n > capacity_)
+                return false;
+        }
+        if (n != bucketSize_[b])
+            return false;
+        seen_entries += n;
+        prev_bucket = b;
+        prev_count = bucketCount_[b];
+        first = false;
+    }
+    if (prev_bucket != maxBucket_)
+        return false;
+    if (seen_entries != capacity_)
+        return false;
+
+    // Index consistency.
+    for (const auto &[row, e] : index_) {
+        if (e >= capacity_ || rows_[e] != row)
+            return false;
+    }
+    std::uint32_t valid = 0;
+    for (std::uint32_t e = 0; e < capacity_; ++e) {
+        if (rows_[e] != kInvalidRow) {
+            ++valid;
+            if (!index_.count(rows_[e]))
+                return false;
+        }
+    }
+    return valid == size_ && valid == index_.size();
+}
+
+} // namespace mithril::core

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Counter-based Summary (CbS) table — the tracking structure at the
+ * heart of Mithril (Section III-C).
+ *
+ * This is the Misra-Gries / Space-Saving frequent-items summary: a fixed
+ * set of (row address, counter) entries. A hit increments the entry's
+ * counter; a miss evicts the entry holding the table-wide minimum,
+ * renames it to the new row, and increments it. The estimated count of
+ * an on-table row is its counter; of an off-table row, the table
+ * minimum. The two CbS bounds the paper relies on are
+ *
+ *   (1)  actual <= estimated                      (lower bound on est)
+ *   (2)  estimated <= actual + min                (upper bound on est)
+ *
+ * which make the greedy max-selection + decrement-to-min operation of
+ * Mithril sound.
+ *
+ * Implementation: the classic stream-summary structure — entries grouped
+ * into buckets of equal count, buckets kept in a doubly linked list in
+ * ascending count order — giving O(1) hit, miss, min, max, and
+ * reset-max-to-min operations. MinPtr/MaxPtr of the paper's hardware are
+ * the first/last buckets of the list.
+ *
+ * Counters are kept as absolute 64-bit values internally; the hardware's
+ * *wrapping* counters (Section IV-E) are equivalent as long as the
+ * max-min spread stays below half the counter range, which Theorem 1
+ * guarantees. wrappedValue()/wrappedLess() expose the hardware semantics
+ * for verification.
+ */
+
+#ifndef MITHRIL_CORE_CBS_TABLE_HH
+#define MITHRIL_CORE_CBS_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mithril::core
+{
+
+/** Fixed-capacity Counter-based Summary with O(1) operations. */
+class CbsTable
+{
+  public:
+    /** One (row, counter) pair as seen from outside. */
+    struct Entry
+    {
+        RowId row;
+        std::uint64_t count;
+    };
+
+    /**
+     * @param n_entry      Number of table entries (Nentry).
+     * @param counter_bits Width of the hardware wrapping counter; used
+     *                     only by the wrapped-view helpers.
+     */
+    explicit CbsTable(std::uint32_t n_entry, std::uint32_t counter_bits = 32);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t size() const { return size_; }
+    std::uint32_t counterBits() const { return counterBits_; }
+
+    /**
+     * Process one activation of the given row (hit increment or
+     * min-eviction insert). Returns the row's new estimated count.
+     */
+    std::uint64_t touch(RowId row);
+
+    /** True when the row currently occupies a table entry. */
+    bool contains(RowId row) const;
+
+    /**
+     * Estimated count: the entry counter for an on-table row, the table
+     * minimum for an off-table row.
+     */
+    std::uint64_t estimate(RowId row) const;
+
+    /** Table-wide minimum counter (0 while unfilled slots remain). */
+    std::uint64_t minValue() const;
+
+    /** Table-wide maximum counter (0 when empty). */
+    std::uint64_t maxValue() const;
+
+    /** A row holding the maximum counter (kInvalidRow when empty). */
+    RowId maxRow() const;
+
+    /** MaxPtr - MinPtr spread; the adaptive-refresh signal (Sec. V-A). */
+    std::uint64_t spread() const { return maxValue() - minValue(); }
+
+    /**
+     * Greedy-selection reset: lower the maximum entry's counter to the
+     * current table minimum (the post-preventive-refresh adjustment of
+     * Section IV-B). Returns the row that was selected, or kInvalidRow
+     * when the table is empty.
+     */
+    RowId resetMaxToMin();
+
+    /** Reset the given on-table row's counter to the table minimum. */
+    bool resetRowToMin(RowId row);
+
+    /** Remove every entry (used only by baselines with table resets). */
+    void clear();
+
+    /** Snapshot of all entries (unspecified order). */
+    std::vector<Entry> entries() const;
+
+    /** Counter value under the hardware's wrapping-counter view. */
+    std::uint64_t wrappedValue(RowId row) const;
+
+    /**
+     * Hardware comparison of two wrapped counter values: a < b in the
+     * modular sense, valid while |a-b| < 2^(bits-1).
+     */
+    static bool wrappedLess(std::uint64_t a, std::uint64_t b,
+                            std::uint32_t bits);
+
+    /**
+     * Verify internal structure invariants (bucket ordering, linkage,
+     * index consistency). For tests; returns false on corruption.
+     */
+    bool checkInvariants() const;
+
+    /** Total touch operations processed. */
+    std::uint64_t touches() const { return touches_; }
+
+  private:
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+
+    /** Detach entry e from its bucket (bucket freed if emptied). */
+    void detachEntry(std::uint32_t e);
+
+    /** Attach entry e to a bucket holding exactly `count`, known to
+     *  belong adjacent to bucket hint (searched locally). */
+    void attachWithCount(std::uint32_t e, std::uint64_t count,
+                         std::uint32_t hint_bucket);
+
+    std::uint32_t allocBucket(std::uint64_t count);
+    void freeBucket(std::uint32_t b);
+
+    std::uint32_t capacity_;
+    std::uint32_t counterBits_;
+    std::uint32_t size_ = 0;
+    std::uint64_t touches_ = 0;
+
+    // Entry arrays (index = entry id).
+    std::vector<RowId> rows_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<std::uint32_t> entryBucket_;
+    std::vector<std::uint32_t> entryPrev_;
+    std::vector<std::uint32_t> entryNext_;
+
+    // Bucket arrays (index = bucket id), free-listed.
+    std::vector<std::uint64_t> bucketCount_;
+    std::vector<std::uint32_t> bucketHead_;
+    std::vector<std::uint32_t> bucketPrev_;
+    std::vector<std::uint32_t> bucketNext_;
+    std::vector<std::uint32_t> bucketSize_;
+    std::uint32_t bucketFree_ = kNone;
+
+    std::uint32_t minBucket_ = kNone;  //!< MinPtr.
+    std::uint32_t maxBucket_ = kNone;  //!< MaxPtr.
+
+    std::unordered_map<RowId, std::uint32_t> index_;
+};
+
+} // namespace mithril::core
+
+#endif // MITHRIL_CORE_CBS_TABLE_HH

@@ -1,0 +1,109 @@
+#include "config_solver.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/bounds.hh"
+
+namespace mithril::core
+{
+
+std::uint32_t
+ceilLog2(std::uint64_t x)
+{
+    MITHRIL_ASSERT(x >= 1);
+    std::uint32_t bits = 0;
+    std::uint64_t v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+ConfigSolver::ConfigSolver(const dram::Timing &timing,
+                           const dram::Geometry &geometry)
+    : timing_(timing), rowBits_(ceilLog2(geometry.rowsPerBank))
+{
+}
+
+std::uint64_t
+ConfigSolver::minEntries(std::uint32_t flip_th, std::uint32_t rfm_th,
+                         std::uint32_t ad_th, double effect) const
+{
+    MITHRIL_ASSERT(flip_th > 0 && rfm_th > 0 && effect > 0.0);
+    const double target = static_cast<double>(flip_th) / effect;
+    const double w =
+        static_cast<double>(windowIntervals(timing_, rfm_th));
+    const double th = static_cast<double>(rfm_th);
+    const double ad = static_cast<double>(ad_th);
+
+    // Scan N upward with an incremental harmonic sum. M is dominated by
+    // the (W-2)/N term for small N and by the harmonic term for large
+    // N; once the harmonic part alone crosses the target the search
+    // cannot succeed.
+    double h = 0.0;          // H_n
+    double h_nstar = 0.0;    // H_{n*}; recomputed cheaply since n* <= n
+    std::uint64_t nstar_prev = 0;
+    for (std::uint64_t n = 1; n <= (1ull << 24); ++n) {
+        h += 1.0 / static_cast<double>(n);
+        double m;
+        if (ad_th == 0) {
+            m = th * h + th / static_cast<double>(n) * (w - 2.0);
+            if (th * h >= target)
+                return 0;
+        } else {
+            const std::uint64_t n_star = adaptiveNStar(
+                static_cast<std::uint32_t>(n), rfm_th, ad_th);
+            while (nstar_prev < n_star) {
+                ++nstar_prev;
+                h_nstar += 1.0 / static_cast<double>(nstar_prev);
+            }
+            const double nd = static_cast<double>(n);
+            const double ns = static_cast<double>(n_star);
+            m = th * h_nstar +
+                ((w - ns + nd - 2.0) * th + (nd - ns) * ad) / nd;
+            if (th * h_nstar >= target && n_star == n)
+                return 0;
+        }
+        if (m < target)
+            return n;
+    }
+    return 0;
+}
+
+std::optional<MithrilConfig>
+ConfigSolver::solve(std::uint32_t flip_th, std::uint32_t rfm_th,
+                    std::uint32_t ad_th, double effect) const
+{
+    const std::uint64_t n = minEntries(flip_th, rfm_th, ad_th, effect);
+    if (n == 0)
+        return std::nullopt;
+
+    MithrilConfig cfg{};
+    cfg.flipTh = flip_th;
+    cfg.nEntry = static_cast<std::uint32_t>(n);
+    cfg.rfmTh = rfm_th;
+    cfg.adTh = ad_th;
+    cfg.rowBits = rowBits_;
+    cfg.bound = theorem2Bound(timing_, cfg.nEntry, rfm_th, ad_th);
+    cfg.counterBits =
+        wrappingCounterBits(timing_, cfg.nEntry, rfm_th, ad_th);
+    return cfg;
+}
+
+std::vector<MithrilConfig>
+ConfigSolver::sweepRfmTh(std::uint32_t flip_th,
+                         const std::vector<std::uint32_t> &rfm_ths,
+                         std::uint32_t ad_th) const
+{
+    std::vector<MithrilConfig> out;
+    for (std::uint32_t th : rfm_ths) {
+        auto cfg = solve(flip_th, th, ad_th);
+        if (cfg)
+            out.push_back(*cfg);
+    }
+    return out;
+}
+
+} // namespace mithril::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Mithril configuration solver (Section IV-D, Figure 6).
+ *
+ * For a target FlipTH, many (Nentry, RFM_TH) pairs satisfy the Theorem 1
+ * condition M < FlipTH/2. The solver finds the smallest table for a
+ * given RFM_TH (and optional adaptive-refresh AdTH via Theorem 2), and
+ * produces the feasibility curves of Figure 6.
+ */
+
+#ifndef MITHRIL_CORE_CONFIG_SOLVER_HH
+#define MITHRIL_CORE_CONFIG_SOLVER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dram/timing.hh"
+
+namespace mithril::core
+{
+
+/** A concrete, provably safe Mithril configuration. */
+struct MithrilConfig
+{
+    std::uint32_t flipTh;       //!< Target RH threshold.
+    std::uint32_t nEntry;       //!< Counter entries per bank.
+    std::uint32_t rfmTh;        //!< RFM threshold the MC must honour.
+    std::uint32_t adTh;         //!< Adaptive refresh threshold (0 = off).
+    std::uint32_t rowBits;      //!< Row-address CAM width.
+    std::uint32_t counterBits;  //!< Wrapping counter width.
+    double bound;               //!< M (or M') for this configuration.
+
+    /** Counter-table bytes per bank: Nentry x (rowBits+counterBits). */
+    double tableBytes() const
+    {
+        return static_cast<double>(nEntry) * (rowBits + counterBits) /
+               8.0;
+    }
+};
+
+/** Solver bound to one timing/geometry preset. */
+class ConfigSolver
+{
+  public:
+    ConfigSolver(const dram::Timing &timing,
+                 const dram::Geometry &geometry);
+
+    /**
+     * Smallest Nentry with M(') < flipTh / effect, or 0 when no entry
+     * count can satisfy it (harmonic term alone exceeds the target).
+     */
+    std::uint64_t minEntries(std::uint32_t flip_th, std::uint32_t rfm_th,
+                             std::uint32_t ad_th = 0,
+                             double effect = 2.0) const;
+
+    /** Full configuration for the minimum table, when feasible. */
+    std::optional<MithrilConfig> solve(std::uint32_t flip_th,
+                                       std::uint32_t rfm_th,
+                                       std::uint32_t ad_th = 0,
+                                       double effect = 2.0) const;
+
+    /**
+     * Figure 6 sweep: feasible configurations across RFM_TH values for
+     * one FlipTH. Infeasible RFM_TH points are skipped.
+     */
+    std::vector<MithrilConfig>
+    sweepRfmTh(std::uint32_t flip_th,
+               const std::vector<std::uint32_t> &rfm_ths,
+               std::uint32_t ad_th = 0) const;
+
+    const dram::Timing &timing() const { return timing_; }
+
+  private:
+    dram::Timing timing_;
+    std::uint32_t rowBits_;
+};
+
+/** ceil(log2(x)) for x >= 1. */
+std::uint32_t ceilLog2(std::uint64_t x);
+
+} // namespace mithril::core
+
+#endif // MITHRIL_CORE_CONFIG_SOLVER_HH

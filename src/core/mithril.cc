@@ -1,0 +1,70 @@
+#include "mithril.hh"
+
+#include "common/logging.hh"
+
+namespace mithril::core
+{
+
+Mithril::Mithril(std::uint32_t num_banks, const MithrilParams &params)
+    : params_(params)
+{
+    MITHRIL_ASSERT(num_banks > 0);
+    MITHRIL_ASSERT(params_.nEntry > 0);
+    MITHRIL_ASSERT(params_.rfmTh > 0);
+    tables_.reserve(num_banks);
+    for (std::uint32_t b = 0; b < num_banks; ++b)
+        tables_.emplace_back(params_.nEntry, params_.counterBits);
+}
+
+std::string
+Mithril::name() const
+{
+    return params_.plusMode ? "Mithril+" : "Mithril";
+}
+
+void
+Mithril::onActivate(BankId bank, RowId row, Tick now,
+                    std::vector<RowId> &arr_aggressors)
+{
+    (void)now;
+    (void)arr_aggressors;  // Mithril never requests ARR.
+    tables_.at(bank).touch(row);
+    countOp();
+}
+
+void
+Mithril::onRfm(BankId bank, Tick now, std::vector<RowId> &aggressors)
+{
+    (void)now;
+    CbsTable &table = tables_.at(bank);
+    countOp();  // MaxPtr lookup / spread comparison.
+
+    if (params_.adTh > 0 && table.spread() <= params_.adTh) {
+        ++adaptiveSkips_;
+        return;
+    }
+    const RowId target = table.resetMaxToMin();
+    if (target == kInvalidRow)
+        return;  // Empty table: nothing has ever been activated.
+    aggressors.push_back(target);
+}
+
+bool
+Mithril::rfmPending(BankId bank) const
+{
+    if (!params_.plusMode)
+        return true;
+    // The mode-register flag: set when a preventive refresh would
+    // actually happen on the next RFM.
+    const CbsTable &table = tables_.at(bank);
+    return params_.adTh == 0 || table.spread() > params_.adTh;
+}
+
+double
+Mithril::tableBytesPerBank() const
+{
+    return static_cast<double>(params_.nEntry) *
+           (params_.rowBits + params_.counterBits) / 8.0;
+}
+
+} // namespace mithril::core

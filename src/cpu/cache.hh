@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared last-level cache model (16 MB, 16-way, LRU in the paper's
+ * Table III configuration). Misses and dirty evictions become DRAM
+ * requests; everything above the LLC is folded into the trace
+ * generators' inter-request instruction gaps.
+ */
+
+#ifndef MITHRIL_CPU_CACHE_HH
+#define MITHRIL_CPU_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mithril::cpu
+{
+
+/** LLC construction parameters. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 16ull << 20;
+    std::uint32_t ways = 16;
+    std::uint32_t lineBytes = 64;
+};
+
+/** Set-associative write-back cache with LRU replacement. */
+class Cache
+{
+  public:
+    /** Outcome of one access. */
+    struct AccessResult
+    {
+        bool hit = false;
+        bool writeback = false;  //!< A dirty victim was evicted.
+        Addr writebackAddr = 0;
+    };
+
+    explicit Cache(const CacheParams &params);
+
+    /** Look up (and on miss, fill) the line holding addr. */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** Drop every line (used between experiment phases). */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    double hitRate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = ~0ull;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    CacheParams params_;
+    std::uint32_t sets_;
+    std::uint32_t lineShift_;
+    std::vector<Line> lines_;  //!< sets_ x ways, row-major.
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace mithril::cpu
+
+#endif // MITHRIL_CPU_CACHE_HH

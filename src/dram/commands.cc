@@ -1,0 +1,22 @@
+#include "commands.hh"
+
+namespace mithril::dram
+{
+
+const char *
+commandName(Command cmd)
+{
+    switch (cmd) {
+      case Command::Act: return "ACT";
+      case Command::Pre: return "PRE";
+      case Command::Rd:  return "RD";
+      case Command::Wr:  return "WR";
+      case Command::Ref: return "REF";
+      case Command::Rfm: return "RFM";
+      case Command::Arr: return "ARR";
+      case Command::Mrr: return "MRR";
+    }
+    return "???";
+}
+
+} // namespace mithril::dram

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * DRAM command vocabulary shared between the memory controller and the
+ * device model.
+ */
+
+#ifndef MITHRIL_DRAM_COMMANDS_HH
+#define MITHRIL_DRAM_COMMANDS_HH
+
+namespace mithril::dram
+{
+
+/** Commands the MC can place on the command bus. */
+enum class Command
+{
+    Act,     //!< Activate a row (opens the row buffer).
+    Pre,     //!< Precharge (closes the open row).
+    Rd,      //!< Column read burst.
+    Wr,      //!< Column write burst.
+    Ref,     //!< Auto-refresh (all-bank, tRFC busy).
+    Rfm,     //!< Refresh management (per-bank, tRFM busy). DDR5/LPDDR5.
+    Arr,     //!< Adjacent-row-refresh (legacy, row-addressed; used only
+             //!< by the non-RFM baseline schemes).
+    Mrr,     //!< Mode register read (used by Mithril+ to poll the
+             //!< refresh-needed flag).
+};
+
+/** Human-readable command mnemonic. */
+const char *commandName(Command cmd);
+
+} // namespace mithril::dram
+
+#endif // MITHRIL_DRAM_COMMANDS_HH

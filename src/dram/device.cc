@@ -1,0 +1,143 @@
+#include "device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mithril::dram
+{
+
+Device::Device(const Timing &timing, const Geometry &geometry,
+               std::uint32_t flip_th, std::uint32_t blast_radius)
+    : timing_(timing), geometry_(geometry),
+      oracle_(geometry.totalBanks(), geometry.rowsPerBank, flip_th,
+              blast_radius),
+      blastRadius_(blast_radius)
+{
+    const std::uint32_t total_banks = geometry_.totalBanks();
+    banks_.reserve(total_banks);
+    for (std::uint32_t b = 0; b < total_banks; ++b)
+        banks_.emplace_back(timing_);
+
+    const std::uint32_t total_ranks =
+        geometry_.channels * geometry_.ranksPerChannel;
+    ranks_.reserve(total_ranks);
+    for (std::uint32_t r = 0; r < total_ranks; ++r)
+        ranks_.emplace_back(timing_);
+}
+
+Tick
+Device::earliestAct(BankId b, Tick now) const
+{
+    const Bank &bank = banks_.at(b);
+    const RankTiming &rank = ranks_.at(rankOf(b));
+    return std::max(bank.earliestAct(now), rank.earliestAct(now));
+}
+
+void
+Device::activate(BankId b, RowId row, Tick t, std::vector<RowId> &arr_out)
+{
+    banks_.at(b).doActivate(t, row);
+    ranks_.at(rankOf(b)).recordAct(t);
+    energy_.addAct();
+    oracle_.onActivate(b, row);
+    if (tracker_)
+        tracker_->onActivate(b, row, t, arr_out);
+}
+
+void
+Device::precharge(BankId b, Tick t)
+{
+    banks_.at(b).doPrecharge(t);
+    energy_.addPre();
+}
+
+Tick
+Device::read(BankId b, Tick t)
+{
+    energy_.addRead();
+    return banks_.at(b).doRead(t);
+}
+
+Tick
+Device::write(BankId b, Tick t)
+{
+    energy_.addWrite();
+    return banks_.at(b).doWrite(t);
+}
+
+void
+Device::autoRefreshRank(std::uint32_t flat_rank, Tick t)
+{
+    const std::uint32_t groups = refreshGroups(timing_);
+    const std::uint32_t rows_per_group =
+        (geometry_.rowsPerBank + groups - 1) / groups;
+    const BankId first = flat_rank * geometry_.banksPerRank;
+    for (std::uint32_t i = 0; i < geometry_.banksPerRank; ++i) {
+        const BankId b = first + i;
+        Bank &bank = banks_.at(b);
+        // The controller must have closed the bank already.
+        MITHRIL_ASSERT(!bank.isOpen());
+        bank.doRefresh(std::max(t, bank.earliestRefresh(t)), timing_.tRFC);
+        oracle_.onAutoRefresh(b, groups);
+        energy_.addRefreshRows(rows_per_group);
+        if (tracker_)
+            tracker_->onRefresh(b, t);
+    }
+}
+
+void
+Device::autoRefreshBank(BankId b, Tick t)
+{
+    const std::uint32_t groups = refreshGroups(timing_);
+    const std::uint32_t rows_per_group =
+        (geometry_.rowsPerBank + groups - 1) / groups;
+    Bank &bank = banks_.at(b);
+    MITHRIL_ASSERT(!bank.isOpen());
+    bank.doRefresh(std::max(t, bank.earliestRefresh(t)),
+                   timing_.tRFCsb);
+    oracle_.onAutoRefresh(b, groups);
+    energy_.addRefreshRows(rows_per_group);
+    if (tracker_)
+        tracker_->onRefresh(b, t);
+}
+
+std::size_t
+Device::rfm(BankId b, Tick t)
+{
+    Bank &bank = banks_.at(b);
+    MITHRIL_ASSERT(!bank.isOpen());
+    bank.doRefresh(t, timing_.tRFM);
+    ++rfmCount_;
+
+    scratchAggressors_.clear();
+    if (tracker_)
+        tracker_->onRfm(b, t, scratchAggressors_);
+
+    if (scratchAggressors_.empty()) {
+        ++rfmSkipped_;
+        return 0;
+    }
+    for (RowId aggressor : scratchAggressors_) {
+        oracle_.onNeighborRefresh(b, aggressor);
+        energy_.addPreventiveRows(2ull * blastRadius_);
+        ++preventiveCount_;
+    }
+    return scratchAggressors_.size();
+}
+
+void
+Device::preventiveRefresh(BankId b, RowId aggressor, Tick t)
+{
+    Bank &bank = banks_.at(b);
+    MITHRIL_ASSERT(!bank.isOpen());
+    // Refreshing the 2*radius victims costs about one row cycle each.
+    const Tick duration =
+        static_cast<Tick>(2 * blastRadius_) * timing_.tRC;
+    bank.doRefresh(std::max(t, bank.earliestRefresh(t)), duration);
+    oracle_.onNeighborRefresh(b, aggressor);
+    energy_.addPreventiveRows(2ull * blastRadius_);
+    ++preventiveCount_;
+}
+
+} // namespace mithril::dram

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Whole-system DRAM device model.
+ *
+ * Owns every bank's state machine, rank-level ACT pacing, the ground
+ * truth RH oracle, the energy meter, and the hook into the active RH
+ * protection scheme. The memory controller drives it by committing
+ * commands; the device executes them, keeps the oracle honest, and
+ * meters energy.
+ */
+
+#ifndef MITHRIL_DRAM_DEVICE_HH
+#define MITHRIL_DRAM_DEVICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/energy.hh"
+#include "dram/rank.hh"
+#include "dram/rh_oracle.hh"
+#include "dram/timing.hh"
+#include "trackers/rh_protection.hh"
+
+namespace mithril::dram
+{
+
+/** The DRAM subsystem across all channels/ranks/banks. */
+class Device
+{
+  public:
+    /**
+     * @param timing       Timing preset (e.g. ddr5_4800()).
+     * @param geometry     System geometry.
+     * @param flip_th      Ground-truth RH threshold for the oracle.
+     * @param blast_radius Oracle disturbance radius.
+     */
+    Device(const Timing &timing, const Geometry &geometry,
+           std::uint32_t flip_th, std::uint32_t blast_radius = 1);
+
+    /** Attach the active protection scheme (may be null = unprotected). */
+    void setTracker(trackers::RhProtection *tracker) { tracker_ = tracker; }
+    trackers::RhProtection *tracker() const { return tracker_; }
+
+    const Timing &timing() const { return timing_; }
+    const Geometry &geometry() const { return geometry_; }
+
+    Bank &bank(BankId b) { return banks_.at(b); }
+    const Bank &bank(BankId b) const { return banks_.at(b); }
+
+    /** Flat rank index of a bank. */
+    std::uint32_t rankOf(BankId b) const
+    {
+        return b / geometry_.banksPerRank;
+    }
+
+    /** Channel index of a bank. */
+    std::uint32_t channelOf(BankId b) const
+    {
+        return b / (geometry_.banksPerRank * geometry_.ranksPerChannel);
+    }
+
+    RankTiming &rankTiming(std::uint32_t flat_rank)
+    {
+        return ranks_.at(flat_rank);
+    }
+
+    /** Earliest tick an ACT to this bank satisfies bank+rank timing. */
+    Tick earliestAct(BankId b, Tick now) const;
+
+    /**
+     * Commit an ACT. Informs the tracker and the oracle.
+     * @param arr_out Aggressor rows the (ARR-based) tracker wants
+     *                refreshed immediately; the controller must follow
+     *                up with preventiveRefresh() calls.
+     */
+    void activate(BankId b, RowId row, Tick t,
+                  std::vector<RowId> &arr_out);
+
+    /** Commit a PRE. */
+    void precharge(BankId b, Tick t);
+
+    /** Commit a RD; returns data-ready tick. */
+    Tick read(BankId b, Tick t);
+
+    /** Commit a WR; returns data-done tick. */
+    Tick write(BankId b, Tick t);
+
+    /**
+     * Commit an all-bank REF for one rank at tick t: every bank of the
+     * rank is busy for tRFC and one refresh group of rows is refreshed.
+     */
+    void autoRefreshRank(std::uint32_t flat_rank, Tick t);
+
+    /**
+     * Commit a same-bank REF (DDR5 REFsb) at tick t: only this bank is
+     * busy (tRFCsb) and one refresh group of its rows is refreshed.
+     */
+    void autoRefreshBank(BankId b, Tick t);
+
+    /**
+     * Commit an RFM to a bank: the bank is busy for tRFM and the
+     * tracker decides which aggressors' victims to refresh.
+     * @return Number of aggressor rows treated (0 = skipped refresh).
+     */
+    std::size_t rfm(BankId b, Tick t);
+
+    /**
+     * Execute a preventive refresh around an aggressor row (used both
+     * for ARR commands and inside RFM windows). Occupies the bank for
+     * roughly one row cycle per victim row.
+     */
+    void preventiveRefresh(BankId b, RowId aggressor, Tick t);
+
+    RhOracle &oracle() { return oracle_; }
+    const RhOracle &oracle() const { return oracle_; }
+
+    EnergyMeter &energy() { return energy_; }
+    const EnergyMeter &energy() const { return energy_; }
+
+    /** Total RFM commands executed. */
+    std::uint64_t rfmCount() const { return rfmCount_; }
+    /** RFM commands whose preventive refresh was skipped (adaptive). */
+    std::uint64_t rfmSkipped() const { return rfmSkipped_; }
+    /** Preventive refresh operations (aggressors treated). */
+    std::uint64_t preventiveCount() const { return preventiveCount_; }
+
+  private:
+    Timing timing_;
+    Geometry geometry_;
+    std::vector<Bank> banks_;
+    std::vector<RankTiming> ranks_;
+    RhOracle oracle_;
+    EnergyMeter energy_;
+    trackers::RhProtection *tracker_ = nullptr;
+    std::uint32_t blastRadius_;
+
+    std::uint64_t rfmCount_ = 0;
+    std::uint64_t rfmSkipped_ = 0;
+    std::uint64_t preventiveCount_ = 0;
+
+    std::vector<RowId> scratchAggressors_;
+};
+
+} // namespace mithril::dram
+
+#endif // MITHRIL_DRAM_DEVICE_HH

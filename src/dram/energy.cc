@@ -1,0 +1,39 @@
+#include "energy.hh"
+
+namespace mithril::dram
+{
+
+double
+EnergyMeter::totalPj() const
+{
+    double pj = 0.0;
+    pj += params_.actPj * static_cast<double>(acts_);
+    pj += params_.prePj * static_cast<double>(pres_);
+    pj += params_.rdPj * static_cast<double>(reads_);
+    pj += params_.wrPj * static_cast<double>(writes_);
+    pj += params_.refRowPj * static_cast<double>(refRows_);
+    pj += params_.prevRefRowPj * static_cast<double>(prevRows_);
+    pj += params_.trackerOpPj * static_cast<double>(trackerOps_);
+    return pj;
+}
+
+double
+EnergyMeter::protectionPj() const
+{
+    return params_.prevRefRowPj * static_cast<double>(prevRows_) +
+           params_.trackerOpPj * static_cast<double>(trackerOps_);
+}
+
+void
+EnergyMeter::reset()
+{
+    acts_ = 0;
+    pres_ = 0;
+    reads_ = 0;
+    writes_ = 0;
+    refRows_ = 0;
+    prevRows_ = 0;
+    trackerOps_ = 0;
+}
+
+} // namespace mithril::dram

@@ -1,0 +1,99 @@
+#include "rh_oracle.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mithril::dram
+{
+
+RhOracle::RhOracle(std::uint32_t banks, std::uint32_t rows_per_bank,
+                   std::uint32_t flip_th, std::uint32_t blast_radius)
+    : banks_(banks), rowsPerBank_(rows_per_bank), flipTh_(flip_th),
+      blastRadius_(blast_radius), refreshPtr_(banks, 0)
+{
+    MITHRIL_ASSERT(banks_ > 0);
+    MITHRIL_ASSERT(rowsPerBank_ > 0);
+    MITHRIL_ASSERT(flipTh_ > 0);
+    MITHRIL_ASSERT(blast_radius >= 1 && blast_radius <= 3);
+}
+
+void
+RhOracle::disturb(BankId bank, RowId row, std::uint32_t weight_q)
+{
+    auto &count = counts_[RowKey{bank, row}];
+    const std::uint64_t threshold_q = static_cast<std::uint64_t>(flipTh_) * 4;
+    const bool was_below = count < threshold_q;
+    count += weight_q;
+    maxDisturbanceQ_ = std::max(maxDisturbanceQ_, count);
+    if (was_below && count >= threshold_q) {
+        ++bitFlips_;
+        flippedRows_[RowKey{bank, row}] = true;
+    }
+}
+
+void
+RhOracle::onActivate(BankId bank, RowId row)
+{
+    MITHRIL_ASSERT(bank < banks_);
+    MITHRIL_ASSERT(row < rowsPerBank_);
+    // Distance-1 neighbours take a full hit; distance-2 a quarter hit
+    // (half-double style coupling); distance-3 a sixteenth, rounded to
+    // zero in quarter units, so radius 3 reuses the quarter weight to
+    // stay conservative.
+    for (std::uint32_t d = 1; d <= blastRadius_; ++d) {
+        const std::uint32_t weight_q = (d == 1) ? 4 : 1;
+        if (row >= d)
+            disturb(bank, row - d, weight_q);
+        if (row + d < rowsPerBank_)
+            disturb(bank, row + d, weight_q);
+    }
+}
+
+void
+RhOracle::onRowRefresh(BankId bank, RowId row)
+{
+    counts_.erase(RowKey{bank, row});
+}
+
+void
+RhOracle::onNeighborRefresh(BankId bank, RowId aggressor)
+{
+    for (std::uint32_t d = 1; d <= blastRadius_; ++d) {
+        if (aggressor >= d)
+            onRowRefresh(bank, aggressor - d);
+        if (aggressor + d < rowsPerBank_)
+            onRowRefresh(bank, aggressor + d);
+    }
+}
+
+void
+RhOracle::onAutoRefresh(BankId bank, std::uint32_t groups)
+{
+    MITHRIL_ASSERT(bank < banks_);
+    MITHRIL_ASSERT(groups > 0);
+    std::uint32_t rows = (rowsPerBank_ + groups - 1) / groups;
+    RowId &ptr = refreshPtr_[bank];
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        onRowRefresh(bank, ptr);
+        ptr = (ptr + 1) % rowsPerBank_;
+    }
+}
+
+double
+RhOracle::disturbance(BankId bank, RowId row) const
+{
+    auto it = counts_.find(RowKey{bank, row});
+    if (it == counts_.end())
+        return 0.0;
+    return static_cast<double>(it->second) / 4.0;
+}
+
+void
+RhOracle::resetCounts()
+{
+    counts_.clear();
+    std::fill(refreshPtr_.begin(), refreshPtr_.end(), 0);
+}
+
+} // namespace mithril::dram

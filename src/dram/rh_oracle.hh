@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Ground-truth Row Hammer oracle.
+ *
+ * Independent of any protection scheme, the oracle maintains for every
+ * row the number of disturbances (aggressor activations weighted by
+ * distance) it has absorbed since it was last refreshed by any means
+ * (auto-refresh, ARR, or an RFM preventive refresh). A row whose
+ * disturbance count reaches FlipTH has, by definition, flipped bits.
+ *
+ * The oracle is the arbiter of every safety claim in this repository:
+ * a scheme is deterministically safe iff no workload can drive the
+ * oracle's high-water mark to FlipTH.
+ */
+
+#ifndef MITHRIL_DRAM_RH_ORACLE_HH
+#define MITHRIL_DRAM_RH_ORACLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mithril::dram
+{
+
+/** Disturbance bookkeeping for one or more banks. */
+class RhOracle
+{
+  public:
+    /**
+     * @param banks        Number of banks tracked.
+     * @param rows_per_bank Rows per bank.
+     * @param flip_th      Disturbance count at which a bit flip occurs.
+     * @param blast_radius How far (in rows) an aggressor disturbs its
+     *                     neighbours. 1 models the classic double-sided
+     *                     setting; 2 adds half-double style coupling
+     *                     with quarter weight.
+     */
+    RhOracle(std::uint32_t banks, std::uint32_t rows_per_bank,
+             std::uint32_t flip_th, std::uint32_t blast_radius = 1);
+
+    /** Record one activation of the given row. */
+    void onActivate(BankId bank, RowId row);
+
+    /** Record a refresh of exactly this row (resets its disturbance). */
+    void onRowRefresh(BankId bank, RowId row);
+
+    /**
+     * Record a preventive refresh around an aggressor: refreshes the
+     * 2*radius neighbouring victim rows (not the aggressor itself).
+     */
+    void onNeighborRefresh(BankId bank, RowId aggressor);
+
+    /**
+     * Record an auto-refresh REF command: the next rows-per-group rows
+     * (per the rotating refresh pointer) of every bank covered by the
+     * REF are refreshed.
+     * @param bank   Bank the REF applies to.
+     * @param groups Number of refresh groups per tREFW (typically 8192).
+     */
+    void onAutoRefresh(BankId bank, std::uint32_t groups);
+
+    /** Current disturbance count of a row (scaled by 4 internally to
+     *  express quarter weights; this returns the full-ACT equivalent). */
+    double disturbance(BankId bank, RowId row) const;
+
+    /** Highest disturbance any row has ever reached before a refresh. */
+    double maxDisturbanceEver() const
+    {
+        return static_cast<double>(maxDisturbanceQ_) / 4.0;
+    }
+
+    /** Number of (row, episode) bit-flip events: a row crossing FlipTH. */
+    std::uint64_t bitFlips() const { return bitFlips_; }
+
+    /** Number of distinct rows that have ever flipped. */
+    std::uint64_t flippedRows() const { return flippedRows_.size(); }
+
+    /** Configured FlipTH. */
+    std::uint32_t flipTh() const { return flipTh_; }
+
+    /** Reset all disturbance state (not the high-water mark). */
+    void resetCounts();
+
+  private:
+    struct RowKey
+    {
+        BankId bank;
+        RowId row;
+        bool operator==(const RowKey &o) const
+        {
+            return bank == o.bank && row == o.row;
+        }
+    };
+
+    struct RowKeyHash
+    {
+        std::size_t operator()(const RowKey &k) const
+        {
+            return (static_cast<std::size_t>(k.bank) << 32) ^ k.row;
+        }
+    };
+
+    void disturb(BankId bank, RowId row, std::uint32_t weight_q);
+
+    std::uint32_t banks_;
+    std::uint32_t rowsPerBank_;
+    std::uint32_t flipTh_;
+    std::uint32_t blastRadius_;
+
+    /** Disturbance counts in quarter-ACT units, sparse. */
+    std::unordered_map<RowKey, std::uint64_t, RowKeyHash> counts_;
+    /** Per-bank auto-refresh rotation pointer (next row to refresh). */
+    std::vector<RowId> refreshPtr_;
+
+    std::uint64_t maxDisturbanceQ_ = 0;
+    std::uint64_t bitFlips_ = 0;
+    std::unordered_map<RowKey, bool, RowKeyHash> flippedRows_;
+};
+
+} // namespace mithril::dram
+
+#endif // MITHRIL_DRAM_RH_ORACLE_HH

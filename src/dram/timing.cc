@@ -1,0 +1,80 @@
+#include "timing.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mithril::dram
+{
+
+Timing
+ddr5_4800()
+{
+    Timing t{};
+    t.tCK = nsToTick(1.0 / 2.4);        // 2400 MHz command clock
+    t.tRCD = nsToTick(16.64);
+    t.tRP = nsToTick(16.64);
+    t.tCL = nsToTick(16.64);
+    t.tCWL = nsToTick(14.98);
+    t.tRAS = nsToTick(32.0);
+    t.tRC = nsToTick(48.64);            // Table III
+    t.tBL = nsToTick(16.0 / 4.8);       // BL16 at 4800 MT/s = 3.33 ns
+    t.tCCD = nsToTick(3.33);
+    t.tRRD = nsToTick(3.33);            // 8 tCK
+    t.tFAW = nsToTick(13.33);           // 32 tCK
+
+    t.tWR = nsToTick(30.0);
+    t.tRTP = nsToTick(7.5);
+    t.tRFC = nsToTick(295.0);           // Table III
+    t.tRFCsb = nsToTick(130.0);         // DDR5 same-bank refresh
+    t.tREFW = msToTick(32.0);
+    t.tREFI = t.tREFW / 8192;           // 8192 refresh groups
+    t.tRFM = nsToTick(97.28);           // Table III
+    return t;
+}
+
+Geometry
+paperGeometry()
+{
+    Geometry g{};
+    g.channels = 2;
+    g.ranksPerChannel = 1;
+    g.banksPerRank = 32;
+    g.rowsPerBank = 65536;
+    g.rowBytes = 8192;                  // 8KB DRAM row (Section V-A)
+    g.lineBytes = 64;
+    return g;
+}
+
+std::uint32_t
+refreshGroups(const Timing &t)
+{
+    MITHRIL_ASSERT(t.tREFI > 0);
+    return static_cast<std::uint32_t>(t.tREFW / t.tREFI);
+}
+
+std::uint64_t
+rfmIntervalsPerWindow(const Timing &t, std::uint32_t rfm_th)
+{
+    MITHRIL_ASSERT(rfm_th > 0);
+    const double refs = static_cast<double>(t.tREFW) /
+                        static_cast<double>(t.tREFI);
+    const double usable = static_cast<double>(t.tREFW) -
+                          refs * static_cast<double>(t.tRFC);
+    const double interval = static_cast<double>(t.tRC) * rfm_th +
+                            static_cast<double>(t.tRFM);
+    return static_cast<std::uint64_t>(std::ceil(usable / interval));
+}
+
+std::uint64_t
+maxActsPerWindow(const Timing &t)
+{
+    const double refs = static_cast<double>(t.tREFW) /
+                        static_cast<double>(t.tREFI);
+    const double usable = static_cast<double>(t.tREFW) -
+                          refs * static_cast<double>(t.tRFC);
+    return static_cast<std::uint64_t>(usable /
+                                      static_cast<double>(t.tRC));
+}
+
+} // namespace mithril::dram

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * DDR timing parameters and system geometry.
+ *
+ * The default preset reproduces Table III of the Mithril paper:
+ * DDR5-4800, 2 channels, 1 rank, 32 banks/rank, tRFC 295 ns,
+ * tRC 48.64 ns, tRFM 97.28 ns, tRCD = tRP = tCL = 16.64 ns.
+ */
+
+#ifndef MITHRIL_DRAM_TIMING_HH
+#define MITHRIL_DRAM_TIMING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mithril::dram
+{
+
+/** All DRAM timing constraints, in ticks (picoseconds). */
+struct Timing
+{
+    Tick tCK;    //!< Command clock period.
+    Tick tRCD;   //!< ACT to column command.
+    Tick tRP;    //!< PRE to ACT.
+    Tick tCL;    //!< Read CAS latency.
+    Tick tCWL;   //!< Write CAS latency.
+    Tick tRAS;   //!< ACT to PRE (minimum row open time).
+    Tick tRC;    //!< ACT to ACT, same bank (row cycle).
+    Tick tBL;    //!< Burst duration on the data bus.
+    Tick tCCD;   //!< Column command to column command, same bank group.
+    Tick tRRD;   //!< ACT to ACT, different banks of a rank.
+    Tick tFAW;   //!< Four-activate window per rank.
+    Tick tWR;    //!< Write recovery before PRE.
+    Tick tRTP;   //!< Read to PRE.
+    Tick tRFC;   //!< REF busy time (all-bank).
+    Tick tRFCsb; //!< Same-bank (per-bank) REF busy time (DDR5 REFsb).
+    Tick tREFI;  //!< REF command interval.
+    Tick tREFW;  //!< Refresh window (every row refreshed once per tREFW).
+    Tick tRFM;   //!< RFM busy time (per-bank).
+};
+
+/** Memory system geometry. */
+struct Geometry
+{
+    std::uint32_t channels;     //!< Independent channels.
+    std::uint32_t ranksPerChannel;
+    std::uint32_t banksPerRank;
+    std::uint32_t rowsPerBank;
+    std::uint32_t rowBytes;     //!< DRAM page (row buffer) size.
+    std::uint32_t lineBytes;    //!< Cache line / access granularity.
+
+    std::uint32_t totalBanks() const
+    {
+        return channels * ranksPerChannel * banksPerRank;
+    }
+
+    std::uint32_t columnsPerRow() const { return rowBytes / lineBytes; }
+
+    std::uint64_t capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(totalBanks()) * rowsPerBank *
+               rowBytes;
+    }
+};
+
+/** Table III DDR5-4800 timing preset. */
+Timing ddr5_4800();
+
+/** Table III system geometry: 2 channels x 1 rank x 32 banks, 8KB rows. */
+Geometry paperGeometry();
+
+/** Number of REF commands per tREFW window (refresh groups). */
+std::uint32_t refreshGroups(const Timing &t);
+
+/**
+ * Maximum number of RFM intervals inside one tREFW window (the W term of
+ * Theorem 1):
+ *   W = ceil((tREFW - (tREFW/tREFI) * tRFC) / (tRC * RFM_TH + tRFM)).
+ */
+std::uint64_t rfmIntervalsPerWindow(const Timing &t, std::uint32_t rfm_th);
+
+/** Maximum ACT count a single bank can absorb in one tREFW window. */
+std::uint64_t maxActsPerWindow(const Timing &t);
+
+} // namespace mithril::dram
+
+#endif // MITHRIL_DRAM_TIMING_HH

@@ -1,0 +1,115 @@
+#include "address_map.hh"
+
+#include "common/logging.hh"
+#include "core/config_solver.hh"
+
+namespace mithril::mc
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+AddressMap::AddressMap(const dram::Geometry &geometry)
+    : geometry_(geometry)
+{
+    MITHRIL_ASSERT(isPow2(geometry_.lineBytes));
+    MITHRIL_ASSERT(isPow2(geometry_.channels));
+    MITHRIL_ASSERT(isPow2(geometry_.ranksPerChannel));
+    MITHRIL_ASSERT(isPow2(geometry_.banksPerRank));
+    MITHRIL_ASSERT(isPow2(geometry_.rowsPerBank));
+    MITHRIL_ASSERT(isPow2(geometry_.columnsPerRow()));
+
+    lineShift_ = core::ceilLog2(geometry_.lineBytes);
+    channelBits_ = core::ceilLog2(geometry_.channels);
+    const std::uint32_t column_bits =
+        core::ceilLog2(geometry_.columnsPerRow());
+    columnLoBits_ = std::min(2u, column_bits);
+    columnHiBits_ = column_bits - columnLoBits_;
+    bankBits_ = core::ceilLog2(geometry_.banksPerRank);
+    rankBits_ = core::ceilLog2(geometry_.ranksPerChannel);
+    rowBits_ = core::ceilLog2(geometry_.rowsPerBank);
+}
+
+BankId
+AddressMap::flatBank(std::uint32_t channel, std::uint32_t rank,
+                     std::uint32_t bank_in_rank) const
+{
+    return (channel * geometry_.ranksPerChannel + rank) *
+               geometry_.banksPerRank +
+           bank_in_rank;
+}
+
+void
+AddressMap::decode(Request &req) const
+{
+    std::uint64_t line = req.addr >> lineShift_;
+
+    req.channel =
+        static_cast<std::uint32_t>(line & (geometry_.channels - 1));
+    line >>= channelBits_;
+
+    const std::uint32_t col_lo = static_cast<std::uint32_t>(
+        line & ((1u << columnLoBits_) - 1));
+    line >>= columnLoBits_;
+
+    std::uint32_t bank_in_rank =
+        static_cast<std::uint32_t>(line & (geometry_.banksPerRank - 1));
+    line >>= bankBits_;
+
+    req.rank = static_cast<std::uint32_t>(
+        line & (geometry_.ranksPerChannel - 1));
+    line >>= rankBits_;
+
+    const std::uint32_t col_hi = static_cast<std::uint32_t>(
+        line & ((1u << columnHiBits_) - 1));
+    line >>= columnHiBits_;
+
+    req.column = (col_hi << columnLoBits_) | col_lo;
+    req.row =
+        static_cast<RowId>(line & (geometry_.rowsPerBank - 1));
+
+    // Row-XOR bank permutation to spread row-sequential streams.
+    bank_in_rank ^= static_cast<std::uint32_t>(
+        req.row & (geometry_.banksPerRank - 1));
+
+    req.bank = flatBank(req.channel, req.rank, bank_in_rank);
+}
+
+Addr
+AddressMap::compose(std::uint32_t channel, std::uint32_t rank,
+                    std::uint32_t bank_in_rank, RowId row,
+                    std::uint32_t column) const
+{
+    MITHRIL_ASSERT(channel < geometry_.channels);
+    MITHRIL_ASSERT(rank < geometry_.ranksPerChannel);
+    MITHRIL_ASSERT(bank_in_rank < geometry_.banksPerRank);
+    MITHRIL_ASSERT(row < geometry_.rowsPerBank);
+    MITHRIL_ASSERT(column < geometry_.columnsPerRow());
+
+    // Invert the decode-side XOR permutation so the caller's bank is
+    // the bank decode() will produce.
+    const std::uint32_t stored_bank =
+        bank_in_rank ^
+        static_cast<std::uint32_t>(row & (geometry_.banksPerRank - 1));
+
+    const std::uint32_t col_lo = column & ((1u << columnLoBits_) - 1);
+    const std::uint32_t col_hi = column >> columnLoBits_;
+
+    std::uint64_t line = row;
+    line = (line << columnHiBits_) | col_hi;
+    line = (line << rankBits_) | rank;
+    line = (line << bankBits_) | stored_bank;
+    line = (line << columnLoBits_) | col_lo;
+    line = (line << channelBits_) | channel;
+    return line << lineShift_;
+}
+
+} // namespace mithril::mc

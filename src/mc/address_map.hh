@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Physical address <-> (channel, rank, bank, row, column) mapping.
+ *
+ * Layout (low to high): line offset | channel | column-low (4 lines) |
+ * bank | rank | column-high | row — the minimalist-open mapping of
+ * Kaseridis et al.: a stream touches 4 consecutive lines of one row,
+ * then hops to the next bank, so the policy's 4-access-per-ACT cap
+ * matches the natural chunk size and banks serve streams in parallel.
+ * A row-XOR permutation on the bank bits spreads row conflicts.
+ */
+
+#ifndef MITHRIL_MC_ADDRESS_MAP_HH
+#define MITHRIL_MC_ADDRESS_MAP_HH
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+#include "mc/request.hh"
+
+namespace mithril::mc
+{
+
+/** Bidirectional address mapper for a power-of-two geometry. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const dram::Geometry &geometry);
+
+    /** Fill the decoded fields of a request from its address. */
+    void decode(Request &req) const;
+
+    /** Compose a physical address targeting a specific location. */
+    Addr compose(std::uint32_t channel, std::uint32_t rank,
+                 std::uint32_t bank_in_rank, RowId row,
+                 std::uint32_t column) const;
+
+    /** Flat system-wide bank id for the location. */
+    BankId flatBank(std::uint32_t channel, std::uint32_t rank,
+                    std::uint32_t bank_in_rank) const;
+
+    const dram::Geometry &geometry() const { return geometry_; }
+
+  private:
+    dram::Geometry geometry_;
+    std::uint32_t lineShift_;
+    std::uint32_t channelBits_;
+    std::uint32_t columnLoBits_;
+    std::uint32_t columnHiBits_;
+    std::uint32_t bankBits_;
+    std::uint32_t rankBits_;
+    std::uint32_t rowBits_;
+};
+
+} // namespace mithril::mc
+
+#endif // MITHRIL_MC_ADDRESS_MAP_HH

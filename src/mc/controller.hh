@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The memory controller.
+ *
+ * Per channel it owns a request queue and a command bus; per bank it
+ * tracks the DDR5 RAA (rolling accumulated ACT) counter and issues RFM
+ * commands at RFM_TH per Figure 1, executes pending ARR preventive
+ * refreshes for the ARR-based baselines, schedules auto-refresh every
+ * tREFI, and arbitrates requests with BLISS (FR-FCFS + served-streak
+ * blacklisting) under a minimalist-open page policy.
+ *
+ * The controller is event-driven: service(now) issues every command
+ * legal at `now` and returns the next tick it needs servicing.
+ */
+
+#ifndef MITHRIL_MC_CONTROLLER_HH
+#define MITHRIL_MC_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+#include "dram/device.hh"
+#include "mc/address_map.hh"
+#include "mc/request.hh"
+
+namespace mithril::mc
+{
+
+/** Controller tuning knobs. */
+struct ControllerParams
+{
+    std::uint32_t queueCapacity = 64;   //!< Requests per channel.
+    bool useBliss = true;               //!< BLISS vs plain FR-FCFS.
+    std::uint32_t blissStreak = 4;      //!< Served streak before
+                                        //!< blacklisting.
+    Tick blissDuration = usToTick(8.0); //!< Blacklist duration.
+    std::uint32_t maxRowHits = 4;       //!< Minimalist-open hit cap.
+    /** Use DDR5 same-bank refresh (REFsb): one bank refreshed every
+     *  tREFI/banksPerRank instead of an all-bank REF every tREFI. */
+    bool perBankRefresh = false;
+    /** DDR5 RAA decrement applied by each REF the bank receives
+     *  (0 = the paper's reset-only RAA semantics). */
+    std::uint32_t raaRefDecrement = 0;
+    Tick commandSlot = nsToTick(0.83);  //!< Command bus occupancy.
+    Tick mrrLatency = nsToTick(2.0);    //!< Mithril+ MRR poll cost
+                                        //!< (command-bus occupancy).
+};
+
+/** Aggregate controller statistics. */
+struct ControllerStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t rfmIssued = 0;
+    std::uint64_t rfmSkippedByMrr = 0;  //!< Mithril+ avoided commands.
+    std::uint64_t arrExecuted = 0;
+    std::uint64_t throttleStalls = 0;
+    double totalReadLatencyNs = 0.0;
+    /** Read latency distribution (ns), 20ns buckets up to 2us. */
+    Histogram readLatencyNs{0.0, 2000.0, 100};
+
+    double avgReadLatencyNs() const
+    {
+        return reads ? totalReadLatencyNs / static_cast<double>(reads)
+                     : 0.0;
+    }
+};
+
+/** Event-driven DDR5 memory controller with RFM support. */
+class Controller
+{
+  public:
+    /** Callback fired when a request's data completes. */
+    using CompletionFn =
+        std::function<void(const Request &, Tick completion)>;
+
+    Controller(dram::Device &device, const AddressMap &map,
+               const ControllerParams &params);
+
+    void setCompletionCallback(CompletionFn fn)
+    {
+        onComplete_ = std::move(fn);
+    }
+
+    /** Enqueue a decoded request; false when the channel queue is full. */
+    bool enqueue(const Request &req, Tick now);
+
+    /** Outstanding requests in a channel queue. */
+    std::size_t queueDepth(std::uint32_t channel) const
+    {
+        return queues_.at(channel).size();
+    }
+
+    /**
+     * Issue every command legal at `now`; returns the next tick the
+     * controller can make progress (kTickMax when fully idle).
+     */
+    Tick service(Tick now);
+
+    const ControllerStats &stats() const { return stats_; }
+    dram::Device &device() { return device_; }
+
+    /** True when every queue and pending-work list is empty. */
+    bool idle() const;
+
+  private:
+    /** A scheduling decision for one channel at one instant. */
+    struct Decision
+    {
+        enum class Kind
+        {
+            None,
+            Pre,
+            Act,
+            Rd,
+            Wr,
+            Ref,
+            RefSb,
+            Rfm,
+            MrrSkip,
+            Arr,
+        };
+
+        Kind kind = Kind::None;
+        Tick issue = kTickMax;
+        BankId bank = 0;
+        std::uint32_t rank = 0;
+        std::size_t reqIndex = 0;   //!< For Rd/Wr/Act/Pre on a request.
+        RowId arrAggressor = 0;
+    };
+
+    struct BankCtl
+    {
+        std::uint32_t raa = 0;
+        bool rfmRequired = false;
+        std::deque<RowId> pendingArr;
+        std::uint32_t rowHitStreak = 0;
+    };
+
+    struct BlissState
+    {
+        std::uint32_t lastCore = ~0u;
+        std::uint32_t streak = 0;
+        std::unordered_map<std::uint32_t, Tick> blacklistUntil;
+    };
+
+    /** Pick the next command for a channel given bus-free tick t0. */
+    Decision choose(std::uint32_t channel, Tick t0);
+
+    /** Commit a decision; returns the tick the bus frees. */
+    Tick execute(std::uint32_t channel, const Decision &d);
+
+    bool blacklisted(std::uint32_t channel, std::uint32_t core,
+                     Tick t) const;
+    void noteServed(std::uint32_t channel, std::uint32_t core, Tick t);
+
+    /** True when the bank must drain for an imminent auto-refresh. */
+    bool refreshPressing(std::uint32_t rank, BankId bank,
+                         Tick t) const;
+
+    /** Apply the DDR5 RAA decrement to one refreshed bank. */
+    void decrementRaa(BankId bank);
+
+    void handleActSideEffects(BankId bank, Tick t,
+                              std::vector<RowId> &arr_out);
+
+    dram::Device &device_;
+    const AddressMap &map_;
+    ControllerParams params_;
+    CompletionFn onComplete_;
+
+    std::vector<std::vector<Request>> queues_;   //!< Per channel.
+    std::vector<Tick> busFree_;                  //!< Per channel.
+    std::vector<Tick> refreshDue_;               //!< Per flat rank.
+    std::vector<std::uint32_t> refreshBankPtr_;  //!< Per flat rank
+                                                 //!< (REFsb rotation).
+    std::vector<BankCtl> banks_;                 //!< Per flat bank.
+    std::vector<BlissState> bliss_;              //!< Per channel.
+
+    std::uint64_t seq_ = 0;
+    ControllerStats stats_;
+    std::vector<RowId> scratchArr_;
+};
+
+} // namespace mithril::mc
+
+#endif // MITHRIL_MC_CONTROLLER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Command-level single-bank harness for safety experiments.
+ *
+ * Worst-case Row Hammer analysis does not need cores or queues — only
+ * the exact interleaving of ACT, REF, RFM, and preventive refreshes at
+ * the maximum legal activation rate. The harness drives one bank at one
+ * ACT per tRC, issues REF every tREFI (per its refresh-group rotation)
+ * and RFM every RFM_TH ACTs, executes ARR work immediately, and keeps
+ * the ground-truth oracle up to date. It processes millions of ACTs per
+ * second, which is what the Figure 2 sweeps and the Theorem 1/2
+ * validation tests require.
+ */
+
+#ifndef MITHRIL_SIM_ACT_HARNESS_HH
+#define MITHRIL_SIM_ACT_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "dram/rh_oracle.hh"
+#include "dram/timing.hh"
+#include "trackers/rh_protection.hh"
+
+namespace mithril::sim
+{
+
+/** Harness configuration. */
+struct ActHarnessConfig
+{
+    dram::Timing timing;
+    std::uint32_t rowsPerBank = 65536;
+    std::uint32_t flipTh = 6250;
+    std::uint32_t blastRadius = 1;
+};
+
+/** Single-bank maximum-rate command stream driver. */
+class ActHarness
+{
+  public:
+    ActHarness(const ActHarnessConfig &config,
+               trackers::RhProtection *tracker);
+
+    /** Feed one activation (advances virtual time by tRC, interleaving
+     *  REF/RFM/preventive work as due). */
+    void activate(RowId row);
+
+    /**
+     * Drive `count` activations produced by the row source callback
+     * (called with the activation index).
+     */
+    void run(std::uint64_t count,
+             const std::function<RowId(std::uint64_t)> &row_source);
+
+    const dram::RhOracle &oracle() const { return oracle_; }
+    dram::RhOracle &oracle() { return oracle_; }
+
+    Tick now() const { return now_; }
+    std::uint64_t acts() const { return acts_; }
+    std::uint64_t refs() const { return refs_; }
+    std::uint64_t rfms() const { return rfms_; }
+    std::uint64_t preventiveRefreshes() const { return preventive_; }
+
+  private:
+    void maybeRefresh();
+
+    ActHarnessConfig config_;
+    trackers::RhProtection *tracker_;
+    dram::RhOracle oracle_;
+
+    Tick now_ = 0;
+    Tick nextRef_;
+    std::uint32_t raa_ = 0;
+    std::uint64_t acts_ = 0;
+    std::uint64_t refs_ = 0;
+    std::uint64_t rfms_ = 0;
+    std::uint64_t preventive_ = 0;
+    std::vector<RowId> scratch_;
+};
+
+} // namespace mithril::sim
+
+#endif // MITHRIL_SIM_ACT_HARNESS_HH

@@ -1,0 +1,33 @@
+#include "event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace mithril::sim
+{
+
+void
+EventQueue::schedule(Tick t, Fn fn)
+{
+    MITHRIL_ASSERT(t >= now_);
+    heap_.push(Event{t, seq_++, std::move(fn)});
+}
+
+Tick
+EventQueue::nextTime() const
+{
+    return heap_.empty() ? kTickMax : heap_.top().t;
+}
+
+Tick
+EventQueue::popAndRun()
+{
+    MITHRIL_ASSERT(!heap_.empty());
+    // Copy out before pop so the callback may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.t;
+    ev.fn(ev.t);
+    return ev.t;
+}
+
+} // namespace mithril::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal discrete-event queue: (tick, insertion-order) ordered
+ * callbacks. Insertion order breaks ties so same-tick events run
+ * deterministically.
+ */
+
+#ifndef MITHRIL_SIM_EVENT_QUEUE_HH
+#define MITHRIL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mithril::sim
+{
+
+/** Priority queue of timed callbacks. */
+class EventQueue
+{
+  public:
+    using Fn = std::function<void(Tick)>;
+
+    /** Schedule fn at tick t (t must not precede the last pop). */
+    void schedule(Tick t, Fn fn);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event (kTickMax when empty). */
+    Tick nextTime() const;
+
+    /** Pop the earliest event and run it; returns its tick. */
+    Tick popAndRun();
+
+    /** Tick of the last executed event. */
+    Tick now() const { return now_; }
+
+  private:
+    struct Event
+    {
+        Tick t;
+        std::uint64_t seq;
+        Fn fn;
+    };
+
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t seq_ = 0;
+    Tick now_ = 0;
+};
+
+} // namespace mithril::sim
+
+#endif // MITHRIL_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,226 @@
+#include "experiment.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/area_model.hh"
+#include "common/logging.hh"
+#include "workload/attacks.hh"
+
+namespace mithril::sim
+{
+
+namespace
+{
+
+/**
+ * Sample the benign threads' address streams and return row-granular
+ * representative addresses of their hottest (bank, row) pairs — the
+ * "profiled rows sharing CBF entries with the benign threads" that the
+ * BlockHammer performance adversary activates.
+ */
+std::vector<Addr>
+profileBenignHotRows(const RunConfig &config, const mc::AddressMap &map,
+                     std::uint32_t flip_th)
+{
+    const auto [cbf_size, nbl] =
+        analysis::AreaModel::blockHammerConfig(flip_th);
+    (void)cbf_size;
+    // One tREFW of attack budget pushes ~600K/NBL rows to the
+    // blacklist threshold.
+    const std::size_t wanted = std::max<std::size_t>(
+        16, static_cast<std::size_t>(600000 / nbl));
+
+    struct Key
+    {
+        BankId bank;
+        RowId row;
+        bool operator<(const Key &o) const
+        {
+            return bank != o.bank ? bank < o.bank : row < o.row;
+        }
+    };
+    std::map<Key, std::pair<std::uint64_t, Addr>> freq;
+    const std::uint32_t benign = config.cores - 1;
+    for (std::uint32_t i = 0; i < benign; ++i) {
+        auto gen = makeWorkloadThread(config.workload, i, benign,
+                                      config.seed);
+        for (int k = 0; k < 30000; ++k) {
+            auto rec = gen->next();
+            if (!rec)
+                break;
+            mc::Request req;
+            req.addr = rec->addr;
+            map.decode(req);
+            auto &entry = freq[Key{req.bank, req.row}];
+            if (entry.first++ == 0)
+                entry.second = rec->addr;
+        }
+    }
+
+    std::vector<std::pair<std::uint64_t, Addr>> ranked;
+    ranked.reserve(freq.size());
+    for (const auto &[key, value] : freq)
+        ranked.emplace_back(value.first, value.second);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first > b.first;
+              });
+    std::vector<Addr> targets;
+    for (std::size_t i = 0; i < ranked.size() && i < wanted; ++i)
+        targets.push_back(ranked[i].second);
+    return targets;
+}
+
+std::unique_ptr<workload::TraceGenerator>
+makeAttacker(const RunConfig &config, const mc::AddressMap &map,
+             std::uint32_t flip_th)
+{
+    workload::AttackTarget target;
+    target.map = &map;
+    target.channel = 0;
+    target.rank = 0;
+    target.bank = 5;
+    target.baseRow = 0x3000;
+
+    switch (config.attack) {
+      case AttackKind::DoubleSided:
+        return std::make_unique<workload::DoubleSidedAttack>(target);
+      case AttackKind::MultiSided:
+        return std::make_unique<workload::MultiSidedAttack>(target, 32);
+      case AttackKind::CbfPollution: {
+        auto targets = profileBenignHotRows(config, map, flip_th);
+        if (targets.size() >= 2) {
+            return std::make_unique<workload::ProfiledAliasAttack>(
+                std::move(targets));
+        }
+        // Degenerate profile: fall back to blind pollution.
+        const auto [cbf_size, nbl] =
+            analysis::AreaModel::blockHammerConfig(flip_th);
+        (void)nbl;
+        const std::uint32_t rows =
+            std::max<std::uint32_t>(64, cbf_size / 8);
+        return std::make_unique<workload::CbfPollutionAttack>(target,
+                                                              rows);
+      }
+      case AttackKind::None:
+        break;
+    }
+    panic("no attacker for AttackKind::None");
+    return nullptr;
+}
+
+} // namespace
+
+RunMetrics
+runSystem(const RunConfig &config, const trackers::SchemeSpec &scheme)
+{
+    SystemConfig sys = config.sys;
+    sys.flipTh = scheme.flipTh;
+    sys.blastRadius = scheme.blastRadius;
+
+    auto tracker =
+        trackers::makeScheme(scheme, sys.timing, sys.geometry);
+    trackers::RhProtection *tracker_ptr = tracker.get();
+
+    if (tracker_ptr && config.trackerWarmupActs > 0) {
+        mc::AddressMap map(sys.geometry);
+        std::vector<RowId> discard;
+        auto feed = [&](workload::TraceGenerator &gen,
+                        std::uint64_t count) {
+            for (std::uint64_t i = 0; i < count; ++i) {
+                auto rec = gen.next();
+                if (!rec)
+                    break;
+                mc::Request req;
+                req.addr = rec->addr;
+                map.decode(req);
+                discard.clear();
+                tracker_ptr->onActivate(req.bank, req.row, 0, discard);
+            }
+        };
+        if (config.warmupFromWorkload) {
+            const std::uint32_t benign =
+                config.attack != AttackKind::None ? config.cores - 1
+                                                  : config.cores;
+            const std::uint64_t per_core =
+                config.trackerWarmupActs / benign;
+            for (std::uint32_t i = 0; i < benign; ++i) {
+                auto gen = makeWorkloadThread(config.workload, i,
+                                              benign, config.seed);
+                feed(*gen, per_core);
+            }
+        }
+        if (config.attack != AttackKind::None) {
+            auto gen = makeAttacker(config, map, scheme.flipTh);
+            feed(*gen, config.trackerWarmupActs);
+        }
+    }
+
+    System system(sys, std::move(tracker));
+    system.snapshotTrackerOps();
+
+    const bool attacking = config.attack != AttackKind::None;
+    const std::uint32_t benign =
+        attacking ? config.cores - 1 : config.cores;
+
+    for (std::uint32_t i = 0; i < benign; ++i) {
+        cpu::CoreParams params;
+        params.instrBudget = config.instrPerCore;
+        system.addCore(params,
+                       makeWorkloadThread(config.workload, i, benign,
+                                          config.seed));
+    }
+    if (attacking) {
+        cpu::CoreParams params;
+        params.instrBudget = ~0ull;  // Runs until the benign cores end.
+        params.excluded = true;
+        mc::AddressMap map(sys.geometry);
+        system.addCore(params,
+                       makeAttacker(config, map, scheme.flipTh));
+    }
+
+    system.run();
+
+    RunMetrics m;
+    m.aggIpc = system.aggregateIpc();
+    m.energyPj = system.totalEnergyPj();
+    m.simTicks = system.now();
+
+    const auto &stats = system.controller().stats();
+    m.acts = stats.activates;
+    m.reads = stats.reads;
+    m.writes = stats.writes;
+    m.rfmIssued = stats.rfmIssued;
+    m.rfmSkippedMrr = stats.rfmSkippedByMrr;
+    m.arrExecuted = stats.arrExecuted;
+    m.throttleStalls = stats.throttleStalls;
+    m.avgReadLatencyNs = stats.avgReadLatencyNs();
+    m.p95ReadLatencyNs = stats.readLatencyNs.percentile(0.95);
+    m.preventiveRefreshes =
+        system.device().preventiveCount() + stats.arrExecuted;
+
+    const auto &oracle = system.device().oracle();
+    m.maxDisturbance = oracle.maxDisturbanceEver();
+    m.bitFlips = oracle.bitFlips();
+    if (tracker_ptr)
+        m.trackerBytesPerBank = tracker_ptr->tableBytesPerBank();
+    return m;
+}
+
+double
+relativePerf(const RunMetrics &value, const RunMetrics &baseline)
+{
+    MITHRIL_ASSERT(baseline.aggIpc > 0.0);
+    return 100.0 * value.aggIpc / baseline.aggIpc;
+}
+
+double
+energyOverheadPct(const RunMetrics &value, const RunMetrics &baseline)
+{
+    MITHRIL_ASSERT(baseline.energyPj > 0.0);
+    return 100.0 * (value.energyPj - baseline.energyPj) /
+           baseline.energyPj;
+}
+
+} // namespace mithril::sim

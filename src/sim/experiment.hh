@@ -1,0 +1,92 @@
+/**
+ * @file
+ * One-call experiment runner shared by the benchmark binaries and the
+ * integration tests: build a system with a scheme and a workload
+ * (optionally with an attacker thread), run it, and collect the
+ * metrics the paper's figures report.
+ */
+
+#ifndef MITHRIL_SIM_EXPERIMENT_HH
+#define MITHRIL_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+
+#include "sim/system.hh"
+#include "sim/workload_suite.hh"
+#include "trackers/factory.hh"
+
+namespace mithril::sim
+{
+
+/** Attacker thread variants (Section VI-A). */
+enum class AttackKind
+{
+    None,
+    DoubleSided,
+    MultiSided,    //!< 32-victim TRRespass-style pattern.
+    CbfPollution,  //!< BlockHammer performance adversary.
+};
+
+/** Full experiment description. */
+struct RunConfig
+{
+    SystemConfig sys;
+    WorkloadKind workload = WorkloadKind::MixHigh;
+    std::uint32_t cores = 16;
+    std::uint64_t instrPerCore = 200000;
+    AttackKind attack = AttackKind::None;
+    std::uint64_t seed = 42;
+
+    /**
+     * Tracker warm-up: before the measured run, replay this many
+     * activations of the attack pattern (or, with warmupFromWorkload,
+     * of the benign address streams) directly into the tracker. This
+     * stands in for the CBF/counter pressure that accumulates over a
+     * full tREFW in the paper's 400M-instruction runs, which a short
+     * simulation cannot build up organically. The ground-truth oracle
+     * is *not* warmed, so safety metrics stay exact.
+     */
+    std::uint64_t trackerWarmupActs = 0;
+    bool warmupFromWorkload = false;
+};
+
+/** Everything a figure needs from one run. */
+struct RunMetrics
+{
+    double aggIpc = 0.0;
+    double energyPj = 0.0;
+    Tick simTicks = 0;
+
+    std::uint64_t acts = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rfmIssued = 0;
+    std::uint64_t rfmSkippedMrr = 0;
+    std::uint64_t arrExecuted = 0;
+    std::uint64_t preventiveRefreshes = 0;
+    std::uint64_t throttleStalls = 0;
+
+    double maxDisturbance = 0.0;
+    std::uint64_t bitFlips = 0;
+    double avgReadLatencyNs = 0.0;
+    double p95ReadLatencyNs = 0.0;
+    double trackerBytesPerBank = 0.0;
+};
+
+/** Build, run, and measure one configuration. */
+RunMetrics runSystem(const RunConfig &config,
+                     const trackers::SchemeSpec &scheme);
+
+/**
+ * Relative performance (%) of `value` against `baseline` aggregate
+ * IPC, the metric of Figures 9-11.
+ */
+double relativePerf(const RunMetrics &value, const RunMetrics &baseline);
+
+/** Relative dynamic energy overhead (%) against a baseline run. */
+double energyOverheadPct(const RunMetrics &value,
+                         const RunMetrics &baseline);
+
+} // namespace mithril::sim
+
+#endif // MITHRIL_SIM_EXPERIMENT_HH

@@ -1,0 +1,224 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mithril::sim
+{
+
+System::System(const SystemConfig &config,
+               std::unique_ptr<trackers::RhProtection> tracker)
+    : config_(config), tracker_(std::move(tracker))
+{
+    device_ = std::make_unique<dram::Device>(
+        config_.timing, config_.geometry, config_.flipTh,
+        config_.blastRadius);
+    device_->setTracker(tracker_.get());
+    map_ = std::make_unique<mc::AddressMap>(config_.geometry);
+    controller_ = std::make_unique<mc::Controller>(
+        *device_, *map_, config_.mcParams);
+    cache_ = std::make_unique<cpu::Cache>(config_.cacheParams);
+
+    controller_->setCompletionCallback(
+        [this](const mc::Request &req, Tick completion) {
+            if (!req.tracked || req.coreId >= cores_.size())
+                return;
+            const std::uint32_t core_id = req.coreId;
+            evq_.schedule(completion, [this, core_id](Tick t) {
+                cores_[core_id]->onCompletion(t);
+                wakeCore(core_id, t);
+            });
+        });
+}
+
+cpu::Core &
+System::addCore(const cpu::CoreParams &params,
+                std::unique_ptr<workload::TraceGenerator> trace)
+{
+    MITHRIL_ASSERT(!started_);
+    const auto id = static_cast<std::uint32_t>(cores_.size());
+    traces_.push_back(std::move(trace));
+    cores_.push_back(
+        std::make_unique<cpu::Core>(id, params, traces_.back().get()));
+    cores_.back()->setAccessFn(
+        [this](std::uint32_t core_id, const workload::TraceRecord &rec,
+               Tick now) { return access(core_id, rec, now); });
+    return *cores_.back();
+}
+
+cpu::Core::AccessOutcome
+System::access(std::uint32_t core_id, const workload::TraceRecord &rec,
+               Tick now)
+{
+    cpu::Core::AccessOutcome outcome;
+
+    auto enqueue = [&](Addr addr, bool write, bool tracked) -> bool {
+        mc::Request req;
+        req.addr = addr;
+        req.isWrite = write;
+        req.tracked = tracked;
+        req.coreId = core_id;
+        map_->decode(req);
+        return controller_->enqueue(req, now);
+    };
+
+    if (rec.uncached) {
+        outcome.accepted = enqueue(rec.addr, rec.write, true);
+        outcome.missOutstanding = outcome.accepted;
+        return outcome;
+    }
+
+    // Check capacity of the target channel before touching the cache:
+    // a miss may need two queue slots (fill + writeback), and probing
+    // the LRU state before knowing the requests fit would corrupt it
+    // on retry.
+    {
+        mc::Request probe;
+        probe.addr = rec.addr;
+        map_->decode(probe);
+        if (controller_->queueDepth(probe.channel) + 2 >
+            config_.mcParams.queueCapacity) {
+            outcome.accepted = false;
+            return outcome;
+        }
+    }
+
+    const auto result = cache_->access(rec.addr, rec.write);
+    if (result.hit)
+        return outcome;  // Hit: no DRAM traffic.
+
+    const bool accepted = enqueue(rec.addr, rec.write, true);
+    MITHRIL_ASSERT(accepted);
+    if (result.writeback)
+        enqueue(result.writebackAddr, true, false);
+    outcome.missOutstanding = true;
+    return outcome;
+}
+
+void
+System::wakeCore(std::uint32_t core_id, Tick now)
+{
+    cpu::Core &core = *cores_[core_id];
+    const Tick next = core.tryProgress(now);
+    if (next != kTickMax) {
+        MITHRIL_ASSERT(next > now);
+        evq_.schedule(next, [this, core_id](Tick t) {
+            wakeCore(core_id, t);
+        });
+    }
+}
+
+bool
+System::benignDone() const
+{
+    bool any_benign = false;
+    for (const auto &core : cores_) {
+        if (core->excluded())
+            continue;
+        any_benign = true;
+        if (!core->done())
+            return false;
+    }
+    return any_benign;
+}
+
+void
+System::run()
+{
+    MITHRIL_ASSERT(!started_);
+    started_ = true;
+
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        evq_.schedule(0, [this, i](Tick t) { wakeCore(i, t); });
+    }
+
+    Tick ctrl_next = 0;
+    while (!benignDone()) {
+        const Tick t_ev = evq_.nextTime();
+        if (ctrl_next <= t_ev) {
+            if (ctrl_next > config_.horizon)
+                break;
+            now_ = ctrl_next;
+            ctrl_next = controller_->service(now_);
+            continue;
+        }
+        if (t_ev == kTickMax || t_ev > config_.horizon)
+            break;
+        now_ = evq_.popAndRun();
+        ctrl_next = std::min(ctrl_next, now_);
+    }
+}
+
+double
+System::aggregateIpc() const
+{
+    double sum = 0.0;
+    for (const auto &core : cores_) {
+        if (!core->excluded())
+            sum += core->ipc();
+    }
+    return sum;
+}
+
+double
+System::totalEnergyPj() const
+{
+    dram::EnergyMeter meter = device_->energy();
+    if (tracker_)
+        meter.addTrackerOps(tracker_->logicOps() - trackerOpBaseline_);
+    return meter.totalPj();
+}
+
+void
+System::snapshotTrackerOps()
+{
+    trackerOpBaseline_ = tracker_ ? tracker_->logicOps() : 0;
+}
+
+void
+System::exportStats(StatRegistry &registry) const
+{
+    const auto &mc = controller_->stats();
+    registry.counter("mc.reads").set(mc.reads);
+    registry.counter("mc.writes").set(mc.writes);
+    registry.counter("mc.rowHits").set(mc.rowHits);
+    registry.counter("mc.rowMisses").set(mc.rowMisses);
+    registry.counter("mc.activates").set(mc.activates);
+    registry.counter("mc.precharges").set(mc.precharges);
+    registry.counter("mc.refreshes").set(mc.refreshes);
+    registry.counter("mc.rfmIssued").set(mc.rfmIssued);
+    registry.counter("mc.rfmSkippedByMrr").set(mc.rfmSkippedByMrr);
+    registry.counter("mc.arrExecuted").set(mc.arrExecuted);
+    registry.counter("mc.throttleStalls").set(mc.throttleStalls);
+    registry.average("mc.readLatencyNs").sample(mc.avgReadLatencyNs());
+
+    const auto &energy = device_->energy();
+    registry.counter("dram.acts").set(energy.acts());
+    registry.counter("dram.pres").set(energy.pres());
+    registry.counter("dram.refreshRows").set(energy.refreshRows());
+    registry.counter("dram.preventiveRows").set(
+        energy.preventiveRows());
+    registry.counter("dram.rfmCount").set(device_->rfmCount());
+    registry.counter("dram.rfmSkipped").set(device_->rfmSkipped());
+
+    registry.counter("cache.hits").set(cache_->hits());
+    registry.counter("cache.misses").set(cache_->misses());
+    registry.counter("cache.writebacks").set(cache_->writebacks());
+
+    const auto &oracle = device_->oracle();
+    registry.counter("rh.bitFlips").set(oracle.bitFlips());
+    registry.counter("rh.flippedRows").set(oracle.flippedRows());
+    registry.counter("rh.maxDisturbance")
+        .set(static_cast<std::uint64_t>(oracle.maxDisturbanceEver()));
+
+    for (const auto &core : cores_) {
+        const std::string prefix =
+            "core" + std::to_string(core->id());
+        registry.counter(prefix + ".instructions")
+            .set(core->instructionsRetired());
+        registry.average(prefix + ".ipc").sample(core->ipc());
+    }
+}
+
+} // namespace mithril::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Full-system simulation: cores + shared LLC + memory controller +
+ * DRAM device + protection scheme, co-simulated event-driven.
+ */
+
+#ifndef MITHRIL_SIM_SYSTEM_HH
+#define MITHRIL_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/cache.hh"
+#include "cpu/core.hh"
+#include "dram/device.hh"
+#include "mc/controller.hh"
+#include "sim/event_queue.hh"
+#include "trackers/rh_protection.hh"
+#include "workload/trace.hh"
+
+namespace mithril::sim
+{
+
+/** Whole-system configuration (Table III defaults). */
+struct SystemConfig
+{
+    dram::Timing timing = dram::ddr5_4800();
+    dram::Geometry geometry = dram::paperGeometry();
+    std::uint32_t flipTh = 6250;      //!< Oracle ground truth.
+    std::uint32_t blastRadius = 1;
+    mc::ControllerParams mcParams;
+    cpu::CacheParams cacheParams;
+    Tick horizon = msToTick(200.0);   //!< Hard stop for attack-only runs.
+};
+
+/** The simulated machine. */
+class System
+{
+  public:
+    System(const SystemConfig &config,
+           std::unique_ptr<trackers::RhProtection> tracker);
+
+    /** Add a core running the given trace. The System owns both. */
+    cpu::Core &addCore(const cpu::CoreParams &params,
+                       std::unique_ptr<workload::TraceGenerator> trace);
+
+    /** Run until every non-excluded core finishes (or the horizon). */
+    void run();
+
+    /** Sum of non-excluded cores' IPC (the paper's aggregate metric). */
+    double aggregateIpc() const;
+
+    dram::Device &device() { return *device_; }
+    const dram::Device &device() const { return *device_; }
+    mc::Controller &controller() { return *controller_; }
+    const mc::Controller &controller() const { return *controller_; }
+    cpu::Cache &cache() { return *cache_; }
+    trackers::RhProtection *tracker() { return tracker_.get(); }
+    const std::vector<std::unique_ptr<cpu::Core>> &cores() const
+    {
+        return cores_;
+    }
+    Tick now() const { return now_; }
+
+    /** Total dynamic energy incl. tracker logic ops, in picojoules. */
+    double totalEnergyPj() const;
+
+    /** Exclude tracker ops performed before this point (warm-up). */
+    void snapshotTrackerOps();
+
+    /**
+     * Export every component's counters into a registry under dotted
+     * names (mc.*, dram.*, cache.*, core<N>.*, rh.*) for uniform
+     * reporting and regression diffing.
+     */
+    void exportStats(StatRegistry &registry) const;
+
+  private:
+    /** Core memory-access callback: LLC then MC. */
+    cpu::Core::AccessOutcome access(std::uint32_t core_id,
+                                    const workload::TraceRecord &rec,
+                                    Tick now);
+
+    void wakeCore(std::uint32_t core_id, Tick now);
+    bool benignDone() const;
+
+    SystemConfig config_;
+    std::unique_ptr<trackers::RhProtection> tracker_;
+    std::unique_ptr<dram::Device> device_;
+    std::unique_ptr<mc::AddressMap> map_;
+    std::unique_ptr<mc::Controller> controller_;
+    std::unique_ptr<cpu::Cache> cache_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<std::unique_ptr<workload::TraceGenerator>> traces_;
+    EventQueue evq_;
+    Tick now_ = 0;
+    bool started_ = false;
+    std::uint64_t trackerOpBaseline_ = 0;
+};
+
+} // namespace mithril::sim
+
+#endif // MITHRIL_SIM_SYSTEM_HH

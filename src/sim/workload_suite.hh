@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The canonical workloads of the paper's evaluation (Section VI-A):
+ * mix-high and mix-blend multi-programmed mixes, and the FFT-, RADIX-,
+ * and PageRank-like multithreaded kernels. A factory hands out one
+ * generator per core; attack threads are built separately from
+ * workload/attacks.hh.
+ */
+
+#ifndef MITHRIL_SIM_WORKLOAD_SUITE_HH
+#define MITHRIL_SIM_WORKLOAD_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace mithril::sim
+{
+
+/** Workloads of the evaluation. */
+enum class WorkloadKind
+{
+    MixHigh,     //!< 16 memory-intensive SPEC-like traces.
+    MixBlend,    //!< Memory-intensive + compute-bound blend.
+    MtFft,       //!< FFT-like partitioned sweep.
+    MtRadix,     //!< RADIX-like partitioned sweep, write heavy.
+    MtPageRank,  //!< PageRank-like scan + gather.
+    Gups,        //!< Random read-modify-write updates (worst-case
+                 //!< benign ACT rate).
+    Stencil,     //!< Multi-stream plane sweep (many open rows).
+};
+
+/** All workloads in report order. */
+const std::vector<WorkloadKind> &allWorkloads();
+
+/** The multi-programmed subset. */
+const std::vector<WorkloadKind> &multiProgrammedWorkloads();
+
+/** The multi-threaded subset. */
+const std::vector<WorkloadKind> &multiThreadedWorkloads();
+
+/** Display name. */
+std::string workloadName(WorkloadKind kind);
+
+/** Parse a workload name ("mix-high", "mt-fft", ...). */
+WorkloadKind workloadFromName(const std::string &name);
+
+/**
+ * Build the trace generator for core `core_id` of `cores` running the
+ * given workload. Multi-programmed cores get disjoint 512MB footprints;
+ * multithreaded kernels share one region.
+ */
+std::unique_ptr<workload::TraceGenerator>
+makeWorkloadThread(WorkloadKind kind, std::uint32_t core_id,
+                   std::uint32_t cores, std::uint64_t seed);
+
+} // namespace mithril::sim
+
+#endif // MITHRIL_SIM_WORKLOAD_SUITE_HH

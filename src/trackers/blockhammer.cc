@@ -1,0 +1,145 @@
+#include "blockhammer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mithril::trackers
+{
+
+namespace
+{
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+BlockHammer::BlockHammer(std::uint32_t num_banks,
+                         const BlockHammerParams &params)
+    : params_(params), banks_(num_banks)
+{
+    MITHRIL_ASSERT(num_banks > 0);
+    MITHRIL_ASSERT(params_.cbfSize > 0);
+    MITHRIL_ASSERT(params_.hashes >= 1);
+    MITHRIL_ASSERT(params_.flipTh > params_.nbl);
+    MITHRIL_ASSERT(params_.tCbf > 0);
+
+    tDelay_ = (params_.tCbf -
+               static_cast<Tick>(params_.nbl) * params_.tRc) /
+              static_cast<Tick>(params_.flipTh - params_.nbl);
+    MITHRIL_ASSERT(tDelay_ > 0);
+
+    for (auto &bank : banks_) {
+        bank.filters[0].counts.assign(params_.cbfSize, 0);
+        bank.filters[0].epochStart = 0;
+        bank.filters[1].counts.assign(params_.cbfSize, 0);
+        // Offset by half a lifetime so one filter always carries at
+        // least tCbf/2 of history.
+        bank.filters[1].epochStart = -(params_.tCbf / 2);
+    }
+}
+
+std::size_t
+BlockHammer::hashSlot(RowId row, std::uint32_t i) const
+{
+    const std::uint64_t h =
+        mix64(static_cast<std::uint64_t>(row) + params_.seed +
+              0x9e3779b97f4a7c15ull * (i + 1));
+    return static_cast<std::size_t>(h % params_.cbfSize);
+}
+
+void
+BlockHammer::rotateEpochs(BankState &state, Tick now) const
+{
+    for (auto &filter : state.filters) {
+        bool rotated = false;
+        while (now >= filter.epochStart + params_.tCbf) {
+            std::fill(filter.counts.begin(), filter.counts.end(), 0);
+            filter.epochStart += params_.tCbf;
+            rotated = true;
+        }
+        if (rotated)
+            state.lastBlacklistedAct.clear();
+    }
+}
+
+std::uint32_t
+BlockHammer::minCount(const Cbf &filter, RowId row) const
+{
+    std::uint32_t lo = ~0u;
+    for (std::uint32_t i = 0; i < params_.hashes; ++i)
+        lo = std::min(lo, filter.counts[hashSlot(row, i)]);
+    return lo;
+}
+
+void
+BlockHammer::onActivate(BankId bank, RowId row, Tick now,
+                        std::vector<RowId> &arr_aggressors)
+{
+    (void)arr_aggressors;  // Throttling scheme: no preventive refresh.
+    BankState &state = banks_.at(bank);
+    rotateEpochs(state, now);
+    countOp(2 * params_.hashes);
+
+    const std::uint32_t cap = (1u << params_.counterBits) - 1;
+    for (auto &filter : state.filters) {
+        for (std::uint32_t i = 0; i < params_.hashes; ++i) {
+            auto &slot = filter.counts[hashSlot(row, i)];
+            if (slot < cap)
+                ++slot;
+        }
+    }
+    if (isBlacklisted(bank, row, now))
+        state.lastBlacklistedAct[row] = now;
+}
+
+std::uint32_t
+BlockHammer::estimate(BankId bank, RowId row, Tick now) const
+{
+    (void)now;
+    const BankState &state = banks_.at(bank);
+    return std::max(minCount(state.filters[0], row),
+                    minCount(state.filters[1], row));
+}
+
+bool
+BlockHammer::isBlacklisted(BankId bank, RowId row, Tick now) const
+{
+    return estimate(bank, row, now) >= params_.nbl;
+}
+
+Tick
+BlockHammer::throttleAct(BankId bank, RowId row, Tick now)
+{
+    BankState &state = banks_.at(bank);
+    rotateEpochs(state, now);
+    if (!isBlacklisted(bank, row, now))
+        return now;
+    auto it = state.lastBlacklistedAct.find(row);
+    if (it == state.lastBlacklistedAct.end())
+        return now;
+    const Tick earliest = it->second + tDelay_;
+    if (earliest > now) {
+        ++throttles_;
+        return earliest;
+    }
+    return now;
+}
+
+double
+BlockHammer::tableBytesPerBank() const
+{
+    // Two CBFs plus the row-activation history buffer (~128 entries of
+    // row address + timestamp).
+    const double cbf_bits = 2.0 * params_.cbfSize * params_.counterBits;
+    const double history_bits = 128.0 * 48.0;
+    return (cbf_bits + history_bits) / 8.0;
+}
+
+} // namespace mithril::trackers

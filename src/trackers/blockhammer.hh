@@ -1,0 +1,99 @@
+/**
+ * @file
+ * BlockHammer (Yaglikci et al., HPCA 2021): MC-side throttling scheme
+ * built on a pair of interleaved counting Bloom filters (CBFs).
+ *
+ * Every ACT inserts the row into both CBFs; the filters' lifetimes are
+ * offset by half an epoch and each resets at the end of its own
+ * lifetime, so at least one filter always carries at least half a
+ * window of history. A row whose minimum CBF count reaches the
+ * blacklist threshold NBL gets throttled: its ACTs are spaced at least
+ * tDelay = (tCBF - NBL*tRC) / (FlipTH - NBL) apart, capping its ACT
+ * rate below the hammering rate.
+ *
+ * The CBF is a lossy hash: benign rows that alias with an aggressor
+ * (or with each other, in memory-intensive mixes) get blacklisted and
+ * throttled too — the performance pathology Figures 10(a)/(c)
+ * demonstrate.
+ */
+
+#ifndef MITHRIL_TRACKERS_BLOCKHAMMER_HH
+#define MITHRIL_TRACKERS_BLOCKHAMMER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "trackers/rh_protection.hh"
+
+namespace mithril::trackers
+{
+
+/** Construction parameters for BlockHammer. */
+struct BlockHammerParams
+{
+    std::uint32_t cbfSize;       //!< Counters per CBF.
+    std::uint32_t hashes = 4;    //!< Hash functions per CBF.
+    std::uint32_t nbl;           //!< Blacklist threshold.
+    std::uint32_t flipTh;        //!< Target FlipTH (sets tDelay).
+    Tick tCbf;                   //!< CBF lifetime (typically tREFW).
+    Tick tRc;                    //!< Row cycle time.
+    std::uint32_t counterBits = 15;
+    std::uint64_t seed = 0xb10cull;
+};
+
+/** BlockHammer throttling tracker. */
+class BlockHammer : public RhProtection
+{
+  public:
+    BlockHammer(std::uint32_t num_banks,
+                const BlockHammerParams &params);
+
+    std::string name() const override { return "BlockHammer"; }
+    Location location() const override { return Location::Mc; }
+
+    void onActivate(BankId bank, RowId row, Tick now,
+                    std::vector<RowId> &arr_aggressors) override;
+
+    Tick throttleAct(BankId bank, RowId row, Tick now) override;
+
+    double tableBytesPerBank() const override;
+
+    /** Minimum count of the row across hashes, max over both CBFs. */
+    std::uint32_t estimate(BankId bank, RowId row, Tick now) const;
+
+    /** True when the row is currently blacklisted. */
+    bool isBlacklisted(BankId bank, RowId row, Tick now) const;
+
+    /** Enforced ACT spacing for blacklisted rows. */
+    Tick delayQuantum() const { return tDelay_; }
+
+    /** Throttle events applied so far. */
+    std::uint64_t throttles() const { return throttles_; }
+
+  private:
+    struct Cbf
+    {
+        std::vector<std::uint32_t> counts;
+        Tick epochStart = 0;
+    };
+
+    struct BankState
+    {
+        Cbf filters[2];
+        /** Last ACT time of rows observed while blacklisted. */
+        std::unordered_map<RowId, Tick> lastBlacklistedAct;
+    };
+
+    std::size_t hashSlot(RowId row, std::uint32_t i) const;
+    void rotateEpochs(BankState &state, Tick now) const;
+    std::uint32_t minCount(const Cbf &filter, RowId row) const;
+
+    BlockHammerParams params_;
+    Tick tDelay_;
+    std::vector<BankState> banks_;
+    std::uint64_t throttles_ = 0;
+};
+
+} // namespace mithril::trackers
+
+#endif // MITHRIL_TRACKERS_BLOCKHAMMER_HH

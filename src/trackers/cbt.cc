@@ -1,0 +1,110 @@
+#include "cbt.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mithril::trackers
+{
+
+Cbt::Cbt(std::uint32_t num_banks, const CbtParams &params)
+    : params_(params), trees_(num_banks)
+{
+    MITHRIL_ASSERT(num_banks > 0);
+    MITHRIL_ASSERT(params_.nCounters >= 1);
+    MITHRIL_ASSERT(params_.splitThreshold > 0);
+    MITHRIL_ASSERT(params_.refreshThreshold >= params_.splitThreshold);
+    MITHRIL_ASSERT(params_.rowsPerBank > 1);
+    for (auto &tree : trees_)
+        resetTree(tree, 0);
+}
+
+void
+Cbt::resetTree(Tree &tree, Tick now) const
+{
+    tree.nodes.clear();
+    tree.nodes.push_back(Node{0, params_.rowsPerBank, 0, -1, -1});
+    tree.lastReset = now;
+}
+
+std::size_t
+Cbt::findLeaf(Tree &tree, RowId row) const
+{
+    std::size_t idx = 0;
+    while (!tree.nodes[idx].isLeaf()) {
+        const Node &node = tree.nodes[idx];
+        const RowId mid = node.lo + (node.hi - node.lo) / 2;
+        idx = static_cast<std::size_t>(row < mid ? node.left
+                                                 : node.right);
+    }
+    return idx;
+}
+
+void
+Cbt::onActivate(BankId bank, RowId row, Tick now,
+                std::vector<RowId> &arr_aggressors)
+{
+    Tree &tree = trees_.at(bank);
+    if (now - tree.lastReset >= params_.resetInterval)
+        resetTree(tree, now);
+
+    countOp();
+    std::size_t idx = findLeaf(tree, row);
+    ++tree.nodes[idx].count;
+
+    // Split while the leaf is hot, space remains, and it still covers
+    // more than one row. Children inherit the parent's count: any row
+    // in the range may own every activation seen so far.
+    while (tree.nodes[idx].count >= params_.splitThreshold &&
+           tree.nodes[idx].count < params_.refreshThreshold &&
+           tree.nodes[idx].hi - tree.nodes[idx].lo > 1 &&
+           tree.nodes.size() + 2 <= params_.nCounters) {
+        const RowId lo = tree.nodes[idx].lo;
+        const RowId hi = tree.nodes[idx].hi;
+        const RowId mid = lo + (hi - lo) / 2;
+        const std::uint32_t inherited = tree.nodes[idx].count;
+        const auto left = static_cast<std::int32_t>(tree.nodes.size());
+        tree.nodes.push_back(Node{lo, mid, inherited, -1, -1});
+        tree.nodes.push_back(Node{mid, hi, inherited, -1, -1});
+        tree.nodes[idx].left = left;
+        tree.nodes[idx].right = left + 1;
+        idx = static_cast<std::size_t>(row < mid ? left : left + 1);
+        countOp();
+        // Inherited counts can already sit at the refresh threshold;
+        // the loop exit below handles that leaf.
+        break;
+    }
+
+    if (tree.nodes[idx].count >= params_.refreshThreshold) {
+        // Refresh the victims of every row in the group.
+        const Node &leaf = tree.nodes[idx];
+        const std::uint32_t span = leaf.hi - leaf.lo;
+        maxGroupRefreshed_ = std::max(maxGroupRefreshed_, span);
+        for (RowId r = leaf.lo; r < leaf.hi; ++r)
+            arr_aggressors.push_back(r);
+        tree.nodes[idx].count = 0;
+    }
+}
+
+double
+Cbt::tableBytesPerBank() const
+{
+    // Each counter carries its count plus range bookkeeping bits.
+    const double bits_per_counter =
+        static_cast<double>(params_.counterBits) + 2.0;
+    return static_cast<double>(params_.nCounters) * bits_per_counter /
+           8.0;
+}
+
+std::size_t
+Cbt::leafCount(BankId bank) const
+{
+    const Tree &tree = trees_.at(bank);
+    std::size_t leaves = 0;
+    for (const auto &node : tree.nodes)
+        if (node.isLeaf())
+            ++leaves;
+    return leaves;
+}
+
+} // namespace mithril::trackers

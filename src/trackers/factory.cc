@@ -1,0 +1,204 @@
+#include "factory.hh"
+
+#include <cmath>
+
+#include "analysis/area_model.hh"
+#include "analysis/parfm_failure.hh"
+#include "common/logging.hh"
+#include "core/bounds.hh"
+#include "core/config_solver.hh"
+#include "core/mithril.hh"
+#include "trackers/blockhammer.hh"
+#include "trackers/cbt.hh"
+#include "trackers/graphene.hh"
+#include "trackers/para.hh"
+#include "trackers/parfm.hh"
+#include "trackers/rfm_graphene.hh"
+#include "trackers/twice.hh"
+
+namespace mithril::trackers
+{
+
+SchemeKind
+schemeFromName(const std::string &name)
+{
+    if (name == "none")
+        return SchemeKind::None;
+    if (name == "mithril")
+        return SchemeKind::Mithril;
+    if (name == "mithril+" || name == "mithril_plus")
+        return SchemeKind::MithrilPlus;
+    if (name == "parfm")
+        return SchemeKind::Parfm;
+    if (name == "blockhammer")
+        return SchemeKind::BlockHammer;
+    if (name == "para")
+        return SchemeKind::Para;
+    if (name == "graphene")
+        return SchemeKind::Graphene;
+    if (name == "rfm-graphene" || name == "rfm_graphene")
+        return SchemeKind::RfmGraphene;
+    if (name == "twice")
+        return SchemeKind::Twice;
+    if (name == "cbt")
+        return SchemeKind::Cbt;
+    fatal("unknown scheme name: %s", name.c_str());
+    return SchemeKind::None;
+}
+
+std::string
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::None:        return "None";
+      case SchemeKind::Mithril:     return "Mithril";
+      case SchemeKind::MithrilPlus: return "Mithril+";
+      case SchemeKind::Parfm:       return "PARFM";
+      case SchemeKind::BlockHammer: return "BlockHammer";
+      case SchemeKind::Para:        return "PARA";
+      case SchemeKind::Graphene:    return "Graphene";
+      case SchemeKind::RfmGraphene: return "RFM-Graphene";
+      case SchemeKind::Twice:       return "TWiCe";
+      case SchemeKind::Cbt:         return "CBT";
+    }
+    return "?";
+}
+
+std::uint32_t
+defaultMithrilRfmTh(std::uint32_t flip_th)
+{
+    if (flip_th >= 12500)
+        return 256;
+    if (flip_th >= 6250)
+        return 128;
+    if (flip_th >= 3125)
+        return 64;
+    return 32;
+}
+
+std::unique_ptr<RhProtection>
+makeScheme(const SchemeSpec &spec, const dram::Timing &timing,
+           const dram::Geometry &geometry)
+{
+    const std::uint32_t banks = geometry.totalBanks();
+    const std::uint32_t row_bits =
+        core::ceilLog2(geometry.rowsPerBank);
+    const std::uint64_t max_acts = dram::maxActsPerWindow(timing);
+
+    switch (spec.kind) {
+      case SchemeKind::None:
+        return nullptr;
+
+      case SchemeKind::Mithril:
+      case SchemeKind::MithrilPlus: {
+        const std::uint32_t rfm_th =
+            spec.rfmTh ? spec.rfmTh : defaultMithrilRfmTh(spec.flipTh);
+        core::ConfigSolver solver(timing, geometry);
+        const double effect = core::aggregatedEffect(spec.blastRadius);
+        auto cfg = solver.solve(spec.flipTh, rfm_th, spec.adTh, effect);
+        if (!cfg) {
+            fatal("Mithril infeasible at FlipTH=%u RFM_TH=%u AdTH=%u "
+                  "radius=%u",
+                  spec.flipTh, rfm_th, spec.adTh, spec.blastRadius);
+        }
+        core::MithrilParams params;
+        params.nEntry = cfg->nEntry;
+        params.rfmTh = rfm_th;
+        params.adTh = spec.adTh;
+        params.rowBits = row_bits;
+        params.counterBits = cfg->counterBits;
+        params.plusMode = (spec.kind == SchemeKind::MithrilPlus);
+        return std::make_unique<core::Mithril>(banks, params);
+      }
+
+      case SchemeKind::Parfm: {
+        std::uint32_t rfm_th = spec.rfmTh;
+        if (rfm_th == 0) {
+            rfm_th = analysis::parfmMaxRfmTh(timing, spec.flipTh);
+            if (rfm_th == 0) {
+                fatal("PARFM cannot reach 1e-15 at FlipTH=%u",
+                      spec.flipTh);
+            }
+        }
+        return std::make_unique<Parfm>(banks, rfm_th, spec.seed);
+      }
+
+      case SchemeKind::BlockHammer: {
+        const auto [cbf_size, nbl] =
+            analysis::AreaModel::blockHammerConfig(spec.flipTh);
+        BlockHammerParams params;
+        params.cbfSize = cbf_size;
+        params.nbl = nbl;
+        params.flipTh = spec.flipTh;
+        params.tCbf = timing.tREFW;
+        params.tRc = timing.tRC;
+        params.counterBits = core::ceilLog2(nbl) + 1;
+        params.seed = spec.seed;
+        return std::make_unique<BlockHammer>(banks, params);
+      }
+
+      case SchemeKind::Para: {
+        const double p =
+            Para::requiredProbability(spec.flipTh, 1e-15);
+        return std::make_unique<Para>(p, spec.seed);
+      }
+
+      case SchemeKind::Graphene: {
+        GrapheneParams params;
+        params.threshold = std::max(1u, spec.flipTh / 4);
+        params.nEntry =
+            Graphene::requiredEntries(max_acts, params.threshold);
+        params.resetInterval = timing.tREFW;
+        params.rowBits = row_bits;
+        params.counterBits = core::ceilLog2(params.threshold) + 2;
+        return std::make_unique<Graphene>(banks, params);
+      }
+
+      case SchemeKind::RfmGraphene: {
+        RfmGrapheneParams params;
+        params.threshold = std::max(1u, spec.flipTh / 4);
+        params.rfmTh = spec.rfmTh ? spec.rfmTh : 64;
+        params.nEntry =
+            Graphene::requiredEntries(max_acts, params.threshold);
+        params.resetInterval = timing.tREFW;
+        params.rowBits = row_bits;
+        params.counterBits = core::ceilLog2(params.threshold) + 2;
+        return std::make_unique<RfmGraphene>(banks, params);
+      }
+
+      case SchemeKind::Twice: {
+        TwiceParams params;
+        params.rhThreshold = std::max(1u, spec.flipTh / 4);
+        // Rate-exact pruning: an entry survives only while its ACT
+        // rate could still reach th_RO within one tREFW.
+        params.pruneRateNum = params.rhThreshold;
+        params.pruneRateDen = static_cast<std::uint32_t>(
+            timing.tREFW / timing.tREFI);
+        const std::uint64_t base =
+            Graphene::requiredEntries(max_acts, params.rhThreshold);
+        const double factor = std::max(
+            1.0, std::log(static_cast<double>(max_acts) /
+                          static_cast<double>(base)));
+        params.capacity = static_cast<std::uint32_t>(
+            std::ceil(static_cast<double>(base) * factor));
+        params.rowBits = row_bits;
+        return std::make_unique<Twice>(banks, params);
+      }
+
+      case SchemeKind::Cbt: {
+        CbtParams params;
+        params.nCounters = static_cast<std::uint32_t>(
+            12.0e6 / static_cast<double>(spec.flipTh));
+        params.refreshThreshold = std::max(2u, spec.flipTh / 4);
+        params.splitThreshold =
+            std::max(1u, params.refreshThreshold / 2);
+        params.rowsPerBank = geometry.rowsPerBank;
+        params.resetInterval = timing.tREFW;
+        return std::make_unique<Cbt>(banks, params);
+      }
+    }
+    panic("unhandled scheme kind");
+    return nullptr;
+}
+
+} // namespace mithril::trackers

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Factory that instantiates every protection scheme with the paper's
+ * Section VI-A configuration rules, given only (scheme, FlipTH).
+ */
+
+#ifndef MITHRIL_TRACKERS_FACTORY_HH
+#define MITHRIL_TRACKERS_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "dram/timing.hh"
+#include "trackers/rh_protection.hh"
+
+namespace mithril::trackers
+{
+
+/** Every scheme the evaluation compares. */
+enum class SchemeKind
+{
+    None,         //!< Unprotected baseline.
+    Mithril,
+    MithrilPlus,
+    Parfm,
+    BlockHammer,
+    Para,
+    Graphene,
+    RfmGraphene,
+    Twice,
+    Cbt,
+};
+
+/** Scheme selection plus the knobs the paper varies. */
+struct SchemeSpec
+{
+    SchemeKind kind = SchemeKind::Mithril;
+    std::uint32_t flipTh = 6250;
+    /** RFM threshold; 0 = the paper's default for this FlipTH
+     *  (Mithril) or the auto-derived safe value (PARFM). */
+    std::uint32_t rfmTh = 0;
+    /** Mithril adaptive refresh threshold; the paper's default is 200.
+     *  Ignored by other schemes. */
+    std::uint32_t adTh = 200;
+    /** Non-adjacent RH radius (Section V-C): 1 = classic double-sided;
+     *  2-3 tighten the Mithril bound to FlipTH/aggregatedEffect and
+     *  widen preventive refreshes to 2*radius victims. */
+    std::uint32_t blastRadius = 1;
+    std::uint64_t seed = 7;
+};
+
+/** Parse a scheme name ("mithril", "mithril+", "parfm", ...). */
+SchemeKind schemeFromName(const std::string &name);
+
+/** Printable name of a scheme kind. */
+std::string schemeName(SchemeKind kind);
+
+/** The paper's default RFM_TH for Mithril at a given FlipTH
+ *  (Section VI-A: 256 at >=12.5K, down to 32 at 1.5K). */
+std::uint32_t defaultMithrilRfmTh(std::uint32_t flip_th);
+
+/**
+ * Build a configured scheme instance (nullptr for SchemeKind::None).
+ * Fatal error when the requested configuration is infeasible.
+ */
+std::unique_ptr<RhProtection> makeScheme(const SchemeSpec &spec,
+                                         const dram::Timing &timing,
+                                         const dram::Geometry &geometry);
+
+} // namespace mithril::trackers
+
+#endif // MITHRIL_TRACKERS_FACTORY_HH

@@ -1,0 +1,56 @@
+#include "graphene.hh"
+
+#include "common/logging.hh"
+
+namespace mithril::trackers
+{
+
+Graphene::Graphene(std::uint32_t num_banks, const GrapheneParams &params)
+    : params_(params), lastReset_(num_banks, 0)
+{
+    MITHRIL_ASSERT(num_banks > 0);
+    MITHRIL_ASSERT(params_.nEntry > 0);
+    MITHRIL_ASSERT(params_.threshold > 0);
+    MITHRIL_ASSERT(params_.resetInterval > 0);
+    tables_.reserve(num_banks);
+    for (std::uint32_t b = 0; b < num_banks; ++b)
+        tables_.emplace_back(params_.nEntry, params_.counterBits);
+}
+
+void
+Graphene::onActivate(BankId bank, RowId row, Tick now,
+                     std::vector<RowId> &arr_aggressors)
+{
+    core::CbsTable &table = tables_.at(bank);
+    if (now - lastReset_.at(bank) >= params_.resetInterval) {
+        table.clear();
+        lastReset_.at(bank) = now;
+    }
+
+    const std::uint64_t est = table.touch(row);
+    countOp();
+    // Reactive trigger: every time the estimated count crosses a
+    // multiple of the predefined threshold, refresh the victims (the
+    // spillover-counter behaviour of the original design).
+    if (est % params_.threshold == 0) {
+        arr_aggressors.push_back(row);
+        ++arrCount_;
+    }
+}
+
+double
+Graphene::tableBytesPerBank() const
+{
+    return static_cast<double>(params_.nEntry) *
+           (params_.rowBits + params_.counterBits) / 8.0;
+}
+
+std::uint32_t
+Graphene::requiredEntries(std::uint64_t max_acts, std::uint32_t threshold)
+{
+    MITHRIL_ASSERT(threshold > 0);
+    return static_cast<std::uint32_t>(
+        (max_acts + threshold - 1) / threshold);
+}
+
+} // namespace mithril::trackers

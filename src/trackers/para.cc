@@ -1,0 +1,37 @@
+#include "para.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mithril::trackers
+{
+
+Para::Para(double probability, std::uint64_t seed)
+    : probability_(probability), rng_(seed)
+{
+    MITHRIL_ASSERT(probability_ > 0.0 && probability_ <= 1.0);
+}
+
+void
+Para::onActivate(BankId bank, RowId row, Tick now,
+                 std::vector<RowId> &arr_aggressors)
+{
+    (void)bank;
+    (void)now;
+    countOp();
+    if (rng_.nextBool(probability_))
+        arr_aggressors.push_back(row);
+}
+
+double
+Para::requiredProbability(std::uint32_t flip_th, double fail_target)
+{
+    MITHRIL_ASSERT(flip_th >= 2);
+    MITHRIL_ASSERT(fail_target > 0.0 && fail_target < 1.0);
+    // (1-p)^(flip_th/2) = fail_target  =>  p = 1 - fail^(2/flip_th)
+    const double exponent = 2.0 / static_cast<double>(flip_th);
+    return 1.0 - std::pow(fail_target, exponent);
+}
+
+} // namespace mithril::trackers

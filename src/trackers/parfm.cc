@@ -1,0 +1,43 @@
+#include "parfm.hh"
+
+#include "common/logging.hh"
+
+namespace mithril::trackers
+{
+
+Parfm::Parfm(std::uint32_t num_banks, std::uint32_t rfm_th,
+             std::uint64_t seed)
+    : rfmTh_(rfm_th), rng_(seed), reservoirs_(num_banks)
+{
+    MITHRIL_ASSERT(num_banks > 0);
+    MITHRIL_ASSERT(rfm_th > 0);
+}
+
+void
+Parfm::onActivate(BankId bank, RowId row, Tick now,
+                  std::vector<RowId> &arr_aggressors)
+{
+    (void)now;
+    (void)arr_aggressors;
+    countOp();
+    Reservoir &res = reservoirs_.at(bank);
+    ++res.seen;
+    // Classic reservoir of size one: the i-th item replaces the sample
+    // with probability 1/i, giving a uniform pick over the interval.
+    if (rng_.nextBounded(res.seen) == 0)
+        res.sampled = row;
+}
+
+void
+Parfm::onRfm(BankId bank, Tick now, std::vector<RowId> &aggressors)
+{
+    (void)now;
+    countOp();
+    Reservoir &res = reservoirs_.at(bank);
+    if (res.sampled != kInvalidRow)
+        aggressors.push_back(res.sampled);
+    res.sampled = kInvalidRow;
+    res.seen = 0;
+}
+
+} // namespace mithril::trackers

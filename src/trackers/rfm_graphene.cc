@@ -1,0 +1,65 @@
+#include "rfm_graphene.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mithril::trackers
+{
+
+RfmGraphene::RfmGraphene(std::uint32_t num_banks,
+                         const RfmGrapheneParams &params)
+    : params_(params), lastReset_(num_banks, 0), pending_(num_banks)
+{
+    MITHRIL_ASSERT(num_banks > 0);
+    MITHRIL_ASSERT(params_.nEntry > 0);
+    MITHRIL_ASSERT(params_.threshold > 0);
+    MITHRIL_ASSERT(params_.rfmTh > 0);
+    tables_.reserve(num_banks);
+    for (std::uint32_t b = 0; b < num_banks; ++b)
+        tables_.emplace_back(params_.nEntry, params_.counterBits);
+}
+
+void
+RfmGraphene::onActivate(BankId bank, RowId row, Tick now,
+                        std::vector<RowId> &arr_aggressors)
+{
+    (void)arr_aggressors;  // Never requests an immediate ARR.
+    core::CbsTable &table = tables_.at(bank);
+    if (now - lastReset_.at(bank) >= params_.resetInterval) {
+        table.clear();
+        pending_.at(bank).clear();
+        lastReset_.at(bank) = now;
+    }
+
+    const std::uint64_t est = table.touch(row);
+    countOp();
+    if (est % params_.threshold == 0) {
+        // Buffer for the next RFM opportunity instead of acting now —
+        // this is precisely what makes the scheme unsafe.
+        pending_.at(bank).push_back(row);
+        maxQueueDepth_ =
+            std::max(maxQueueDepth_, pending_.at(bank).size());
+    }
+}
+
+void
+RfmGraphene::onRfm(BankId bank, Tick now, std::vector<RowId> &aggressors)
+{
+    (void)now;
+    countOp();
+    auto &queue = pending_.at(bank);
+    if (queue.empty())
+        return;
+    aggressors.push_back(queue.front());
+    queue.pop_front();
+}
+
+double
+RfmGraphene::tableBytesPerBank() const
+{
+    return static_cast<double>(params_.nEntry) *
+           (params_.rowBits + params_.counterBits) / 8.0;
+}
+
+} // namespace mithril::trackers

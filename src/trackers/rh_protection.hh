@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Abstract interface every Row Hammer protection scheme implements.
+ *
+ * A tracker observes the activation stream of every bank and chooses
+ * when/which rows receive preventive refreshes. The interface covers all
+ * four remedy styles used by the paper's schemes:
+ *
+ *  - RFM-based (Mithril, PARFM): the MC issues RFM every rfmTh() ACTs;
+ *    onRfm() picks aggressors to treat within the tRFM window.
+ *  - ARR-based (PARA, Graphene, TWiCe, CBT): onActivate() returns
+ *    aggressor rows whose victims the MC must refresh immediately.
+ *  - Throttling (BlockHammer): throttleAct() delays hazardous ACTs.
+ *  - Mithril+: rfmPending() lets the MC skip needless RFM commands via
+ *    an MRR mode-register poll.
+ */
+
+#ifndef MITHRIL_TRACKERS_RH_PROTECTION_HH
+#define MITHRIL_TRACKERS_RH_PROTECTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mithril::trackers
+{
+
+/** Where a scheme's counter structures physically live (Table I). */
+enum class Location
+{
+    Mc,         //!< Processor-side memory controller.
+    Dram,       //!< On-DRAM, per bank per chip.
+    BufferChip, //!< DIMM buffer chip (TWiCe).
+};
+
+/** Base class for all protection schemes. */
+class RhProtection
+{
+  public:
+    virtual ~RhProtection() = default;
+
+    /** Scheme name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Where the scheme is implemented. */
+    virtual Location location() const = 0;
+
+    /** True when the scheme consumes RFM commands. */
+    virtual bool usesRfm() const { return false; }
+
+    /** RFM threshold the MC must honour (0 when usesRfm() is false). */
+    virtual std::uint32_t rfmTh() const { return 0; }
+
+    /**
+     * Observe an ACT. ARR-based schemes append aggressor rows that
+     * require an immediate preventive refresh to arr_aggressors.
+     */
+    virtual void onActivate(BankId bank, RowId row, Tick now,
+                            std::vector<RowId> &arr_aggressors) = 0;
+
+    /**
+     * Consume an RFM command for the bank. Appends the aggressor rows
+     * whose victims are preventively refreshed inside this tRFM window
+     * (possibly none, e.g. under Mithril's adaptive refresh policy).
+     */
+    virtual void
+    onRfm(BankId bank, Tick now, std::vector<RowId> &aggressors)
+    {
+        (void)bank;
+        (void)now;
+        (void)aggressors;
+    }
+
+    /**
+     * Mithril+ hook: true when the bank's RFM is actually needed. The
+     * MC polls this through an MRR read at every RAA epoch and skips
+     * the RFM command when it returns false.
+     */
+    virtual bool rfmPending(BankId bank) const
+    {
+        (void)bank;
+        return true;
+    }
+
+    /**
+     * Throttling hook: earliest tick this ACT may legally issue. The
+     * default performs no throttling.
+     */
+    virtual Tick throttleAct(BankId bank, RowId row, Tick now)
+    {
+        (void)bank;
+        (void)row;
+        return now;
+    }
+
+    /** Auto-refresh (REF) notification for schemes with time epochs. */
+    virtual void onRefresh(BankId bank, Tick now)
+    {
+        (void)bank;
+        (void)now;
+    }
+
+    /** Counter-table bytes per bank (for Table IV / Fig. 10e). */
+    virtual double tableBytesPerBank() const = 0;
+
+    /** Total tracker logic operations performed (energy accounting). */
+    std::uint64_t logicOps() const { return logicOps_; }
+
+  protected:
+    /** Count one CAM/table operation. */
+    void countOp(std::uint64_t n = 1) { logicOps_ += n; }
+
+  private:
+    std::uint64_t logicOps_ = 0;
+};
+
+} // namespace mithril::trackers
+
+#endif // MITHRIL_TRACKERS_RH_PROTECTION_HH

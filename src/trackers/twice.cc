@@ -1,0 +1,82 @@
+#include "twice.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mithril::trackers
+{
+
+Twice::Twice(std::uint32_t num_banks, const TwiceParams &params)
+    : params_(params), tables_(num_banks)
+{
+    MITHRIL_ASSERT(num_banks > 0);
+    MITHRIL_ASSERT(params_.capacity > 0);
+    MITHRIL_ASSERT(params_.rhThreshold > 0);
+    MITHRIL_ASSERT(params_.pruneRateNum > 0);
+    MITHRIL_ASSERT(params_.pruneRateDen > 0);
+}
+
+void
+Twice::onActivate(BankId bank, RowId row, Tick now,
+                  std::vector<RowId> &arr_aggressors)
+{
+    (void)now;
+    auto &table = tables_.at(bank);
+    countOp();
+
+    auto it = table.find(row);
+    if (it == table.end()) {
+        if (table.size() >= params_.capacity) {
+            // Correctly sized TWiCe never overflows; count it so the
+            // sizing tests can assert the invariant, and drop the entry
+            // with the lowest count to keep going.
+            ++overflows_;
+            auto victim = table.begin();
+            for (auto cur = table.begin(); cur != table.end(); ++cur) {
+                if (cur->second.count < victim->second.count)
+                    victim = cur;
+            }
+            table.erase(victim);
+        }
+        it = table.emplace(row, EntryState{}).first;
+        peakOccupancy_ = std::max(peakOccupancy_, table.size());
+    }
+
+    EntryState &entry = it->second;
+    ++entry.count;
+    if (entry.count >= params_.rhThreshold) {
+        arr_aggressors.push_back(row);
+        ++arrCount_;
+        table.erase(it);  // Victims refreshed; restart tracking.
+    }
+}
+
+void
+Twice::onRefresh(BankId bank, Tick now)
+{
+    (void)now;
+    auto &table = tables_.at(bank);
+    countOp(table.size());
+    for (auto it = table.begin(); it != table.end();) {
+        EntryState &entry = it->second;
+        ++entry.life;
+        if (static_cast<std::uint64_t>(entry.count) *
+                params_.pruneRateDen <
+            static_cast<std::uint64_t>(entry.life) *
+                params_.pruneRateNum) {
+            it = table.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+double
+Twice::tableBytesPerBank() const
+{
+    return static_cast<double>(params_.capacity) * params_.entryBits /
+           8.0;
+}
+
+} // namespace mithril::trackers

@@ -1,0 +1,98 @@
+#include "multithreaded.hh"
+
+#include "common/logging.hh"
+
+namespace mithril::workload
+{
+
+namespace
+{
+
+constexpr std::uint64_t kLine = 64;
+
+} // namespace
+
+PartitionedSweepGen::PartitionedSweepGen(const MtParams &params,
+                                         std::uint32_t thread_id)
+    : params_(params), threadId_(thread_id),
+      rng_(params.seed * 0x51ull + thread_id)
+{
+    MITHRIL_ASSERT(params_.threads > 0);
+    MITHRIL_ASSERT(thread_id < params_.threads);
+    MITHRIL_ASSERT(params_.footprint >=
+                   params_.threads * params_.phaseLines * kLine);
+}
+
+std::optional<TraceRecord>
+PartitionedSweepGen::next()
+{
+    const std::uint64_t partition_bytes =
+        params_.footprint / params_.threads;
+    // Rotate partition ownership each phase (butterfly-ish exchange).
+    const std::uint32_t partition =
+        static_cast<std::uint32_t>((threadId_ + phase_) %
+                                   params_.threads);
+    const Addr part_base = params_.base + partition * partition_bytes;
+    // Each phase sweeps a window of the partition; windows advance
+    // with the phase so the whole footprint is covered over time.
+    const std::uint64_t windows =
+        partition_bytes / (params_.phaseLines * kLine);
+    const std::uint64_t window = windows ? (phase_ % windows) : 0;
+    const Addr window_base =
+        part_base + window * params_.phaseLines * kLine;
+
+    TraceRecord rec;
+    rec.gap = rng_.nextGeometric(params_.meanGap);
+    rec.addr = window_base + lineInPhase_ * kLine;
+    rec.write = rng_.nextBool(params_.writeFraction);
+
+    if (++lineInPhase_ >= params_.phaseLines) {
+        lineInPhase_ = 0;
+        ++phase_;
+    }
+    return rec;
+}
+
+PageRankGen::PageRankGen(const MtParams &params, std::uint32_t thread_id)
+    : params_(params), threadId_(thread_id),
+      rng_(params.seed * 0x97ull + thread_id)
+{
+    MITHRIL_ASSERT(params_.threads > 0);
+    const std::uint64_t slice = params_.footprint / 2 / params_.threads;
+    scanCursor_ = params_.base + threadId_ * slice;
+}
+
+std::optional<TraceRecord>
+PageRankGen::next()
+{
+    // First half of the footprint: edge array, scanned sequentially in
+    // per-thread slices. Second half: rank vector, gathered randomly.
+    const std::uint64_t edge_bytes = params_.footprint / 2;
+    const std::uint64_t slice = edge_bytes / params_.threads;
+    const Addr slice_base = params_.base + threadId_ * slice;
+
+    TraceRecord rec;
+    rec.gap = rng_.nextGeometric(params_.meanGap);
+
+    if (scanLeft_ == 0)
+        scanLeft_ = 8;  // Edges scanned per gather burst.
+
+    if (scanLeft_ > 1) {
+        --scanLeft_;
+        rec.addr = scanCursor_;
+        rec.write = false;
+        scanCursor_ += kLine;
+        if (scanCursor_ >= slice_base + slice)
+            scanCursor_ = slice_base;
+    } else {
+        --scanLeft_;
+        // Random gather into the shared rank vector (read-modify-write).
+        const std::uint64_t rank_lines = edge_bytes / kLine;
+        rec.addr = params_.base + edge_bytes +
+                   rng_.nextBounded(rank_lines) * kLine;
+        rec.write = rng_.nextBool(0.5);
+    }
+    return rec;
+}
+
+} // namespace mithril::workload

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multithreaded workload generators standing in for the paper's FFT
+ * and RADIX (SPLASH-2) and PageRank (GAP) benchmarks.
+ *
+ * All threads of one workload share a footprint; a factory hands out
+ * one generator per thread. The archetypes:
+ *
+ *  - PartitionedSweepGen (FFT/RADIX-like): phase-structured kernels.
+ *    Each thread sweeps its own partition sequentially, then the
+ *    partition assignment rotates (butterfly/permute phases), giving
+ *    the large-object-sweep behaviour of Section V-A with bursts of
+ *    cross-thread row conflicts at phase boundaries.
+ *  - PageRankGen: per-thread sequential scan over its slice of the
+ *    edge array mixed with random gathers into the shared rank vector.
+ */
+
+#ifndef MITHRIL_WORKLOAD_MULTITHREADED_HH
+#define MITHRIL_WORKLOAD_MULTITHREADED_HH
+
+#include "common/random.hh"
+#include "workload/trace.hh"
+
+namespace mithril::workload
+{
+
+/** Shared configuration for a multithreaded workload. */
+struct MtParams
+{
+    Addr base = 0;
+    std::uint64_t footprint = 256ull << 20;
+    std::uint32_t threads = 16;
+    double meanGap = 6.0;
+    double writeFraction = 0.35;
+    std::uint64_t seed = 23;
+    std::uint64_t phaseLines = 4096;  //!< Lines per thread per phase.
+};
+
+/** FFT/RADIX-like partition-rotating sweep; one instance per thread. */
+class PartitionedSweepGen : public TraceGenerator
+{
+  public:
+    PartitionedSweepGen(const MtParams &params, std::uint32_t thread_id);
+
+    std::optional<TraceRecord> next() override;
+    std::string name() const override { return "mt-sweep"; }
+
+  private:
+    MtParams params_;
+    std::uint32_t threadId_;
+    Rng rng_;
+    std::uint64_t phase_ = 0;
+    std::uint64_t lineInPhase_ = 0;
+};
+
+/** PageRank-like scan + random gather; one instance per thread. */
+class PageRankGen : public TraceGenerator
+{
+  public:
+    PageRankGen(const MtParams &params, std::uint32_t thread_id);
+
+    std::optional<TraceRecord> next() override;
+    std::string name() const override { return "pagerank"; }
+
+  private:
+    MtParams params_;
+    std::uint32_t threadId_;
+    Rng rng_;
+    Addr scanCursor_;
+    std::uint64_t scanLeft_ = 0;
+};
+
+} // namespace mithril::workload
+
+#endif // MITHRIL_WORKLOAD_MULTITHREADED_HH

@@ -1,0 +1,190 @@
+#include "spec_like.hh"
+
+#include "common/logging.hh"
+
+namespace mithril::workload
+{
+
+namespace
+{
+
+constexpr std::uint64_t kLine = 64;
+
+Addr
+alignLine(Addr a)
+{
+    return a & ~(kLine - 1);
+}
+
+} // namespace
+
+StreamSweepGen::StreamSweepGen(const SyntheticParams &params,
+                               std::uint64_t object_bytes)
+    : params_(params), objectBytes_(object_bytes), rng_(params.seed),
+      cursor_(params.base)
+{
+    MITHRIL_ASSERT(params_.footprint >= objectBytes_);
+    MITHRIL_ASSERT(objectBytes_ >= kLine);
+}
+
+std::optional<TraceRecord>
+StreamSweepGen::next()
+{
+    if (produced_ >= params_.limit)
+        return std::nullopt;
+    ++produced_;
+
+    if (leftInObject_ == 0) {
+        // Jump to a random object start and sweep it sequentially.
+        const std::uint64_t objects = params_.footprint / objectBytes_;
+        const std::uint64_t pick = rng_.nextBounded(objects);
+        cursor_ = alignLine(params_.base + pick * objectBytes_);
+        leftInObject_ = objectBytes_ / kLine;
+    }
+
+    TraceRecord rec;
+    rec.gap = rng_.nextGeometric(params_.meanGap);
+    rec.addr = cursor_;
+    rec.write = rng_.nextBool(params_.writeFraction);
+    cursor_ += kLine;
+    --leftInObject_;
+    return rec;
+}
+
+PointerChaseGen::PointerChaseGen(const SyntheticParams &params)
+    : params_(params), rng_(params.seed)
+{
+    MITHRIL_ASSERT(params_.footprint >= kLine);
+}
+
+std::optional<TraceRecord>
+PointerChaseGen::next()
+{
+    if (produced_ >= params_.limit)
+        return std::nullopt;
+    ++produced_;
+
+    TraceRecord rec;
+    rec.gap = rng_.nextGeometric(params_.meanGap);
+    rec.addr = alignLine(params_.base +
+                         rng_.nextBounded(params_.footprint));
+    rec.write = rng_.nextBool(params_.writeFraction);
+    return rec;
+}
+
+ZipfGen::ZipfGen(const SyntheticParams &params, double exponent)
+    : params_(params), exponent_(exponent), rng_(params.seed)
+{
+    MITHRIL_ASSERT(params_.footprint >= kLine);
+}
+
+std::optional<TraceRecord>
+ZipfGen::next()
+{
+    if (produced_ >= params_.limit)
+        return std::nullopt;
+    ++produced_;
+
+    const std::uint64_t lines = params_.footprint / kLine;
+    TraceRecord rec;
+    rec.gap = rng_.nextGeometric(params_.meanGap);
+    // Zipf over lines, bit-reversed-ish scatter so hot lines land in
+    // different rows rather than clustering at the footprint start.
+    const std::uint64_t rank = rng_.nextZipf(lines, exponent_);
+    const std::uint64_t scattered = (rank * 0x9e3779b97f4a7c15ull) %
+                                    lines;
+    rec.addr = alignLine(params_.base + scattered * kLine);
+    rec.write = rng_.nextBool(params_.writeFraction);
+    return rec;
+}
+
+ComputeGen::ComputeGen(const SyntheticParams &params)
+    : params_(params), rng_(params.seed)
+{
+    MITHRIL_ASSERT(params_.footprint >= kLine);
+}
+
+std::optional<TraceRecord>
+ComputeGen::next()
+{
+    if (produced_ >= params_.limit)
+        return std::nullopt;
+    ++produced_;
+
+    TraceRecord rec;
+    // Compute-bound: an order of magnitude larger gaps and a small,
+    // cache-resident working set (most accesses never reach DRAM).
+    rec.gap = rng_.nextGeometric(params_.meanGap * 12.0);
+    const std::uint64_t hot = std::max<std::uint64_t>(
+        kLine, params_.footprint / 64);
+    rec.addr = alignLine(params_.base + rng_.nextBounded(hot));
+    rec.write = rng_.nextBool(params_.writeFraction);
+    return rec;
+}
+
+GupsGen::GupsGen(const SyntheticParams &params)
+    : params_(params), rng_(params.seed)
+{
+    MITHRIL_ASSERT(params_.footprint >= kLine);
+}
+
+std::optional<TraceRecord>
+GupsGen::next()
+{
+    if (produced_ >= params_.limit)
+        return std::nullopt;
+    ++produced_;
+
+    TraceRecord rec;
+    if (havePending_) {
+        // Write-back half of the update; dependent, so a short gap.
+        havePending_ = false;
+        rec.gap = 2;
+        rec.addr = pendingWrite_;
+        rec.write = true;
+        return rec;
+    }
+    rec.gap = rng_.nextGeometric(params_.meanGap);
+    rec.addr = alignLine(params_.base +
+                         rng_.nextBounded(params_.footprint));
+    rec.write = false;
+    pendingWrite_ = rec.addr;
+    havePending_ = true;
+    return rec;
+}
+
+StencilGen::StencilGen(const SyntheticParams &params,
+                       std::uint32_t planes)
+    : params_(params), planes_(planes), rng_(params.seed)
+{
+    MITHRIL_ASSERT(planes_ >= 2);
+    MITHRIL_ASSERT(params_.footprint >= (planes_ + 1) * kLine);
+}
+
+std::optional<TraceRecord>
+StencilGen::next()
+{
+    if (produced_ >= params_.limit)
+        return std::nullopt;
+
+    // One "iteration" touches `planes_` read streams then one write
+    // stream, each offset by footprint/(planes_+1), all sharing the
+    // same line cursor.
+    const std::uint64_t streams = planes_ + 1;
+    const std::uint64_t stream_bytes = params_.footprint / streams;
+    const std::uint64_t stream_lines = stream_bytes / kLine;
+    const std::uint64_t phase = produced_ % streams;
+    ++produced_;
+    const std::uint64_t line = cursor_ % stream_lines;
+
+    TraceRecord rec;
+    rec.gap = rng_.nextGeometric(params_.meanGap);
+    rec.addr =
+        alignLine(params_.base + phase * stream_bytes + line * kLine);
+    rec.write = (phase == streams - 1);
+    if (phase == streams - 1)
+        ++cursor_;
+    return rec;
+}
+
+} // namespace mithril::workload

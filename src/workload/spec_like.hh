@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Synthetic single-thread workload generators standing in for the
+ * paper's SPEC CPU2017 SimPoint traces.
+ *
+ * Each generator is parameterized to match a qualitative access-pattern
+ * archetype the paper leans on:
+ *
+ *  - StreamSweepGen: lbm-style large-object sweep (Figure 8) — long
+ *    sequential runs through a multi-MB footprint, so accesses
+ *    concentrate on a handful of DRAM rows per small time window
+ *    (~128 lines per 8KB row) while covering the footprint uniformly
+ *    over large windows.
+ *  - PointerChaseGen: mcf-style dependent random accesses — low row
+ *    locality, high ACT-per-access rate.
+ *  - ZipfGen: hot-set reuse with a Zipf row popularity profile.
+ *  - ComputeGen: compute-bound filler with rare memory traffic.
+ */
+
+#ifndef MITHRIL_WORKLOAD_SPEC_LIKE_HH
+#define MITHRIL_WORKLOAD_SPEC_LIKE_HH
+
+#include "common/random.hh"
+#include "workload/trace.hh"
+
+namespace mithril::workload
+{
+
+/** Shared knobs for the synthetic generators. */
+struct SyntheticParams
+{
+    Addr base = 0;                    //!< Start of the footprint.
+    std::uint64_t footprint = 64ull << 20;
+    double meanGap = 8.0;             //!< Instructions per access.
+    double writeFraction = 0.3;
+    std::uint64_t seed = 11;
+    std::uint64_t limit = ~0ull;      //!< Max records (usually the core
+                                      //!< budget gates instead).
+};
+
+/** lbm-style large-object sweep (Figure 8 pattern). */
+class StreamSweepGen : public TraceGenerator
+{
+  public:
+    /**
+     * @param params Common knobs.
+     * @param object_bytes Length of one sequential sweep before
+     *        jumping to another object.
+     */
+    StreamSweepGen(const SyntheticParams &params,
+                   std::uint64_t object_bytes = 2ull << 20);
+
+    std::optional<TraceRecord> next() override;
+    std::string name() const override { return "stream-sweep"; }
+
+  private:
+    SyntheticParams params_;
+    std::uint64_t objectBytes_;
+    Rng rng_;
+    std::uint64_t produced_ = 0;
+    Addr cursor_;
+    std::uint64_t leftInObject_ = 0;
+};
+
+/** mcf-style dependent pointer chase. */
+class PointerChaseGen : public TraceGenerator
+{
+  public:
+    explicit PointerChaseGen(const SyntheticParams &params);
+
+    std::optional<TraceRecord> next() override;
+    std::string name() const override { return "pointer-chase"; }
+
+  private:
+    SyntheticParams params_;
+    Rng rng_;
+    std::uint64_t produced_ = 0;
+};
+
+/** Zipf-popular hot rows. */
+class ZipfGen : public TraceGenerator
+{
+  public:
+    ZipfGen(const SyntheticParams &params, double exponent = 0.9);
+
+    std::optional<TraceRecord> next() override;
+    std::string name() const override { return "zipf"; }
+
+  private:
+    SyntheticParams params_;
+    double exponent_;
+    Rng rng_;
+    std::uint64_t produced_ = 0;
+};
+
+/** Compute-bound filler: large gaps, small hot footprint. */
+class ComputeGen : public TraceGenerator
+{
+  public:
+    explicit ComputeGen(const SyntheticParams &params);
+
+    std::optional<TraceRecord> next() override;
+    std::string name() const override { return "compute"; }
+
+  private:
+    SyntheticParams params_;
+    Rng rng_;
+    std::uint64_t produced_ = 0;
+};
+
+/**
+ * GUPS-style random read-modify-write updates: every access pairs a
+ * read with a write-back to the same random line (emitted as
+ * alternating R/W records), with essentially no locality — the
+ * worst-case ACT-per-access stream a benign workload can produce.
+ */
+class GupsGen : public TraceGenerator
+{
+  public:
+    explicit GupsGen(const SyntheticParams &params);
+
+    std::optional<TraceRecord> next() override;
+    std::string name() const override { return "gups"; }
+
+  private:
+    SyntheticParams params_;
+    Rng rng_;
+    std::uint64_t produced_ = 0;
+    Addr pendingWrite_ = 0;
+    bool havePending_ = false;
+};
+
+/**
+ * Stencil-style multi-stream sweep: interleaved reads from several
+ * plane-offset streams plus a write stream, all advancing in lockstep
+ * (the 3D 7-point stencil access shape). High per-stream row locality
+ * across multiple concurrently open rows.
+ */
+class StencilGen : public TraceGenerator
+{
+  public:
+    /** @param planes Read streams (center + neighbours), default 4. */
+    StencilGen(const SyntheticParams &params,
+               std::uint32_t planes = 4);
+
+    std::optional<TraceRecord> next() override;
+    std::string name() const override { return "stencil"; }
+
+  private:
+    SyntheticParams params_;
+    std::uint32_t planes_;
+    Rng rng_;
+    std::uint64_t produced_ = 0;
+    std::uint64_t cursor_ = 0;  //!< Line index within the sweep.
+};
+
+} // namespace mithril::workload
+
+#endif // MITHRIL_WORKLOAD_SPEC_LIKE_HH

@@ -1,0 +1,150 @@
+#include "trace_file.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mithril::workload
+{
+
+bool
+parseTraceLine(const std::string &line, std::size_t line_no,
+               TraceRecord &out)
+{
+    // Strip leading whitespace; skip blanks and comments.
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start]))) {
+        ++start;
+    }
+    if (start >= line.size() || line[start] == '#')
+        return false;
+
+    std::istringstream in(line.substr(start));
+    std::string gap_str, addr_str, rw_str, flag_str;
+    in >> gap_str >> addr_str >> rw_str;
+    if (!in) {
+        fatal("trace line %zu malformed: '%s'", line_no, line.c_str());
+    }
+
+    char *end = nullptr;
+    const unsigned long long gap =
+        std::strtoull(gap_str.c_str(), &end, 10);
+    if (end == gap_str.c_str() || *end != '\0')
+        fatal("trace line %zu: bad gap '%s'", line_no, gap_str.c_str());
+
+    const unsigned long long addr =
+        std::strtoull(addr_str.c_str(), &end, 16);
+    if (end == addr_str.c_str() || *end != '\0') {
+        fatal("trace line %zu: bad address '%s'", line_no,
+              addr_str.c_str());
+    }
+
+    bool write;
+    if (rw_str == "R" || rw_str == "r")
+        write = false;
+    else if (rw_str == "W" || rw_str == "w")
+        write = true;
+    else {
+        fatal("trace line %zu: expected R or W, got '%s'", line_no,
+              rw_str.c_str());
+        return false;
+    }
+
+    out = TraceRecord{};
+    out.gap = gap == 0 ? 1 : gap;
+    out.addr = addr;
+    out.write = write;
+    if (in >> flag_str) {
+        if (flag_str == "U" || flag_str == "u")
+            out.uncached = true;
+        else
+            fatal("trace line %zu: unknown flag '%s'", line_no,
+                  flag_str.c_str());
+    }
+    return true;
+}
+
+std::string
+formatTraceRecord(const TraceRecord &rec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu 0x%llx %c%s",
+                  static_cast<unsigned long long>(rec.gap),
+                  static_cast<unsigned long long>(rec.addr),
+                  rec.write ? 'W' : 'R', rec.uncached ? " U" : "");
+    return buf;
+}
+
+ReplayTrace::ReplayTrace(std::vector<TraceRecord> records, bool loop,
+                         std::string name)
+    : records_(std::move(records)), loop_(loop), name_(std::move(name))
+{
+}
+
+std::optional<TraceRecord>
+ReplayTrace::next()
+{
+    if (cursor_ >= records_.size()) {
+        if (!loop_ || records_.empty())
+            return std::nullopt;
+        cursor_ = 0;
+    }
+    return records_[cursor_++];
+}
+
+std::unique_ptr<ReplayTrace>
+loadTraceFile(const std::string &path, bool loop)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: %s", path.c_str());
+
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        TraceRecord rec;
+        if (parseTraceLine(line, line_no, rec))
+            records.push_back(rec);
+    }
+    return std::make_unique<ReplayTrace>(std::move(records), loop,
+                                         path);
+}
+
+std::size_t
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRecord> &records,
+               const std::string &header_comment)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write trace file: %s", path.c_str());
+    if (!header_comment.empty())
+        out << "# " << header_comment << "\n";
+    for (const auto &rec : records)
+        out << formatTraceRecord(rec) << "\n";
+    return records.size();
+}
+
+std::size_t
+recordTrace(TraceGenerator &gen, std::uint64_t count,
+            const std::string &path)
+{
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        auto rec = gen.next();
+        if (!rec)
+            break;
+        records.push_back(*rec);
+    }
+    return writeTraceFile(path, records,
+                          "recorded from " + gen.name());
+}
+
+} // namespace mithril::workload

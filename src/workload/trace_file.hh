@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Trace file I/O: load recorded memory traces as workloads and record
+ * any generator's output to a file.
+ *
+ * Format: one record per line,
+ *
+ *     <gap> <address> <R|W> [U]
+ *
+ * where gap is the decimal instruction gap, address is hex (0x
+ * optional), R/W marks reads vs writes, and a trailing U marks the
+ * record uncacheable (attack traffic). Lines starting with '#' and
+ * blank lines are ignored. This is deliberately close to the
+ * Ramulator/DRAMsim trace style so existing traces convert with a
+ * one-line awk script.
+ */
+
+#ifndef MITHRIL_WORKLOAD_TRACE_FILE_HH
+#define MITHRIL_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace mithril::workload
+{
+
+/** Parse one trace line; returns false for comments/blank lines and
+ *  fatals on malformed input (with the line number for context). */
+bool parseTraceLine(const std::string &line, std::size_t line_no,
+                    TraceRecord &out);
+
+/** Render a record in the trace-file format (no newline). */
+std::string formatTraceRecord(const TraceRecord &rec);
+
+/**
+ * A workload backed by an in-memory list of records (also the backing
+ * store for file traces once loaded). Optionally loops.
+ */
+class ReplayTrace : public TraceGenerator
+{
+  public:
+    explicit ReplayTrace(std::vector<TraceRecord> records,
+                         bool loop = false,
+                         std::string name = "replay");
+
+    std::optional<TraceRecord> next() override;
+    std::string name() const override { return name_; }
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+    bool loop_;
+    std::string name_;
+    std::size_t cursor_ = 0;
+};
+
+/** Load a whole trace file into a ReplayTrace (fatal on I/O error). */
+std::unique_ptr<ReplayTrace> loadTraceFile(const std::string &path,
+                                           bool loop = false);
+
+/** Write records to a trace file; returns records written. */
+std::size_t writeTraceFile(const std::string &path,
+                           const std::vector<TraceRecord> &records,
+                           const std::string &header_comment = "");
+
+/**
+ * Record the first `count` records of any generator to a file —
+ * useful for snapshotting a synthetic workload into a shareable,
+ * inspectable artifact.
+ */
+std::size_t recordTrace(TraceGenerator &gen, std::uint64_t count,
+                        const std::string &path);
+
+} // namespace mithril::workload
+
+#endif // MITHRIL_WORKLOAD_TRACE_FILE_HH

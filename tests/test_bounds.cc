@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests of the Theorem 1 / Theorem 2 bound math and the configuration
+ * solver (Section IV-C/D, Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hh"
+#include "core/config_solver.hh"
+#include "dram/timing.hh"
+
+namespace mithril::core
+{
+namespace
+{
+
+class BoundsTest : public ::testing::Test
+{
+  protected:
+    dram::Timing timing_ = dram::ddr5_4800();
+    dram::Geometry geom_ = dram::paperGeometry();
+};
+
+TEST_F(BoundsTest, HarmonicValues)
+{
+    EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+    EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+    EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+    EXPECT_NEAR(harmonic(100), 5.187377, 1e-5);
+    // Asymptotic branch consistency at the switch point.
+    double exact = 0.0;
+    for (int k = 1; k <= 64; ++k)
+        exact += 1.0 / k;
+    EXPECT_NEAR(harmonic(64), exact, 1e-9);
+}
+
+TEST_F(BoundsTest, WindowIntervalsMatchesHandComputation)
+{
+    // W = ceil((tREFW - (tREFW/tREFI)*tRFC) / (tRC*RFM_TH + tRFM)).
+    const double usable = 32e6 - 8192.0 * 295.0;  // ns
+    for (std::uint32_t th : {16u, 64u, 256u}) {
+        const double expect =
+            std::ceil(usable / (48.64 * th + 97.28));
+        EXPECT_EQ(windowIntervals(timing_, th),
+                  static_cast<std::uint64_t>(expect))
+            << "RFM_TH=" << th;
+    }
+}
+
+TEST_F(BoundsTest, WindowShrinksWithLargerRfmTh)
+{
+    std::uint64_t last = ~0ull;
+    for (std::uint32_t th : {16u, 32u, 64u, 128u, 256u, 512u}) {
+        const std::uint64_t w = windowIntervals(timing_, th);
+        EXPECT_LT(w, last);
+        last = w;
+    }
+}
+
+TEST_F(BoundsTest, Theorem1MatchesClosedForm)
+{
+    const std::uint32_t n = 100, th = 64;
+    const double w = static_cast<double>(windowIntervals(timing_, th));
+    const double expect = 64.0 * harmonic(n) + 64.0 / n * (w - 2.0);
+    EXPECT_DOUBLE_EQ(theorem1Bound(timing_, n, th), expect);
+}
+
+TEST_F(BoundsTest, Theorem1DecreasesWithEntriesInOperatingRegion)
+{
+    // In the W-dominated region, more entries means a lower bound.
+    double last = 1e18;
+    for (std::uint32_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        const double m = theorem1Bound(timing_, n, 64);
+        EXPECT_LT(m, last) << "n=" << n;
+        last = m;
+    }
+}
+
+TEST_F(BoundsTest, Theorem1EventuallyGrowsWithEntries)
+{
+    // The harmonic term eventually dominates: M(N) is not monotone.
+    const double m_small = theorem1Bound(timing_, 20000, 64);
+    const double m_large = theorem1Bound(timing_, 2000000, 64);
+    EXPECT_GT(m_large, m_small);
+}
+
+TEST_F(BoundsTest, Theorem2ReducesToTheorem1AtZeroAdth)
+{
+    for (std::uint32_t n : {16u, 256u, 1024u}) {
+        EXPECT_DOUBLE_EQ(theorem2Bound(timing_, n, 64, 0),
+                         theorem1Bound(timing_, n, 64));
+    }
+}
+
+TEST_F(BoundsTest, Theorem2NeverBelowTheorem1)
+{
+    // Skipping refreshes can only weaken the bound.
+    for (std::uint32_t ad : {50u, 100u, 200u, 400u}) {
+        for (std::uint32_t n : {64u, 256u, 1024u}) {
+            EXPECT_GE(theorem2Bound(timing_, n, 64, ad),
+                      theorem1Bound(timing_, n, 64) - 1e-9)
+                << "ad=" << ad << " n=" << n;
+        }
+    }
+}
+
+TEST_F(BoundsTest, Theorem2GrowsWithAdth)
+{
+    double last = 0.0;
+    for (std::uint32_t ad : {0u, 50u, 100u, 200u, 400u}) {
+        const double m = theorem2Bound(timing_, 512, 64, ad);
+        EXPECT_GE(m, last);
+        last = m;
+    }
+}
+
+TEST_F(BoundsTest, AdaptiveNStarFormula)
+{
+    // n* = ceil(N * R / (R + AdTH)).
+    EXPECT_EQ(adaptiveNStar(100, 64, 0), 100u);
+    EXPECT_EQ(adaptiveNStar(100, 64, 64), 50u);
+    EXPECT_EQ(adaptiveNStar(100, 64, 200), 25u);  // 6400/264 = 24.2
+    EXPECT_EQ(adaptiveNStar(1, 64, 200), 1u);
+}
+
+TEST_F(BoundsTest, SafeConfigThresholds)
+{
+    // A config is safe iff M < FlipTH / effect.
+    const double m = theorem1Bound(timing_, 512, 64);
+    const auto just_above = static_cast<std::uint32_t>(2.0 * m) + 2;
+    const auto just_below = static_cast<std::uint32_t>(2.0 * m) - 2;
+    EXPECT_TRUE(isSafeConfig(timing_, 512, 64, just_above));
+    EXPECT_FALSE(isSafeConfig(timing_, 512, 64, just_below));
+}
+
+TEST_F(BoundsTest, NonAdjacentEffectTightensRequirement)
+{
+    // Aggregated effect 3.5 (Section V-C) requires a higher FlipTH for
+    // the same table.
+    const double m = theorem1Bound(timing_, 512, 64);
+    const auto flip = static_cast<std::uint32_t>(2.5 * m);
+    EXPECT_TRUE(isSafeConfig(timing_, 512, 64, flip, 0, 2.0));
+    EXPECT_FALSE(isSafeConfig(timing_, 512, 64, flip, 0, 3.5));
+}
+
+TEST_F(BoundsTest, WrappingCounterBitsCoverSpread)
+{
+    const std::uint32_t bits = wrappingCounterBits(timing_, 512, 64);
+    const double m = theorem1Bound(timing_, 512, 64);
+    EXPECT_GT(1ull << (bits - 1), static_cast<std::uint64_t>(m));
+    EXPECT_LT(bits, 32u);  // Far smaller than a full counter.
+}
+
+TEST_F(BoundsTest, LossyCountingNeedsMoreEntries)
+{
+    // Figure 6's dotted lines: Lossy Counting is strictly larger.
+    ConfigSolver solver(timing_, geom_);
+    for (std::uint32_t flip : {25000u, 50000u}) {
+        const std::uint64_t cbs = solver.minEntries(flip, 256);
+        const std::uint64_t lossy =
+            lossyCountingEntries(timing_, 256, flip);
+        ASSERT_GT(cbs, 0u);
+        EXPECT_GT(lossy, cbs * 3) << "FlipTH=" << flip;
+    }
+}
+
+class SolverTest : public BoundsTest
+{
+  protected:
+    ConfigSolver solver_{timing_, geom_};
+};
+
+TEST_F(SolverTest, MinEntriesIsMinimal)
+{
+    for (std::uint32_t flip : {6250u, 12500u, 50000u}) {
+        const std::uint64_t n = solver_.minEntries(flip, 128);
+        ASSERT_GT(n, 0u);
+        EXPECT_TRUE(isSafeConfig(timing_,
+                                 static_cast<std::uint32_t>(n), 128,
+                                 flip));
+        if (n > 1) {
+            EXPECT_FALSE(isSafeConfig(
+                timing_, static_cast<std::uint32_t>(n - 1), 128, flip));
+        }
+    }
+}
+
+TEST_F(SolverTest, InfeasibleWhenHarmonicDominates)
+{
+    // RFM_TH 512 cannot protect FlipTH 1500: the very first summand
+    // already exceeds FlipTH/2 for any N.
+    EXPECT_EQ(solver_.minEntries(1500, 512), 0u);
+    EXPECT_FALSE(solver_.solve(1500, 512).has_value());
+}
+
+TEST_F(SolverTest, PaperConfigurationsAreFeasible)
+{
+    // Section VI-A / Table IV: these (FlipTH, RFM_TH) pairs exist.
+    const std::pair<std::uint32_t, std::uint32_t> pairs[] = {
+        {50000, 256}, {25000, 256}, {12500, 256}, {12500, 128},
+        {6250, 128},  {6250, 64},   {3125, 64},   {3125, 32},
+        {1500, 32},
+    };
+    for (const auto &[flip, th] : pairs) {
+        EXPECT_TRUE(solver_.solve(flip, th).has_value())
+            << flip << "/" << th;
+    }
+}
+
+TEST_F(SolverTest, TableSizeTradeoffAcrossRfmTh)
+{
+    // Figure 6: for one FlipTH, smaller RFM_TH (more frequent RFMs)
+    // needs fewer entries.
+    const auto configs =
+        solver_.sweepRfmTh(6250, {32, 64, 128, 256});
+    ASSERT_EQ(configs.size(), 4u);
+    for (std::size_t i = 1; i < configs.size(); ++i) {
+        EXPECT_GT(configs[i].nEntry, configs[i - 1].nEntry)
+            << "RFM_TH " << configs[i].rfmTh;
+    }
+}
+
+TEST_F(SolverTest, LowerFlipThNeedsBiggerTables)
+{
+    std::uint64_t last = 0;
+    for (std::uint32_t flip : {50000u, 25000u, 12500u, 6250u, 3125u}) {
+        const std::uint64_t n = solver_.minEntries(flip, 64);
+        ASSERT_GT(n, 0u);
+        EXPECT_GT(n, last) << "FlipTH=" << flip;
+        last = n;
+    }
+}
+
+TEST_F(SolverTest, AdaptiveRefreshCostsExtraEntries)
+{
+    // Figure 7's "additional Nentry": AdTH > 0 inflates the table, but
+    // only modestly at the paper's default 200.
+    const std::uint64_t base = solver_.minEntries(3125, 16, 0);
+    const std::uint64_t adaptive = solver_.minEntries(3125, 16, 200);
+    ASSERT_GT(base, 0u);
+    ASSERT_GT(adaptive, 0u);
+    EXPECT_GE(adaptive, base);
+    EXPECT_LE(static_cast<double>(adaptive),
+              static_cast<double>(base) * 1.30);
+}
+
+TEST_F(SolverTest, SolvedConfigHasConsistentMetadata)
+{
+    const auto cfg = solver_.solve(6250, 128, 200);
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->flipTh, 6250u);
+    EXPECT_EQ(cfg->rfmTh, 128u);
+    EXPECT_EQ(cfg->adTh, 200u);
+    EXPECT_EQ(cfg->rowBits, 16u);  // 64K rows.
+    EXPECT_LT(cfg->bound, 3125.0);
+    EXPECT_GT(cfg->tableBytes(), 0.0);
+    // Table IV ballpark: Mithril-128 at 6.25K is ~0.8-1.3 KB.
+    EXPECT_LT(cfg->tableBytes(), 2048.0);
+}
+
+TEST(CeilLog2, Values)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(65536), 16u);
+    EXPECT_EQ(ceilLog2(65537), 17u);
+}
+
+/** Parameterized feasibility sweep mirroring the Figure 6 grid. */
+class Fig6Sweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(Fig6Sweep, SolverAgreesWithDirectBoundCheck)
+{
+    const auto [flip, th] = GetParam();
+    dram::Timing timing = dram::ddr5_4800();
+    ConfigSolver solver(timing, dram::paperGeometry());
+    const std::uint64_t n = solver.minEntries(flip, th);
+    if (n == 0) {
+        // Infeasible: even a huge table must fail.
+        EXPECT_FALSE(isSafeConfig(timing, 1u << 22, th, flip));
+    } else {
+        EXPECT_TRUE(isSafeConfig(
+            timing, static_cast<std::uint32_t>(n), th, flip));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Fig6Sweep,
+    ::testing::Combine(::testing::Values(1500u, 3125u, 6250u, 12500u,
+                                         25000u, 50000u),
+                       ::testing::Values(16u, 32u, 64u, 128u, 256u,
+                                         512u)));
+
+} // namespace
+} // namespace mithril::core

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the DRAM substrate: timing presets, bank/rank state
+ * machines, energy metering, and the ground-truth RH oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.hh"
+#include "dram/device.hh"
+#include "dram/energy.hh"
+#include "dram/rank.hh"
+#include "dram/rh_oracle.hh"
+#include "dram/timing.hh"
+
+namespace mithril::dram
+{
+namespace
+{
+
+TEST(Timing, PaperTableIIIValues)
+{
+    const Timing t = ddr5_4800();
+    EXPECT_EQ(t.tRFC, nsToTick(295.0));
+    EXPECT_EQ(t.tRC, nsToTick(48.64));
+    EXPECT_EQ(t.tRFM, nsToTick(97.28));
+    EXPECT_EQ(t.tRCD, nsToTick(16.64));
+    EXPECT_EQ(t.tRP, nsToTick(16.64));
+    EXPECT_EQ(t.tCL, nsToTick(16.64));
+    EXPECT_EQ(t.tREFW, msToTick(32.0));
+    EXPECT_EQ(refreshGroups(t), 8192u);
+}
+
+TEST(Timing, PaperGeometry)
+{
+    const Geometry g = paperGeometry();
+    EXPECT_EQ(g.channels, 2u);
+    EXPECT_EQ(g.ranksPerChannel, 1u);
+    EXPECT_EQ(g.banksPerRank, 32u);
+    EXPECT_EQ(g.totalBanks(), 64u);
+    EXPECT_EQ(g.rowBytes, 8192u);
+    EXPECT_EQ(g.columnsPerRow(), 128u);
+    EXPECT_GT(g.capacityBytes(), 0ull);
+}
+
+TEST(Timing, MaxActsPerWindowMagnitude)
+{
+    // ~32ms * 92.5% / 48.64ns ~= 608K ACTs.
+    const std::uint64_t acts = maxActsPerWindow(ddr5_4800());
+    EXPECT_GT(acts, 590000u);
+    EXPECT_LT(acts, 620000u);
+}
+
+TEST(Timing, RfmIntervalsPaperExample)
+{
+    // Section III-A's example: ~310 rows * 2K fits one tREFW; the W
+    // term for RFM_TH=64 is in the low thousands.
+    const std::uint64_t w = rfmIntervalsPerWindow(ddr5_4800(), 64);
+    EXPECT_GT(w, 8000u);
+    EXPECT_LT(w, 10000u);
+}
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    Timing timing_ = ddr5_4800();
+    Bank bank_{timing_};
+};
+
+TEST_F(BankTest, StartsClosed)
+{
+    EXPECT_FALSE(bank_.isOpen());
+    EXPECT_EQ(bank_.openRow(), kInvalidRow);
+    EXPECT_EQ(bank_.earliestAct(100), 100);
+}
+
+TEST_F(BankTest, ActivateOpensAndFencesColumns)
+{
+    bank_.doActivate(1000, 7);
+    EXPECT_TRUE(bank_.isOpen());
+    EXPECT_EQ(bank_.openRow(), 7u);
+    EXPECT_EQ(bank_.earliestCol(1000), 1000 + timing_.tRCD);
+    EXPECT_EQ(bank_.earliestPre(1000), 1000 + timing_.tRAS);
+    EXPECT_EQ(bank_.earliestAct(1000), 1000 + timing_.tRC);
+}
+
+TEST_F(BankTest, ReadReturnsDataTick)
+{
+    bank_.doActivate(0, 3);
+    const Tick col = bank_.earliestCol(0);
+    const Tick data = bank_.doRead(col);
+    EXPECT_EQ(data, col + timing_.tCL + timing_.tBL);
+}
+
+TEST_F(BankTest, ConsecutiveReadsSpacedByTccd)
+{
+    bank_.doActivate(0, 3);
+    const Tick c1 = bank_.earliestCol(0);
+    bank_.doRead(c1);
+    EXPECT_EQ(bank_.earliestCol(c1), c1 + timing_.tCCD);
+}
+
+TEST_F(BankTest, WriteDelaysPrechargeByRecovery)
+{
+    bank_.doActivate(0, 3);
+    const Tick col = bank_.earliestCol(0);
+    bank_.doWrite(col);
+    EXPECT_GE(bank_.earliestPre(col),
+              col + timing_.tCWL + timing_.tBL + timing_.tWR);
+}
+
+TEST_F(BankTest, PrechargeClosesAndFencesAct)
+{
+    bank_.doActivate(0, 3);
+    const Tick pre = bank_.earliestPre(0);
+    bank_.doPrecharge(pre);
+    EXPECT_FALSE(bank_.isOpen());
+    EXPECT_GE(bank_.earliestAct(pre), pre + timing_.tRP);
+}
+
+TEST_F(BankTest, RefreshOccupiesBank)
+{
+    bank_.doRefresh(0, timing_.tRFC);
+    EXPECT_EQ(bank_.earliestAct(0), timing_.tRFC);
+}
+
+TEST_F(BankTest, ActCountAccumulates)
+{
+    for (int i = 0; i < 3; ++i) {
+        const Tick t = bank_.earliestAct(0);
+        bank_.doActivate(t, 1);
+        bank_.doPrecharge(bank_.earliestPre(t));
+    }
+    EXPECT_EQ(bank_.actCount(), 3u);
+}
+
+TEST(RankTest, TfawLimitsFourActs)
+{
+    const Timing timing = ddr5_4800();
+    RankTiming rank(timing);
+    Tick t = 0;
+    for (int i = 0; i < 4; ++i) {
+        t = rank.earliestAct(t);
+        rank.recordAct(t);
+        t += 1;
+    }
+    // The fifth ACT must wait for the first + tFAW.
+    EXPECT_GE(rank.earliestAct(t), timing.tFAW);
+}
+
+TEST(RankTest, TrrdSpacesBackToBackActs)
+{
+    const Timing timing = ddr5_4800();
+    RankTiming rank(timing);
+    rank.recordAct(1000);
+    EXPECT_EQ(rank.earliestAct(1000), 1000 + timing.tRRD);
+}
+
+TEST(Energy, AccumulatesPerOperation)
+{
+    EnergyParams p;
+    EnergyMeter meter(p);
+    meter.addAct(10);
+    meter.addPre(10);
+    meter.addRead(5);
+    meter.addWrite(2);
+    meter.addRefreshRows(8);
+    meter.addPreventiveRows(4);
+    meter.addTrackerOps(100);
+    const double expect = 10 * p.actPj + 10 * p.prePj + 5 * p.rdPj +
+                          2 * p.wrPj + 8 * p.refRowPj +
+                          4 * p.prevRefRowPj + 100 * p.trackerOpPj;
+    EXPECT_DOUBLE_EQ(meter.totalPj(), expect);
+    EXPECT_DOUBLE_EQ(meter.protectionPj(),
+                     4 * p.prevRefRowPj + 100 * p.trackerOpPj);
+    meter.reset();
+    EXPECT_DOUBLE_EQ(meter.totalPj(), 0.0);
+}
+
+class OracleTest : public ::testing::Test
+{
+  protected:
+    RhOracle oracle_{2, 1024, 100, 1};
+};
+
+TEST_F(OracleTest, NeighborsAccumulateDisturbance)
+{
+    oracle_.onActivate(0, 10);
+    oracle_.onActivate(0, 10);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 9), 2.0);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 11), 2.0);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 10), 0.0);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(1, 9), 0.0);
+}
+
+TEST_F(OracleTest, DoubleSidedSumsBothAggressors)
+{
+    oracle_.onActivate(0, 10);
+    oracle_.onActivate(0, 12);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 11), 2.0);
+}
+
+TEST_F(OracleTest, RowRefreshResets)
+{
+    oracle_.onActivate(0, 10);
+    oracle_.onRowRefresh(0, 11);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 11), 0.0);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 9), 1.0);
+}
+
+TEST_F(OracleTest, NeighborRefreshClearsVictims)
+{
+    oracle_.onActivate(0, 10);
+    oracle_.onNeighborRefresh(0, 10);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 9), 0.0);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 11), 0.0);
+}
+
+TEST_F(OracleTest, BitFlipAtThreshold)
+{
+    for (int i = 0; i < 99; ++i)
+        oracle_.onActivate(0, 10);
+    EXPECT_EQ(oracle_.bitFlips(), 0u);
+    oracle_.onActivate(0, 10);
+    EXPECT_EQ(oracle_.bitFlips(), 2u);  // Rows 9 and 11 both flipped.
+    EXPECT_EQ(oracle_.flippedRows(), 2u);
+    EXPECT_DOUBLE_EQ(oracle_.maxDisturbanceEver(), 100.0);
+}
+
+TEST_F(OracleTest, FlipCountedOncePerEpisode)
+{
+    for (int i = 0; i < 150; ++i)
+        oracle_.onActivate(0, 10);
+    EXPECT_EQ(oracle_.bitFlips(), 2u);
+    // Refresh then re-hammer: a new episode, new flips.
+    oracle_.onNeighborRefresh(0, 10);
+    for (int i = 0; i < 100; ++i)
+        oracle_.onActivate(0, 10);
+    EXPECT_EQ(oracle_.bitFlips(), 4u);
+}
+
+TEST_F(OracleTest, AutoRefreshRotatesThroughRows)
+{
+    oracle_.onActivate(0, 1);  // Disturbs rows 0 and 2.
+    // 1024 rows / 256 groups = 4 rows per REF: rows 0-3 refreshed.
+    oracle_.onAutoRefresh(0, 256);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 2), 0.0);
+    // A full sweep of 256 REFs refreshes every row.
+    oracle_.onActivate(0, 500);
+    for (int i = 0; i < 256; ++i)
+        oracle_.onAutoRefresh(0, 256);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 499), 0.0);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 501), 0.0);
+}
+
+TEST_F(OracleTest, EdgeRowsHaveOneNeighbor)
+{
+    oracle_.onActivate(0, 0);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 1), 1.0);
+    oracle_.onActivate(0, 1023);
+    EXPECT_DOUBLE_EQ(oracle_.disturbance(0, 1022), 1.0);
+}
+
+TEST(OracleBlastRadius, Distance2QuarterWeight)
+{
+    RhOracle oracle(1, 1024, 100, 2);
+    oracle.onActivate(0, 10);
+    EXPECT_DOUBLE_EQ(oracle.disturbance(0, 9), 1.0);
+    EXPECT_DOUBLE_EQ(oracle.disturbance(0, 8), 0.25);
+    EXPECT_DOUBLE_EQ(oracle.disturbance(0, 12), 0.25);
+}
+
+TEST(OracleBlastRadius, NeighborRefreshCoversRadius)
+{
+    RhOracle oracle(1, 1024, 100, 2);
+    oracle.onActivate(0, 10);
+    oracle.onNeighborRefresh(0, 10);
+    EXPECT_DOUBLE_EQ(oracle.disturbance(0, 8), 0.0);
+    EXPECT_DOUBLE_EQ(oracle.disturbance(0, 12), 0.0);
+}
+
+TEST(DeviceTest, ActivateInformsOracleAndMeters)
+{
+    const Timing timing = ddr5_4800();
+    Geometry geom = paperGeometry();
+    Device device(timing, geom, 1000);
+    std::vector<RowId> arr;
+    device.activate(3, 50, 0, arr);
+    EXPECT_EQ(device.energy().acts(), 1u);
+    EXPECT_DOUBLE_EQ(device.oracle().disturbance(3, 51), 1.0);
+    EXPECT_TRUE(device.bank(3).isOpen());
+}
+
+TEST(DeviceTest, RfmWithoutTrackerSkips)
+{
+    const Timing timing = ddr5_4800();
+    Device device(timing, paperGeometry(), 1000);
+    EXPECT_EQ(device.rfm(0, 0), 0u);
+    EXPECT_EQ(device.rfmCount(), 1u);
+    EXPECT_EQ(device.rfmSkipped(), 1u);
+}
+
+TEST(DeviceTest, PreventiveRefreshClearsVictimsAndCharges)
+{
+    const Timing timing = ddr5_4800();
+    Device device(timing, paperGeometry(), 1000);
+    std::vector<RowId> arr;
+    device.activate(0, 100, 0, arr);
+    device.precharge(0, device.bank(0).earliestPre(0));
+    device.preventiveRefresh(0, 100, timing.tRC * 4);
+    EXPECT_DOUBLE_EQ(device.oracle().disturbance(0, 101), 0.0);
+    EXPECT_EQ(device.energy().preventiveRows(), 2u);
+    EXPECT_EQ(device.preventiveCount(), 1u);
+}
+
+TEST(DeviceTest, AutoRefreshBlocksEveryBankOfRank)
+{
+    const Timing timing = ddr5_4800();
+    Device device(timing, paperGeometry(), 1000);
+    device.autoRefreshRank(0, 1000);
+    for (BankId b = 0; b < 32; ++b)
+        EXPECT_GE(device.bank(b).earliestAct(1000),
+                  1000 + timing.tRFC);
+    // The other channel's rank is untouched.
+    EXPECT_EQ(device.bank(32).earliestAct(1000), 1000);
+}
+
+TEST(DeviceTest, RankAndChannelIndexing)
+{
+    const Timing timing = ddr5_4800();
+    Device device(timing, paperGeometry(), 1000);
+    EXPECT_EQ(device.rankOf(0), 0u);
+    EXPECT_EQ(device.rankOf(31), 0u);
+    EXPECT_EQ(device.rankOf(32), 1u);
+    EXPECT_EQ(device.channelOf(31), 0u);
+    EXPECT_EQ(device.channelOf(32), 1u);
+}
+
+} // namespace
+} // namespace mithril::dram

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the simulation layer: event queue ordering, the ACT-level
+ * harness, and full-system integration runs for every scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mithril.hh"
+#include "sim/act_harness.hh"
+#include "sim/event_queue.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/attacks.hh"
+#include "workload/spec_like.hh"
+
+namespace mithril::sim
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(100, [&order, i](Tick) { order.push_back(i); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&](Tick t) {
+        ++fired;
+        q.schedule(t + 1, [&](Tick) { ++fired; });
+    });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 2);
+    EXPECT_EQ(q.nextTime(), kTickMax);
+}
+
+TEST(ActHarness, RefreshCadenceMatchesTrefi)
+{
+    ActHarnessConfig cfg;
+    cfg.timing = dram::ddr5_4800();
+    cfg.flipTh = 1u << 30;
+    ActHarness harness(cfg, nullptr);
+    // Enough ACTs to span ~10 tREFI.
+    const auto acts = static_cast<std::uint64_t>(
+        10.0 * static_cast<double>(cfg.timing.tREFI) /
+        static_cast<double>(cfg.timing.tRC));
+    harness.run(acts, [](std::uint64_t i) {
+        return static_cast<RowId>(i % 100);
+    });
+    EXPECT_NEAR(static_cast<double>(harness.refs()), 10.0, 2.0);
+    EXPECT_EQ(harness.acts(), acts);
+}
+
+TEST(ActHarness, RfmCadenceMatchesTracker)
+{
+    core::MithrilParams mp;
+    mp.nEntry = 32;
+    mp.rfmTh = 64;
+    core::Mithril tracker(1, mp);
+
+    ActHarnessConfig cfg;
+    cfg.timing = dram::ddr5_4800();
+    cfg.flipTh = 1u << 30;
+    ActHarness harness(cfg, &tracker);
+    harness.run(6400, [](std::uint64_t i) {
+        return static_cast<RowId>(i % 7);
+    });
+    EXPECT_EQ(harness.rfms(), 100u);
+    EXPECT_EQ(harness.preventiveRefreshes(), 100u);
+}
+
+TEST(ActHarness, UnprotectedHammerFlipsBits)
+{
+    ActHarnessConfig cfg;
+    cfg.timing = dram::ddr5_4800();
+    cfg.flipTh = 5000;
+    ActHarness harness(cfg, nullptr);
+    harness.run(20000, [](std::uint64_t i) {
+        return 1000 + 2 * static_cast<RowId>(i % 2);
+    });
+    EXPECT_GT(harness.oracle().bitFlips(), 0u);
+    EXPECT_GE(harness.oracle().maxDisturbanceEver(), 5000.0);
+}
+
+// ----------------------------------------------------- System runs
+
+RunConfig
+smallRun(WorkloadKind kind = WorkloadKind::MixHigh)
+{
+    RunConfig run;
+    run.workload = kind;
+    run.cores = 4;
+    run.instrPerCore = 20000;
+    return run;
+}
+
+TEST(SystemIntegration, BaselineRunProducesTraffic)
+{
+    trackers::SchemeSpec none;
+    none.kind = trackers::SchemeKind::None;
+    none.flipTh = 6250;
+    const RunMetrics m = runSystem(smallRun(), none);
+    EXPECT_GT(m.aggIpc, 0.0);
+    EXPECT_GT(m.acts, 0u);
+    EXPECT_GT(m.reads, 0u);
+    EXPECT_GT(m.energyPj, 0.0);
+    EXPECT_EQ(m.rfmIssued, 0u);
+    EXPECT_EQ(m.bitFlips, 0u);
+}
+
+TEST(SystemIntegration, DeterministicAcrossRuns)
+{
+    trackers::SchemeSpec spec;
+    spec.kind = trackers::SchemeKind::Mithril;
+    spec.flipTh = 6250;
+    const RunMetrics a = runSystem(smallRun(), spec);
+    const RunMetrics b = runSystem(smallRun(), spec);
+    EXPECT_DOUBLE_EQ(a.aggIpc, b.aggIpc);
+    EXPECT_EQ(a.acts, b.acts);
+    EXPECT_EQ(a.simTicks, b.simTicks);
+}
+
+class SystemSchemes
+    : public ::testing::TestWithParam<trackers::SchemeKind>
+{
+};
+
+TEST_P(SystemSchemes, RunsCleanlyWithModestOverhead)
+{
+    trackers::SchemeSpec none;
+    none.kind = trackers::SchemeKind::None;
+    none.flipTh = 6250;
+    const RunMetrics base = runSystem(smallRun(), none);
+
+    trackers::SchemeSpec spec;
+    spec.kind = GetParam();
+    spec.flipTh = 6250;
+    const RunMetrics m = runSystem(smallRun(), spec);
+
+    EXPECT_GT(m.aggIpc, 0.0);
+    const double rel = relativePerf(m, base);
+    EXPECT_GT(rel, 70.0) << trackers::schemeName(GetParam());
+    EXPECT_LT(rel, 115.0) << trackers::schemeName(GetParam());
+    EXPECT_EQ(m.bitFlips, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SystemSchemes,
+    ::testing::Values(trackers::SchemeKind::Mithril,
+                      trackers::SchemeKind::MithrilPlus,
+                      trackers::SchemeKind::Parfm,
+                      trackers::SchemeKind::BlockHammer,
+                      trackers::SchemeKind::Para,
+                      trackers::SchemeKind::Graphene,
+                      trackers::SchemeKind::Twice,
+                      trackers::SchemeKind::Cbt));
+
+TEST(SystemIntegration, MithrilIssuesRfmUnderAttack)
+{
+    RunConfig run = smallRun();
+    run.attack = AttackKind::DoubleSided;
+    run.cores = 4;
+    run.instrPerCore = 100000;
+    trackers::SchemeSpec spec;
+    spec.kind = trackers::SchemeKind::Mithril;
+    spec.flipTh = 6250;
+    spec.rfmTh = 32;  // Short run: keep the RAA epoch small.
+    const RunMetrics m = runSystem(run, spec);
+    EXPECT_GT(m.rfmIssued, 0u);
+    EXPECT_EQ(m.bitFlips, 0u);
+}
+
+TEST(SystemIntegration, MithrilPlusSkipsRfmOnBenignWork)
+{
+    RunConfig run = smallRun();
+    run.instrPerCore = 100000;
+    trackers::SchemeSpec spec;
+    spec.kind = trackers::SchemeKind::MithrilPlus;
+    spec.flipTh = 6250;
+    spec.rfmTh = 16;  // Short run: keep the RAA epoch small.
+    const RunMetrics m = runSystem(run, spec);
+    // Benign traffic: most RAA epochs end in an MRR skip.
+    EXPECT_GT(m.rfmSkippedMrr, 0u);
+    EXPECT_GT(m.rfmSkippedMrr, m.rfmIssued);
+}
+
+TEST(SystemIntegration, BlockHammerThrottlesAttacker)
+{
+    RunConfig run = smallRun();
+    run.attack = AttackKind::DoubleSided;
+    // One benign core and a long budget: the attacker needs ~50us of
+    // hammering for its pair to cross the blacklist threshold.
+    run.cores = 2;
+    run.instrPerCore = 600000;
+    trackers::SchemeSpec spec;
+    spec.kind = trackers::SchemeKind::BlockHammer;
+    // Low FlipTH -> low NBL (490).
+    spec.flipTh = 1500;
+    const RunMetrics m = runSystem(run, spec);
+    EXPECT_GT(m.throttleStalls, 0u);
+}
+
+TEST(SystemIntegration, UnprotectedLongAttackFlipsBits)
+{
+    // Horizon-bound attack-only run: without protection the oracle
+    // must observe flips within a fraction of tREFW.
+    SystemConfig cfg;
+    cfg.flipTh = 2000;
+    cfg.horizon = msToTick(2.0);
+    System system(cfg, nullptr);
+
+    mc::AddressMap map(cfg.geometry);
+    workload::AttackTarget target;
+    target.map = &map;
+    target.bank = 3;
+    cpu::CoreParams params;
+    params.instrBudget = ~0ull;
+    params.excluded = true;
+    system.addCore(params,
+                   std::make_unique<workload::DoubleSidedAttack>(
+                       target));
+    system.run();
+    EXPECT_GT(system.device().oracle().bitFlips(), 0u);
+}
+
+TEST(SystemIntegration, ExportStatsCoversComponents)
+{
+    SystemConfig cfg;
+    cfg.flipTh = 6250;
+    System system(cfg, nullptr);
+    cpu::CoreParams params;
+    params.instrBudget = 5000;
+    system.addCore(params,
+                   makeWorkloadThread(WorkloadKind::MixHigh, 0, 1, 1));
+    system.run();
+
+    StatRegistry registry;
+    system.exportStats(registry);
+    EXPECT_GT(registry.counterValue("mc.reads"), 0u);
+    EXPECT_GT(registry.counterValue("dram.acts"), 0u);
+    EXPECT_GT(registry.counterValue("cache.misses"), 0u);
+    EXPECT_GT(registry.counterValue("core0.instructions"), 4999u);
+    EXPECT_EQ(registry.counterValue("rh.bitFlips"), 0u);
+    EXPECT_NE(registry.dump().find("mc.activates"),
+              std::string::npos);
+}
+
+TEST(SystemIntegration, EnergyOverheadHelpers)
+{
+    RunMetrics base, value;
+    base.aggIpc = 10.0;
+    base.energyPj = 100.0;
+    value.aggIpc = 9.5;
+    value.energyPj = 104.0;
+    EXPECT_DOUBLE_EQ(relativePerf(value, base), 95.0);
+    EXPECT_DOUBLE_EQ(energyOverheadPct(value, base), 4.0);
+}
+
+} // namespace
+} // namespace mithril::sim

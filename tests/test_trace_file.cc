@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for trace file I/O: parse/format round trips, error handling,
+ * replay semantics, and record-then-replay equivalence against a live
+ * generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "workload/spec_like.hh"
+#include "workload/trace_file.hh"
+
+namespace mithril::workload
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("mithril_trace_test_" +
+                std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(TraceFileTest, ParseBasicRecord)
+{
+    TraceRecord rec;
+    ASSERT_TRUE(parseTraceLine("12 0x1a40 R", 1, rec));
+    EXPECT_EQ(rec.gap, 12u);
+    EXPECT_EQ(rec.addr, 0x1a40u);
+    EXPECT_FALSE(rec.write);
+    EXPECT_FALSE(rec.uncached);
+}
+
+TEST_F(TraceFileTest, ParseWriteAndUncachedFlag)
+{
+    TraceRecord rec;
+    ASSERT_TRUE(parseTraceLine("1 ff00 W U", 7, rec));
+    EXPECT_TRUE(rec.write);
+    EXPECT_TRUE(rec.uncached);
+    EXPECT_EQ(rec.addr, 0xff00u);
+}
+
+TEST_F(TraceFileTest, ParseSkipsCommentsAndBlanks)
+{
+    TraceRecord rec;
+    EXPECT_FALSE(parseTraceLine("# comment", 1, rec));
+    EXPECT_FALSE(parseTraceLine("", 2, rec));
+    EXPECT_FALSE(parseTraceLine("   \t ", 3, rec));
+    EXPECT_FALSE(parseTraceLine("  # indented comment", 4, rec));
+}
+
+TEST_F(TraceFileTest, ParseZeroGapClampsToOne)
+{
+    TraceRecord rec;
+    ASSERT_TRUE(parseTraceLine("0 0x40 R", 1, rec));
+    EXPECT_EQ(rec.gap, 1u);
+}
+
+TEST_F(TraceFileTest, MalformedLinesAreFatal)
+{
+    setLogThrowOnFatal(true);
+    std::string capture;
+    setLogCapture(&capture);
+    TraceRecord rec;
+    EXPECT_THROW(parseTraceLine("notanumber 0x40 R", 1, rec),
+                 std::runtime_error);
+    EXPECT_THROW(parseTraceLine("1 zz R", 1, rec),
+                 std::runtime_error);
+    EXPECT_THROW(parseTraceLine("1 0x40 X", 1, rec),
+                 std::runtime_error);
+    EXPECT_THROW(parseTraceLine("1 0x40 R Z", 1, rec),
+                 std::runtime_error);
+    EXPECT_THROW(parseTraceLine("1", 1, rec), std::runtime_error);
+    setLogCapture(nullptr);
+    setLogThrowOnFatal(false);
+}
+
+TEST_F(TraceFileTest, FormatParseRoundTrip)
+{
+    TraceRecord rec;
+    rec.gap = 42;
+    rec.addr = 0xdeadbeef;
+    rec.write = true;
+    rec.uncached = true;
+    TraceRecord back;
+    ASSERT_TRUE(parseTraceLine(formatTraceRecord(rec), 1, back));
+    EXPECT_EQ(back.gap, rec.gap);
+    EXPECT_EQ(back.addr, rec.addr);
+    EXPECT_EQ(back.write, rec.write);
+    EXPECT_EQ(back.uncached, rec.uncached);
+}
+
+TEST_F(TraceFileTest, WriteLoadRoundTrip)
+{
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord rec;
+        rec.gap = static_cast<std::uint64_t>(i % 7) + 1;
+        rec.addr = static_cast<Addr>(i) * 64;
+        rec.write = (i % 3 == 0);
+        rec.uncached = (i % 11 == 0);
+        records.push_back(rec);
+    }
+    const std::string file = path("roundtrip.trace");
+    EXPECT_EQ(writeTraceFile(file, records, "test header"), 100u);
+
+    auto replay = loadTraceFile(file);
+    ASSERT_EQ(replay->size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        auto rec = replay->next();
+        ASSERT_TRUE(rec.has_value()) << i;
+        EXPECT_EQ(rec->gap, records[i].gap);
+        EXPECT_EQ(rec->addr, records[i].addr);
+        EXPECT_EQ(rec->write, records[i].write);
+        EXPECT_EQ(rec->uncached, records[i].uncached);
+    }
+    EXPECT_FALSE(replay->next().has_value());
+}
+
+TEST_F(TraceFileTest, ReplayLoops)
+{
+    std::vector<TraceRecord> records(3);
+    records[0].addr = 0x40;
+    records[1].addr = 0x80;
+    records[2].addr = 0xc0;
+    ReplayTrace replay(records, true);
+    for (int i = 0; i < 10; ++i) {
+        auto rec = replay.next();
+        ASSERT_TRUE(rec.has_value());
+        EXPECT_EQ(rec->addr, records[i % 3].addr);
+    }
+}
+
+TEST_F(TraceFileTest, EmptyReplayEndsImmediately)
+{
+    ReplayTrace replay({}, false);
+    EXPECT_FALSE(replay.next().has_value());
+    ReplayTrace looped({}, true);
+    EXPECT_FALSE(looped.next().has_value());
+}
+
+TEST_F(TraceFileTest, LoadMissingFileIsFatal)
+{
+    setLogThrowOnFatal(true);
+    std::string capture;
+    setLogCapture(&capture);
+    EXPECT_THROW(loadTraceFile(path("does_not_exist.trace")),
+                 std::runtime_error);
+    setLogCapture(nullptr);
+    setLogThrowOnFatal(false);
+}
+
+TEST_F(TraceFileTest, RecordedGeneratorReplaysIdentically)
+{
+    SyntheticParams params;
+    params.base = 1ull << 30;
+    params.footprint = 8ull << 20;
+    params.seed = 5;
+    const std::string file = path("recorded.trace");
+    {
+        StreamSweepGen gen(params);
+        EXPECT_EQ(recordTrace(gen, 500, file), 500u);
+    }
+    StreamSweepGen reference(params);
+    auto replay = loadTraceFile(file);
+    for (int i = 0; i < 500; ++i) {
+        auto a = reference.next();
+        auto b = replay->next();
+        ASSERT_TRUE(a && b);
+        EXPECT_EQ(a->addr, b->addr) << i;
+        EXPECT_EQ(a->gap, b->gap) << i;
+        EXPECT_EQ(a->write, b->write) << i;
+    }
+}
+
+TEST_F(TraceFileTest, CommentsAndMixedContentLoad)
+{
+    const std::string file = path("mixed.trace");
+    {
+        std::ofstream out(file);
+        out << "# header\n\n10 0x100 R\n# mid comment\n5 0x200 W U\n";
+    }
+    auto replay = loadTraceFile(file);
+    EXPECT_EQ(replay->size(), 2u);
+    EXPECT_EQ(replay->next()->addr, 0x100u);
+    auto second = replay->next();
+    EXPECT_TRUE(second->write);
+    EXPECT_TRUE(second->uncached);
+}
+
+} // namespace
+} // namespace mithril::workload
