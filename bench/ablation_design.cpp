@@ -55,6 +55,8 @@ int
 main(int argc, char **argv)
 {
     bench::BenchScale scale = bench::BenchScale::fromArgs(argc, argv);
+    bench::rejectArtifacts(scale, "ablation_design");
+    bench::rejectParallelKnobs(scale, "ablation_design");
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
 

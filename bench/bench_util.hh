@@ -6,13 +6,18 @@
 #ifndef MITHRIL_BENCH_BENCH_UTIL_HH
 #define MITHRIL_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/table_printer.hh"
+#include "runner/runner.hh"
+#include "runner/sinks.hh"
+#include "runner/thread_pool.hh"
 #include "sim/experiment.hh"
 
 namespace mithril::bench
@@ -36,17 +41,48 @@ struct BenchScale
     std::uint32_t cores = 8;
     std::uint64_t instrPerCore = 80000;
     std::uint64_t seed = 42;
+    /** Runner worker threads (`jobs=N`); 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Emit stderr progress/ETA while sweeping (`progress=0/1`). */
+    bool progress = true;
+    /** Machine-readable artifact paths (`json=...`, `csv=...`). */
+    std::string jsonOut;
+    std::string csvOut;
+    /** The full parsed argument set, for bench-specific knobs. */
+    ParamSet params;
 
+    /**
+     * Parse the shared knobs. A key outside the shared set (plus any
+     * bench-specific `extra_keys`) is fatal — a typo'd knob must not
+     * silently run the default configuration.
+     */
     static BenchScale
-    fromArgs(int argc, char **argv)
+    fromArgs(int argc, char **argv,
+             const std::vector<std::string> &extra_keys = {})
     {
+        static const std::vector<std::string> kSharedKeys = {
+            "cores", "instr", "seed", "jobs",
+            "progress", "json", "csv",
+        };
         ParamSet params = ParamSet::fromArgs(argc, argv);
+        for (const std::string &key : params.keys()) {
+            if (std::find(kSharedKeys.begin(), kSharedKeys.end(),
+                          key) == kSharedKeys.end() &&
+                std::find(extra_keys.begin(), extra_keys.end(),
+                          key) == extra_keys.end())
+                fatal("unknown parameter: %s", key.c_str());
+        }
         BenchScale scale;
-        scale.cores = static_cast<std::uint32_t>(
-            params.getUint("cores", scale.cores));
+        scale.params = params;
+        scale.cores = params.getUint32("cores", scale.cores);
         scale.instrPerCore =
             params.getUint("instr", scale.instrPerCore);
         scale.seed = params.getUint("seed", scale.seed);
+        scale.jobs =
+            params.getUint32("jobs", runner::defaultThreadCount());
+        scale.progress = params.getBool("progress", scale.progress);
+        scale.jsonOut = params.getString("json", "");
+        scale.csvOut = params.getString("csv", "");
         return scale;
     }
 
@@ -62,7 +98,79 @@ struct BenchScale
         run.seed = seed;
         return run;
     }
+
+    /** Apply the scale's shared knobs onto a sweep grid. */
+    void
+    applyTo(runner::SweepSpec &spec) const
+    {
+        spec.cores = cores;
+        spec.instrPerCore = instrPerCore;
+        spec.seed = seed;
+    }
+
+    runner::RunnerOptions
+    runnerOptions() const
+    {
+        runner::RunnerOptions options;
+        options.jobs = jobs;
+        options.progress = progress;
+        return options;
+    }
 };
+
+/** Dereference a sweep lookup, panicking with context when the spec
+ *  grid and a figure's reporting loops drift apart. */
+inline const runner::JobResult &
+need(const runner::JobResult *r, const char *what)
+{
+    MITHRIL_ASSERT_MSG(r != nullptr, "missing sweep result: %s", what);
+    return *r;
+}
+
+/** For benches with no machine-readable sink: reject `json=`/`csv=`
+ *  instead of silently ignoring them. */
+inline void
+rejectArtifacts(const BenchScale &scale, const char *bench)
+{
+    if (!scale.jsonOut.empty() || !scale.csvOut.empty())
+        fatal("%s produces no machine-readable artifact; json=/csv= "
+              "are only supported by the sweep-based benches",
+              bench);
+}
+
+/** For fully serial benches: reject explicit `jobs=`/`progress=` so a
+ *  user is never left believing a serial run was parallelized. */
+inline void
+rejectParallelKnobs(const BenchScale &scale, const char *bench)
+{
+    if (scale.params.has("jobs") || scale.params.has("progress"))
+        fatal("%s runs serially; jobs=/progress= have no effect here",
+              bench);
+}
+
+/** Write the requested JSON/CSV artifacts (empty path = skip). */
+inline void
+writeArtifacts(const std::string &json_path,
+               const std::string &csv_path,
+               const runner::SweepResult &result)
+{
+    if (!json_path.empty()) {
+        runner::JsonSink().writeFile(result, json_path);
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        runner::CsvSink().writeFile(result, csv_path);
+        std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+    }
+}
+
+/** Write the `json=`/`csv=` artifacts a bench was asked for. */
+inline void
+writeArtifacts(const BenchScale &scale,
+               const runner::SweepResult &result)
+{
+    writeArtifacts(scale.jsonOut, scale.csvOut, result);
+}
 
 /** The FlipTH sweep of the evaluation section, descending. */
 inline const std::vector<std::uint32_t> &

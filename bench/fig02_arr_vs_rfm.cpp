@@ -93,8 +93,11 @@ measureArrGraphene(const dram::Timing &timing, std::uint32_t threshold)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchScale scale =
+        bench::BenchScale::fromArgs(argc, argv);
+    bench::rejectArtifacts(scale, "fig02_arr_vs_rfm");
     const dram::Timing timing = dram::ddr5_4800();
 
     bench::banner("Figure 2 (analytic): safe FlipTH vs predefined "
@@ -126,12 +129,26 @@ main()
                   "under the concentration attack");
     TablePrinter meas({"threshold", "ARR-Graphene", "RFM-Graphene-64",
                        "RFM-Graphene-128"});
-    for (std::uint32_t t : {1000u, 2000u, 4000u}) {
+    // Each measured cell replays a full tREFW of activations into an
+    // independent tracker; run the 3x3 grid on the runner's pool and
+    // assemble rows in order.
+    const std::vector<std::uint32_t> thresholds = {1000, 2000, 4000};
+    std::vector<double> cells(thresholds.size() * 3);
+    runner::ThreadPool pool(scale.jobs);
+    pool.parallelFor(cells.size(), [&](std::size_t i) {
+        const std::uint32_t t = thresholds[i / 3];
+        switch (i % 3) {
+          case 0: cells[i] = measureArrGraphene(timing, t); break;
+          case 1: cells[i] = measureRfmGraphene(timing, t, 64); break;
+          case 2: cells[i] = measureRfmGraphene(timing, t, 128); break;
+        }
+    });
+    for (std::size_t r = 0; r < thresholds.size(); ++r) {
         meas.beginRow()
-            .intCell(t)
-            .num(measureArrGraphene(timing, t), 0)
-            .num(measureRfmGraphene(timing, t, 64), 0)
-            .num(measureRfmGraphene(timing, t, 128), 0);
+            .intCell(thresholds[r])
+            .num(cells[3 * r + 0], 0)
+            .num(cells[3 * r + 1], 0)
+            .num(cells[3 * r + 2], 0);
     }
     std::printf("%s", meas.str().c_str());
     std::printf("\nReading: ARR-Graphene's exposure scales with the "

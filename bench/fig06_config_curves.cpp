@@ -6,7 +6,9 @@
  * Theorem 1 solver reports the minimum CbS table size; the
  * Lossy-Counting columns reproduce the paper's dotted comparison lines
  * at 25K and 50K. '-' marks infeasible points (the harmonic term alone
- * exceeds FlipTH/2).
+ * exceeds FlipTH/2). The solver grid is embarrassingly parallel, so
+ * the cells are computed on the runner's work-stealing pool (`jobs=N`)
+ * and printed in grid order afterwards.
  */
 
 #include <cstdio>
@@ -18,31 +20,42 @@
 using namespace mithril;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchScale scale =
+        bench::BenchScale::fromArgs(argc, argv);
+    bench::rejectArtifacts(scale, "fig06_config_curves");
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
     core::ConfigSolver solver(timing, geom);
+    runner::ThreadPool pool(scale.jobs);
 
     bench::banner("Figure 6: minimum CbS table size (KB/bank) per "
                   "(FlipTH, RFM_TH)");
     const std::vector<std::uint32_t> rfm_ths = {16,  32,  64,
                                                 128, 256, 512};
+    const std::vector<std::uint32_t> flip_ths = {
+        1560, 3125, 6250, 12500, 25000, 50000};
     std::vector<std::string> headers = {"FlipTH"};
     for (std::uint32_t th : rfm_ths)
         headers.push_back("RFM=" + std::to_string(th));
     TablePrinter table(headers);
 
-    for (std::uint32_t flip : {1560u, 3125u, 6250u, 12500u, 25000u,
-                               50000u}) {
-        table.beginRow().cell(bench::flipThLabel(flip));
-        for (std::uint32_t th : rfm_ths) {
-            auto cfg = solver.solve(flip, th);
-            if (cfg)
-                table.cell(formatFixed(cfg->tableBytes() / 1024.0, 3));
-            else
-                table.cell("-");
-        }
+    // Each cell is an independent Theorem 1 solve; compute the grid in
+    // parallel, then assemble rows in order so the table is identical
+    // at any jobs= count.
+    std::vector<std::string> grid(flip_ths.size() * rfm_ths.size());
+    pool.parallelFor(grid.size(), [&](std::size_t i) {
+        const std::uint32_t flip = flip_ths[i / rfm_ths.size()];
+        const std::uint32_t th = rfm_ths[i % rfm_ths.size()];
+        auto cfg = solver.solve(flip, th);
+        grid[i] = cfg ? formatFixed(cfg->tableBytes() / 1024.0, 3)
+                      : "-";
+    });
+    for (std::size_t f = 0; f < flip_ths.size(); ++f) {
+        table.beginRow().cell(bench::flipThLabel(flip_ths[f]));
+        for (std::size_t r = 0; r < rfm_ths.size(); ++r)
+            table.cell(grid[f * rfm_ths.size() + r]);
     }
     std::printf("%s", table.str().c_str());
 

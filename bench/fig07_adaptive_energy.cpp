@@ -23,6 +23,8 @@ int
 main(int argc, char **argv)
 {
     bench::BenchScale scale = bench::BenchScale::fromArgs(argc, argv);
+    bench::rejectArtifacts(scale, "fig07_adaptive_energy");
+    bench::rejectParallelKnobs(scale, "fig07_adaptive_energy");
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
     core::ConfigSolver solver(timing, geom);

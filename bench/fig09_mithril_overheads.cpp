@@ -10,8 +10,10 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hh"
+#include "runner/progress.hh"
 
 using namespace mithril;
 
@@ -19,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     bench::BenchScale scale = bench::BenchScale::fromArgs(argc, argv);
+    bench::rejectArtifacts(scale, "fig09_mithril_overheads");
 
     // Figure 9's configuration axis: (FlipTH, RFM_TH).
     const std::pair<std::uint32_t, std::uint32_t> configs[] = {
@@ -34,20 +37,35 @@ main(int argc, char **argv)
                         "RFMs", "MRR skips"});
 
     const sim::RunConfig run = scale.makeRun(sim::WorkloadKind::MixHigh);
-    trackers::SchemeSpec none;
-    none.kind = trackers::SchemeKind::None;
-    const sim::RunMetrics base = sim::runSystem(run, none);
 
-    for (const auto &[flip, rfm_th] : configs) {
-        trackers::SchemeSpec mithril;
-        mithril.kind = trackers::SchemeKind::Mithril;
-        mithril.flipTh = flip;
-        mithril.rfmTh = rfm_th;
-        const sim::RunMetrics m = sim::runSystem(run, mithril);
+    // One baseline plus (Mithril, Mithril+) per config — all
+    // independent, so run the whole set on the runner's pool and
+    // assemble the table in config order.
+    const std::size_t n_configs = std::size(configs);
+    std::vector<sim::RunMetrics> metrics(1 + 2 * n_configs);
+    runner::ThreadPool pool(scale.jobs);
+    runner::ProgressReporter progress(metrics.size(), scale.progress);
+    pool.parallelFor(metrics.size(), [&](std::size_t i) {
+        trackers::SchemeSpec spec;
+        if (i == 0) {
+            spec.kind = trackers::SchemeKind::None;
+        } else {
+            const auto &[flip, rfm_th] = configs[(i - 1) / 2];
+            spec.kind = (i - 1) % 2 == 0
+                            ? trackers::SchemeKind::Mithril
+                            : trackers::SchemeKind::MithrilPlus;
+            spec.flipTh = flip;
+            spec.rfmTh = rfm_th;
+        }
+        metrics[i] = sim::runSystem(run, spec);
+        progress.jobDone(trackers::schemeName(spec.kind));
+    });
+    const sim::RunMetrics &base = metrics[0];
 
-        trackers::SchemeSpec plus = mithril;
-        plus.kind = trackers::SchemeKind::MithrilPlus;
-        const sim::RunMetrics p = sim::runSystem(run, plus);
+    for (std::size_t c = 0; c < n_configs; ++c) {
+        const auto &[flip, rfm_th] = configs[c];
+        const sim::RunMetrics &m = metrics[1 + 2 * c];
+        const sim::RunMetrics &p = metrics[2 + 2 * c];
 
         table.beginRow()
             .cell(bench::flipThLabel(flip))

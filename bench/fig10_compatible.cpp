@@ -11,13 +11,14 @@
  *  (e) per-bank table size (also in table4_area).
  *
  * Performance is normalized per workload to an unprotected run of the
- * same workload (and the same attacker for (b)/(c)).
+ * same workload (and the same attacker for (b)/(c)). The whole grid —
+ * baselines included — is one declarative sweep executed by the
+ * parallel runner; `jobs=N` controls the worker count.
  */
 
 #include <cstdio>
 #include <map>
 
-#include "analysis/area_model.hh"
 #include "bench_util.hh"
 #include "trackers/factory.hh"
 
@@ -41,21 +42,8 @@ struct Cell
     double tableKb = 0.0;
 };
 
-} // namespace
-
-namespace
-{
-
 /** One tREFW of single-bank activations: the warm-up budget. */
 constexpr std::uint64_t kWarmupActs = 600000;
-
-sim::RunConfig
-warmed(sim::RunConfig run)
-{
-    run.trackerWarmupActs = kWarmupActs;
-    run.warmupFromWorkload = (run.attack == sim::AttackKind::None);
-    return run;
-}
 
 } // namespace
 
@@ -64,45 +52,47 @@ main(int argc, char **argv)
 {
     bench::BenchScale scale = bench::BenchScale::fromArgs(argc, argv);
 
-    const trackers::SchemeKind schemes[] = {
+    const std::vector<trackers::SchemeKind> schemes = {
         trackers::SchemeKind::Parfm,
         trackers::SchemeKind::BlockHammer,
         trackers::SchemeKind::Mithril,
         trackers::SchemeKind::MithrilPlus,
     };
 
-    // Baselines are FlipTH-independent: one per workload/attack combo.
-    trackers::SchemeSpec none;
-    none.kind = trackers::SchemeKind::None;
-    std::vector<sim::RunMetrics> base_normal;
-    for (auto w : kNormal)
-        base_normal.push_back(sim::runSystem(scale.makeRun(w), none));
-    const sim::RunMetrics base_ms = sim::runSystem(
-        scale.makeRun(sim::WorkloadKind::MixHigh,
-                      sim::AttackKind::MultiSided),
-        none);
-    const sim::RunMetrics base_adv = sim::runSystem(
-        scale.makeRun(sim::WorkloadKind::MixHigh,
-                      sim::AttackKind::CbfPollution),
-        none);
+    runner::SweepSpec spec;
+    spec.schemes = schemes;
+    spec.flipThs = bench::evalFlipThs();
+    for (sim::WorkloadKind w : kNormal)
+        spec.cases.push_back({w, sim::AttackKind::None});
+    spec.cases.push_back(
+        {sim::WorkloadKind::MixHigh, sim::AttackKind::MultiSided});
+    spec.cases.push_back(
+        {sim::WorkloadKind::MixHigh, sim::AttackKind::CbfPollution});
+    spec.trackerWarmupActs = kWarmupActs;
+    spec.includeBaseline = true;
+    scale.applyTo(spec);
+
+    const runner::SweepRunner run(scale.runnerOptions());
+    const runner::SweepResult result = run.run(spec);
+    bench::writeArtifacts(scale, result);
 
     std::map<std::pair<int, std::uint32_t>, Cell> cells;
     for (std::uint32_t flip : bench::evalFlipThs()) {
-        for (std::size_t s = 0; s < 4; ++s) {
-            trackers::SchemeSpec spec;
-            spec.kind = schemes[s];
-            spec.flipTh = flip;
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
             Cell cell;
 
             std::vector<double> ratios;
             std::vector<double> energy;
-            for (std::size_t w = 0; w < kNormal.size(); ++w) {
-                const sim::RunMetrics m = sim::runSystem(
-                    warmed(scale.makeRun(kNormal[w])), spec);
-                ratios.push_back(m.aggIpc / base_normal[w].aggIpc);
-                energy.push_back(
-                    sim::energyOverheadPct(m, base_normal[w]));
-                cell.tableKb = m.trackerBytesPerBank / 1024.0;
+            for (sim::WorkloadKind w : kNormal) {
+                const runner::JobResult &r = bench::need(
+                    result.find(schemes[s], flip, w), "normal run");
+                const runner::JobResult &base = bench::need(
+                    result.baseline(w), "normal baseline");
+                ratios.push_back(r.metrics.aggIpc /
+                                 base.metrics.aggIpc);
+                energy.push_back(sim::energyOverheadPct(
+                    r.metrics, base.metrics));
+                cell.tableKb = r.metrics.trackerBytesPerBank / 1024.0;
             }
             cell.perfNormal = 100.0 * bench::geomean(ratios);
             double esum = 0.0;
@@ -111,17 +101,29 @@ main(int argc, char **argv)
             cell.energyOverhead =
                 esum / static_cast<double>(energy.size());
 
-            const sim::RunMetrics ms = sim::runSystem(
-                warmed(scale.makeRun(sim::WorkloadKind::MixHigh,
-                                     sim::AttackKind::MultiSided)),
-                spec);
-            cell.perfMultiSided = sim::relativePerf(ms, base_ms);
+            cell.perfMultiSided = sim::relativePerf(
+                bench::need(result.find(schemes[s], flip,
+                                        sim::WorkloadKind::MixHigh,
+                                        sim::AttackKind::MultiSided),
+                            "multi-sided run")
+                    .metrics,
+                bench::need(
+                    result.baseline(sim::WorkloadKind::MixHigh,
+                                    sim::AttackKind::MultiSided),
+                    "multi-sided baseline")
+                    .metrics);
 
-            const sim::RunMetrics adv = sim::runSystem(
-                warmed(scale.makeRun(sim::WorkloadKind::MixHigh,
-                                     sim::AttackKind::CbfPollution)),
-                spec);
-            cell.perfAdversarial = sim::relativePerf(adv, base_adv);
+            cell.perfAdversarial = sim::relativePerf(
+                bench::need(result.find(schemes[s], flip,
+                                        sim::WorkloadKind::MixHigh,
+                                        sim::AttackKind::CbfPollution),
+                            "adversarial run")
+                    .metrics,
+                bench::need(
+                    result.baseline(sim::WorkloadKind::MixHigh,
+                                    sim::AttackKind::CbfPollution),
+                    "adversarial baseline")
+                    .metrics);
 
             cells[{static_cast<int>(s), flip}] = cell;
         }
@@ -134,7 +136,7 @@ main(int argc, char **argv)
         for (std::uint32_t flip : bench::evalFlipThs())
             headers.push_back(bench::flipThLabel(flip));
         TablePrinter table(headers);
-        for (std::size_t s = 0; s < 4; ++s) {
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
             table.beginRow().cell(trackers::schemeName(schemes[s]));
             for (std::uint32_t flip : bench::evalFlipThs()) {
                 table.num(getter(cells[{static_cast<int>(s), flip}]),

@@ -6,6 +6,9 @@
  *  (a) relative performance on normal workloads,
  *  (b) relative performance under a multi-sided RH attack,
  *  (c) dynamic energy overhead on normal workloads.
+ *
+ * The grid is one declarative sweep on the parallel runner; `jobs=N`
+ * controls the worker count.
  */
 
 #include <cstdio>
@@ -38,49 +41,59 @@ main(int argc, char **argv)
 {
     bench::BenchScale scale = bench::BenchScale::fromArgs(argc, argv);
 
-    const trackers::SchemeKind schemes[] = {
+    const std::vector<trackers::SchemeKind> schemes = {
         trackers::SchemeKind::Para,    trackers::SchemeKind::Cbt,
         trackers::SchemeKind::Twice,   trackers::SchemeKind::Graphene,
         trackers::SchemeKind::Mithril,
         trackers::SchemeKind::MithrilPlus,
     };
-    constexpr std::size_t kSchemes = 6;
 
-    trackers::SchemeSpec none;
-    none.kind = trackers::SchemeKind::None;
-    std::vector<sim::RunMetrics> base_normal;
-    for (auto w : kNormal)
-        base_normal.push_back(sim::runSystem(scale.makeRun(w), none));
-    const sim::RunMetrics base_ms = sim::runSystem(
-        scale.makeRun(sim::WorkloadKind::MixHigh,
-                      sim::AttackKind::MultiSided),
-        none);
+    runner::SweepSpec spec;
+    spec.schemes = schemes;
+    spec.flipThs = bench::evalFlipThs();
+    for (sim::WorkloadKind w : kNormal)
+        spec.cases.push_back({w, sim::AttackKind::None});
+    spec.cases.push_back(
+        {sim::WorkloadKind::MixHigh, sim::AttackKind::MultiSided});
+    spec.includeBaseline = true;
+    scale.applyTo(spec);
+
+    const runner::SweepRunner run(scale.runnerOptions());
+    const runner::SweepResult result = run.run(spec);
+    bench::writeArtifacts(scale, result);
 
     std::map<std::pair<int, std::uint32_t>, Cell> cells;
     for (std::uint32_t flip : bench::evalFlipThs()) {
-        for (std::size_t s = 0; s < kSchemes; ++s) {
-            trackers::SchemeSpec spec;
-            spec.kind = schemes[s];
-            spec.flipTh = flip;
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
             Cell cell;
 
             std::vector<double> ratios;
             double esum = 0.0;
-            for (std::size_t w = 0; w < kNormal.size(); ++w) {
-                const sim::RunMetrics m =
-                    sim::runSystem(scale.makeRun(kNormal[w]), spec);
-                ratios.push_back(m.aggIpc / base_normal[w].aggIpc);
-                esum += sim::energyOverheadPct(m, base_normal[w]);
+            for (sim::WorkloadKind w : kNormal) {
+                const runner::JobResult &r = bench::need(
+                    result.find(schemes[s], flip, w), "normal run");
+                const runner::JobResult &base = bench::need(
+                    result.baseline(w), "normal baseline");
+                ratios.push_back(r.metrics.aggIpc /
+                                 base.metrics.aggIpc);
+                esum += sim::energyOverheadPct(r.metrics,
+                                               base.metrics);
             }
             cell.perfNormal = 100.0 * bench::geomean(ratios);
             cell.energyOverhead =
                 esum / static_cast<double>(kNormal.size());
 
-            const sim::RunMetrics ms = sim::runSystem(
-                scale.makeRun(sim::WorkloadKind::MixHigh,
-                              sim::AttackKind::MultiSided),
-                spec);
-            cell.perfMultiSided = sim::relativePerf(ms, base_ms);
+            cell.perfMultiSided = sim::relativePerf(
+                bench::need(result.find(schemes[s], flip,
+                                        sim::WorkloadKind::MixHigh,
+                                        sim::AttackKind::MultiSided),
+                            "multi-sided run")
+                    .metrics,
+                bench::need(
+                    result.baseline(sim::WorkloadKind::MixHigh,
+                                    sim::AttackKind::MultiSided),
+                    "multi-sided baseline")
+                    .metrics);
 
             cells[{static_cast<int>(s), flip}] = cell;
         }
@@ -93,7 +106,7 @@ main(int argc, char **argv)
         for (std::uint32_t flip : bench::evalFlipThs())
             headers.push_back(bench::flipThLabel(flip));
         TablePrinter table(headers);
-        for (std::size_t s = 0; s < kSchemes; ++s) {
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
             table.beginRow().cell(trackers::schemeName(schemes[s]));
             for (std::uint32_t flip : bench::evalFlipThs()) {
                 table.num(getter(cells[{static_cast<int>(s), flip}]),

@@ -18,8 +18,12 @@
 using namespace mithril;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Uniform CLI; analytic, so only knob validation applies.
+    const auto scale = bench::BenchScale::fromArgs(argc, argv);
+    bench::rejectArtifacts(scale, "parfm_failure");
+    bench::rejectParallelKnobs(scale, "parfm_failure");
     const dram::Timing timing = dram::ddr5_4800();
 
     bench::banner("PARFM RFM_TH for a 1e-15 system failure target");

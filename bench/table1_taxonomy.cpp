@@ -36,8 +36,12 @@ locationName(trackers::Location loc)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Uniform CLI; analytic, so only knob validation applies.
+    const auto scale = mithril::bench::BenchScale::fromArgs(argc, argv);
+    mithril::bench::rejectArtifacts(scale, "table1_taxonomy");
+    mithril::bench::rejectParallelKnobs(scale, "table1_taxonomy");
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
 

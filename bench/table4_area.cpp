@@ -14,8 +14,12 @@
 using namespace mithril;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Uniform CLI; analytic, so only knob validation applies.
+    const auto scale = bench::BenchScale::fromArgs(argc, argv);
+    bench::rejectArtifacts(scale, "table4_area");
+    bench::rejectParallelKnobs(scale, "table4_area");
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
     analysis::AreaModel model(timing, geom);

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Run an arbitrary experiment sweep from the command line — no new
+ * binary needed for a new grid. The cartesian product of `schemes=`,
+ * `flip=`, `rfm=`, `workloads=`, and `attacks=` expands into jobs
+ * that the work-stealing runner executes in parallel; results go to
+ * an aligned table on stdout and optionally to JSON/CSV artifacts.
+ *
+ * Examples:
+ *
+ *   sweep_cli schemes=mithril,parfm flip=50000,6250 workloads=mix-high
+ *   sweep_cli schemes=mithril flip=6250 workloads=mix-high,mt-fft \
+ *             attacks=none,multi-sided baseline=1 jobs=8 json=out.json
+ *   sweep_cli schemes=blockhammer attacks=cbf-pollution cores=4 \
+ *             instr=20000 seed-policy=per-job csv=out.csv
+ *
+ * Knobs: cores= instr= seed= warmup= baseline=0/1 blast-radius=
+ *        seed-policy=shared|per-job jobs=N progress=0/1
+ *        table=0/1 json=PATH csv=PATH
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "runner/runner.hh"
+#include "runner/sinks.hh"
+#include "runner/sweep_spec.hh"
+#include "runner/thread_pool.hh"
+
+using namespace mithril;
+
+int
+main(int argc, char **argv)
+{
+    const ParamSet params = ParamSet::fromArgs(argc, argv);
+    if (!params.positional().empty())
+        fatal("unexpected argument '%s': all knobs are key=value",
+              params.positional().front().c_str());
+    const runner::SweepSpec spec = runner::SweepSpec::fromParams(
+        params, {"jobs", "progress", "table", "json", "csv"});
+
+    runner::RunnerOptions options;
+    options.jobs = static_cast<unsigned>(
+        params.getUint("jobs", runner::defaultThreadCount()));
+    options.progress = params.getBool("progress", true);
+
+    std::fprintf(stderr, "sweep: %zu jobs on %u workers\n",
+                 spec.jobCount(),
+                 options.jobs == 0 ? runner::defaultThreadCount()
+                                   : options.jobs);
+
+    const runner::SweepRunner run(options);
+    const runner::SweepResult result = run.run(spec);
+
+    if (params.getBool("table", true))
+        runner::TableSink().write(result, std::cout);
+
+    bench::writeArtifacts(params.getString("json", ""),
+                          params.getString("csv", ""), result);
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "config.hh"
 
 #include <cstdlib>
+#include <sstream>
 
 #include "logging.hh"
 
@@ -64,10 +65,23 @@ ParamSet::getUint(const std::string &key, std::uint64_t def) const
         return def;
     char *end = nullptr;
     unsigned long long v = std::strtoull(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0')
+    // strtoull silently wraps negatives; reject them explicitly.
+    if (end == it->second.c_str() || *end != '\0' ||
+        it->second[0] == '-')
         fatal("parameter %s=%s is not an unsigned integer", key.c_str(),
               it->second.c_str());
     return v;
+}
+
+std::uint32_t
+ParamSet::getUint32(const std::string &key, std::uint32_t def) const
+{
+    const std::uint64_t v = getUint(key, def);
+    if (v > 0xffffffffull)
+        fatal("parameter %s=%llu is out of range (max %u)",
+              key.c_str(), static_cast<unsigned long long>(v),
+              0xffffffffu);
+    return static_cast<std::uint32_t>(v);
 }
 
 double
@@ -97,6 +111,40 @@ ParamSet::getBool(const std::string &key, bool def) const
         return false;
     fatal("parameter %s=%s is not a boolean", key.c_str(), v.c_str());
     return def;
+}
+
+std::vector<std::string>
+ParamSet::getStringList(const std::string &key) const
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::stringstream ss(getString(key, ""));
+    while (std::getline(ss, token, ',')) {
+        while (!token.empty() && token.front() == ' ')
+            token.erase(token.begin());
+        while (!token.empty() && token.back() == ' ')
+            token.pop_back();
+        if (!token.empty())
+            out.push_back(token);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+ParamSet::getUintList(const std::string &key) const
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &token : getStringList(key)) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(token.c_str(), &end, 0);
+        // strtoull silently wraps negatives; reject them explicitly.
+        if (end == token.c_str() || *end != '\0' || token[0] == '-')
+            fatal("parameter %s list entry '%s' is not an unsigned "
+                  "integer",
+                  key.c_str(), token.c_str());
+        out.push_back(v);
+    }
+    return out;
 }
 
 std::vector<std::string>

@@ -38,8 +38,22 @@ class ParamSet
     std::int64_t getInt(const std::string &key, std::int64_t def = 0) const;
     std::uint64_t getUint(const std::string &key,
                           std::uint64_t def = 0) const;
+    /** As getUint, but fatal when the value exceeds 32 bits instead
+     *  of silently truncating at the use site. */
+    std::uint32_t getUint32(const std::string &key,
+                            std::uint32_t def = 0) const;
     double getDouble(const std::string &key, double def = 0.0) const;
     bool getBool(const std::string &key, bool def = false) const;
+
+    /** Comma-separated list of trimmed tokens; empty/missing value
+     *  yields an empty vector. */
+    std::vector<std::string>
+    getStringList(const std::string &key) const;
+
+    /** Comma-separated list of unsigned integers; a malformed entry
+     *  is a fatal (user) error. */
+    std::vector<std::uint64_t>
+    getUintList(const std::string &key) const;
 
     const std::vector<std::string> &positional() const { return positional_; }
 

@@ -5,9 +5,6 @@
 namespace mithril
 {
 
-namespace
-{
-
 std::uint64_t
 splitmix64(std::uint64_t &x)
 {
@@ -17,6 +14,9 @@ splitmix64(std::uint64_t &x)
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return z ^ (z >> 31);
 }
+
+namespace
+{
 
 std::uint64_t
 rotl(std::uint64_t x, int k)

@@ -18,6 +18,13 @@ namespace mithril
 {
 
 /**
+ * One splitmix64 step: advances `state` by the golden-gamma increment
+ * and returns the scrambled value. The seed expander behind Rng, also
+ * usable directly for deriving independent sub-seeds (runner jobs).
+ */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
  * xoshiro256** generator. Small, fast, and high quality; satisfies the
  * UniformRandomBitGenerator named requirement so it also plugs into
  * <random> distributions if ever needed.

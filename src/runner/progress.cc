@@ -1,0 +1,47 @@
+#include "runner/progress.hh"
+
+#include <cstdio>
+
+namespace mithril::runner
+{
+
+ProgressReporter::ProgressReporter(std::size_t total, bool enabled)
+    : total_(total), enabled_(enabled && total > 0),
+      start_(Clock::now())
+{
+}
+
+double
+ProgressReporter::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(Clock::now() - start_)
+        .count();
+}
+
+void
+ProgressReporter::jobDone(const std::string &label)
+{
+    std::size_t done;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done = ++completed_;
+    }
+    if (!enabled_)
+        return;
+
+    const double elapsed = elapsedSeconds();
+    const double per_job =
+        elapsed / static_cast<double>(done);
+    const double eta =
+        per_job * static_cast<double>(total_ - done);
+    std::fprintf(stderr,
+                 "\r[%zu/%zu] %5.1f%% elapsed %6.1fs eta %6.1fs  %-40.40s",
+                 done, total_, 100.0 * static_cast<double>(done) /
+                                   static_cast<double>(total_),
+                 elapsed, eta, label.c_str());
+    if (done == total_)
+        std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+} // namespace mithril::runner

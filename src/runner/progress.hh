@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Progress and ETA reporting for long sweeps. Writes to stderr so that
+ * stdout stays byte-identical across thread counts and terminal
+ * widths; the report line carries wall-clock estimates and is the only
+ * nondeterministic output a sweep produces.
+ */
+
+#ifndef MITHRIL_RUNNER_PROGRESS_HH
+#define MITHRIL_RUNNER_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace mithril::runner
+{
+
+/**
+ * Thread-safe completion tracker. Each finished job updates the
+ * "[done/total] pct elapsed eta last-label" line on stderr; quiet mode
+ * (or a zero total) suppresses all output. A trailing newline is
+ * emitted once the last job lands.
+ */
+class ProgressReporter
+{
+  public:
+    explicit ProgressReporter(std::size_t total, bool enabled = true);
+
+    /** Record one finished job and redraw the report line. */
+    void jobDone(const std::string &label);
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** Seconds since construction. */
+    double elapsedSeconds() const;
+
+    std::size_t total_;
+    bool enabled_;
+    Clock::time_point start_;
+    mutable std::mutex mutex_;
+    std::size_t completed_ = 0;
+};
+
+} // namespace mithril::runner
+
+#endif // MITHRIL_RUNNER_PROGRESS_HH

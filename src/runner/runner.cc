@@ -1,0 +1,79 @@
+#include "runner/runner.hh"
+
+#include <chrono>
+
+#include "runner/progress.hh"
+#include "runner/thread_pool.hh"
+
+namespace mithril::runner
+{
+
+const JobResult *
+SweepResult::find(trackers::SchemeKind scheme, std::uint32_t flip_th,
+                  sim::WorkloadKind workload, sim::AttackKind attack,
+                  std::uint32_t rfm_th) const
+{
+    for (const JobResult &r : results) {
+        if (r.job.isBaseline)
+            continue;
+        if (r.job.scheme.kind != scheme ||
+            r.job.scheme.flipTh != flip_th)
+            continue;
+        if (rfm_th != ~0u && r.job.scheme.rfmTh != rfm_th)
+            continue;
+        if (r.job.run.workload != workload ||
+            r.job.run.attack != attack)
+            continue;
+        return &r;
+    }
+    return nullptr;
+}
+
+const JobResult *
+SweepResult::baseline(sim::WorkloadKind workload,
+                      sim::AttackKind attack) const
+{
+    for (const JobResult &r : results) {
+        if (r.job.isBaseline && r.job.run.workload == workload &&
+            r.job.run.attack == attack)
+            return &r;
+    }
+    return nullptr;
+}
+
+SweepRunner::SweepRunner(RunnerOptions options) : options_(options) {}
+
+SweepResult
+SweepRunner::run(const SweepSpec &spec) const
+{
+    return run(spec, [](const Job &job) {
+        return sim::runSystem(job.run, job.scheme);
+    });
+}
+
+SweepResult
+SweepRunner::run(const SweepSpec &spec, JobFn fn) const
+{
+    SweepResult out;
+    out.spec = spec;
+
+    std::vector<Job> jobs = spec.expand();
+    out.results.resize(jobs.size());
+
+    ProgressReporter progress(jobs.size(), options_.progress);
+    ThreadPool pool(options_.jobs);
+    pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        JobResult &slot = out.results[i];
+        slot.job = jobs[i];
+        slot.metrics = fn(slot.job);
+        slot.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        progress.jobDone(slot.job.label);
+    });
+    return out;
+}
+
+} // namespace mithril::runner

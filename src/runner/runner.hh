@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The sweep executor: expands a SweepSpec into jobs, runs them on the
+ * work-stealing pool, and returns the results in expansion order. The
+ * result container is deterministic by construction — each job writes
+ * only its own slot, so `--jobs 1` and `--jobs N` produce identical
+ * contents for a fixed seed.
+ */
+
+#ifndef MITHRIL_RUNNER_RUNNER_HH
+#define MITHRIL_RUNNER_RUNNER_HH
+
+#include <vector>
+
+#include "runner/sweep_spec.hh"
+
+namespace mithril::runner
+{
+
+/** One job's outcome. */
+struct JobResult
+{
+    Job job;
+    sim::RunMetrics metrics;
+    /** Wall-clock runtime; nondeterministic, never written by sinks. */
+    double wallSeconds = 0.0;
+};
+
+/** All results of one sweep, indexed in job-expansion order. */
+struct SweepResult
+{
+    SweepSpec spec;
+    std::vector<JobResult> results;
+
+    /**
+     * Look up the first non-baseline result matching the coordinates
+     * (rfm_th == ~0u matches any RFM threshold). Null when absent.
+     */
+    const JobResult *find(trackers::SchemeKind scheme,
+                          std::uint32_t flip_th,
+                          sim::WorkloadKind workload,
+                          sim::AttackKind attack = sim::AttackKind::None,
+                          std::uint32_t rfm_th = ~0u) const;
+
+    /** The unprotected baseline run for a case; null when the spec did
+     *  not request baselines. */
+    const JobResult *baseline(sim::WorkloadKind workload,
+                              sim::AttackKind attack =
+                                  sim::AttackKind::None) const;
+};
+
+/** Execution knobs, orthogonal to the sweep grid itself. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /** Emit the stderr progress/ETA line. */
+    bool progress = true;
+};
+
+/**
+ * Runs sweeps. The default job body is sim::runSystem; tests inject a
+ * stub through the second run() overload.
+ */
+class SweepRunner
+{
+  public:
+    using JobFn = sim::RunMetrics (*)(const Job &);
+
+    explicit SweepRunner(RunnerOptions options = {});
+
+    /** Expand and execute the sweep with sim::runSystem. */
+    SweepResult run(const SweepSpec &spec) const;
+
+    /** Expand and execute with a custom job body. */
+    SweepResult run(const SweepSpec &spec, JobFn fn) const;
+
+    const RunnerOptions &options() const { return options_; }
+
+  private:
+    RunnerOptions options_;
+};
+
+} // namespace mithril::runner
+
+#endif // MITHRIL_RUNNER_RUNNER_HH

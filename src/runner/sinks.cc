@@ -1,0 +1,269 @@
+#include "runner/sinks.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table_printer.hh"
+
+namespace mithril::runner
+{
+
+namespace
+{
+
+/** Shortest round-trippable-enough formatting, deterministic for a
+ *  given double value. */
+std::string
+formatDouble(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n";  break;
+          case '\t': out += "\\t";  break;
+          default:   out += c;      break;
+        }
+    }
+    return out;
+}
+
+std::string
+seedPolicyName(SeedPolicy policy)
+{
+    return policy == SeedPolicy::Shared ? "shared" : "per-job";
+}
+
+/** The full metric set, in one place so every sink agrees. */
+struct MetricColumn
+{
+    const char *name;
+    double (*get)(const sim::RunMetrics &);
+    bool integral;
+};
+
+const MetricColumn kMetricColumns[] = {
+    {"aggIpc", [](const sim::RunMetrics &m) { return m.aggIpc; },
+     false},
+    {"energyPj", [](const sim::RunMetrics &m) { return m.energyPj; },
+     false},
+    {"simTicks",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.simTicks);
+     },
+     true},
+    {"acts",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.acts);
+     },
+     true},
+    {"reads",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.reads);
+     },
+     true},
+    {"writes",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.writes);
+     },
+     true},
+    {"rfmIssued",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.rfmIssued);
+     },
+     true},
+    {"rfmSkippedMrr",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.rfmSkippedMrr);
+     },
+     true},
+    {"arrExecuted",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.arrExecuted);
+     },
+     true},
+    {"preventiveRefreshes",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.preventiveRefreshes);
+     },
+     true},
+    {"throttleStalls",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.throttleStalls);
+     },
+     true},
+    {"maxDisturbance",
+     [](const sim::RunMetrics &m) { return m.maxDisturbance; },
+     false},
+    {"bitFlips",
+     [](const sim::RunMetrics &m) {
+         return static_cast<double>(m.bitFlips);
+     },
+     true},
+    {"avgReadLatencyNs",
+     [](const sim::RunMetrics &m) { return m.avgReadLatencyNs; },
+     false},
+    {"p95ReadLatencyNs",
+     [](const sim::RunMetrics &m) { return m.p95ReadLatencyNs; },
+     false},
+    {"trackerBytesPerBank",
+     [](const sim::RunMetrics &m) { return m.trackerBytesPerBank; },
+     false},
+};
+
+std::string
+formatMetric(const MetricColumn &col, const sim::RunMetrics &m)
+{
+    const double value = col.get(m);
+    if (col.integral) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+        return buf;
+    }
+    return formatDouble(value);
+}
+
+} // namespace
+
+std::string
+ResultSink::render(const SweepResult &result) const
+{
+    std::ostringstream os;
+    write(result, os);
+    return os.str();
+}
+
+void
+ResultSink::writeFile(const SweepResult &result,
+                      const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open sink output file: %s", path.c_str());
+    write(result, os);
+    if (!os)
+        fatal("write failed on sink output file: %s", path.c_str());
+}
+
+void
+TableSink::write(const SweepResult &result, std::ostream &os) const
+{
+    TablePrinter table({"job", "scheme", "flipTh", "rfmTh", "workload",
+                        "attack", "seed", "IPC", "energy(uJ)", "ACTs",
+                        "RFMs", "prevRef", "flips", "KB/bank"});
+    for (const JobResult &r : result.results) {
+        table.beginRow()
+            .intCell(static_cast<long long>(r.job.index))
+            .cell(trackers::schemeName(r.job.scheme.kind))
+            .intCell(r.job.isBaseline ? 0 : r.job.scheme.flipTh)
+            .intCell(r.job.isBaseline ? 0 : r.job.scheme.rfmTh)
+            .cell(sim::workloadName(r.job.run.workload))
+            .cell(sim::attackName(r.job.run.attack))
+            .intCell(static_cast<long long>(r.job.run.seed))
+            .num(r.metrics.aggIpc, 4)
+            .num(r.metrics.energyPj / 1e6, 3)
+            .intCell(static_cast<long long>(r.metrics.acts))
+            .intCell(static_cast<long long>(r.metrics.rfmIssued))
+            .intCell(
+                static_cast<long long>(r.metrics.preventiveRefreshes))
+            .intCell(static_cast<long long>(r.metrics.bitFlips))
+            .num(r.metrics.trackerBytesPerBank / 1024.0, 2);
+    }
+    table.print(os);
+}
+
+void
+JsonSink::write(const SweepResult &result, std::ostream &os) const
+{
+    const SweepSpec &spec = result.spec;
+    os << "{\n";
+    os << "  \"schema\": \"" << kSweepSchemaVersion << "\",\n";
+    os << "  \"spec\": {\n";
+    os << "    \"cores\": " << spec.cores << ",\n";
+    os << "    \"instrPerCore\": " << spec.instrPerCore << ",\n";
+    os << "    \"seed\": " << spec.seed << ",\n";
+    os << "    \"seedPolicy\": \"" << seedPolicyName(spec.seedPolicy)
+       << "\",\n";
+    os << "    \"trackerWarmupActs\": " << spec.trackerWarmupActs
+       << ",\n";
+    os << "    \"blastRadius\": " << spec.blastRadius << ",\n";
+    os << "    \"includeBaseline\": "
+       << (spec.includeBaseline ? "true" : "false") << "\n";
+    os << "  },\n";
+    os << "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < result.results.size(); ++i) {
+        const JobResult &r = result.results[i];
+        os << "    {\n";
+        os << "      \"index\": " << r.job.index << ",\n";
+        os << "      \"label\": \"" << jsonEscape(r.job.label)
+           << "\",\n";
+        os << "      \"baseline\": "
+           << (r.job.isBaseline ? "true" : "false") << ",\n";
+        os << "      \"scheme\": \""
+           << trackers::schemeName(r.job.scheme.kind) << "\",\n";
+        os << "      \"flipTh\": " << r.job.scheme.flipTh << ",\n";
+        os << "      \"rfmTh\": " << r.job.scheme.rfmTh << ",\n";
+        os << "      \"adTh\": " << r.job.scheme.adTh << ",\n";
+        os << "      \"blastRadius\": " << r.job.scheme.blastRadius
+           << ",\n";
+        os << "      \"workload\": \""
+           << sim::workloadName(r.job.run.workload) << "\",\n";
+        os << "      \"attack\": \"" << sim::attackName(r.job.run.attack)
+           << "\",\n";
+        os << "      \"cores\": " << r.job.run.cores << ",\n";
+        os << "      \"instrPerCore\": " << r.job.run.instrPerCore
+           << ",\n";
+        os << "      \"seed\": " << r.job.run.seed << ",\n";
+        os << "      \"metrics\": {";
+        bool first = true;
+        for (const MetricColumn &col : kMetricColumns) {
+            os << (first ? "\n" : ",\n");
+            os << "        \"" << col.name
+               << "\": " << formatMetric(col, r.metrics);
+            first = false;
+        }
+        os << "\n      }\n";
+        os << "    }" << (i + 1 < result.results.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+void
+CsvSink::write(const SweepResult &result, std::ostream &os) const
+{
+    os << "index,label,baseline,scheme,flipTh,rfmTh,workload,attack,"
+          "cores,instrPerCore,seed";
+    for (const MetricColumn &col : kMetricColumns)
+        os << "," << col.name;
+    os << "\n";
+    for (const JobResult &r : result.results) {
+        os << r.job.index << "," << r.job.label << ","
+           << (r.job.isBaseline ? 1 : 0) << ","
+           << trackers::schemeName(r.job.scheme.kind) << ","
+           << r.job.scheme.flipTh << "," << r.job.scheme.rfmTh << ","
+           << sim::workloadName(r.job.run.workload) << ","
+           << sim::attackName(r.job.run.attack) << "," << r.job.run.cores
+           << "," << r.job.run.instrPerCore << "," << r.job.run.seed;
+        for (const MetricColumn &col : kMetricColumns)
+            os << "," << formatMetric(col, r.metrics);
+        os << "\n";
+    }
+}
+
+} // namespace mithril::runner

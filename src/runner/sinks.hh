@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Result sinks: pluggable renderers that turn a SweepResult into an
+ * artifact. TableSink prints the aligned ASCII table humans read;
+ * JsonSink and CsvSink write machine-readable files for trajectory
+ * tracking (bench/BENCH_*.json style) and spreadsheet import. All
+ * sinks iterate results in job-expansion order and never write
+ * wall-clock fields, so their output is byte-identical for a fixed
+ * seed at any thread count.
+ */
+
+#ifndef MITHRIL_RUNNER_SINKS_HH
+#define MITHRIL_RUNNER_SINKS_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "runner/runner.hh"
+
+namespace mithril::runner
+{
+
+/** Version tag embedded in every JsonSink artifact. */
+inline constexpr const char *kSweepSchemaVersion = "mithril.sweep.v1";
+
+/** Renders one sweep's results into some output format. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Render the result set to a stream. */
+    virtual void write(const SweepResult &result,
+                       std::ostream &os) const = 0;
+
+    /** Render to a string (convenience over write()). */
+    std::string render(const SweepResult &result) const;
+
+    /** Render to a file; fatal on I/O error. */
+    void writeFile(const SweepResult &result,
+                   const std::string &path) const;
+};
+
+/** Aligned ASCII table over common/table_printer. */
+class TableSink : public ResultSink
+{
+  public:
+    void write(const SweepResult &result,
+               std::ostream &os) const override;
+};
+
+/** JSON artifact: {"schema", "spec", "jobs": [{...,"metrics"}]}. */
+class JsonSink : public ResultSink
+{
+  public:
+    void write(const SweepResult &result,
+               std::ostream &os) const override;
+};
+
+/** Flat CSV, one row per job, header row first. */
+class CsvSink : public ResultSink
+{
+  public:
+    void write(const SweepResult &result,
+               std::ostream &os) const override;
+};
+
+} // namespace mithril::runner
+
+#endif // MITHRIL_RUNNER_SINKS_HH

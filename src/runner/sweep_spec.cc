@@ -1,0 +1,211 @@
+#include "runner/sweep_spec.hh"
+
+#include <algorithm>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace mithril::runner
+{
+
+namespace
+{
+
+std::vector<std::uint32_t>
+narrowUintList(const ParamSet &params, const std::string &key)
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint64_t v : params.getUintList(key)) {
+        if (v > 0xffffffffull)
+            fatal("parameter %s list entry %llu is out of range",
+                  key.c_str(), static_cast<unsigned long long>(v));
+        out.push_back(static_cast<std::uint32_t>(v));
+    }
+    return out;
+}
+
+template <typename T>
+const std::vector<T> &
+orDefault(const std::vector<T> &values, const std::vector<T> &fallback)
+{
+    return values.empty() ? fallback : values;
+}
+
+} // namespace
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t index)
+{
+    // One splitmix64 step from the golden-gamma-spaced index stream.
+    std::uint64_t state = seed + index * 0x9e3779b97f4a7c15ull;
+    return splitmix64(state);
+}
+
+std::vector<SweepCase>
+SweepSpec::cartesianCases(const std::vector<sim::WorkloadKind> &workloads,
+                          const std::vector<sim::AttackKind> &attacks)
+{
+    std::vector<SweepCase> cases;
+    cases.reserve(workloads.size() * std::max<std::size_t>(
+                                         1, attacks.size()));
+    for (sim::WorkloadKind w : workloads) {
+        if (attacks.empty()) {
+            cases.push_back({w, sim::AttackKind::None});
+            continue;
+        }
+        for (sim::AttackKind a : attacks)
+            cases.push_back({w, a});
+    }
+    return cases;
+}
+
+SweepSpec
+SweepSpec::fromParams(const ParamSet &params,
+                      const std::vector<std::string> &extra_keys)
+{
+    static const std::vector<std::string> kSpecKeys = {
+        "schemes",      "flip",  "rfm",   "workloads",
+        "attacks",      "cores", "instr", "seed",
+        "blast-radius", "warmup", "baseline", "seed-policy",
+    };
+    for (const std::string &key : params.keys()) {
+        if (std::find(kSpecKeys.begin(), kSpecKeys.end(), key) ==
+                kSpecKeys.end() &&
+            std::find(extra_keys.begin(), extra_keys.end(), key) ==
+                extra_keys.end())
+            fatal("unknown sweep parameter: %s", key.c_str());
+    }
+
+    SweepSpec spec;
+    for (const std::string &name : params.getStringList("schemes"))
+        spec.schemes.push_back(trackers::schemeFromName(name));
+    spec.flipThs = narrowUintList(params, "flip");
+    spec.rfmThs = narrowUintList(params, "rfm");
+
+    std::vector<sim::WorkloadKind> workloads;
+    for (const std::string &name : params.getStringList("workloads"))
+        workloads.push_back(sim::workloadFromName(name));
+    std::vector<sim::AttackKind> attacks;
+    for (const std::string &name : params.getStringList("attacks"))
+        attacks.push_back(sim::attackFromName(name));
+    if (!workloads.empty() || !attacks.empty()) {
+        if (workloads.empty())
+            workloads.push_back(sim::WorkloadKind::MixHigh);
+        spec.cases = cartesianCases(workloads, attacks);
+    }
+
+    spec.blastRadius =
+        params.getUint32("blast-radius", spec.blastRadius);
+    spec.cores = params.getUint32("cores", spec.cores);
+    spec.instrPerCore = params.getUint("instr", spec.instrPerCore);
+    spec.seed = params.getUint("seed", spec.seed);
+    spec.trackerWarmupActs =
+        params.getUint("warmup", spec.trackerWarmupActs);
+    spec.includeBaseline =
+        params.getBool("baseline", spec.includeBaseline);
+
+    const std::string policy =
+        params.getString("seed-policy", "shared");
+    if (policy == "shared")
+        spec.seedPolicy = SeedPolicy::Shared;
+    else if (policy == "per-job")
+        spec.seedPolicy = SeedPolicy::PerJob;
+    else
+        fatal("unknown seed-policy: %s (want shared|per-job)",
+              policy.c_str());
+    return spec;
+}
+
+std::size_t
+SweepSpec::jobCount() const
+{
+    const std::size_t n_schemes = std::max<std::size_t>(1, schemes.size());
+    const std::size_t n_flips = std::max<std::size_t>(1, flipThs.size());
+    const std::size_t n_rfms = std::max<std::size_t>(1, rfmThs.size());
+    const std::size_t n_cases = std::max<std::size_t>(1, cases.size());
+    return n_schemes * n_flips * n_rfms * n_cases +
+           (includeBaseline ? n_cases : 0);
+}
+
+std::vector<Job>
+SweepSpec::expand() const
+{
+    static const std::vector<trackers::SchemeKind> kDefaultSchemes = {
+        trackers::SchemeKind::Mithril};
+    static const std::vector<std::uint32_t> kDefaultFlips = {6250};
+    static const std::vector<std::uint32_t> kDefaultRfms = {0};
+    static const std::vector<SweepCase> kDefaultCases = {
+        {sim::WorkloadKind::MixHigh, sim::AttackKind::None}};
+
+    const auto &grid_schemes = orDefault(schemes, kDefaultSchemes);
+    const auto &grid_flips = orDefault(flipThs, kDefaultFlips);
+    const auto &grid_rfms = orDefault(rfmThs, kDefaultRfms);
+    const auto &grid_cases = orDefault(cases, kDefaultCases);
+
+    std::vector<Job> jobs;
+    jobs.reserve(jobCount());
+
+    auto make_run = [this](const SweepCase &c) {
+        sim::RunConfig run;
+        run.workload = c.workload;
+        run.cores = cores;
+        run.instrPerCore = instrPerCore;
+        run.attack = c.attack;
+        run.seed = seed;
+        run.trackerWarmupActs = trackerWarmupActs;
+        run.warmupFromWorkload = (c.attack == sim::AttackKind::None);
+        return run;
+    };
+    auto case_label = [](const SweepCase &c) {
+        std::string label = sim::workloadName(c.workload);
+        if (c.attack != sim::AttackKind::None)
+            label += "+" + sim::attackName(c.attack);
+        return label;
+    };
+    auto finish = [this, &jobs](Job job) {
+        job.index = jobs.size();
+        if (seedPolicy == SeedPolicy::PerJob) {
+            job.run.seed = mixSeed(seed, job.index);
+            job.scheme.seed = mixSeed(seed, job.index ^ 0x5eedull);
+        }
+        jobs.push_back(std::move(job));
+    };
+
+    if (includeBaseline) {
+        for (const SweepCase &c : grid_cases) {
+            Job job;
+            job.scheme.kind = trackers::SchemeKind::None;
+            job.run = make_run(c);
+            job.isBaseline = true;
+            job.label = "none/" + case_label(c);
+            finish(std::move(job));
+        }
+    }
+
+    for (trackers::SchemeKind scheme : grid_schemes) {
+        for (std::uint32_t flip : grid_flips) {
+            for (std::uint32_t rfm : grid_rfms) {
+                for (const SweepCase &c : grid_cases) {
+                    Job job;
+                    job.scheme.kind = scheme;
+                    job.scheme.flipTh = flip;
+                    job.scheme.rfmTh = rfm;
+                    job.scheme.blastRadius = blastRadius;
+                    job.run = make_run(c);
+                    job.label = trackers::schemeName(scheme) + "/" +
+                                std::to_string(flip) +
+                                (rfm != 0
+                                     ? "/r" + std::to_string(rfm)
+                                     : "") +
+                                "/" + case_label(c);
+                    finish(std::move(job));
+                }
+            }
+        }
+    }
+    MITHRIL_ASSERT(jobs.size() == jobCount());
+    return jobs;
+}
+
+} // namespace mithril::runner

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Declarative description of an experiment sweep: the cartesian grid
+ * of scheme parameters and (workload, attack) cases the paper's
+ * figures iterate, expanded into independent jobs with deterministic
+ * per-job seeding. The expansion order is fixed, so a sweep's job list
+ * — and therefore every sink's output — is identical at any thread
+ * count.
+ */
+
+#ifndef MITHRIL_RUNNER_SWEEP_SPEC_HH
+#define MITHRIL_RUNNER_SWEEP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trackers/factory.hh"
+
+namespace mithril
+{
+class ParamSet;
+}
+
+namespace mithril::runner
+{
+
+/** One (workload, attack) combination of a sweep. */
+struct SweepCase
+{
+    sim::WorkloadKind workload = sim::WorkloadKind::MixHigh;
+    sim::AttackKind attack = sim::AttackKind::None;
+};
+
+/** How each expanded job derives its RNG seed from the sweep seed. */
+enum class SeedPolicy
+{
+    /** Every job runs with the sweep seed verbatim — the historical
+     *  bench behavior, comparable across grid cells. */
+    Shared,
+    /** Each job's seed is mixed with its grid index (splitmix64), for
+     *  statistically independent repetitions. */
+    PerJob,
+};
+
+/** One expanded grid point, self-contained and runnable. */
+struct Job
+{
+    std::size_t index = 0; //!< Position in expansion order.
+    trackers::SchemeSpec scheme;
+    sim::RunConfig run;
+    bool isBaseline = false;
+    std::string label; //!< "mithril/6250/mix-high+multi-sided".
+};
+
+/**
+ * The sweep grid: schemes x flipThs x rfmThs x cases, plus shared run
+ * knobs. Empty vectors mean "the single default value" so a spec can
+ * name only the axes it actually sweeps.
+ */
+struct SweepSpec
+{
+    std::vector<trackers::SchemeKind> schemes; //!< default {Mithril}
+    std::vector<std::uint32_t> flipThs;        //!< default {6250}
+    std::vector<std::uint32_t> rfmThs;         //!< default {0} (auto)
+    std::vector<SweepCase> cases;              //!< default {MixHigh, None}
+
+    std::uint32_t blastRadius = 1;
+    std::uint32_t cores = 8;
+    std::uint64_t instrPerCore = 80000;
+    std::uint64_t seed = 42;
+    SeedPolicy seedPolicy = SeedPolicy::Shared;
+
+    /** Tracker warm-up budget per job; benign runs warm from the
+     *  workload, attacked runs from the attacker (as in Fig. 10). */
+    std::uint64_t trackerWarmupActs = 0;
+
+    /** Prepend one unprotected (SchemeKind::None) job per case, for
+     *  normalizing relative performance and energy. */
+    bool includeBaseline = false;
+
+    /** Cartesian product helper for the case list. */
+    static std::vector<SweepCase>
+    cartesianCases(const std::vector<sim::WorkloadKind> &workloads,
+                   const std::vector<sim::AttackKind> &attacks);
+
+    /**
+     * Build a spec from CLI-style parameters: comma-separated lists
+     * `schemes=`, `flip=`, `rfm=`, `workloads=`, `attacks=`, scalars
+     * `cores=`, `instr=`, `seed=`, `warmup=`, `baseline=`, and
+     * `seed-policy=shared|per-job`. Fatal on unknown names and on
+     * unknown keys — a typo'd axis must not silently run the default
+     * grid. Callers owning extra knobs (e.g. `jobs=`) list them in
+     * `extra_keys`.
+     */
+    static SweepSpec
+    fromParams(const ParamSet &params,
+               const std::vector<std::string> &extra_keys = {});
+
+    /** Number of jobs expand() will produce. */
+    std::size_t jobCount() const;
+
+    /** Expand the grid into jobs, in deterministic order: baselines
+     *  (one per case) first, then schemes x flipThs x rfmThs x cases. */
+    std::vector<Job> expand() const;
+};
+
+/** splitmix64 mix of a base seed and a job index (SeedPolicy::PerJob). */
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t index);
+
+} // namespace mithril::runner
+
+#endif // MITHRIL_RUNNER_SWEEP_SPEC_HH

@@ -1,0 +1,146 @@
+#include "runner/thread_pool.hh"
+
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace mithril::runner
+{
+
+unsigned
+defaultThreadCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stop_ = true;
+    }
+    wakeCv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    MITHRIL_ASSERT(task);
+    unsigned target;
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        MITHRIL_ASSERT_MSG(!stop_, "submit() on a stopping pool");
+        target = nextWorker_;
+        nextWorker_ = (nextWorker_ + 1) % size();
+        ++queued_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->queue.push_back(std::move(task));
+    }
+    wakeCv_.notify_one();
+}
+
+std::function<void()>
+ThreadPool::takeTask(unsigned id)
+{
+    // Own queue first (front: submission order), then steal from the
+    // back of each sibling, starting after ourselves to spread load.
+    {
+        Worker &own = *workers_[id];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.queue.empty()) {
+            auto task = std::move(own.queue.front());
+            own.queue.pop_front();
+            return task;
+        }
+    }
+    for (unsigned k = 1; k < size(); ++k) {
+        Worker &victim = *workers_[(id + k) % size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.queue.empty()) {
+            auto task = std::move(victim.queue.back());
+            victim.queue.pop_back();
+            return task;
+        }
+    }
+    return nullptr;
+}
+
+void
+ThreadPool::workerLoop(unsigned id)
+{
+    for (;;) {
+        std::function<void()> task = takeTask(id);
+        if (task) {
+            {
+                std::lock_guard<std::mutex> lock(sleepMutex_);
+                --queued_;
+            }
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        if (queued_ > 0)
+            continue; // Raced with a submit; retry the queues.
+        if (stop_)
+            return;
+        wakeCv_.wait(lock,
+                     [this] { return queued_ > 0 || stop_; });
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+
+    struct State
+    {
+        std::mutex mutex;
+        std::condition_variable doneCv;
+        std::size_t done = 0;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<State>();
+
+    for (std::size_t i = 0; i < count; ++i) {
+        submit([state, &fn, i, count] {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!state->error)
+                    state->error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (++state->done == count)
+                state->doneCv.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->doneCv.wait(lock,
+                       [&] { return state->done == count; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace mithril::runner

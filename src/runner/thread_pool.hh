@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment runner.
+ *
+ * Each worker owns a deque of tasks; submissions are distributed
+ * round-robin, and an idle worker steals from the far end of its
+ * siblings' queues. Tasks are coarse (whole simulations), so the
+ * per-queue locks are never contended in practice — the stealing
+ * matters because sweep jobs have wildly different runtimes (an
+ * attacked run can take several times longer than a benign one).
+ */
+
+#ifndef MITHRIL_RUNNER_THREAD_POOL_HH
+#define MITHRIL_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mithril::runner
+{
+
+/** Number of workers used when a caller passes `threads == 0`. */
+unsigned defaultThreadCount();
+
+/**
+ * Fixed-size pool of worker threads with per-worker deques and work
+ * stealing. The pool itself imposes no ordering: callers that need
+ * deterministic output must index results by task id, never by
+ * completion order (SweepRunner does exactly that).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (0 = defaultThreadCount()). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Enqueue one task; it may start immediately. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Run `fn(0) .. fn(count - 1)` on the pool and block until every
+     * call returned. Calls run concurrently and in no particular
+     * order. The first exception thrown by any call is rethrown here
+     * (remaining tasks still run to completion). Must not be called
+     * from inside a pool task.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> queue;
+    };
+
+    void workerLoop(unsigned id);
+
+    /** Pop from our own queue front, else steal from a sibling's back. */
+    std::function<void()> takeTask(unsigned id);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    /** Guards queued_ / stop_ for the sleep-wakeup protocol. */
+    std::mutex sleepMutex_;
+    std::condition_variable wakeCv_;
+    std::size_t queued_ = 0;
+    bool stop_ = false;
+    unsigned nextWorker_ = 0;
+};
+
+} // namespace mithril::runner
+
+#endif // MITHRIL_RUNNER_THREAD_POOL_HH

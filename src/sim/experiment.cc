@@ -10,6 +10,31 @@
 namespace mithril::sim
 {
 
+std::string
+attackName(AttackKind kind)
+{
+    switch (kind) {
+      case AttackKind::None:         return "none";
+      case AttackKind::DoubleSided:  return "double-sided";
+      case AttackKind::MultiSided:   return "multi-sided";
+      case AttackKind::CbfPollution: return "cbf-pollution";
+    }
+    return "?";
+}
+
+AttackKind
+attackFromName(const std::string &name)
+{
+    for (AttackKind kind :
+         {AttackKind::None, AttackKind::DoubleSided,
+          AttackKind::MultiSided, AttackKind::CbfPollution}) {
+        if (attackName(kind) == name)
+            return kind;
+    }
+    fatal("unknown attack: %s", name.c_str());
+    return AttackKind::None;
+}
+
 namespace
 {
 

@@ -10,6 +10,7 @@
 #define MITHRIL_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <string>
 
 #include "sim/system.hh"
 #include "sim/workload_suite.hh"
@@ -26,6 +27,12 @@ enum class AttackKind
     MultiSided,    //!< 32-victim TRRespass-style pattern.
     CbfPollution,  //!< BlockHammer performance adversary.
 };
+
+/** Printable attack name ("none", "double-sided", ...). */
+std::string attackName(AttackKind kind);
+
+/** Parse an attack name; fatal on unknown names. */
+AttackKind attackFromName(const std::string &name);
 
 /** Full experiment description. */
 struct RunConfig

@@ -243,6 +243,50 @@ TEST(ParamSet, ParsesKeyValuesAndPositional)
     EXPECT_FALSE(p.has("z"));
 }
 
+TEST(ParamSet, Uint32RangeCheck)
+{
+    ParamSet p;
+    p.set("ok", "4294967295");
+    EXPECT_EQ(p.getUint32("ok"), 0xffffffffu);
+    EXPECT_EQ(p.getUint32("missing", 7), 7u);
+    setLogThrowOnFatal(true);
+    p.set("big", "4294967296");
+    EXPECT_THROW(p.getUint32("big"), std::runtime_error);
+    setLogThrowOnFatal(false);
+}
+
+TEST(ParamSet, ListAccessors)
+{
+    ParamSet p;
+    p.set("names", "alpha, beta ,gamma");
+    p.set("nums", "1,0x10, 42");
+    p.set("empty", "");
+    const auto names = p.getStringList("names");
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "beta");
+    EXPECT_EQ(names[2], "gamma");
+    const auto nums = p.getUintList("nums");
+    ASSERT_EQ(nums.size(), 3u);
+    EXPECT_EQ(nums[0], 1u);
+    EXPECT_EQ(nums[1], 16u);
+    EXPECT_EQ(nums[2], 42u);
+    EXPECT_TRUE(p.getStringList("empty").empty());
+    EXPECT_TRUE(p.getUintList("missing").empty());
+}
+
+TEST(ParamSet, MalformedListEntryIsFatal)
+{
+    setLogThrowOnFatal(true);
+    ParamSet p;
+    p.set("nums", "1,two,3");
+    EXPECT_THROW(p.getUintList("nums"), std::runtime_error);
+    // strtoull would silently wrap a negative; it must be fatal.
+    p.set("nums", "-1");
+    EXPECT_THROW(p.getUintList("nums"), std::runtime_error);
+    setLogThrowOnFatal(false);
+}
+
 TEST(ParamSet, MalformedIntegerIsFatal)
 {
     setLogThrowOnFatal(true);

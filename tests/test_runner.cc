@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Unit tests for the parallel experiment runner: the work-stealing
+ * pool, sweep-grid expansion and seeding, determinism of the result
+ * sinks across thread counts, and the JSON artifact schema (golden
+ * file).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "runner/runner.hh"
+#include "runner/sinks.hh"
+#include "runner/sweep_spec.hh"
+#include "runner/thread_pool.hh"
+
+namespace mithril::runner
+{
+namespace
+{
+
+// ------------------------------------------------------------- pool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kCount = 500;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ZeroCountIsANoop)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<int> sum{0};
+    pool.parallelFor(100, [&](std::size_t i) {
+        sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](std::size_t i) {
+                                      ran.fetch_add(1);
+                                      if (i == 13)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // Remaining tasks still ran to completion.
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SubmittedTasksDrainBeforeDestruction)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+// -------------------------------------------------------- expansion
+
+TEST(SweepSpec, DefaultSpecIsOneJob)
+{
+    SweepSpec spec;
+    EXPECT_EQ(spec.jobCount(), 1u);
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].scheme.kind, trackers::SchemeKind::Mithril);
+    EXPECT_EQ(jobs[0].scheme.flipTh, 6250u);
+    EXPECT_EQ(jobs[0].run.workload, sim::WorkloadKind::MixHigh);
+    EXPECT_EQ(jobs[0].run.attack, sim::AttackKind::None);
+    EXPECT_FALSE(jobs[0].isBaseline);
+}
+
+TEST(SweepSpec, GridCountIsCartesianProduct)
+{
+    SweepSpec spec;
+    spec.schemes = {trackers::SchemeKind::Mithril,
+                    trackers::SchemeKind::Parfm,
+                    trackers::SchemeKind::Para};
+    spec.flipThs = {50000, 6250};
+    spec.rfmThs = {64, 128};
+    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
+                  {sim::WorkloadKind::MtFft, sim::AttackKind::None},
+                  {sim::WorkloadKind::MixHigh,
+                   sim::AttackKind::MultiSided}};
+    EXPECT_EQ(spec.jobCount(), 3u * 2u * 2u * 3u);
+    EXPECT_EQ(spec.expand().size(), spec.jobCount());
+
+    spec.includeBaseline = true;
+    EXPECT_EQ(spec.jobCount(), 3u * 2u * 2u * 3u + 3u);
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), spec.jobCount());
+    // Baselines come first, one per case, unprotected.
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(jobs[i].isBaseline);
+        EXPECT_EQ(jobs[i].scheme.kind, trackers::SchemeKind::None);
+    }
+    EXPECT_FALSE(jobs[3].isBaseline);
+    // Indices are the expansion order.
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].index, i);
+}
+
+TEST(SweepSpec, ExpansionIsDeterministic)
+{
+    SweepSpec spec;
+    spec.schemes = {trackers::SchemeKind::Mithril,
+                    trackers::SchemeKind::BlockHammer};
+    spec.flipThs = {25000, 3125};
+    spec.includeBaseline = true;
+    const auto a = spec.expand();
+    const auto b = spec.expand();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].label, b[i].label);
+        EXPECT_EQ(a[i].run.seed, b[i].run.seed);
+    }
+}
+
+TEST(SweepSpec, SharedSeedPolicyUsesSweepSeedVerbatim)
+{
+    SweepSpec spec;
+    spec.schemes = {trackers::SchemeKind::Mithril};
+    spec.flipThs = {50000, 6250};
+    spec.seed = 1234;
+    for (const Job &job : spec.expand()) {
+        EXPECT_EQ(job.run.seed, 1234u);
+        EXPECT_EQ(job.scheme.seed, trackers::SchemeSpec().seed);
+    }
+}
+
+TEST(SweepSpec, PerJobSeedPolicyGivesDistinctDeterministicSeeds)
+{
+    SweepSpec spec;
+    spec.schemes = {trackers::SchemeKind::Mithril};
+    spec.flipThs = {50000, 25000, 6250};
+    spec.seed = 99;
+    spec.seedPolicy = SeedPolicy::PerJob;
+    const auto jobs = spec.expand();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].run.seed, mixSeed(99, i));
+        for (std::size_t j = i + 1; j < jobs.size(); ++j)
+            EXPECT_NE(jobs[i].run.seed, jobs[j].run.seed);
+    }
+}
+
+TEST(SweepSpec, WarmupRuleFollowsAttack)
+{
+    SweepSpec spec;
+    spec.trackerWarmupActs = 1000;
+    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
+                  {sim::WorkloadKind::MixHigh,
+                   sim::AttackKind::MultiSided}};
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_TRUE(jobs[0].run.warmupFromWorkload);
+    EXPECT_FALSE(jobs[1].run.warmupFromWorkload);
+    EXPECT_EQ(jobs[0].run.trackerWarmupActs, 1000u);
+}
+
+TEST(SweepSpec, FromParamsParsesLists)
+{
+    const char *argv[] = {"test",
+                          "schemes=mithril,parfm",
+                          "flip=50000,1500",
+                          "rfm=64",
+                          "workloads=mix-high,mt-fft",
+                          "attacks=none,multi-sided",
+                          "cores=4",
+                          "instr=1000",
+                          "seed=7",
+                          "baseline=1",
+                          "seed-policy=per-job"};
+    const ParamSet params =
+        ParamSet::fromArgs(static_cast<int>(std::size(argv)), argv);
+    const SweepSpec spec = SweepSpec::fromParams(params);
+    EXPECT_EQ(spec.schemes.size(), 2u);
+    EXPECT_EQ(spec.flipThs.size(), 2u);
+    EXPECT_EQ(spec.rfmThs.size(), 1u);
+    EXPECT_EQ(spec.cases.size(), 4u); // workloads x attacks
+    EXPECT_EQ(spec.cores, 4u);
+    EXPECT_EQ(spec.instrPerCore, 1000u);
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_TRUE(spec.includeBaseline);
+    EXPECT_EQ(spec.seedPolicy, SeedPolicy::PerJob);
+    EXPECT_EQ(spec.jobCount(), 2u * 2u * 1u * 4u + 4u);
+}
+
+TEST(SweepSpec, FromParamsRejectsUnknownKeysAndBadRanges)
+{
+    setLogThrowOnFatal(true);
+    {
+        // Typo'd axis ("flips=") must not silently run defaults.
+        ParamSet params;
+        params.set("flips", "50000,1500");
+        EXPECT_THROW(SweepSpec::fromParams(params),
+                     std::runtime_error);
+    }
+    {
+        // Caller-owned keys are accepted only when listed.
+        ParamSet params;
+        params.set("jobs", "4");
+        EXPECT_THROW(SweepSpec::fromParams(params),
+                     std::runtime_error);
+        EXPECT_NO_THROW(SweepSpec::fromParams(params, {"jobs"}));
+    }
+    {
+        // Values beyond uint32 must fail, not wrap.
+        ParamSet params;
+        params.set("flip", "4294973546");
+        EXPECT_THROW(SweepSpec::fromParams(params),
+                     std::runtime_error);
+    }
+    setLogThrowOnFatal(false);
+}
+
+TEST(SweepSpec, AttackNamesRoundTrip)
+{
+    for (sim::AttackKind kind :
+         {sim::AttackKind::None, sim::AttackKind::DoubleSided,
+          sim::AttackKind::MultiSided, sim::AttackKind::CbfPollution})
+        EXPECT_EQ(sim::attackFromName(sim::attackName(kind)), kind);
+}
+
+// ------------------------------------------------------ determinism
+
+/** Deterministic stand-in for sim::runSystem: metrics are a pure
+ *  function of the job description. */
+sim::RunMetrics
+stubMetrics(const Job &job)
+{
+    sim::RunMetrics m;
+    m.aggIpc =
+        1.0 + 0.01 * static_cast<double>(job.scheme.flipTh % 97);
+    m.energyPj = static_cast<double>(job.run.seed % 1000) * 3.5;
+    m.acts = job.scheme.flipTh + job.run.instrPerCore;
+    m.bitFlips = static_cast<std::uint64_t>(job.run.attack);
+    m.trackerBytesPerBank =
+        static_cast<double>(job.scheme.rfmTh) * 16.0;
+    return m;
+}
+
+SweepSpec
+bigStubSpec()
+{
+    SweepSpec spec;
+    spec.schemes = {trackers::SchemeKind::Mithril,
+                    trackers::SchemeKind::MithrilPlus,
+                    trackers::SchemeKind::Parfm,
+                    trackers::SchemeKind::Graphene};
+    spec.flipThs = {50000, 12500, 6250, 1500};
+    spec.rfmThs = {32, 256};
+    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
+                  {sim::WorkloadKind::MixHigh,
+                   sim::AttackKind::MultiSided}};
+    spec.includeBaseline = true;
+    return spec;
+}
+
+TEST(SweepRunner, SinkOutputIsIdenticalAcrossThreadCounts)
+{
+    const SweepSpec spec = bigStubSpec();
+    RunnerOptions serial;
+    serial.jobs = 1;
+    serial.progress = false;
+    RunnerOptions parallel;
+    parallel.jobs = 8;
+    parallel.progress = false;
+
+    const SweepResult r1 =
+        SweepRunner(serial).run(spec, &stubMetrics);
+    const SweepResult r8 =
+        SweepRunner(parallel).run(spec, &stubMetrics);
+    ASSERT_EQ(r1.results.size(), r8.results.size());
+
+    // Byte-identical artifacts from every sink.
+    EXPECT_EQ(TableSink().render(r1), TableSink().render(r8));
+    EXPECT_EQ(JsonSink().render(r1), JsonSink().render(r8));
+    EXPECT_EQ(CsvSink().render(r1), CsvSink().render(r8));
+}
+
+TEST(SweepRunner, RealSimulationIsIdenticalAcrossThreadCounts)
+{
+    // Tiny but real end-to-end runs, attacked and benign.
+    SweepSpec spec;
+    spec.schemes = {trackers::SchemeKind::Mithril,
+                    trackers::SchemeKind::Para};
+    spec.flipThs = {6250};
+    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
+                  {sim::WorkloadKind::MixHigh,
+                   sim::AttackKind::DoubleSided}};
+    spec.cores = 2;
+    spec.instrPerCore = 2000;
+    spec.includeBaseline = true;
+
+    RunnerOptions serial;
+    serial.jobs = 1;
+    serial.progress = false;
+    RunnerOptions parallel;
+    parallel.jobs = 8;
+    parallel.progress = false;
+
+    const SweepResult r1 = SweepRunner(serial).run(spec);
+    const SweepResult r8 = SweepRunner(parallel).run(spec);
+    EXPECT_EQ(JsonSink().render(r1), JsonSink().render(r8));
+    EXPECT_EQ(TableSink().render(r1), TableSink().render(r8));
+    EXPECT_EQ(CsvSink().render(r1), CsvSink().render(r8));
+}
+
+TEST(SweepResult, FindAndBaselineLookups)
+{
+    const SweepSpec spec = bigStubSpec();
+    RunnerOptions options;
+    options.jobs = 2;
+    options.progress = false;
+    const SweepResult result =
+        SweepRunner(options).run(spec, &stubMetrics);
+
+    const JobResult *r =
+        result.find(trackers::SchemeKind::Parfm, 12500,
+                    sim::WorkloadKind::MixHigh,
+                    sim::AttackKind::MultiSided, 256);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->job.scheme.rfmTh, 256u);
+    EXPECT_FALSE(r->job.isBaseline);
+
+    const JobResult *base = result.baseline(
+        sim::WorkloadKind::MixHigh, sim::AttackKind::MultiSided);
+    ASSERT_NE(base, nullptr);
+    EXPECT_TRUE(base->job.isBaseline);
+    EXPECT_EQ(base->job.scheme.kind, trackers::SchemeKind::None);
+
+    EXPECT_EQ(result.find(trackers::SchemeKind::Twice, 12500,
+                          sim::WorkloadKind::MixHigh),
+              nullptr);
+    EXPECT_EQ(result.baseline(sim::WorkloadKind::Gups), nullptr);
+}
+
+// ----------------------------------------------------- JSON schema
+
+TEST(JsonSink, GoldenFileSchema)
+{
+    // A fixed spec with stub metrics: the artifact must match the
+    // checked-in golden byte for byte. Regenerate with:
+    //   MITHRIL_UPDATE_GOLDEN=1 ./test_runner
+    //       --gtest_filter=JsonSink.GoldenFileSchema
+    SweepSpec spec;
+    spec.schemes = {trackers::SchemeKind::Mithril,
+                    trackers::SchemeKind::Parfm};
+    spec.flipThs = {50000, 6250};
+    spec.rfmThs = {64};
+    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
+                  {sim::WorkloadKind::MtFft,
+                   sim::AttackKind::MultiSided}};
+    spec.cores = 4;
+    spec.instrPerCore = 1000;
+    spec.seed = 7;
+    spec.includeBaseline = true;
+
+    RunnerOptions options;
+    options.jobs = 4;
+    options.progress = false;
+    const SweepResult result =
+        SweepRunner(options).run(spec, &stubMetrics);
+    const std::string artifact = JsonSink().render(result);
+
+    const std::string golden_path =
+        std::string(MITHRIL_SOURCE_DIR) +
+        "/tests/golden/sweep_v1.json";
+    if (std::getenv("MITHRIL_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(golden_path);
+        out << artifact;
+        GTEST_SKIP() << "regenerated " << golden_path;
+    }
+    std::ifstream in(golden_path);
+    ASSERT_TRUE(in) << "missing golden file " << golden_path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(artifact, buffer.str());
+}
+
+} // namespace
+} // namespace mithril::runner
