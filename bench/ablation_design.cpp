@@ -101,11 +101,11 @@ main(int argc, char **argv)
                   "buffering (max disturbance, concentration attack)");
     TablePrinter greedy({"policy", "max disturbance", "flips at 10K?"});
     {
-        trackers::SchemeSpec spec;
-        spec.kind = trackers::SchemeKind::Mithril;
-        spec.flipTh = 10000;
-        spec.adTh = 0;
-        auto mithril = trackers::makeScheme(spec, timing, geom);
+        ParamSet params;
+        params.set("flip", "10000");
+        params.set("ad", "0");
+        auto mithril =
+            registry::makeScheme("mithril", params, {timing, geom});
         const double d =
             concentrationDisturbance(mithril.get(), timing, 2000);
         greedy.beginRow()
@@ -136,16 +136,15 @@ main(int argc, char **argv)
     TablePrinter bliss({"scheduler", "unprotected IPC",
                         "with Mithril IPC"});
     for (bool use_bliss : {true, false}) {
-        sim::RunConfig run = scale.makeRun(
-            sim::WorkloadKind::MixHigh, sim::AttackKind::DoubleSided);
-        run.sys.mcParams.useBliss = use_bliss;
-        trackers::SchemeSpec none;
-        none.kind = trackers::SchemeKind::None;
-        const sim::RunMetrics base = sim::runSystem(run, none);
-        trackers::SchemeSpec spec;
-        spec.kind = trackers::SchemeKind::Mithril;
+        sim::ExperimentSpec none =
+            scale.makeSpec("mix-high", "double-sided");
+        none.sys.mcParams.useBliss = use_bliss;
+        none.scheme = "none";
+        const sim::RunMetrics base = bench::runOrDie(none);
+        sim::ExperimentSpec spec = none;
+        spec.scheme = "mithril";
         spec.flipTh = 6250;
-        const sim::RunMetrics m = sim::runSystem(run, spec);
+        const sim::RunMetrics m = bench::runOrDie(spec);
         bliss.beginRow()
             .cell(use_bliss ? "BLISS" : "FR-FCFS")
             .num(base.aggIpc, 3)
@@ -159,12 +158,11 @@ main(int argc, char **argv)
     TablePrinter refsb({"refresh mode", "aggregate IPC",
                         "avg read latency (ns)", "p95 latency (ns)"});
     for (bool per_bank : {false, true}) {
-        sim::RunConfig run = scale.makeRun(sim::WorkloadKind::MixHigh);
-        run.sys.mcParams.perBankRefresh = per_bank;
-        trackers::SchemeSpec spec;
-        spec.kind = trackers::SchemeKind::Mithril;
+        sim::ExperimentSpec spec = scale.makeSpec("mix-high");
+        spec.sys.mcParams.perBankRefresh = per_bank;
+        spec.scheme = "mithril";
         spec.flipTh = 6250;
-        const sim::RunMetrics m = sim::runSystem(run, spec);
+        const sim::RunMetrics m = bench::runOrDie(spec);
         refsb.beginRow()
             .cell(per_bank ? "REFsb (per-bank)" : "REF (all-bank)")
             .num(m.aggIpc, 3)

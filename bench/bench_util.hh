@@ -15,6 +15,8 @@
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "common/table_printer.hh"
+#include "registry/registry.hh"
+#include "registry/scheme_registry.hh"
 #include "runner/runner.hh"
 #include "runner/sinks.hh"
 #include "runner/thread_pool.hh"
@@ -86,17 +88,18 @@ struct BenchScale
         return scale;
     }
 
-    sim::RunConfig
-    makeRun(sim::WorkloadKind workload,
-            sim::AttackKind attack = sim::AttackKind::None) const
+    /** One experiment at this scale (registry names). */
+    sim::ExperimentSpec
+    makeSpec(const std::string &workload,
+             const std::string &attack = "none") const
     {
-        sim::RunConfig run;
-        run.workload = workload;
-        run.cores = cores;
-        run.instrPerCore = instrPerCore;
-        run.attack = attack;
-        run.seed = seed;
-        return run;
+        sim::ExperimentSpec spec;
+        spec.workload = workload;
+        spec.attack = attack;
+        spec.cores = cores;
+        spec.instrPerCore = instrPerCore;
+        spec.seed = seed;
+        return spec;
     }
 
     /** Apply the scale's shared knobs onto a sweep grid. */
@@ -119,12 +122,29 @@ struct BenchScale
 };
 
 /** Dereference a sweep lookup, panicking with context when the spec
- *  grid and a figure's reporting loops drift apart. */
+ *  grid and a figure's reporting loops drift apart; a failed job is
+ *  a configuration error the figure cannot paper over. */
 inline const runner::JobResult &
 need(const runner::JobResult *r, const char *what)
 {
     MITHRIL_ASSERT_MSG(r != nullptr, "missing sweep result: %s", what);
+    if (r->failed())
+        fatal("sweep job '%s' failed: %s", r->job.label.c_str(),
+              r->error.c_str());
     return *r;
+}
+
+/** Run one experiment, turning a rejected configuration into the
+ *  fatal (user) error a figure binary wants. */
+inline sim::RunMetrics
+runOrDie(const sim::ExperimentSpec &spec)
+{
+    try {
+        return sim::runExperiment(spec);
+    } catch (const registry::SpecError &err) {
+        fatal("%s", err.what());
+    }
+    return {};
 }
 
 /** For benches with no machine-readable sink: reject `json=`/`csv=`

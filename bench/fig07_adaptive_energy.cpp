@@ -34,9 +34,9 @@ main(int argc, char **argv)
         {6250, 64},
     };
     const std::uint32_t ad_ths[] = {0, 50, 100, 150, 200};
-    const sim::WorkloadKind workloads[] = {
-        sim::WorkloadKind::MixHigh,  // Multi-programmed.
-        sim::WorkloadKind::MtFft,    // Multi-threaded.
+    const char *workloads[] = {
+        "mix-high",  // Multi-programmed.
+        "mt-fft",    // Multi-threaded.
     };
 
     for (const auto &[flip, rfm_th] : configs) {
@@ -61,19 +61,19 @@ main(int argc, char **argv)
             double ovh[2] = {0.0, 0.0};
             double skip_pct = 0.0;
             for (int w = 0; w < 2; ++w) {
-                sim::RunConfig run = scale.makeRun(workloads[w]);
-                trackers::SchemeSpec none;
-                none.kind = trackers::SchemeKind::None;
+                sim::ExperimentSpec none =
+                    scale.makeSpec(workloads[w]);
+                none.scheme = "none";
                 none.flipTh = flip;
-                const sim::RunMetrics base =
-                    sim::runSystem(run, none);
+                const sim::RunMetrics base = bench::runOrDie(none);
 
-                trackers::SchemeSpec spec;
-                spec.kind = trackers::SchemeKind::Mithril;
+                sim::ExperimentSpec spec =
+                    scale.makeSpec(workloads[w]);
+                spec.scheme = "mithril";
                 spec.flipTh = flip;
                 spec.rfmTh = rfm_th;
                 spec.adTh = ad;
-                const sim::RunMetrics m = sim::runSystem(run, spec);
+                const sim::RunMetrics m = bench::runOrDie(spec);
                 ovh[w] = sim::energyOverheadPct(m, base);
                 if (w == 0 && m.rfmIssued > 0) {
                     skip_pct =

@@ -36,8 +36,6 @@ main(int argc, char **argv)
                         "Mithril perf (%)", "Mithril+ perf (%)",
                         "RFMs", "MRR skips"});
 
-    const sim::RunConfig run = scale.makeRun(sim::WorkloadKind::MixHigh);
-
     // One baseline plus (Mithril, Mithril+) per config — all
     // independent, so run the whole set on the runner's pool and
     // assemble the table in config order.
@@ -46,19 +44,18 @@ main(int argc, char **argv)
     runner::ThreadPool pool(scale.jobs);
     runner::ProgressReporter progress(metrics.size(), scale.progress);
     pool.parallelFor(metrics.size(), [&](std::size_t i) {
-        trackers::SchemeSpec spec;
+        sim::ExperimentSpec spec = scale.makeSpec("mix-high");
         if (i == 0) {
-            spec.kind = trackers::SchemeKind::None;
+            spec.scheme = "none";
         } else {
             const auto &[flip, rfm_th] = configs[(i - 1) / 2];
-            spec.kind = (i - 1) % 2 == 0
-                            ? trackers::SchemeKind::Mithril
-                            : trackers::SchemeKind::MithrilPlus;
+            spec.scheme =
+                (i - 1) % 2 == 0 ? "mithril" : "mithril+";
             spec.flipTh = flip;
             spec.rfmTh = rfm_th;
         }
-        metrics[i] = sim::runSystem(run, spec);
-        progress.jobDone(trackers::schemeName(spec.kind));
+        metrics[i] = bench::runOrDie(spec);
+        progress.jobDone(spec.scheme);
     });
     const sim::RunMetrics &base = metrics[0];
 

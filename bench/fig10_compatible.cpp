@@ -20,17 +20,16 @@
 #include <map>
 
 #include "bench_util.hh"
-#include "trackers/factory.hh"
 
 using namespace mithril;
 
 namespace
 {
 
-const std::vector<sim::WorkloadKind> kNormal = {
-    sim::WorkloadKind::MixHigh,
-    sim::WorkloadKind::MixBlend,
-    sim::WorkloadKind::MtFft,
+const std::vector<std::string> kNormal = {
+    "mix-high",
+    "mix-blend",
+    "mt-fft",
 };
 
 struct Cell
@@ -52,22 +51,20 @@ main(int argc, char **argv)
 {
     bench::BenchScale scale = bench::BenchScale::fromArgs(argc, argv);
 
-    const std::vector<trackers::SchemeKind> schemes = {
-        trackers::SchemeKind::Parfm,
-        trackers::SchemeKind::BlockHammer,
-        trackers::SchemeKind::Mithril,
-        trackers::SchemeKind::MithrilPlus,
+    const std::vector<std::string> schemes = {
+        "parfm",
+        "blockhammer",
+        "mithril",
+        "mithril+",
     };
 
     runner::SweepSpec spec;
     spec.schemes = schemes;
     spec.flipThs = bench::evalFlipThs();
-    for (sim::WorkloadKind w : kNormal)
-        spec.cases.push_back({w, sim::AttackKind::None});
-    spec.cases.push_back(
-        {sim::WorkloadKind::MixHigh, sim::AttackKind::MultiSided});
-    spec.cases.push_back(
-        {sim::WorkloadKind::MixHigh, sim::AttackKind::CbfPollution});
+    for (const std::string &w : kNormal)
+        spec.cases.push_back({w, "none"});
+    spec.cases.push_back({"mix-high", "multi-sided"});
+    spec.cases.push_back({"mix-high", "cbf-pollution"});
     spec.trackerWarmupActs = kWarmupActs;
     spec.includeBaseline = true;
     scale.applyTo(spec);
@@ -83,7 +80,7 @@ main(int argc, char **argv)
 
             std::vector<double> ratios;
             std::vector<double> energy;
-            for (sim::WorkloadKind w : kNormal) {
+            for (const std::string &w : kNormal) {
                 const runner::JobResult &r = bench::need(
                     result.find(schemes[s], flip, w), "normal run");
                 const runner::JobResult &base = bench::need(
@@ -103,25 +100,21 @@ main(int argc, char **argv)
 
             cell.perfMultiSided = sim::relativePerf(
                 bench::need(result.find(schemes[s], flip,
-                                        sim::WorkloadKind::MixHigh,
-                                        sim::AttackKind::MultiSided),
+                                        "mix-high", "multi-sided"),
                             "multi-sided run")
                     .metrics,
                 bench::need(
-                    result.baseline(sim::WorkloadKind::MixHigh,
-                                    sim::AttackKind::MultiSided),
+                    result.baseline("mix-high", "multi-sided"),
                     "multi-sided baseline")
                     .metrics);
 
             cell.perfAdversarial = sim::relativePerf(
                 bench::need(result.find(schemes[s], flip,
-                                        sim::WorkloadKind::MixHigh,
-                                        sim::AttackKind::CbfPollution),
+                                        "mix-high", "cbf-pollution"),
                             "adversarial run")
                     .metrics,
                 bench::need(
-                    result.baseline(sim::WorkloadKind::MixHigh,
-                                    sim::AttackKind::CbfPollution),
+                    result.baseline("mix-high", "cbf-pollution"),
                     "adversarial baseline")
                     .metrics);
 
@@ -137,7 +130,7 @@ main(int argc, char **argv)
             headers.push_back(bench::flipThLabel(flip));
         TablePrinter table(headers);
         for (std::size_t s = 0; s < schemes.size(); ++s) {
-            table.beginRow().cell(trackers::schemeName(schemes[s]));
+            table.beginRow().cell(registry::schemeDisplay(schemes[s]));
             for (std::uint32_t flip : bench::evalFlipThs()) {
                 table.num(getter(cells[{static_cast<int>(s), flip}]),
                           precision);

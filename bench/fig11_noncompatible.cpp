@@ -15,16 +15,15 @@
 #include <map>
 
 #include "bench_util.hh"
-#include "trackers/factory.hh"
 
 using namespace mithril;
 
 namespace
 {
 
-const std::vector<sim::WorkloadKind> kNormal = {
-    sim::WorkloadKind::MixHigh,
-    sim::WorkloadKind::MtFft,
+const std::vector<std::string> kNormal = {
+    "mix-high",
+    "mt-fft",
 };
 
 struct Cell
@@ -41,20 +40,17 @@ main(int argc, char **argv)
 {
     bench::BenchScale scale = bench::BenchScale::fromArgs(argc, argv);
 
-    const std::vector<trackers::SchemeKind> schemes = {
-        trackers::SchemeKind::Para,    trackers::SchemeKind::Cbt,
-        trackers::SchemeKind::Twice,   trackers::SchemeKind::Graphene,
-        trackers::SchemeKind::Mithril,
-        trackers::SchemeKind::MithrilPlus,
+    const std::vector<std::string> schemes = {
+        "para",  "cbt",     "twice",
+        "graphene", "mithril", "mithril+",
     };
 
     runner::SweepSpec spec;
     spec.schemes = schemes;
     spec.flipThs = bench::evalFlipThs();
-    for (sim::WorkloadKind w : kNormal)
-        spec.cases.push_back({w, sim::AttackKind::None});
-    spec.cases.push_back(
-        {sim::WorkloadKind::MixHigh, sim::AttackKind::MultiSided});
+    for (const std::string &w : kNormal)
+        spec.cases.push_back({w, "none"});
+    spec.cases.push_back({"mix-high", "multi-sided"});
     spec.includeBaseline = true;
     scale.applyTo(spec);
 
@@ -69,7 +65,7 @@ main(int argc, char **argv)
 
             std::vector<double> ratios;
             double esum = 0.0;
-            for (sim::WorkloadKind w : kNormal) {
+            for (const std::string &w : kNormal) {
                 const runner::JobResult &r = bench::need(
                     result.find(schemes[s], flip, w), "normal run");
                 const runner::JobResult &base = bench::need(
@@ -85,13 +81,11 @@ main(int argc, char **argv)
 
             cell.perfMultiSided = sim::relativePerf(
                 bench::need(result.find(schemes[s], flip,
-                                        sim::WorkloadKind::MixHigh,
-                                        sim::AttackKind::MultiSided),
+                                        "mix-high", "multi-sided"),
                             "multi-sided run")
                     .metrics,
                 bench::need(
-                    result.baseline(sim::WorkloadKind::MixHigh,
-                                    sim::AttackKind::MultiSided),
+                    result.baseline("mix-high", "multi-sided"),
                     "multi-sided baseline")
                     .metrics);
 
@@ -107,7 +101,7 @@ main(int argc, char **argv)
             headers.push_back(bench::flipThLabel(flip));
         TablePrinter table(headers);
         for (std::size_t s = 0; s < schemes.size(); ++s) {
-            table.beginRow().cell(trackers::schemeName(schemes[s]));
+            table.beginRow().cell(registry::schemeDisplay(schemes[s]));
             for (std::uint32_t flip : bench::evalFlipThs()) {
                 table.num(getter(cells[{static_cast<int>(s), flip}]),
                           precision);

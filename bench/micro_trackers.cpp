@@ -19,7 +19,6 @@
 #include "runner/progress.hh"
 #include "core/cbs_table.hh"
 #include "core/mithril.hh"
-#include "trackers/factory.hh"
 
 using namespace mithril;
 
@@ -91,13 +90,14 @@ cbsGreedyReset(std::uint64_t iters)
 }
 
 MicroResult
-trackerActivate(std::uint64_t iters, trackers::SchemeKind kind)
+trackerActivate(std::uint64_t iters, const std::string &scheme)
 {
-    trackers::SchemeSpec spec;
-    spec.kind = kind;
-    spec.flipTh = 6250;
-    auto tracker = trackers::makeScheme(spec, dram::ddr5_4800(),
-                                        dram::paperGeometry());
+    ParamSet params;
+    params.set("flip", "6250");
+    const dram::Timing timing = dram::ddr5_4800();
+    const dram::Geometry geom = dram::paperGeometry();
+    auto tracker =
+        registry::makeScheme(scheme, params, {timing, geom});
     Rng rng(4);
     std::vector<RowId> arr;
     Tick now = 0;
@@ -168,15 +168,14 @@ main(int argc, char **argv)
     cases.push_back({"cbs_greedy_reset", [](std::uint64_t n) {
                          return cbsGreedyReset(n);
                      }});
-    for (trackers::SchemeKind kind :
-         {trackers::SchemeKind::Mithril, trackers::SchemeKind::Parfm,
-          trackers::SchemeKind::BlockHammer,
-          trackers::SchemeKind::Graphene, trackers::SchemeKind::Twice,
-          trackers::SchemeKind::Cbt}) {
-        cases.push_back({"tracker_act/" + trackers::schemeName(kind),
-                         [kind](std::uint64_t n) {
-                             return trackerActivate(n, kind);
-                         }});
+    for (const char *scheme :
+         {"mithril", "parfm", "blockhammer", "graphene", "twice",
+          "cbt"}) {
+        cases.push_back(
+            {"tracker_act/" + registry::schemeDisplay(scheme),
+             [scheme](std::uint64_t n) {
+                 return trackerActivate(n, scheme);
+             }});
     }
     cases.push_back({"mithril_act+rfm", [](std::uint64_t n) {
                          return mithrilRfm(n);

@@ -15,7 +15,6 @@
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "trackers/factory.hh"
 
 using namespace mithril;
 
@@ -49,38 +48,35 @@ main(int argc, char **argv)
                   "schemes");
     struct Row
     {
-        trackers::SchemeKind kind;
+        const char *scheme;
         const char *guarantee;
         const char *remedy;
         const char *tracking;
     };
     const Row rows[] = {
-        {trackers::SchemeKind::Para, "Probabilistic", "ARR",
-         "probabilistic sampling"},
-        {trackers::SchemeKind::Cbt, "Deterministic", "ARR",
-         "grouped counters (tree)"},
-        {trackers::SchemeKind::Twice, "Deterministic",
-         "ARR (feedback)", "streaming: Lossy Counting"},
-        {trackers::SchemeKind::Graphene, "Deterministic", "ARR",
+        {"para", "Probabilistic", "ARR", "probabilistic sampling"},
+        {"cbt", "Deterministic", "ARR", "grouped counters (tree)"},
+        {"twice", "Deterministic", "ARR (feedback)",
+         "streaming: Lossy Counting"},
+        {"graphene", "Deterministic", "ARR",
          "streaming: Counter-based Summary"},
-        {trackers::SchemeKind::BlockHammer, "Deterministic",
-         "throttling", "streaming: count-min sketch (CBFs)"},
-        {trackers::SchemeKind::Parfm, "Probabilistic", "RFM",
-         "reservoir sampling"},
-        {trackers::SchemeKind::Mithril, "Deterministic", "RFM",
+        {"blockhammer", "Deterministic", "throttling",
+         "streaming: count-min sketch (CBFs)"},
+        {"parfm", "Probabilistic", "RFM", "reservoir sampling"},
+        {"mithril", "Deterministic", "RFM",
          "streaming: Counter-based Summary"},
-        {trackers::SchemeKind::MithrilPlus, "Deterministic",
-         "RFM (+MRR skip)", "streaming: Counter-based Summary"},
+        {"mithril+", "Deterministic", "RFM (+MRR skip)",
+         "streaming: Counter-based Summary"},
     };
     TablePrinter t1({"scheme", "guarantee", "remedy", "location",
                      "tracking"});
+    ParamSet scheme_params;
+    scheme_params.set("flip", "6250");
     for (const Row &row : rows) {
-        trackers::SchemeSpec spec;
-        spec.kind = row.kind;
-        spec.flipTh = 6250;
-        auto tracker = trackers::makeScheme(spec, timing, geom);
+        auto tracker = registry::makeScheme(row.scheme, scheme_params,
+                                            {timing, geom});
         t1.beginRow()
-            .cell(trackers::schemeName(row.kind))
+            .cell(registry::schemeDisplay(row.scheme))
             .cell(row.guarantee)
             .cell(row.remedy)
             .cell(locationName(tracker->location()))

@@ -3,14 +3,17 @@
  * Quickstart: build a Table III system protected by Mithril, run a
  * memory-intensive 16-core workload plus one double-sided Row Hammer
  * attacker, and print performance, energy, protection activity, and
- * the ground-truth safety verdict.
+ * the ground-truth safety verdict. The whole experiment is ONE
+ * ExperimentSpec parsed from the command line.
  *
- * Usage: quickstart [flip_th=6250] [rfm_th=128] [ad_th=200]
+ * Usage: quickstart [flip=6250] [rfm=128] [ad=200]
  *                   [workload=mix-high] [instr=200000] [cores=16]
+ *                   [attack=double-sided] [scheme=mithril] ...
  */
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "common/config.hh"
 #include "common/table_printer.hh"
 #include "core/bounds.hh"
@@ -22,46 +25,27 @@ int
 main(int argc, char **argv)
 {
     ParamSet params = ParamSet::fromArgs(argc, argv);
-
-    const auto flip_th =
-        static_cast<std::uint32_t>(params.getUint("flip_th", 6250));
-    const auto rfm_th =
-        static_cast<std::uint32_t>(params.getUint("rfm_th", 128));
-    const auto ad_th =
-        static_cast<std::uint32_t>(params.getUint("ad_th", 200));
-
-    sim::RunConfig run;
-    run.workload =
-        sim::workloadFromName(params.getString("workload", "mix-high"));
-    run.cores =
-        static_cast<std::uint32_t>(params.getUint("cores", 16));
-    run.instrPerCore = params.getUint("instr", 200000);
-    run.attack = sim::AttackKind::DoubleSided;
-
-    trackers::SchemeSpec scheme;
-    scheme.kind = trackers::SchemeKind::Mithril;
-    scheme.flipTh = flip_th;
-    scheme.rfmTh = rfm_th;
-    scheme.adTh = ad_th;
+    if (!params.has("attack"))
+        params.set("attack", "double-sided");
+    if (!params.has("rfm"))
+        params.set("rfm", "128");
+    sim::ExperimentSpec spec = sim::ExperimentSpec::fromParams(params);
 
     std::printf("Mithril quickstart\n");
-    std::printf("  workload: %s + 1 double-sided attacker\n",
-                sim::workloadName(run.workload).c_str());
-    std::printf("  FlipTH %u, RFM_TH %u, AdTH %u\n", flip_th, rfm_th,
-                ad_th);
-    const double bound = core::theorem2Bound(run.sys.timing, 512,
-                                             rfm_th, ad_th);
+    std::printf("  spec: %s\n", spec.describe().c_str());
+    const double bound = core::theorem2Bound(spec.sys.timing, 512,
+                                             spec.rfmTh, spec.adTh);
     std::printf("  (Theorem 2 bound at Nentry=512: M' = %.1f, "
                 "FlipTH/2 = %.1f)\n\n",
-                bound, flip_th / 2.0);
+                bound, spec.flipTh / 2.0);
 
-    // Unprotected baseline first, then Mithril.
-    trackers::SchemeSpec none = scheme;
-    none.kind = trackers::SchemeKind::None;
-    const sim::RunMetrics base = sim::runSystem(run, none);
-    const sim::RunMetrics with = sim::runSystem(run, scheme);
+    // Unprotected baseline first, then the requested scheme.
+    sim::ExperimentSpec none = spec;
+    none.scheme = "none";
+    const sim::RunMetrics base = bench::runOrDie(none);
+    const sim::RunMetrics with = bench::runOrDie(spec);
 
-    TablePrinter table({"metric", "unprotected", "mithril"});
+    TablePrinter table({"metric", "unprotected", spec.scheme});
     table.beginRow().cell("aggregate IPC").num(base.aggIpc, 3)
         .num(with.aggIpc, 3);
     table.beginRow().cell("relative perf (%)").num(100.0, 2)
@@ -82,10 +66,11 @@ main(int argc, char **argv)
         .intCell(static_cast<long long>(with.bitFlips));
     std::printf("%s\n", table.str().c_str());
 
-    if (with.bitFlips == 0 && with.maxDisturbance < flip_th) {
-        std::printf("verdict: Mithril kept every victim below "
+    if (with.bitFlips == 0 && with.maxDisturbance < spec.flipTh) {
+        std::printf("verdict: %s kept every victim below "
                     "FlipTH=%u (max disturbance %.0f)\n",
-                    flip_th, with.maxDisturbance);
+                    spec.scheme.c_str(), spec.flipTh,
+                    with.maxDisturbance);
     } else {
         std::printf("verdict: PROTECTION FAILED — %llu bit flips\n",
                     static_cast<unsigned long long>(with.bitFlips));

@@ -1,20 +1,24 @@
 /**
  * @file
- * Scheme comparison: run every protection scheme on one workload (full
- * system simulation) and print performance, energy, protection
- * activity, and area side by side — a miniature of the paper's
- * Figures 10/11 for a single FlipTH.
+ * Scheme comparison: run every registered protection scheme on one
+ * workload (full system simulation) and print performance, energy,
+ * protection activity, and area side by side — a miniature of the
+ * paper's Figures 10/11 for a single FlipTH. The scheme list comes
+ * straight from the registry, so a newly registered scheme shows up
+ * here without touching this file.
  *
- * Usage: scheme_comparison [flip_th=6250] [workload=mix-high]
+ * Usage: scheme_comparison [flip=6250] [workload=mix-high]
  *                          [cores=8] [instr=100000]
- *                          [attack=none|double|multi]
+ *                          [attack=none|double-sided|multi-sided|...]
  */
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "common/table_printer.hh"
+#include "registry/scheme_registry.hh"
 #include "sim/experiment.hh"
 
 using namespace mithril;
@@ -23,32 +27,21 @@ int
 main(int argc, char **argv)
 {
     ParamSet params = ParamSet::fromArgs(argc, argv);
-    const auto flip_th =
-        static_cast<std::uint32_t>(params.getUint("flip_th", 6250));
-
-    sim::RunConfig run;
-    run.workload =
-        sim::workloadFromName(params.getString("workload", "mix-high"));
-    run.cores = static_cast<std::uint32_t>(params.getUint("cores", 8));
-    run.instrPerCore = params.getUint("instr", 100000);
-    const std::string attack = params.getString("attack", "none");
-    if (attack == "double")
-        run.attack = sim::AttackKind::DoubleSided;
-    else if (attack == "multi")
-        run.attack = sim::AttackKind::MultiSided;
-    else if (attack != "none")
-        fatal("unknown attack: %s", attack.c_str());
+    if (!params.has("cores"))
+        params.set("cores", "8");
+    if (!params.has("instr"))
+        params.set("instr", "100000");
+    sim::ExperimentSpec spec = sim::ExperimentSpec::fromParams(params);
 
     std::printf("Scheme comparison: %s, %u cores, %llu instr/core, "
                 "FlipTH %u, attack=%s\n\n",
-                sim::workloadName(run.workload).c_str(), run.cores,
-                static_cast<unsigned long long>(run.instrPerCore),
-                flip_th, attack.c_str());
+                spec.workload.c_str(), spec.cores,
+                static_cast<unsigned long long>(spec.instrPerCore),
+                spec.flipTh, spec.attack.c_str());
 
-    trackers::SchemeSpec none;
-    none.kind = trackers::SchemeKind::None;
-    none.flipTh = flip_th;
-    const sim::RunMetrics base = sim::runSystem(run, none);
+    sim::ExperimentSpec none = spec;
+    none.scheme = "none";
+    const sim::RunMetrics base = bench::runOrDie(none);
 
     TablePrinter table({"scheme", "rel perf (%)", "energy ovh (%)",
                         "prev refreshes", "RFMs", "throttles",
@@ -64,23 +57,21 @@ main(int argc, char **argv)
         .num(base.maxDisturbance, 0)
         .intCell(static_cast<long long>(base.bitFlips));
 
-    const trackers::SchemeKind kinds[] = {
-        trackers::SchemeKind::Mithril,
-        trackers::SchemeKind::MithrilPlus,
-        trackers::SchemeKind::Parfm,
-        trackers::SchemeKind::BlockHammer,
-        trackers::SchemeKind::Para,
-        trackers::SchemeKind::Graphene,
-        trackers::SchemeKind::Twice,
-        trackers::SchemeKind::Cbt,
-    };
-    for (trackers::SchemeKind kind : kinds) {
-        trackers::SchemeSpec spec;
-        spec.kind = kind;
-        spec.flipTh = flip_th;
-        const sim::RunMetrics m = sim::runSystem(run, spec);
+    // scheme= narrows the table to one scheme; default is all.
+    std::vector<std::string> schemes;
+    if (params.has("scheme"))
+        schemes.push_back(spec.scheme);
+    else
+        schemes = registry::schemeRegistry().names();
+
+    for (const std::string &scheme : schemes) {
+        if (scheme == "none")
+            continue;
+        sim::ExperimentSpec run = spec;
+        run.scheme = scheme;
+        const sim::RunMetrics m = bench::runOrDie(run);
         table.beginRow()
-            .cell(trackers::schemeName(kind))
+            .cell(registry::schemeDisplay(scheme))
             .num(sim::relativePerf(m, base), 2)
             .num(sim::energyOverheadPct(m, base), 2)
             .intCell(static_cast<long long>(m.preventiveRefreshes))

@@ -5,18 +5,24 @@
  * `flip=`, `rfm=`, `workloads=`, and `attacks=` expands into jobs
  * that the work-stealing runner executes in parallel; results go to
  * an aligned table on stdout and optionally to JSON/CSV artifacts.
+ * Every axis resolves through the scheme/workload/attack registries,
+ * so user-registered entries sweep exactly like the built-ins, and
+ * `--list` prints what is available.
  *
  * Examples:
  *
+ *   sweep_cli --list schemes
  *   sweep_cli schemes=mithril,parfm flip=50000,6250 workloads=mix-high
  *   sweep_cli schemes=mithril flip=6250 workloads=mix-high,mt-fft \
  *             attacks=none,multi-sided baseline=1 jobs=8 json=out.json
  *   sweep_cli schemes=blockhammer attacks=cbf-pollution cores=4 \
  *             instr=20000 seed-policy=per-job csv=out.csv
  *
- * Knobs: cores= instr= seed= warmup= baseline=0/1 blast-radius=
+ * Knobs: cores= instr= seed= ad= warmup= baseline=0/1 blast-radius=
  *        seed-policy=shared|per-job jobs=N progress=0/1
  *        table=0/1 json=PATH csv=PATH
+ *        plus any parameter a selected registry entry declares
+ *        (e.g. victims= with attacks=multi-sided).
  */
 
 #include <cstdio>
@@ -25,6 +31,7 @@
 #include "bench_util.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "registry/listing.hh"
 #include "runner/runner.hh"
 #include "runner/sinks.hh"
 #include "runner/sweep_spec.hh"
@@ -36,9 +43,24 @@ int
 main(int argc, char **argv)
 {
     const ParamSet params = ParamSet::fromArgs(argc, argv);
+
+    if (!params.positional().empty() &&
+        params.positional().front() == "--list") {
+        const std::string what = params.positional().size() > 1
+                                     ? params.positional()[1]
+                                     : "all";
+        try {
+            registry::listRegistries(std::cout, what);
+        } catch (const registry::SpecError &err) {
+            fatal("%s", err.what());
+        }
+        return 0;
+    }
     if (!params.positional().empty())
-        fatal("unexpected argument '%s': all knobs are key=value",
+        fatal("unexpected argument '%s': all knobs are key=value "
+              "(or --list [schemes|workloads|attacks])",
               params.positional().front().c_str());
+
     const runner::SweepSpec spec = runner::SweepSpec::fromParams(
         params, {"jobs", "progress", "table", "json", "csv"});
 
@@ -60,5 +82,11 @@ main(int argc, char **argv)
 
     bench::writeArtifacts(params.getString("json", ""),
                           params.getString("csv", ""), result);
+
+    if (const std::size_t failed = result.failedCount()) {
+        std::fprintf(stderr, "%zu of %zu jobs failed\n", failed,
+                     result.results.size());
+        return 1;
+    }
     return 0;
 }

@@ -11,17 +11,41 @@ namespace mithril
 ParamSet
 ParamSet::fromArgs(int argc, const char *const *argv)
 {
+    std::vector<std::string> tokens;
+    tokens.reserve(argc > 1 ? argc - 1 : 0);
+    for (int i = 1; i < argc; ++i)
+        tokens.emplace_back(argv[i]);
+    return fromTokens(tokens);
+}
+
+ParamSet
+ParamSet::fromTokens(const std::vector<std::string> &tokens)
+{
     ParamSet params;
-    for (int i = 1; i < argc; ++i) {
-        std::string token = argv[i];
+    for (const std::string &token : tokens) {
         auto eq = token.find('=');
         if (eq == std::string::npos) {
             params.positional_.push_back(token);
-        } else {
-            params.set(token.substr(0, eq), token.substr(eq + 1));
+            continue;
         }
+        const std::string key = token.substr(0, eq);
+        if (params.has(key))
+            fatal("duplicate parameter: %s (given more than once)",
+                  key.c_str());
+        params.set(key, token.substr(eq + 1));
     }
     return params;
+}
+
+ParamSet
+ParamSet::fromString(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::stringstream ss(text);
+    std::string token;
+    while (ss >> token)
+        tokens.push_back(token);
+    return fromTokens(tokens);
 }
 
 void
@@ -95,6 +119,17 @@ ParamSet::getDouble(const std::string &key, double def) const
     if (end == it->second.c_str() || *end != '\0')
         fatal("parameter %s=%s is not a number", key.c_str(),
               it->second.c_str());
+    return v;
+}
+
+double
+ParamSet::getDoubleIn(const std::string &key, double def, double min,
+                      double max) const
+{
+    const double v = getDouble(key, def);
+    if (v < min || v > max)
+        fatal("parameter %s=%g is out of range [%g, %g]", key.c_str(),
+              v, min, max);
     return v;
 }
 

@@ -26,8 +26,17 @@ class ParamSet
     ParamSet() = default;
 
     /** Parse "key=value" tokens (e.g. CLI arguments). Unrecognized
-     *  tokens without '=' are collected as positional arguments. */
+     *  tokens without '=' are collected as positional arguments.
+     *  A duplicated key is a fatal (user) error — the second value
+     *  must not silently win. */
     static ParamSet fromArgs(int argc, const char *const *argv);
+
+    /** As fromArgs, over an already-split token list. */
+    static ParamSet fromTokens(const std::vector<std::string> &tokens);
+
+    /** As fromArgs, over a whitespace-separated "k=v k=v" string —
+     *  the inverse of ExperimentSpec::describe(). */
+    static ParamSet fromString(const std::string &text);
 
     void set(const std::string &key, const std::string &value);
 
@@ -43,6 +52,11 @@ class ParamSet
     std::uint32_t getUint32(const std::string &key,
                             std::uint32_t def = 0) const;
     double getDouble(const std::string &key, double def = 0.0) const;
+    /** As getDouble, but fatal when the value falls outside the
+     *  inclusive [min, max] range instead of letting a nonsensical
+     *  knob propagate into a run. */
+    double getDoubleIn(const std::string &key, double def, double min,
+                       double max) const;
     bool getBool(const std::string &key, bool def = false) const;
 
     /** Comma-separated list of trimmed tokens; empty/missing value

@@ -1,0 +1,13 @@
+#include "registry/attack_registry.hh"
+
+namespace mithril::registry
+{
+
+std::unique_ptr<workload::TraceGenerator>
+makeAttack(const std::string &name, const ParamSet &params,
+           const AttackContext &ctx)
+{
+    return attackRegistry().at(name).make(params, ctx);
+}
+
+} // namespace mithril::registry

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The attack registry. Attack-pattern translation units register named
+ * attacker-thread generators here ("double-sided", "multi-sided",
+ * "cbf-pollution", ...); the factory receives the experiment ParamSet
+ * and an AttackContext carrying the address map to aim through, the
+ * run's FlipTH, and a callback that reproduces the benign threads'
+ * streams (for profiling adversaries). The "none" entry builds no
+ * generator.
+ */
+
+#ifndef MITHRIL_REGISTRY_ATTACK_REGISTRY_HH
+#define MITHRIL_REGISTRY_ATTACK_REGISTRY_HH
+
+#include <functional>
+
+#include "mc/address_map.hh"
+#include "registry/registry.hh"
+#include "workload/trace.hh"
+
+namespace mithril::registry
+{
+
+/** Side inputs an attack factory may use. The map reference must
+ *  outlive the generator (generators compose addresses through it on
+ *  every record). */
+struct AttackContext
+{
+    const mc::AddressMap &map;
+    std::uint32_t flipTh = 6250;
+    /** Number of benign (victim) cores sharing the machine. */
+    std::uint32_t benignCores = 0;
+    std::uint64_t seed = 42;
+    /** Rebuild benign core i's trace generator, for profiling
+     *  adversaries; may be empty when no workload context exists. */
+    std::function<std::unique_ptr<workload::TraceGenerator>(
+        std::uint32_t)>
+        benignThread;
+};
+
+struct AttackTraits
+{
+    using Product = workload::TraceGenerator;
+    using Context = AttackContext;
+    static constexpr const char *kCategory = "attack";
+    static constexpr const char *kPlural = "attacks";
+};
+
+using AttackRegistry = Registry<AttackTraits>;
+
+/** The process-wide attack registry. */
+inline AttackRegistry &
+attackRegistry()
+{
+    return AttackRegistry::instance();
+}
+
+/**
+ * Build the attacker generator by registry name (nullptr for "none").
+ * Throws SpecError on unknown names, listing every registered attack.
+ */
+std::unique_ptr<workload::TraceGenerator>
+makeAttack(const std::string &name, const ParamSet &params,
+           const AttackContext &ctx);
+
+} // namespace mithril::registry
+
+#endif // MITHRIL_REGISTRY_ATTACK_REGISTRY_HH

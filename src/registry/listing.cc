@@ -1,0 +1,48 @@
+#include "registry/listing.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "registry/attack_registry.hh"
+#include "registry/scheme_registry.hh"
+#include "registry/workload_registry.hh"
+
+namespace mithril::registry
+{
+
+void
+listRegistries(std::ostream &os, const std::string &what)
+{
+    const bool all = what.empty() || what == "all";
+    bool matched = false;
+    if (all || what == "schemes") {
+        listRegistry(schemeRegistry(), os);
+        matched = true;
+    }
+    if (all || what == "workloads") {
+        if (matched)
+            os << "\n";
+        listRegistry(workloadRegistry(), os);
+        matched = true;
+    }
+    if (all || what == "attacks") {
+        if (matched)
+            os << "\n";
+        listRegistry(attackRegistry(), os);
+        matched = true;
+    }
+    if (!matched) {
+        throw SpecError("unknown --list category '" + what +
+                        "' (want schemes|workloads|attacks|all)");
+    }
+}
+
+std::string
+renderRegistries(const std::string &what)
+{
+    std::ostringstream os;
+    listRegistries(os, what);
+    return os.str();
+}
+
+} // namespace mithril::registry

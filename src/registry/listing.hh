@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Deterministic human-readable listings of the scheme/workload/attack
+ * registries, shared by `sweep_cli --list` and the golden-file test
+ * that pins the output.
+ */
+
+#ifndef MITHRIL_REGISTRY_LISTING_HH
+#define MITHRIL_REGISTRY_LISTING_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace mithril::registry
+{
+
+/**
+ * Write the listing for one category ("schemes", "workloads",
+ * "attacks") or for all three ("all" or ""). Throws SpecError on any
+ * other category name.
+ */
+void listRegistries(std::ostream &os, const std::string &what);
+
+/** listRegistries() into a string. */
+std::string renderRegistries(const std::string &what);
+
+} // namespace mithril::registry
+
+#endif // MITHRIL_REGISTRY_LISTING_HH

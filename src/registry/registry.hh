@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Generic string-keyed plug-in registry with static self-registration.
+ *
+ * Every extensible axis of an experiment — protection schemes, workload
+ * generators, attack patterns — is a `Registry<Traits>`: a map from a
+ * canonical name to an Entry carrying a display name, a one-line
+ * description, the entry-specific tunable parameters (with defaults and
+ * legal ranges), and a `make(params, context)` factory. A translation
+ * unit adds itself with a file-scope `Registrar<Traits>` object, so a
+ * new scheme/workload/attack is one self-contained .cc file plus a
+ * registration block — no switch statement, enum, or factory edit
+ * anywhere else.
+ *
+ * Lookup failures throw SpecError (a recoverable std::runtime_error)
+ * whose message lists every registered name, so a typo'd CLI axis or a
+ * per-job infeasible configuration can be surfaced without killing the
+ * whole process; duplicate registration is a hard (fatal) error at
+ * startup.
+ */
+
+#ifndef MITHRIL_REGISTRY_REGISTRY_HH
+#define MITHRIL_REGISTRY_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+namespace mithril::registry
+{
+
+/**
+ * Recoverable configuration error: unknown name, out-of-range
+ * parameter, or an infeasible entry configuration. The sweep runner
+ * catches it per job; CLI front-ends convert it to fatal().
+ */
+class SpecError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One tunable parameter an entry accepts beyond the shared knobs. */
+struct ParamDesc
+{
+    enum class Type
+    {
+        Uint,
+        Double,
+        Bool,
+        String,
+    };
+
+    std::string key;
+    Type type = Type::Uint;
+    std::string def;          //!< Printable default value.
+    double min = 0.0;         //!< Inclusive lower bound (numeric types).
+    double max = 0.0;         //!< Inclusive upper bound (numeric types).
+    std::string description;  //!< One line for `--list` output.
+};
+
+/** Printable type name ("uint", "double", ...). */
+std::string paramTypeName(ParamDesc::Type type);
+
+/** "[min, max]" for numeric descs, "" otherwise. */
+std::string paramRangeText(const ParamDesc &desc);
+
+/** Comma-join a name list after sorting it (for error messages). */
+std::string joinSorted(std::vector<std::string> names);
+
+/**
+ * Check one declared parameter of `params` against its desc: parseable
+ * as the declared type and inside [min, max]. Throws SpecError naming
+ * the owner entry and the legal range. Missing keys are fine (the
+ * factory applies the default).
+ */
+void checkParam(const std::string &owner, const ParamDesc &desc,
+                const ParamSet &params);
+
+/**
+ * A string-keyed registry of Traits::Product factories.
+ *
+ * Traits must declare:
+ *   using Product = ...;           // what make() builds
+ *   struct Context { ... };       // side inputs the factory needs
+ *   static constexpr const char *kCategory;  // "scheme", singular
+ *   static constexpr const char *kPlural;    // "schemes"
+ */
+template <typename Traits>
+class Registry
+{
+  public:
+    using Product = typename Traits::Product;
+    using Context = typename Traits::Context;
+    using Factory = std::function<std::unique_ptr<Product>(
+        const ParamSet &, const Context &)>;
+
+    static constexpr const char *kCategory = Traits::kCategory;
+
+    struct Entry
+    {
+        /** Canonical lowercase name ("rfm-graphene"). */
+        std::string name;
+        /** Pretty name for tables and labels ("RFM-Graphene"). */
+        std::string display;
+        /** One-line description for `--list`. */
+        std::string description;
+        /** Alternative spellings ("rfm_graphene"). */
+        std::vector<std::string> aliases;
+        /** Shared knobs this entry honours, free text ("flip, rfm"). */
+        std::string uses;
+        /** Entry-specific tunables, validated against ranges. */
+        std::vector<ParamDesc> params;
+        /** Build a configured instance; throws SpecError when the
+         *  requested configuration is infeasible. */
+        Factory make;
+    };
+
+    /** The process-wide instance for this Traits. */
+    static Registry &
+    instance()
+    {
+        static Registry registry;
+        return registry;
+    }
+
+    /** Register an entry; duplicate names/aliases are a hard error. */
+    void
+    add(Entry entry)
+    {
+        reject_duplicate(entry.name);
+        for (const std::string &alias : entry.aliases)
+            reject_duplicate(alias);
+        for (const std::string &alias : entry.aliases)
+            alias_to_name_[alias] = entry.name;
+        entries_[entry.name] = std::move(entry);
+    }
+
+    /** Look up by canonical name or alias; nullptr when unknown. */
+    const Entry *
+    find(const std::string &name) const
+    {
+        auto it = entries_.find(name);
+        if (it != entries_.end())
+            return &it->second;
+        auto alias = alias_to_name_.find(name);
+        if (alias != alias_to_name_.end())
+            return &entries_.at(alias->second);
+        return nullptr;
+    }
+
+    /** Look up; throws SpecError listing every registered name. */
+    const Entry &
+    at(const std::string &name) const
+    {
+        const Entry *entry = find(name);
+        if (!entry) {
+            throw SpecError(std::string("unknown ") +
+                            Traits::kCategory + " '" + name +
+                            "'; registered " + Traits::kPlural +
+                            ": " + joinSorted(names()));
+        }
+        return *entry;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return find(name) != nullptr;
+    }
+
+    /** Sorted canonical names (aliases excluded). */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(entries_.size());
+        for (const auto &[name, entry] : entries_)
+            out.push_back(name);
+        return out;  // std::map iterates sorted.
+    }
+
+    /** All entries in sorted-name order. */
+    const std::map<std::string, Entry> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    void
+    reject_duplicate(const std::string &name) const
+    {
+        if (entries_.count(name) || alias_to_name_.count(name))
+            fatal("duplicate %s registration: %s", Traits::kCategory,
+                  name.c_str());
+    }
+
+    std::map<std::string, Entry> entries_;
+    std::map<std::string, std::string> alias_to_name_;
+};
+
+/** File-scope self-registration helper. */
+template <typename Traits>
+class Registrar
+{
+  public:
+    explicit Registrar(typename Registry<Traits>::Entry entry)
+    {
+        Registry<Traits>::instance().add(std::move(entry));
+    }
+};
+
+/**
+ * Deterministic listing of one registry: every entry on one line
+ * (name, display, description), aliases and declared parameters
+ * indented below it. Pinned by a golden-file test.
+ */
+template <typename Traits>
+void
+listRegistry(const Registry<Traits> &registry, std::ostream &os)
+{
+    os << Traits::kPlural << " (" << registry.entries().size()
+       << " registered):\n";
+    for (const auto &[name, entry] : registry.entries()) {
+        os << "  ";
+        os.width(16);
+        os.setf(std::ios::left, std::ios::adjustfield);
+        os << name;
+        os.width(0);
+        os << entry.display << " — " << entry.description << "\n";
+        if (!entry.aliases.empty())
+            os << "      aliases: " << joinSorted(entry.aliases)
+               << "\n";
+        if (!entry.uses.empty())
+            os << "      uses: " << entry.uses << "\n";
+        for (const ParamDesc &p : entry.params) {
+            os << "      " << p.key << "=" << p.def << " ("
+               << paramTypeName(p.type);
+            const std::string range = paramRangeText(p);
+            if (!range.empty())
+                os << " in " << range;
+            os << ") " << p.description << "\n";
+        }
+    }
+}
+
+} // namespace mithril::registry
+
+#endif // MITHRIL_REGISTRY_REGISTRY_HH

@@ -1,0 +1,32 @@
+#include "registry/scheme_registry.hh"
+
+namespace mithril::registry
+{
+
+SchemeKnobs
+SchemeKnobs::fromParams(const ParamSet &params)
+{
+    SchemeKnobs knobs;
+    knobs.flipTh = params.getUint32("flip", knobs.flipTh);
+    knobs.rfmTh = params.getUint32("rfm", knobs.rfmTh);
+    knobs.adTh = params.getUint32("ad", knobs.adTh);
+    knobs.blastRadius =
+        params.getUint32("blast-radius", knobs.blastRadius);
+    knobs.seed = params.getUint("scheme-seed", knobs.seed);
+    return knobs;
+}
+
+std::unique_ptr<trackers::RhProtection>
+makeScheme(const std::string &name, const ParamSet &params,
+           const SchemeContext &ctx)
+{
+    return schemeRegistry().at(name).make(params, ctx);
+}
+
+std::string
+schemeDisplay(const std::string &name)
+{
+    return schemeRegistry().at(name).display;
+}
+
+} // namespace mithril::registry

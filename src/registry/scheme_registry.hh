@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The protection-scheme registry. Each tracker translation unit
+ * registers its scheme(s) here with a `Registrar<SchemeTraits>`; the
+ * factory receives the full experiment ParamSet (shared knobs `flip=`,
+ * `rfm=`, `ad=`, `blast-radius=`, `scheme-seed=` plus any
+ * entry-declared tunables) and the DRAM timing/geometry it must be
+ * configured for. Factories throw registry::SpecError when the
+ * requested configuration is infeasible, so a sweep can report the
+ * failure per job instead of aborting.
+ */
+
+#ifndef MITHRIL_REGISTRY_SCHEME_REGISTRY_HH
+#define MITHRIL_REGISTRY_SCHEME_REGISTRY_HH
+
+#include "dram/timing.hh"
+#include "registry/registry.hh"
+#include "trackers/rh_protection.hh"
+
+namespace mithril::registry
+{
+
+/** Side inputs every scheme factory needs. */
+struct SchemeContext
+{
+    const dram::Timing &timing;
+    const dram::Geometry &geometry;
+};
+
+struct SchemeTraits
+{
+    using Product = trackers::RhProtection;
+    using Context = SchemeContext;
+    static constexpr const char *kCategory = "scheme";
+    static constexpr const char *kPlural = "schemes";
+};
+
+using SchemeRegistry = Registry<SchemeTraits>;
+
+/** The process-wide scheme registry. */
+inline SchemeRegistry &
+schemeRegistry()
+{
+    return SchemeRegistry::instance();
+}
+
+/**
+ * The shared scheme knobs with their defaults, decoded from the
+ * experiment ParamSet (`flip=`, `rfm=`, `ad=`, `blast-radius=`,
+ * `scheme-seed=`).
+ */
+struct SchemeKnobs
+{
+    std::uint32_t flipTh = 6250;
+    std::uint32_t rfmTh = 0;   //!< 0 = the scheme's auto default.
+    std::uint32_t adTh = 200;
+    std::uint32_t blastRadius = 1;
+    std::uint64_t seed = 7;
+
+    static SchemeKnobs fromParams(const ParamSet &params);
+};
+
+/**
+ * Build a configured scheme by registry name (nullptr for "none").
+ * Throws SpecError on unknown names (listing every registered scheme)
+ * and on infeasible configurations.
+ */
+std::unique_ptr<trackers::RhProtection>
+makeScheme(const std::string &name, const ParamSet &params,
+           const SchemeContext &ctx);
+
+/** Pretty display name for a registered scheme ("Mithril"). */
+std::string schemeDisplay(const std::string &name);
+
+} // namespace mithril::registry
+
+#endif // MITHRIL_REGISTRY_SCHEME_REGISTRY_HH

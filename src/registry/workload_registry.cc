@@ -1,0 +1,13 @@
+#include "registry/workload_registry.hh"
+
+namespace mithril::registry
+{
+
+std::unique_ptr<workload::TraceGenerator>
+makeWorkload(const std::string &name, const ParamSet &params,
+             const WorkloadContext &ctx)
+{
+    return workloadRegistry().at(name).make(params, ctx);
+}
+
+} // namespace mithril::registry

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The workload registry. Each workload translation unit registers its
+ * named workloads (e.g. "mix-high", "mt-fft") here; the factory builds
+ * the trace generator for ONE core of a run, given the experiment
+ * ParamSet and the (core, cores, seed) placement. Multi-programmed
+ * workloads carve disjoint per-core regions; multithreaded kernels
+ * share one region — both derived from the context.
+ */
+
+#ifndef MITHRIL_REGISTRY_WORKLOAD_REGISTRY_HH
+#define MITHRIL_REGISTRY_WORKLOAD_REGISTRY_HH
+
+#include "registry/registry.hh"
+#include "workload/trace.hh"
+
+namespace mithril::registry
+{
+
+/** Placement of the one generator being built. */
+struct WorkloadContext
+{
+    std::uint32_t coreId = 0;
+    std::uint32_t cores = 1;
+    std::uint64_t seed = 42;
+
+    /** Disjoint 512MB private region for this core. */
+    Addr
+    privateBase() const
+    {
+        return static_cast<Addr>(coreId) << 29;
+    }
+
+    /** One shared region past every private region. */
+    Addr
+    sharedBase() const
+    {
+        return static_cast<Addr>(cores) << 29;
+    }
+};
+
+struct WorkloadTraits
+{
+    using Product = workload::TraceGenerator;
+    using Context = WorkloadContext;
+    static constexpr const char *kCategory = "workload";
+    static constexpr const char *kPlural = "workloads";
+};
+
+using WorkloadRegistry = Registry<WorkloadTraits>;
+
+/** The process-wide workload registry. */
+inline WorkloadRegistry &
+workloadRegistry()
+{
+    return WorkloadRegistry::instance();
+}
+
+/**
+ * Build one core's generator by registry name. Throws SpecError on
+ * unknown names, listing every registered workload.
+ */
+std::unique_ptr<workload::TraceGenerator>
+makeWorkload(const std::string &name, const ParamSet &params,
+             const WorkloadContext &ctx);
+
+} // namespace mithril::registry
+
+#endif // MITHRIL_REGISTRY_WORKLOAD_REGISTRY_HH

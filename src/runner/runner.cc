@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "registry/registry.hh"
 #include "runner/progress.hh"
 #include "runner/thread_pool.hh"
 
@@ -9,20 +10,21 @@ namespace mithril::runner
 {
 
 const JobResult *
-SweepResult::find(trackers::SchemeKind scheme, std::uint32_t flip_th,
-                  sim::WorkloadKind workload, sim::AttackKind attack,
+SweepResult::find(const std::string &scheme, std::uint32_t flip_th,
+                  const std::string &workload,
+                  const std::string &attack,
                   std::uint32_t rfm_th) const
 {
     for (const JobResult &r : results) {
         if (r.job.isBaseline)
             continue;
-        if (r.job.scheme.kind != scheme ||
-            r.job.scheme.flipTh != flip_th)
+        if (r.job.spec.scheme != scheme ||
+            r.job.spec.flipTh != flip_th)
             continue;
-        if (rfm_th != ~0u && r.job.scheme.rfmTh != rfm_th)
+        if (rfm_th != ~0u && r.job.spec.rfmTh != rfm_th)
             continue;
-        if (r.job.run.workload != workload ||
-            r.job.run.attack != attack)
+        if (r.job.spec.workload != workload ||
+            r.job.spec.attack != attack)
             continue;
         return &r;
     }
@@ -30,15 +32,24 @@ SweepResult::find(trackers::SchemeKind scheme, std::uint32_t flip_th,
 }
 
 const JobResult *
-SweepResult::baseline(sim::WorkloadKind workload,
-                      sim::AttackKind attack) const
+SweepResult::baseline(const std::string &workload,
+                      const std::string &attack) const
 {
     for (const JobResult &r : results) {
-        if (r.job.isBaseline && r.job.run.workload == workload &&
-            r.job.run.attack == attack)
+        if (r.job.isBaseline && r.job.spec.workload == workload &&
+            r.job.spec.attack == attack)
             return &r;
     }
     return nullptr;
+}
+
+std::size_t
+SweepResult::failedCount() const
+{
+    std::size_t count = 0;
+    for (const JobResult &r : results)
+        count += r.failed() ? 1 : 0;
+    return count;
 }
 
 SweepRunner::SweepRunner(RunnerOptions options) : options_(options) {}
@@ -47,7 +58,7 @@ SweepResult
 SweepRunner::run(const SweepSpec &spec) const
 {
     return run(spec, [](const Job &job) {
-        return sim::runSystem(job.run, job.scheme);
+        return sim::runExperiment(job.spec);
     });
 }
 
@@ -66,7 +77,13 @@ SweepRunner::run(const SweepSpec &spec, JobFn fn) const
         const auto t0 = std::chrono::steady_clock::now();
         JobResult &slot = out.results[i];
         slot.job = jobs[i];
-        slot.metrics = fn(slot.job);
+        try {
+            slot.metrics = fn(slot.job);
+        } catch (const registry::SpecError &err) {
+            // A rejected configuration fails its own grid cell only;
+            // the rest of the sweep keeps running.
+            slot.error = err.what();
+        }
         slot.wallSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "runner/sweep_spec.hh"
+#include "sim/experiment.hh"
 
 namespace mithril::runner
 {
@@ -22,8 +23,18 @@ struct JobResult
 {
     Job job;
     sim::RunMetrics metrics;
+    /** Non-empty when the job's configuration was rejected
+     *  (registry::SpecError): the sweep keeps running and the sinks
+     *  surface the message per job. */
+    std::string error;
     /** Wall-clock runtime; nondeterministic, never written by sinks. */
     double wallSeconds = 0.0;
+
+    bool
+    failed() const
+    {
+        return !error.empty();
+    }
 };
 
 /** All results of one sweep, indexed in job-expansion order. */
@@ -34,19 +45,23 @@ struct SweepResult
 
     /**
      * Look up the first non-baseline result matching the coordinates
-     * (rfm_th == ~0u matches any RFM threshold). Null when absent.
+     * (registry names; rfm_th == ~0u matches any RFM threshold).
+     * Null when absent.
      */
-    const JobResult *find(trackers::SchemeKind scheme,
+    const JobResult *find(const std::string &scheme,
                           std::uint32_t flip_th,
-                          sim::WorkloadKind workload,
-                          sim::AttackKind attack = sim::AttackKind::None,
+                          const std::string &workload,
+                          const std::string &attack = "none",
                           std::uint32_t rfm_th = ~0u) const;
 
     /** The unprotected baseline run for a case; null when the spec did
      *  not request baselines. */
-    const JobResult *baseline(sim::WorkloadKind workload,
-                              sim::AttackKind attack =
-                                  sim::AttackKind::None) const;
+    const JobResult *baseline(const std::string &workload,
+                              const std::string &attack =
+                                  "none") const;
+
+    /** Number of jobs whose configuration was rejected. */
+    std::size_t failedCount() const;
 };
 
 /** Execution knobs, orthogonal to the sweep grid itself. */

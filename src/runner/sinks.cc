@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/table_printer.hh"
+#include "registry/scheme_registry.hh"
 
 namespace mithril::runner
 {
@@ -166,15 +167,21 @@ TableSink::write(const SweepResult &result, std::ostream &os) const
                         "attack", "seed", "IPC", "energy(uJ)", "ACTs",
                         "RFMs", "prevRef", "flips", "KB/bank"});
     for (const JobResult &r : result.results) {
-        table.beginRow()
-            .intCell(static_cast<long long>(r.job.index))
-            .cell(trackers::schemeName(r.job.scheme.kind))
-            .intCell(r.job.isBaseline ? 0 : r.job.scheme.flipTh)
-            .intCell(r.job.isBaseline ? 0 : r.job.scheme.rfmTh)
-            .cell(sim::workloadName(r.job.run.workload))
-            .cell(sim::attackName(r.job.run.attack))
-            .intCell(static_cast<long long>(r.job.run.seed))
-            .num(r.metrics.aggIpc, 4)
+        auto &row =
+            table.beginRow()
+                .intCell(static_cast<long long>(r.job.index))
+                .cell(registry::schemeDisplay(r.job.spec.scheme))
+                .intCell(r.job.isBaseline ? 0 : r.job.spec.flipTh)
+                .intCell(r.job.isBaseline ? 0 : r.job.spec.rfmTh)
+                .cell(r.job.spec.workload)
+                .cell(r.job.spec.attack)
+                .intCell(static_cast<long long>(r.job.spec.seed));
+        if (r.failed()) {
+            for (int i = 0; i < 7; ++i)
+                row.cell("-");
+            continue;
+        }
+        row.num(r.metrics.aggIpc, 4)
             .num(r.metrics.energyPj / 1e6, 3)
             .intCell(static_cast<long long>(r.metrics.acts))
             .intCell(static_cast<long long>(r.metrics.rfmIssued))
@@ -184,6 +191,11 @@ TableSink::write(const SweepResult &result, std::ostream &os) const
             .num(r.metrics.trackerBytesPerBank / 1024.0, 2);
     }
     table.print(os);
+    for (const JobResult &r : result.results) {
+        if (r.failed())
+            os << "job " << r.job.index << " (" << r.job.label
+               << ") FAILED: " << r.error << "\n";
+    }
 }
 
 void
@@ -214,29 +226,33 @@ JsonSink::write(const SweepResult &result, std::ostream &os) const
         os << "      \"baseline\": "
            << (r.job.isBaseline ? "true" : "false") << ",\n";
         os << "      \"scheme\": \""
-           << trackers::schemeName(r.job.scheme.kind) << "\",\n";
-        os << "      \"flipTh\": " << r.job.scheme.flipTh << ",\n";
-        os << "      \"rfmTh\": " << r.job.scheme.rfmTh << ",\n";
-        os << "      \"adTh\": " << r.job.scheme.adTh << ",\n";
-        os << "      \"blastRadius\": " << r.job.scheme.blastRadius
+           << registry::schemeDisplay(r.job.spec.scheme) << "\",\n";
+        os << "      \"flipTh\": " << r.job.spec.flipTh << ",\n";
+        os << "      \"rfmTh\": " << r.job.spec.rfmTh << ",\n";
+        os << "      \"adTh\": " << r.job.spec.adTh << ",\n";
+        os << "      \"blastRadius\": " << r.job.spec.blastRadius
            << ",\n";
-        os << "      \"workload\": \""
-           << sim::workloadName(r.job.run.workload) << "\",\n";
-        os << "      \"attack\": \"" << sim::attackName(r.job.run.attack)
+        os << "      \"workload\": \"" << r.job.spec.workload
            << "\",\n";
-        os << "      \"cores\": " << r.job.run.cores << ",\n";
-        os << "      \"instrPerCore\": " << r.job.run.instrPerCore
+        os << "      \"attack\": \"" << r.job.spec.attack << "\",\n";
+        os << "      \"cores\": " << r.job.spec.cores << ",\n";
+        os << "      \"instrPerCore\": " << r.job.spec.instrPerCore
            << ",\n";
-        os << "      \"seed\": " << r.job.run.seed << ",\n";
-        os << "      \"metrics\": {";
-        bool first = true;
-        for (const MetricColumn &col : kMetricColumns) {
-            os << (first ? "\n" : ",\n");
-            os << "        \"" << col.name
-               << "\": " << formatMetric(col, r.metrics);
-            first = false;
+        os << "      \"seed\": " << r.job.spec.seed << ",\n";
+        if (r.failed()) {
+            os << "      \"error\": \"" << jsonEscape(r.error)
+               << "\"\n";
+        } else {
+            os << "      \"metrics\": {";
+            bool first = true;
+            for (const MetricColumn &col : kMetricColumns) {
+                os << (first ? "\n" : ",\n");
+                os << "        \"" << col.name
+                   << "\": " << formatMetric(col, r.metrics);
+                first = false;
+            }
+            os << "\n      }\n";
         }
-        os << "\n      }\n";
         os << "    }" << (i + 1 < result.results.size() ? "," : "")
            << "\n";
     }
@@ -251,18 +267,31 @@ CsvSink::write(const SweepResult &result, std::ostream &os) const
           "cores,instrPerCore,seed";
     for (const MetricColumn &col : kMetricColumns)
         os << "," << col.name;
-    os << "\n";
+    os << ",error\n";
     for (const JobResult &r : result.results) {
         os << r.job.index << "," << r.job.label << ","
            << (r.job.isBaseline ? 1 : 0) << ","
-           << trackers::schemeName(r.job.scheme.kind) << ","
-           << r.job.scheme.flipTh << "," << r.job.scheme.rfmTh << ","
-           << sim::workloadName(r.job.run.workload) << ","
-           << sim::attackName(r.job.run.attack) << "," << r.job.run.cores
-           << "," << r.job.run.instrPerCore << "," << r.job.run.seed;
-        for (const MetricColumn &col : kMetricColumns)
-            os << "," << formatMetric(col, r.metrics);
-        os << "\n";
+           << registry::schemeDisplay(r.job.spec.scheme) << ","
+           << r.job.spec.flipTh << "," << r.job.spec.rfmTh << ","
+           << r.job.spec.workload << "," << r.job.spec.attack << ","
+           << r.job.spec.cores << "," << r.job.spec.instrPerCore
+           << "," << r.job.spec.seed;
+        // Failed jobs get blank metric cells, not fabricated zeros —
+        // a consumer aggregating the columns must not average them.
+        for (const MetricColumn &col : kMetricColumns) {
+            os << ",";
+            if (!r.failed())
+                os << formatMetric(col, r.metrics);
+        }
+        // Quote the error (SpecError messages contain commas),
+        // doubling embedded quotes per RFC 4180.
+        os << ",\"";
+        for (char c : r.error) {
+            if (c == '"')
+                os << '"';
+            os << c;
+        }
+        os << "\"\n";
     }
 }
 

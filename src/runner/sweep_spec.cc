@@ -5,6 +5,9 @@
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "registry/attack_registry.hh"
+#include "registry/scheme_registry.hh"
+#include "registry/workload_registry.hh"
 
 namespace mithril::runner
 {
@@ -32,6 +35,53 @@ orDefault(const std::vector<T> &values, const std::vector<T> &fallback)
     return values.empty() ? fallback : values;
 }
 
+/** Resolve an axis name through a registry, fatal with the full
+ *  candidate list on unknown names; returns the canonical name. */
+template <typename Reg>
+std::string
+resolveName(const Reg &registry, const std::string &name)
+{
+    try {
+        return registry.at(name).name;
+    } catch (const registry::SpecError &err) {
+        fatal("%s", err.what());
+    }
+    return {};
+}
+
+/** The (desc, owner) of this key among the selected registry
+ *  entries, or nullptr when none declares it. */
+template <typename Reg>
+const registry::ParamDesc *
+declaredBy(const Reg &registry, const std::vector<std::string> &names,
+           const std::string &key, std::string *owner)
+{
+    for (const std::string &name : names) {
+        const auto *entry = registry.find(name);
+        if (!entry)
+            continue;
+        for (const auto &desc : entry->params) {
+            if (desc.key == key) {
+                if (owner)
+                    *owner = std::string(Reg::kCategory) + " '" +
+                             name + "'";
+                return &desc;
+            }
+        }
+    }
+    return nullptr;
+}
+
+/** True when a selected registry entry declares this key. */
+template <typename Reg>
+bool
+entryDeclares(const Reg &registry,
+              const std::vector<std::string> &names,
+              const std::string &key)
+{
+    return declaredBy(registry, names, key, nullptr) != nullptr;
+}
+
 } // namespace
 
 std::uint64_t
@@ -43,18 +93,18 @@ mixSeed(std::uint64_t seed, std::uint64_t index)
 }
 
 std::vector<SweepCase>
-SweepSpec::cartesianCases(const std::vector<sim::WorkloadKind> &workloads,
-                          const std::vector<sim::AttackKind> &attacks)
+SweepSpec::cartesianCases(const std::vector<std::string> &workloads,
+                          const std::vector<std::string> &attacks)
 {
     std::vector<SweepCase> cases;
-    cases.reserve(workloads.size() * std::max<std::size_t>(
-                                         1, attacks.size()));
-    for (sim::WorkloadKind w : workloads) {
+    cases.reserve(workloads.size() *
+                  std::max<std::size_t>(1, attacks.size()));
+    for (const std::string &w : workloads) {
         if (attacks.empty()) {
-            cases.push_back({w, sim::AttackKind::None});
+            cases.push_back({w, "none"});
             continue;
         }
-        for (sim::AttackKind a : attacks)
+        for (const std::string &a : attacks)
             cases.push_back({w, a});
     }
     return cases;
@@ -64,39 +114,78 @@ SweepSpec
 SweepSpec::fromParams(const ParamSet &params,
                       const std::vector<std::string> &extra_keys)
 {
-    static const std::vector<std::string> kSpecKeys = {
-        "schemes",      "flip",  "rfm",   "workloads",
-        "attacks",      "cores", "instr", "seed",
-        "blast-radius", "warmup", "baseline", "seed-policy",
-    };
-    for (const std::string &key : params.keys()) {
-        if (std::find(kSpecKeys.begin(), kSpecKeys.end(), key) ==
-                kSpecKeys.end() &&
-            std::find(extra_keys.begin(), extra_keys.end(), key) ==
-                extra_keys.end())
-            fatal("unknown sweep parameter: %s", key.c_str());
-    }
-
     SweepSpec spec;
     for (const std::string &name : params.getStringList("schemes"))
-        spec.schemes.push_back(trackers::schemeFromName(name));
+        spec.schemes.push_back(
+            resolveName(registry::schemeRegistry(), name));
     spec.flipThs = narrowUintList(params, "flip");
     spec.rfmThs = narrowUintList(params, "rfm");
 
-    std::vector<sim::WorkloadKind> workloads;
+    std::vector<std::string> workloads;
     for (const std::string &name : params.getStringList("workloads"))
-        workloads.push_back(sim::workloadFromName(name));
-    std::vector<sim::AttackKind> attacks;
+        workloads.push_back(
+            resolveName(registry::workloadRegistry(), name));
+    std::vector<std::string> attacks;
     for (const std::string &name : params.getStringList("attacks"))
-        attacks.push_back(sim::attackFromName(name));
+        attacks.push_back(
+            resolveName(registry::attackRegistry(), name));
     if (!workloads.empty() || !attacks.empty()) {
         if (workloads.empty())
-            workloads.push_back(sim::WorkloadKind::MixHigh);
+            workloads.push_back("mix-high");
         spec.cases = cartesianCases(workloads, attacks);
+    }
+
+    // Key validation happens after the axes resolve so entry-declared
+    // tunables (e.g. victims= with a multi-sided attack) can ride
+    // along; every other unknown key is fatal.
+    static const std::vector<std::string> kSpecKeys = {
+        "schemes",      "flip",   "rfm",      "workloads",
+        "attacks",      "cores",  "instr",    "seed",
+        "blast-radius", "ad",     "warmup",   "baseline",
+        "seed-policy",
+    };
+    std::vector<std::string> case_workloads;
+    std::vector<std::string> case_attacks;
+    for (const SweepCase &c : spec.cases) {
+        case_workloads.push_back(c.workload);
+        case_attacks.push_back(c.attack);
+    }
+    if (case_workloads.empty())
+        case_workloads.push_back("mix-high");
+    const auto &grid_schemes = spec.schemes.empty()
+                                   ? std::vector<std::string>{"mithril"}
+                                   : spec.schemes;
+    for (const std::string &key : params.keys()) {
+        if (std::find(kSpecKeys.begin(), kSpecKeys.end(), key) !=
+                kSpecKeys.end() ||
+            std::find(extra_keys.begin(), extra_keys.end(), key) !=
+                extra_keys.end())
+            continue;
+        std::string owner;
+        const registry::ParamDesc *desc =
+            declaredBy(registry::schemeRegistry(), grid_schemes, key,
+                       &owner);
+        if (!desc)
+            desc = declaredBy(registry::workloadRegistry(),
+                              case_workloads, key, &owner);
+        if (!desc)
+            desc = declaredBy(registry::attackRegistry(),
+                              case_attacks, key, &owner);
+        if (!desc)
+            fatal("unknown sweep parameter: %s", key.c_str());
+        // Check the value now: a typo'd tunable must die at the CLI,
+        // not as per-job FAILED cells after the sweep has run.
+        try {
+            registry::checkParam(owner, *desc, params);
+        } catch (const registry::SpecError &err) {
+            fatal("%s", err.what());
+        }
+        spec.tunables.set(key, params.getString(key));
     }
 
     spec.blastRadius =
         params.getUint32("blast-radius", spec.blastRadius);
+    spec.adTh = params.getUint32("ad", spec.adTh);
     spec.cores = params.getUint32("cores", spec.cores);
     spec.instrPerCore = params.getUint("instr", spec.instrPerCore);
     spec.seed = params.getUint("seed", spec.seed);
@@ -131,12 +220,12 @@ SweepSpec::jobCount() const
 std::vector<Job>
 SweepSpec::expand() const
 {
-    static const std::vector<trackers::SchemeKind> kDefaultSchemes = {
-        trackers::SchemeKind::Mithril};
+    static const std::vector<std::string> kDefaultSchemes = {
+        "mithril"};
     static const std::vector<std::uint32_t> kDefaultFlips = {6250};
     static const std::vector<std::uint32_t> kDefaultRfms = {0};
     static const std::vector<SweepCase> kDefaultCases = {
-        {sim::WorkloadKind::MixHigh, sim::AttackKind::None}};
+        {"mix-high", "none"}};
 
     const auto &grid_schemes = orDefault(schemes, kDefaultSchemes);
     const auto &grid_flips = orDefault(flipThs, kDefaultFlips);
@@ -146,28 +235,43 @@ SweepSpec::expand() const
     std::vector<Job> jobs;
     jobs.reserve(jobCount());
 
-    auto make_run = [this](const SweepCase &c) {
-        sim::RunConfig run;
-        run.workload = c.workload;
-        run.cores = cores;
-        run.instrPerCore = instrPerCore;
-        run.attack = c.attack;
-        run.seed = seed;
-        run.trackerWarmupActs = trackerWarmupActs;
-        run.warmupFromWorkload = (c.attack == sim::AttackKind::None);
-        return run;
+    // Each job keeps only the tunables its own entries declare, so a
+    // para-only knob does not fail validation on the mithril cells of
+    // the same sweep.
+    auto apply_tunables = [this](sim::ExperimentSpec &spec) {
+        for (const std::string &key : tunables.keys()) {
+            if (entryDeclares(registry::schemeRegistry(),
+                              {spec.scheme}, key) ||
+                entryDeclares(registry::workloadRegistry(),
+                              {spec.workload}, key) ||
+                entryDeclares(registry::attackRegistry(),
+                              {spec.attack}, key))
+                spec.extras.set(key, tunables.getString(key));
+        }
+    };
+
+    auto base_spec = [this](const SweepCase &c) {
+        sim::ExperimentSpec spec;
+        spec.workload = c.workload;
+        spec.attack = c.attack;
+        spec.cores = cores;
+        spec.instrPerCore = instrPerCore;
+        spec.seed = seed;
+        spec.trackerWarmupActs = trackerWarmupActs;
+        spec.warmupFromWorkload = (c.attack == "none");
+        return spec;
     };
     auto case_label = [](const SweepCase &c) {
-        std::string label = sim::workloadName(c.workload);
-        if (c.attack != sim::AttackKind::None)
-            label += "+" + sim::attackName(c.attack);
+        std::string label = c.workload;
+        if (c.attack != "none")
+            label += "+" + c.attack;
         return label;
     };
     auto finish = [this, &jobs](Job job) {
         job.index = jobs.size();
         if (seedPolicy == SeedPolicy::PerJob) {
-            job.run.seed = mixSeed(seed, job.index);
-            job.scheme.seed = mixSeed(seed, job.index ^ 0x5eedull);
+            job.spec.seed = mixSeed(seed, job.index);
+            job.spec.schemeSeed = mixSeed(seed, job.index ^ 0x5eedull);
         }
         jobs.push_back(std::move(job));
     };
@@ -175,30 +279,33 @@ SweepSpec::expand() const
     if (includeBaseline) {
         for (const SweepCase &c : grid_cases) {
             Job job;
-            job.scheme.kind = trackers::SchemeKind::None;
-            job.run = make_run(c);
+            job.spec = base_spec(c);
+            job.spec.scheme = "none";
+            apply_tunables(job.spec);
             job.isBaseline = true;
             job.label = "none/" + case_label(c);
             finish(std::move(job));
         }
     }
 
-    for (trackers::SchemeKind scheme : grid_schemes) {
+    for (const std::string &scheme : grid_schemes) {
         for (std::uint32_t flip : grid_flips) {
             for (std::uint32_t rfm : grid_rfms) {
                 for (const SweepCase &c : grid_cases) {
                     Job job;
-                    job.scheme.kind = scheme;
-                    job.scheme.flipTh = flip;
-                    job.scheme.rfmTh = rfm;
-                    job.scheme.blastRadius = blastRadius;
-                    job.run = make_run(c);
-                    job.label = trackers::schemeName(scheme) + "/" +
-                                std::to_string(flip) +
-                                (rfm != 0
-                                     ? "/r" + std::to_string(rfm)
-                                     : "") +
-                                "/" + case_label(c);
+                    job.spec = base_spec(c);
+                    job.spec.scheme = scheme;
+                    job.spec.flipTh = flip;
+                    job.spec.rfmTh = rfm;
+                    job.spec.adTh = adTh;
+                    job.spec.blastRadius = blastRadius;
+                    apply_tunables(job.spec);
+                    job.label =
+                        registry::schemeDisplay(scheme) + "/" +
+                        std::to_string(flip) +
+                        (rfm != 0 ? "/r" + std::to_string(rfm)
+                                  : "") +
+                        "/" + case_label(c);
                     finish(std::move(job));
                 }
             }

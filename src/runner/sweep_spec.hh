@@ -3,8 +3,10 @@
  * Declarative description of an experiment sweep: the cartesian grid
  * of scheme parameters and (workload, attack) cases the paper's
  * figures iterate, expanded into independent jobs with deterministic
- * per-job seeding. The expansion order is fixed, so a sweep's job list
- * — and therefore every sink's output — is identical at any thread
+ * per-job seeding. The scheme/workload/attack axes are registry-name
+ * lists, so a sweep spans user-registered entries exactly like the
+ * built-ins. The expansion order is fixed, so a sweep's job list —
+ * and therefore every sink's output — is identical at any thread
  * count.
  */
 
@@ -15,13 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hh"
-#include "trackers/factory.hh"
-
-namespace mithril
-{
-class ParamSet;
-}
+#include "sim/experiment_spec.hh"
 
 namespace mithril::runner
 {
@@ -29,8 +25,8 @@ namespace mithril::runner
 /** One (workload, attack) combination of a sweep. */
 struct SweepCase
 {
-    sim::WorkloadKind workload = sim::WorkloadKind::MixHigh;
-    sim::AttackKind attack = sim::AttackKind::None;
+    std::string workload = "mix-high";
+    std::string attack = "none";
 };
 
 /** How each expanded job derives its RNG seed from the sweep seed. */
@@ -48,10 +44,9 @@ enum class SeedPolicy
 struct Job
 {
     std::size_t index = 0; //!< Position in expansion order.
-    trackers::SchemeSpec scheme;
-    sim::RunConfig run;
+    sim::ExperimentSpec spec;
     bool isBaseline = false;
-    std::string label; //!< "mithril/6250/mix-high+multi-sided".
+    std::string label; //!< "Mithril/6250/mix-high+multi-sided".
 };
 
 /**
@@ -61,12 +56,13 @@ struct Job
  */
 struct SweepSpec
 {
-    std::vector<trackers::SchemeKind> schemes; //!< default {Mithril}
-    std::vector<std::uint32_t> flipThs;        //!< default {6250}
-    std::vector<std::uint32_t> rfmThs;         //!< default {0} (auto)
-    std::vector<SweepCase> cases;              //!< default {MixHigh, None}
+    std::vector<std::string> schemes;   //!< default {"mithril"}
+    std::vector<std::uint32_t> flipThs; //!< default {6250}
+    std::vector<std::uint32_t> rfmThs;  //!< default {0} (auto)
+    std::vector<SweepCase> cases;       //!< default {mix-high, none}
 
     std::uint32_t blastRadius = 1;
+    std::uint32_t adTh = 200;
     std::uint32_t cores = 8;
     std::uint64_t instrPerCore = 80000;
     std::uint64_t seed = 42;
@@ -76,23 +72,30 @@ struct SweepSpec
      *  workload, attacked runs from the attacker (as in Fig. 10). */
     std::uint64_t trackerWarmupActs = 0;
 
-    /** Prepend one unprotected (SchemeKind::None) job per case, for
+    /** Prepend one unprotected ("none") job per case, for
      *  normalizing relative performance and energy. */
     bool includeBaseline = false;
 
+    /** Registry-entry tunables forwarded to every job (each job keeps
+     *  the keys its own scheme/workload/attack declares). */
+    ParamSet tunables;
+
     /** Cartesian product helper for the case list. */
     static std::vector<SweepCase>
-    cartesianCases(const std::vector<sim::WorkloadKind> &workloads,
-                   const std::vector<sim::AttackKind> &attacks);
+    cartesianCases(const std::vector<std::string> &workloads,
+                   const std::vector<std::string> &attacks);
 
     /**
      * Build a spec from CLI-style parameters: comma-separated lists
      * `schemes=`, `flip=`, `rfm=`, `workloads=`, `attacks=`, scalars
-     * `cores=`, `instr=`, `seed=`, `warmup=`, `baseline=`, and
-     * `seed-policy=shared|per-job`. Fatal on unknown names and on
-     * unknown keys — a typo'd axis must not silently run the default
-     * grid. Callers owning extra knobs (e.g. `jobs=`) list them in
-     * `extra_keys`.
+     * `cores=`, `instr=`, `seed=`, `ad=`, `warmup=`, `baseline=`, and
+     * `seed-policy=shared|per-job`. Axis names resolve through the
+     * registries — an unknown name is fatal and lists every
+     * registered candidate. Keys declared by a selected registry
+     * entry (e.g. `victims=` with a multi-sided attack) are forwarded
+     * to the matching jobs; any other unknown key is fatal — a typo'd
+     * axis must not silently run the default grid. Callers owning
+     * extra knobs (e.g. `jobs=`) list them in `extra_keys`.
      */
     static SweepSpec
     fromParams(const ParamSet &params,

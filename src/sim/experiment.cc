@@ -1,155 +1,119 @@
 #include "experiment.hh"
 
-#include <algorithm>
-#include <map>
-
-#include "analysis/area_model.hh"
 #include "common/logging.hh"
-#include "workload/attacks.hh"
+#include "registry/attack_registry.hh"
+#include "registry/scheme_registry.hh"
+#include "registry/workload_registry.hh"
 
 namespace mithril::sim
 {
 
+namespace
+{
+
+/** Kind <-> registry key, in enum order. */
+const struct
+{
+    AttackKind kind;
+    const char *key;
+} kAttackKeys[] = {
+    {AttackKind::None, "none"},
+    {AttackKind::DoubleSided, "double-sided"},
+    {AttackKind::MultiSided, "multi-sided"},
+    {AttackKind::CbfPollution, "cbf-pollution"},
+};
+
+} // namespace
+
 std::string
 attackName(AttackKind kind)
 {
-    switch (kind) {
-      case AttackKind::None:         return "none";
-      case AttackKind::DoubleSided:  return "double-sided";
-      case AttackKind::MultiSided:   return "multi-sided";
-      case AttackKind::CbfPollution: return "cbf-pollution";
+    for (const auto &m : kAttackKeys) {
+        if (m.kind == kind)
+            return m.key;
     }
+    panic("unhandled attack kind");
     return "?";
 }
 
 AttackKind
 attackFromName(const std::string &name)
 {
-    for (AttackKind kind :
-         {AttackKind::None, AttackKind::DoubleSided,
-          AttackKind::MultiSided, AttackKind::CbfPollution}) {
-        if (attackName(kind) == name)
-            return kind;
+    const auto *entry = registry::attackRegistry().find(name);
+    if (entry) {
+        for (const auto &m : kAttackKeys) {
+            if (entry->name == m.key)
+                return m.kind;
+        }
+        fatal("attack '%s' is registered but not addressable through "
+              "the deprecated AttackKind enum; use the name-based "
+              "ExperimentSpec API",
+              name.c_str());
     }
-    fatal("unknown attack: %s", name.c_str());
+    fatal("unknown attack: %s (registered attacks: %s)", name.c_str(),
+          registry::joinSorted(registry::attackRegistry().names())
+              .c_str());
     return AttackKind::None;
 }
 
-namespace
+ExperimentSpec
+RunConfig::toSpec(const trackers::SchemeSpec &scheme) const
 {
-
-/**
- * Sample the benign threads' address streams and return row-granular
- * representative addresses of their hottest (bank, row) pairs — the
- * "profiled rows sharing CBF entries with the benign threads" that the
- * BlockHammer performance adversary activates.
- */
-std::vector<Addr>
-profileBenignHotRows(const RunConfig &config, const mc::AddressMap &map,
-                     std::uint32_t flip_th)
-{
-    const auto [cbf_size, nbl] =
-        analysis::AreaModel::blockHammerConfig(flip_th);
-    (void)cbf_size;
-    // One tREFW of attack budget pushes ~600K/NBL rows to the
-    // blacklist threshold.
-    const std::size_t wanted = std::max<std::size_t>(
-        16, static_cast<std::size_t>(600000 / nbl));
-
-    struct Key
-    {
-        BankId bank;
-        RowId row;
-        bool operator<(const Key &o) const
-        {
-            return bank != o.bank ? bank < o.bank : row < o.row;
-        }
-    };
-    std::map<Key, std::pair<std::uint64_t, Addr>> freq;
-    const std::uint32_t benign = config.cores - 1;
-    for (std::uint32_t i = 0; i < benign; ++i) {
-        auto gen = makeWorkloadThread(config.workload, i, benign,
-                                      config.seed);
-        for (int k = 0; k < 30000; ++k) {
-            auto rec = gen->next();
-            if (!rec)
-                break;
-            mc::Request req;
-            req.addr = rec->addr;
-            map.decode(req);
-            auto &entry = freq[Key{req.bank, req.row}];
-            if (entry.first++ == 0)
-                entry.second = rec->addr;
-        }
-    }
-
-    std::vector<std::pair<std::uint64_t, Addr>> ranked;
-    ranked.reserve(freq.size());
-    for (const auto &[key, value] : freq)
-        ranked.emplace_back(value.first, value.second);
-    std::sort(ranked.begin(), ranked.end(),
-              [](const auto &a, const auto &b) {
-                  return a.first > b.first;
-              });
-    std::vector<Addr> targets;
-    for (std::size_t i = 0; i < ranked.size() && i < wanted; ++i)
-        targets.push_back(ranked[i].second);
-    return targets;
+    ExperimentSpec spec;
+    spec.scheme = trackers::schemeKey(scheme.kind);
+    spec.workload = workloadName(workload);
+    spec.attack = attackName(attack);
+    spec.flipTh = scheme.flipTh;
+    spec.rfmTh = scheme.rfmTh;
+    spec.adTh = scheme.adTh;
+    spec.blastRadius = scheme.blastRadius;
+    spec.schemeSeed = scheme.seed;
+    spec.cores = cores;
+    spec.instrPerCore = instrPerCore;
+    spec.seed = seed;
+    spec.trackerWarmupActs = trackerWarmupActs;
+    spec.warmupFromWorkload = warmupFromWorkload;
+    spec.sys = sys;
+    return spec;
 }
-
-std::unique_ptr<workload::TraceGenerator>
-makeAttacker(const RunConfig &config, const mc::AddressMap &map,
-             std::uint32_t flip_th)
-{
-    workload::AttackTarget target;
-    target.map = &map;
-    target.channel = 0;
-    target.rank = 0;
-    target.bank = 5;
-    target.baseRow = 0x3000;
-
-    switch (config.attack) {
-      case AttackKind::DoubleSided:
-        return std::make_unique<workload::DoubleSidedAttack>(target);
-      case AttackKind::MultiSided:
-        return std::make_unique<workload::MultiSidedAttack>(target, 32);
-      case AttackKind::CbfPollution: {
-        auto targets = profileBenignHotRows(config, map, flip_th);
-        if (targets.size() >= 2) {
-            return std::make_unique<workload::ProfiledAliasAttack>(
-                std::move(targets));
-        }
-        // Degenerate profile: fall back to blind pollution.
-        const auto [cbf_size, nbl] =
-            analysis::AreaModel::blockHammerConfig(flip_th);
-        (void)nbl;
-        const std::uint32_t rows =
-            std::max<std::uint32_t>(64, cbf_size / 8);
-        return std::make_unique<workload::CbfPollutionAttack>(target,
-                                                              rows);
-      }
-      case AttackKind::None:
-        break;
-    }
-    panic("no attacker for AttackKind::None");
-    return nullptr;
-}
-
-} // namespace
 
 RunMetrics
-runSystem(const RunConfig &config, const trackers::SchemeSpec &scheme)
+runExperiment(const ExperimentSpec &spec)
 {
-    SystemConfig sys = config.sys;
-    sys.flipTh = scheme.flipTh;
-    sys.blastRadius = scheme.blastRadius;
+    spec.validate();
 
-    auto tracker =
-        trackers::makeScheme(scheme, sys.timing, sys.geometry);
+    SystemConfig sys = spec.sys;
+    sys.flipTh = spec.flipTh;
+    sys.blastRadius = spec.blastRadius;
+
+    const ParamSet params = spec.toParams();
+    const registry::SchemeContext scheme_ctx{sys.timing,
+                                             sys.geometry};
+
+    const bool attacking = spec.attacking();
+    const std::uint32_t benign =
+        attacking ? spec.cores - 1 : spec.cores;
+
+    // One address map shared by the attacker generators and the
+    // warm-up profiling; it must outlive the System, which owns
+    // generators that compose addresses through it on every record.
+    mc::AddressMap map(sys.geometry);
+
+    auto make_benign = [&](std::uint32_t core_id) {
+        return registry::makeWorkload(
+            spec.workload, params, {core_id, benign, spec.seed});
+    };
+    auto make_attacker = [&]() {
+        const registry::AttackContext ctx{
+            map, spec.flipTh, benign, spec.seed, make_benign};
+        return registry::makeAttack(spec.attack, params, ctx);
+    };
+
+    auto tracker = registry::makeScheme(spec.scheme, params,
+                                        scheme_ctx);
     trackers::RhProtection *tracker_ptr = tracker.get();
 
-    if (tracker_ptr && config.trackerWarmupActs > 0) {
-        mc::AddressMap map(sys.geometry);
+    if (tracker_ptr && spec.trackerWarmupActs > 0) {
         std::vector<RowId> discard;
         auto feed = [&](workload::TraceGenerator &gen,
                         std::uint64_t count) {
@@ -164,45 +128,34 @@ runSystem(const RunConfig &config, const trackers::SchemeSpec &scheme)
                 tracker_ptr->onActivate(req.bank, req.row, 0, discard);
             }
         };
-        if (config.warmupFromWorkload) {
-            const std::uint32_t benign =
-                config.attack != AttackKind::None ? config.cores - 1
-                                                  : config.cores;
+        if (spec.warmupFromWorkload) {
             const std::uint64_t per_core =
-                config.trackerWarmupActs / benign;
+                spec.trackerWarmupActs / benign;
             for (std::uint32_t i = 0; i < benign; ++i) {
-                auto gen = makeWorkloadThread(config.workload, i,
-                                              benign, config.seed);
+                auto gen = make_benign(i);
                 feed(*gen, per_core);
             }
         }
-        if (config.attack != AttackKind::None) {
-            auto gen = makeAttacker(config, map, scheme.flipTh);
-            feed(*gen, config.trackerWarmupActs);
+        if (attacking) {
+            auto gen = make_attacker();
+            feed(*gen, spec.trackerWarmupActs);
         }
     }
 
     System system(sys, std::move(tracker));
     system.snapshotTrackerOps();
 
-    const bool attacking = config.attack != AttackKind::None;
-    const std::uint32_t benign =
-        attacking ? config.cores - 1 : config.cores;
-
     for (std::uint32_t i = 0; i < benign; ++i) {
-        cpu::CoreParams params;
-        params.instrBudget = config.instrPerCore;
-        system.addCore(params,
-                       makeWorkloadThread(config.workload, i, benign,
-                                          config.seed));
+        cpu::CoreParams core_params;
+        core_params.instrBudget = spec.instrPerCore;
+        system.addCore(core_params, make_benign(i));
     }
     if (attacking) {
-        cpu::CoreParams params;
-        params.instrBudget = ~0ull;  // Runs until the benign cores end.
-        params.excluded = true;
-        mc::AddressMap map(sys.geometry);
-        system.addCore(params,
-                       makeAttacker(config, map, scheme.flipTh));
+        cpu::CoreParams core_params;
+        core_params.instrBudget = ~0ull;  // Runs until the benign
+                                          // cores end.
+        core_params.excluded = true;
+        system.addCore(core_params, make_attacker());
     }
 
     system.run();
@@ -231,6 +184,17 @@ runSystem(const RunConfig &config, const trackers::SchemeSpec &scheme)
     if (tracker_ptr)
         m.trackerBytesPerBank = tracker_ptr->tableBytesPerBank();
     return m;
+}
+
+RunMetrics
+runSystem(const RunConfig &config, const trackers::SchemeSpec &scheme)
+{
+    try {
+        return runExperiment(config.toSpec(scheme));
+    } catch (const registry::SpecError &err) {
+        fatal("%s", err.what());
+    }
+    return {};
 }
 
 double

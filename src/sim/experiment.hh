@@ -1,9 +1,13 @@
 /**
  * @file
  * One-call experiment runner shared by the benchmark binaries and the
- * integration tests: build a system with a scheme and a workload
- * (optionally with an attacker thread), run it, and collect the
- * metrics the paper's figures report.
+ * integration tests: build a system from an ExperimentSpec (scheme,
+ * workload, and attack resolved through the registries), run it, and
+ * collect the metrics the paper's figures report.
+ *
+ * The enum-based RunConfig/AttackKind surface below is a deprecated
+ * shim over the registries, kept for callers that predate
+ * ExperimentSpec.
  */
 
 #ifndef MITHRIL_SIM_EXPERIMENT_HH
@@ -12,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/experiment_spec.hh"
 #include "sim/system.hh"
 #include "sim/workload_suite.hh"
 #include "trackers/factory.hh"
@@ -19,7 +24,8 @@
 namespace mithril::sim
 {
 
-/** Attacker thread variants (Section VI-A). */
+/** Attacker thread variants (Section VI-A). Deprecated: the attack
+ *  registry is open; this enum only spans the original entries. */
 enum class AttackKind
 {
     None,
@@ -31,10 +37,12 @@ enum class AttackKind
 /** Printable attack name ("none", "double-sided", ...). */
 std::string attackName(AttackKind kind);
 
-/** Parse an attack name; fatal on unknown names. */
+/** Parse an attack name; fatal on unknown names, listing every
+ *  registered attack. */
 AttackKind attackFromName(const std::string &name);
 
-/** Full experiment description. */
+/** Deprecated enum-based experiment description; superseded by
+ *  ExperimentSpec. */
 struct RunConfig
 {
     SystemConfig sys;
@@ -55,6 +63,9 @@ struct RunConfig
      */
     std::uint64_t trackerWarmupActs = 0;
     bool warmupFromWorkload = false;
+
+    /** The equivalent ExperimentSpec (adopting the scheme knobs). */
+    ExperimentSpec toSpec(const trackers::SchemeSpec &scheme) const;
 };
 
 /** Everything a figure needs from one run. */
@@ -80,7 +91,16 @@ struct RunMetrics
     double trackerBytesPerBank = 0.0;
 };
 
-/** Build, run, and measure one configuration. */
+/**
+ * Build, run, and measure one experiment. Scheme, workload, and
+ * attack construction go through the registries; throws
+ * registry::SpecError on unknown names or infeasible configurations
+ * (the sweep runner surfaces it per job).
+ */
+RunMetrics runExperiment(const ExperimentSpec &spec);
+
+/** Deprecated shim: convert to an ExperimentSpec and run it; fatal
+ *  on configuration errors (the historical behavior). */
 RunMetrics runSystem(const RunConfig &config,
                      const trackers::SchemeSpec &scheme);
 

@@ -1,0 +1,259 @@
+#include "sim/experiment_spec.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "registry/attack_registry.hh"
+#include "registry/scheme_registry.hh"
+#include "registry/workload_registry.hh"
+
+namespace mithril::sim
+{
+
+namespace
+{
+
+using registry::ParamDesc;
+using registry::SpecError;
+
+/** The spec-owned keys with their legal ranges. */
+const std::vector<ParamDesc> &
+coreParams()
+{
+    static const std::vector<ParamDesc> descs = {
+        {"scheme", ParamDesc::Type::String, "mithril", 0, 0,
+         "protection scheme registry name"},
+        {"workload", ParamDesc::Type::String, "mix-high", 0, 0,
+         "workload registry name"},
+        {"attack", ParamDesc::Type::String, "none", 0, 0,
+         "attack registry name"},
+        {"flip", ParamDesc::Type::Uint, "6250", 1, 1e7,
+         "RH threshold (FlipTH)"},
+        {"rfm", ParamDesc::Type::Uint, "0", 0, 1e5,
+         "RFM threshold (0 = scheme default)"},
+        {"ad", ParamDesc::Type::Uint, "200", 0, 1e6,
+         "Mithril adaptive refresh threshold"},
+        {"blast-radius", ParamDesc::Type::Uint, "1", 1, 4,
+         "non-adjacent RH radius"},
+        {"scheme-seed", ParamDesc::Type::Uint, "7", 0, 1.8e19,
+         "scheme-internal RNG seed"},
+        {"cores", ParamDesc::Type::Uint, "16", 1, 1024,
+         "total cores (one becomes the attacker when attacking)"},
+        {"instr", ParamDesc::Type::Uint, "200000", 1, 1e12,
+         "instruction budget per benign core"},
+        {"seed", ParamDesc::Type::Uint, "42", 0, 1.8e19,
+         "workload RNG seed"},
+        {"warmup", ParamDesc::Type::Uint, "0", 0, 1e12,
+         "tracker warm-up activations before the measured run"},
+        {"warmup-from-workload", ParamDesc::Type::Bool, "0", 0, 0,
+         "warm the tracker from the benign streams"},
+    };
+    return descs;
+}
+
+const ParamDesc *
+findDesc(const std::vector<ParamDesc> &descs, const std::string &key)
+{
+    for (const ParamDesc &desc : descs) {
+        if (desc.key == key)
+            return &desc;
+    }
+    return nullptr;
+}
+
+/** The desc of an entry-declared key across the spec's three selected
+ *  entries, with a printable owner; nullptr when none declares it. */
+const ParamDesc *
+findEntryParam(const registry::SchemeRegistry::Entry &scheme_entry,
+               const registry::WorkloadRegistry::Entry &workload_entry,
+               const registry::AttackRegistry::Entry &attack_entry,
+               const std::string &key, std::string *owner)
+{
+    if (const ParamDesc *d = findDesc(scheme_entry.params, key)) {
+        *owner = "scheme '" + scheme_entry.name + "'";
+        return d;
+    }
+    if (const ParamDesc *d = findDesc(workload_entry.params, key)) {
+        *owner = "workload '" + workload_entry.name + "'";
+        return d;
+    }
+    if (const ParamDesc *d = findDesc(attack_entry.params, key)) {
+        *owner = "attack '" + attack_entry.name + "'";
+        return d;
+    }
+    return nullptr;
+}
+
+/** Range-check one core knob against its coreParams() desc — the
+ *  single place the legal ranges live. */
+void
+checkCoreRange(const char *key, std::uint64_t value)
+{
+    const ParamDesc *desc = findDesc(coreParams(), key);
+    MITHRIL_ASSERT(desc != nullptr);
+    const auto min = static_cast<std::uint64_t>(desc->min);
+    const auto max = static_cast<std::uint64_t>(desc->max);
+    if (value < min || value > max) {
+        throw SpecError(std::string(key) + "=" +
+                        std::to_string(value) +
+                        " is out of range [" + std::to_string(min) +
+                        ", " + std::to_string(max) + "]");
+    }
+}
+
+} // namespace
+
+ExperimentSpec
+ExperimentSpec::parse(const ParamSet &params,
+                      const std::vector<std::string> &ignore_keys)
+{
+    ExperimentSpec spec;
+    spec.scheme = params.getString("scheme", spec.scheme);
+    spec.workload = params.getString("workload", spec.workload);
+    spec.attack = params.getString("attack", spec.attack);
+
+    // Resolve the three entries first so every later error can cite
+    // them — and so aliases canonicalize before anything is stored.
+    const auto &scheme_entry =
+        registry::schemeRegistry().at(spec.scheme);
+    const auto &workload_entry =
+        registry::workloadRegistry().at(spec.workload);
+    const auto &attack_entry =
+        registry::attackRegistry().at(spec.attack);
+    spec.scheme = scheme_entry.name;
+    spec.workload = workload_entry.name;
+    spec.attack = attack_entry.name;
+
+    // Reject unknown keys before reading anything: a typo'd knob must
+    // not silently run the default configuration. Value range checks
+    // happen in the validate() call below.
+    for (const std::string &key : params.keys()) {
+        if (findDesc(coreParams(), key))
+            continue;
+        if (std::find(ignore_keys.begin(), ignore_keys.end(), key) !=
+            ignore_keys.end())
+            continue;
+        std::string owner;
+        if (!findEntryParam(scheme_entry, workload_entry,
+                            attack_entry, key, &owner)) {
+            std::vector<std::string> known;
+            for (const ParamDesc &d : coreParams())
+                known.push_back(d.key);
+            for (const auto *entry_params :
+                 {&scheme_entry.params, &workload_entry.params,
+                  &attack_entry.params}) {
+                for (const ParamDesc &d : *entry_params)
+                    known.push_back(d.key);
+            }
+            throw SpecError("unknown experiment parameter '" + key +
+                            "'; accepted parameters: " +
+                            registry::joinSorted(known));
+        }
+        spec.extras.set(key, params.getString(key));
+    }
+
+    // strtoull-level format errors in the numeric knobs below stay
+    // fatal() (ParamSet semantics); range errors throw SpecError via
+    // validate().
+    spec.flipTh = params.getUint32("flip", spec.flipTh);
+    spec.rfmTh = params.getUint32("rfm", spec.rfmTh);
+    spec.adTh = params.getUint32("ad", spec.adTh);
+    spec.blastRadius =
+        params.getUint32("blast-radius", spec.blastRadius);
+    spec.schemeSeed = params.getUint("scheme-seed", spec.schemeSeed);
+    spec.cores = params.getUint32("cores", spec.cores);
+    spec.instrPerCore = params.getUint("instr", spec.instrPerCore);
+    spec.seed = params.getUint("seed", spec.seed);
+    spec.trackerWarmupActs =
+        params.getUint("warmup", spec.trackerWarmupActs);
+    spec.warmupFromWorkload = params.getBool(
+        "warmup-from-workload", spec.warmupFromWorkload);
+    spec.validate();
+    return spec;
+}
+
+ExperimentSpec
+ExperimentSpec::fromParams(const ParamSet &params,
+                           const std::vector<std::string> &ignore_keys)
+{
+    try {
+        return parse(params, ignore_keys);
+    } catch (const SpecError &err) {
+        fatal("%s", err.what());
+    }
+    return {};
+}
+
+void
+ExperimentSpec::validate() const
+{
+    const auto &scheme_entry = registry::schemeRegistry().at(scheme);
+    const auto &workload_entry =
+        registry::workloadRegistry().at(workload);
+    const auto &attack_entry = registry::attackRegistry().at(attack);
+
+    checkCoreRange("flip", flipTh);
+    checkCoreRange("rfm", rfmTh);
+    checkCoreRange("ad", adTh);
+    checkCoreRange("blast-radius", blastRadius);
+    checkCoreRange("cores", cores);
+    checkCoreRange("instr", instrPerCore);
+    checkCoreRange("warmup", trackerWarmupActs);
+    if (attacking() && cores < 2) {
+        throw SpecError("attack '" + attack +
+                        "' needs cores >= 2 (one core becomes the "
+                        "attacker)");
+    }
+
+    for (const std::string &key : extras.keys()) {
+        std::string owner;
+        const ParamDesc *desc = findEntryParam(
+            scheme_entry, workload_entry, attack_entry, key, &owner);
+        if (!desc) {
+            throw SpecError(
+                "parameter '" + key + "' is not declared by scheme '" +
+                scheme + "', workload '" + workload + "', or attack '" +
+                attack + "'");
+        }
+        registry::checkParam(owner, *desc, extras);
+    }
+}
+
+ParamSet
+ExperimentSpec::toParams() const
+{
+    ParamSet params;
+    params.set("scheme", scheme);
+    params.set("workload", workload);
+    params.set("attack", attack);
+    params.set("flip", std::to_string(flipTh));
+    params.set("rfm", std::to_string(rfmTh));
+    params.set("ad", std::to_string(adTh));
+    params.set("blast-radius", std::to_string(blastRadius));
+    params.set("scheme-seed", std::to_string(schemeSeed));
+    params.set("cores", std::to_string(cores));
+    params.set("instr", std::to_string(instrPerCore));
+    params.set("seed", std::to_string(seed));
+    params.set("warmup", std::to_string(trackerWarmupActs));
+    params.set("warmup-from-workload",
+               warmupFromWorkload ? "1" : "0");
+    for (const std::string &key : extras.keys())
+        params.set(key, extras.getString(key));
+    return params;
+}
+
+std::string
+ExperimentSpec::describe() const
+{
+    const ParamSet params = toParams();
+    std::string out;
+    for (const std::string &key : params.keys()) {
+        if (!out.empty())
+            out += " ";
+        out += key + "=" + params.getString(key);
+    }
+    return out;
+}
+
+} // namespace mithril::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The unified experiment description: ONE spec object naming the
+ * protection scheme, workload, and attack by registry name, plus every
+ * shared knob the evaluation varies. It subsumes the historical
+ * RunConfig + SchemeSpec pair and is constructed from a ParamSet, so
+ * the CLI, sweep grids, and tests share one parser:
+ *
+ *   auto spec = sim::ExperimentSpec::fromParams(
+ *       ParamSet::fromString("scheme=mithril flip=6250 "
+ *                            "workload=mix-high attack=none"));
+ *   sim::RunMetrics m = sim::runExperiment(spec);
+ *
+ * Validation is eager: unknown scheme/workload/attack names throw
+ * registry::SpecError listing every registered name, out-of-range
+ * knobs report the legal range, and a key neither owned by the spec
+ * nor declared by a selected registry entry is rejected outright.
+ * describe() renders the spec as a canonical sorted "k=v" line that
+ * round-trips through ParamSet::fromString — the basis of golden-file
+ * tests and sweep labels.
+ */
+
+#ifndef MITHRIL_SIM_EXPERIMENT_SPEC_HH
+#define MITHRIL_SIM_EXPERIMENT_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/system.hh"
+
+namespace mithril::sim
+{
+
+/** Full experiment description over registry names. */
+struct ExperimentSpec
+{
+    // ------------------------------------------------ registry axes
+    std::string scheme = "mithril";
+    std::string workload = "mix-high";
+    std::string attack = "none";
+
+    // ------------------------------------------------- scheme knobs
+    std::uint32_t flipTh = 6250;
+    std::uint32_t rfmTh = 0;       //!< 0 = the scheme's auto default.
+    std::uint32_t adTh = 200;
+    std::uint32_t blastRadius = 1;
+    std::uint64_t schemeSeed = 7;
+
+    // ---------------------------------------------------- run knobs
+    std::uint32_t cores = 16;
+    std::uint64_t instrPerCore = 200000;
+    std::uint64_t seed = 42;
+    std::uint64_t trackerWarmupActs = 0;
+    bool warmupFromWorkload = false;
+
+    /** Entry-declared extra tunables (e.g. victims=, mean-gap=),
+     *  validated against the selected entries' declarations. */
+    ParamSet extras;
+
+    /** Simulator internals (timing/geometry/MC/LLC presets). Not part
+     *  of the ParamSet surface; tests and ablations mutate it
+     *  directly. */
+    SystemConfig sys;
+
+    /** True when an attacker core runs ("attack" != "none"). */
+    bool
+    attacking() const
+    {
+        return attack != "none";
+    }
+
+    /**
+     * Parse and validate a spec from parameters. Keys listed in
+     * `ignore_keys` are skipped (caller-owned knobs like jobs=).
+     * Throws registry::SpecError with the full candidate list / legal
+     * range on any invalid input; names are canonicalized (aliases
+     * resolved) on success.
+     */
+    static ExperimentSpec
+    parse(const ParamSet &params,
+          const std::vector<std::string> &ignore_keys = {});
+
+    /** As parse(), but fatal() on invalid input (CLI front ends). */
+    static ExperimentSpec
+    fromParams(const ParamSet &params,
+               const std::vector<std::string> &ignore_keys = {});
+
+    /**
+     * Re-validate a (possibly hand-built) spec: registry names exist,
+     * numeric knobs are in range, extras are declared by the selected
+     * entries. Throws registry::SpecError.
+     */
+    void validate() const;
+
+    /**
+     * Canonical "k=v k=v ..." rendering, keys sorted, every shared
+     * knob explicit. Deterministic, and
+     * `parse(ParamSet::fromString(describe()))` reproduces the spec.
+     */
+    std::string describe() const;
+
+    /** The spec as a ParamSet (the same pairs describe() prints) —
+     *  what registry factories receive. */
+    ParamSet toParams() const;
+};
+
+} // namespace mithril::sim
+
+#endif // MITHRIL_SIM_EXPERIMENT_SPEC_HH

@@ -1,11 +1,30 @@
 #include "workload_suite.hh"
 
 #include "common/logging.hh"
-#include "workload/multithreaded.hh"
-#include "workload/spec_like.hh"
+#include "registry/workload_registry.hh"
 
 namespace mithril::sim
 {
+
+namespace
+{
+
+/** Kind <-> registry key, in enum order. */
+const struct
+{
+    WorkloadKind kind;
+    const char *key;
+} kWorkloadKeys[] = {
+    {WorkloadKind::MixHigh, "mix-high"},
+    {WorkloadKind::MixBlend, "mix-blend"},
+    {WorkloadKind::MtFft, "mt-fft"},
+    {WorkloadKind::MtRadix, "mt-radix"},
+    {WorkloadKind::MtPageRank, "mt-pagerank"},
+    {WorkloadKind::Gups, "gups"},
+    {WorkloadKind::Stencil, "stencil"},
+};
+
+} // namespace
 
 const std::vector<WorkloadKind> &
 allWorkloads()
@@ -43,26 +62,32 @@ multiThreadedWorkloads()
 std::string
 workloadName(WorkloadKind kind)
 {
-    switch (kind) {
-      case WorkloadKind::MixHigh:    return "mix-high";
-      case WorkloadKind::MixBlend:   return "mix-blend";
-      case WorkloadKind::MtFft:      return "mt-fft";
-      case WorkloadKind::MtRadix:    return "mt-radix";
-      case WorkloadKind::MtPageRank: return "mt-pagerank";
-      case WorkloadKind::Gups:       return "gups";
-      case WorkloadKind::Stencil:    return "stencil";
+    for (const auto &m : kWorkloadKeys) {
+        if (m.kind == kind)
+            return m.key;
     }
+    panic("unhandled workload kind");
     return "?";
 }
 
 WorkloadKind
 workloadFromName(const std::string &name)
 {
-    for (WorkloadKind kind : allWorkloads()) {
-        if (workloadName(kind) == name)
-            return kind;
+    const auto *entry = registry::workloadRegistry().find(name);
+    if (entry) {
+        for (const auto &m : kWorkloadKeys) {
+            if (entry->name == m.key)
+                return m.kind;
+        }
+        fatal("workload '%s' is registered but not addressable "
+              "through the deprecated WorkloadKind enum; use the "
+              "name-based ExperimentSpec API",
+              name.c_str());
     }
-    fatal("unknown workload: %s", name.c_str());
+    fatal("unknown workload: %s (registered workloads: %s)",
+          name.c_str(),
+          registry::joinSorted(registry::workloadRegistry().names())
+              .c_str());
     return WorkloadKind::MixHigh;
 }
 
@@ -71,108 +96,8 @@ makeWorkloadThread(WorkloadKind kind, std::uint32_t core_id,
                    std::uint32_t cores, std::uint64_t seed)
 {
     MITHRIL_ASSERT(cores > 0 && core_id < cores);
-
-    // Disjoint 512MB regions for multi-programmed threads.
-    const Addr private_base =
-        static_cast<Addr>(core_id) << 29;
-    // One shared 2GB region for the multithreaded kernels (placed past
-    // every private region).
-    const Addr shared_base = static_cast<Addr>(cores) << 29;
-
-    switch (kind) {
-      case WorkloadKind::MixHigh: {
-        workload::SyntheticParams p;
-        p.base = private_base;
-        p.seed = seed * 1009 + core_id;
-        // ~36 LLC accesses per 1000 instructions, matching the L3 MPKI
-        // of memory-intensive SPEC CPU2017 workloads.
-        p.meanGap = 28.0;
-        // Rotate the three memory-intensive archetypes.
-        switch (core_id % 3) {
-          case 0:
-            p.footprint = 96ull << 20;
-            return std::make_unique<workload::StreamSweepGen>(p);
-          case 1:
-            p.footprint = 64ull << 20;
-            return std::make_unique<workload::PointerChaseGen>(p);
-          default:
-            p.footprint = 48ull << 20;
-            return std::make_unique<workload::ZipfGen>(p);
-        }
-      }
-
-      case WorkloadKind::MixBlend: {
-        workload::SyntheticParams p;
-        p.base = private_base;
-        p.seed = seed * 2003 + core_id;
-        if (core_id % 2 == 0) {
-            p.footprint = 8ull << 20;  // Mostly cache resident.
-            p.meanGap = 40.0;
-            return std::make_unique<workload::ComputeGen>(p);
-        }
-        p.footprint = 64ull << 20;
-        p.meanGap = 28.0;
-        if (core_id % 4 == 1)
-            return std::make_unique<workload::StreamSweepGen>(p);
-        return std::make_unique<workload::PointerChaseGen>(p);
-      }
-
-      case WorkloadKind::MtFft: {
-        workload::MtParams p;
-        p.base = shared_base;
-        p.footprint = 1ull << 31;
-        p.threads = cores;
-        p.seed = seed * 3001;
-        p.phaseLines = 2048;
-        p.meanGap = 22.0;
-        p.writeFraction = 0.4;
-        return std::make_unique<workload::PartitionedSweepGen>(
-            p, core_id);
-      }
-
-      case WorkloadKind::MtRadix: {
-        workload::MtParams p;
-        p.base = shared_base;
-        p.footprint = 1ull << 31;
-        p.threads = cores;
-        p.seed = seed * 4001;
-        p.phaseLines = 8192;
-        p.meanGap = 20.0;
-        p.writeFraction = 0.55;
-        return std::make_unique<workload::PartitionedSweepGen>(
-            p, core_id);
-      }
-
-      case WorkloadKind::MtPageRank: {
-        workload::MtParams p;
-        p.base = shared_base;
-        p.footprint = 1ull << 31;
-        p.threads = cores;
-        p.seed = seed * 5003;
-        p.meanGap = 22.0;
-        return std::make_unique<workload::PageRankGen>(p, core_id);
-      }
-
-      case WorkloadKind::Gups: {
-        workload::SyntheticParams p;
-        p.base = private_base;
-        p.footprint = 128ull << 20;
-        p.seed = seed * 6007 + core_id;
-        p.meanGap = 30.0;
-        return std::make_unique<workload::GupsGen>(p);
-      }
-
-      case WorkloadKind::Stencil: {
-        workload::SyntheticParams p;
-        p.base = private_base;
-        p.footprint = 120ull << 20;
-        p.seed = seed * 7001 + core_id;
-        p.meanGap = 24.0;
-        return std::make_unique<workload::StencilGen>(p);
-      }
-    }
-    panic("unhandled workload kind");
-    return nullptr;
+    return registry::makeWorkload(workloadName(kind), ParamSet(),
+                                  {core_id, cores, seed});
 }
 
 } // namespace mithril::sim

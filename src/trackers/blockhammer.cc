@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "analysis/area_model.hh"
 #include "common/logging.hh"
+#include "core/config_solver.hh"
+#include "registry/scheme_registry.hh"
 
 namespace mithril::trackers
 {
@@ -141,5 +144,37 @@ BlockHammer::tableBytesPerBank() const
     const double history_bits = 128.0 * 48.0;
     return (cbf_bits + history_bits) / 8.0;
 }
+
+namespace
+{
+
+const registry::Registrar<registry::SchemeTraits> kRegisterBlockHammer{{
+    /*name=*/"blockhammer",
+    /*display=*/"BlockHammer",
+    /*description=*/
+    "dual counting-Bloom-filter ACT throttling at the MC",
+    /*aliases=*/{},
+    /*uses=*/"flip, scheme-seed",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx)
+        -> std::unique_ptr<RhProtection> {
+        const auto knobs = registry::SchemeKnobs::fromParams(params);
+        const auto [cbf_size, nbl] =
+            analysis::AreaModel::blockHammerConfig(knobs.flipTh);
+        BlockHammerParams bparams;
+        bparams.cbfSize = cbf_size;
+        bparams.nbl = nbl;
+        bparams.flipTh = knobs.flipTh;
+        bparams.tCbf = ctx.timing.tREFW;
+        bparams.tRc = ctx.timing.tRC;
+        bparams.counterBits = core::ceilLog2(nbl) + 1;
+        bparams.seed = knobs.seed;
+        return std::make_unique<BlockHammer>(
+            ctx.geometry.totalBanks(), bparams);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::trackers

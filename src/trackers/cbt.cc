@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "registry/scheme_registry.hh"
 
 namespace mithril::trackers
 {
@@ -106,5 +107,35 @@ Cbt::leafCount(BankId bank) const
             ++leaves;
     return leaves;
 }
+
+namespace
+{
+
+const registry::Registrar<registry::SchemeTraits> kRegisterCbt{{
+    /*name=*/"cbt",
+    /*display=*/"CBT",
+    /*description=*/
+    "counter tree that splits hot subtrees down to row granularity",
+    /*aliases=*/{},
+    /*uses=*/"flip",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx)
+        -> std::unique_ptr<RhProtection> {
+        const auto knobs = registry::SchemeKnobs::fromParams(params);
+        CbtParams cparams;
+        cparams.nCounters = static_cast<std::uint32_t>(
+            12.0e6 / static_cast<double>(knobs.flipTh));
+        cparams.refreshThreshold = std::max(2u, knobs.flipTh / 4);
+        cparams.splitThreshold =
+            std::max(1u, cparams.refreshThreshold / 2);
+        cparams.rowsPerBank = ctx.geometry.rowsPerBank;
+        cparams.resetInterval = ctx.timing.tREFW;
+        return std::make_unique<Cbt>(ctx.geometry.totalBanks(),
+                                     cparams);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::trackers

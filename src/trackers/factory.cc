@@ -1,67 +1,73 @@
 #include "factory.hh"
 
-#include <cmath>
-
-#include "analysis/area_model.hh"
-#include "analysis/parfm_failure.hh"
 #include "common/logging.hh"
 #include "core/bounds.hh"
 #include "core/config_solver.hh"
 #include "core/mithril.hh"
-#include "trackers/blockhammer.hh"
-#include "trackers/cbt.hh"
-#include "trackers/graphene.hh"
-#include "trackers/para.hh"
-#include "trackers/parfm.hh"
-#include "trackers/rfm_graphene.hh"
-#include "trackers/twice.hh"
+#include "registry/scheme_registry.hh"
 
 namespace mithril::trackers
 {
 
+namespace
+{
+
+/** Kind <-> registry key, in enum order. */
+const struct
+{
+    SchemeKind kind;
+    const char *key;
+} kKindKeys[] = {
+    {SchemeKind::None, "none"},
+    {SchemeKind::Mithril, "mithril"},
+    {SchemeKind::MithrilPlus, "mithril+"},
+    {SchemeKind::Parfm, "parfm"},
+    {SchemeKind::BlockHammer, "blockhammer"},
+    {SchemeKind::Para, "para"},
+    {SchemeKind::Graphene, "graphene"},
+    {SchemeKind::RfmGraphene, "rfm-graphene"},
+    {SchemeKind::Twice, "twice"},
+    {SchemeKind::Cbt, "cbt"},
+};
+
+} // namespace
+
 SchemeKind
 schemeFromName(const std::string &name)
 {
-    if (name == "none")
-        return SchemeKind::None;
-    if (name == "mithril")
-        return SchemeKind::Mithril;
-    if (name == "mithril+" || name == "mithril_plus")
-        return SchemeKind::MithrilPlus;
-    if (name == "parfm")
-        return SchemeKind::Parfm;
-    if (name == "blockhammer")
-        return SchemeKind::BlockHammer;
-    if (name == "para")
-        return SchemeKind::Para;
-    if (name == "graphene")
-        return SchemeKind::Graphene;
-    if (name == "rfm-graphene" || name == "rfm_graphene")
-        return SchemeKind::RfmGraphene;
-    if (name == "twice")
-        return SchemeKind::Twice;
-    if (name == "cbt")
-        return SchemeKind::Cbt;
-    fatal("unknown scheme name: %s", name.c_str());
+    const auto *entry = registry::schemeRegistry().find(name);
+    if (entry) {
+        for (const auto &m : kKindKeys) {
+            if (entry->name == m.key)
+                return m.kind;
+        }
+        fatal("scheme '%s' is registered but not addressable through "
+              "the deprecated SchemeKind enum; use the name-based "
+              "ExperimentSpec API",
+              name.c_str());
+    }
+    fatal("unknown scheme name: %s (registered schemes: %s)",
+          name.c_str(),
+          registry::joinSorted(registry::schemeRegistry().names())
+              .c_str());
     return SchemeKind::None;
+}
+
+std::string
+schemeKey(SchemeKind kind)
+{
+    for (const auto &m : kKindKeys) {
+        if (m.kind == kind)
+            return m.key;
+    }
+    panic("unhandled scheme kind");
+    return "?";
 }
 
 std::string
 schemeName(SchemeKind kind)
 {
-    switch (kind) {
-      case SchemeKind::None:        return "None";
-      case SchemeKind::Mithril:     return "Mithril";
-      case SchemeKind::MithrilPlus: return "Mithril+";
-      case SchemeKind::Parfm:       return "PARFM";
-      case SchemeKind::BlockHammer: return "BlockHammer";
-      case SchemeKind::Para:        return "PARA";
-      case SchemeKind::Graphene:    return "Graphene";
-      case SchemeKind::RfmGraphene: return "RFM-Graphene";
-      case SchemeKind::Twice:       return "TWiCe";
-      case SchemeKind::Cbt:         return "CBT";
-    }
-    return "?";
+    return registry::schemeDisplay(schemeKey(kind));
 }
 
 std::uint32_t
@@ -76,129 +82,109 @@ defaultMithrilRfmTh(std::uint32_t flip_th)
     return 32;
 }
 
+ParamSet
+schemeSpecParams(const SchemeSpec &spec)
+{
+    ParamSet params;
+    params.set("flip", std::to_string(spec.flipTh));
+    params.set("rfm", std::to_string(spec.rfmTh));
+    params.set("ad", std::to_string(spec.adTh));
+    params.set("blast-radius", std::to_string(spec.blastRadius));
+    params.set("scheme-seed", std::to_string(spec.seed));
+    return params;
+}
+
 std::unique_ptr<RhProtection>
 makeScheme(const SchemeSpec &spec, const dram::Timing &timing,
            const dram::Geometry &geometry)
 {
-    const std::uint32_t banks = geometry.totalBanks();
-    const std::uint32_t row_bits =
-        core::ceilLog2(geometry.rowsPerBank);
-    const std::uint64_t max_acts = dram::maxActsPerWindow(timing);
-
-    switch (spec.kind) {
-      case SchemeKind::None:
-        return nullptr;
-
-      case SchemeKind::Mithril:
-      case SchemeKind::MithrilPlus: {
-        const std::uint32_t rfm_th =
-            spec.rfmTh ? spec.rfmTh : defaultMithrilRfmTh(spec.flipTh);
-        core::ConfigSolver solver(timing, geometry);
-        const double effect = core::aggregatedEffect(spec.blastRadius);
-        auto cfg = solver.solve(spec.flipTh, rfm_th, spec.adTh, effect);
-        if (!cfg) {
-            fatal("Mithril infeasible at FlipTH=%u RFM_TH=%u AdTH=%u "
-                  "radius=%u",
-                  spec.flipTh, rfm_th, spec.adTh, spec.blastRadius);
-        }
-        core::MithrilParams params;
-        params.nEntry = cfg->nEntry;
-        params.rfmTh = rfm_th;
-        params.adTh = spec.adTh;
-        params.rowBits = row_bits;
-        params.counterBits = cfg->counterBits;
-        params.plusMode = (spec.kind == SchemeKind::MithrilPlus);
-        return std::make_unique<core::Mithril>(banks, params);
-      }
-
-      case SchemeKind::Parfm: {
-        std::uint32_t rfm_th = spec.rfmTh;
-        if (rfm_th == 0) {
-            rfm_th = analysis::parfmMaxRfmTh(timing, spec.flipTh);
-            if (rfm_th == 0) {
-                fatal("PARFM cannot reach 1e-15 at FlipTH=%u",
-                      spec.flipTh);
-            }
-        }
-        return std::make_unique<Parfm>(banks, rfm_th, spec.seed);
-      }
-
-      case SchemeKind::BlockHammer: {
-        const auto [cbf_size, nbl] =
-            analysis::AreaModel::blockHammerConfig(spec.flipTh);
-        BlockHammerParams params;
-        params.cbfSize = cbf_size;
-        params.nbl = nbl;
-        params.flipTh = spec.flipTh;
-        params.tCbf = timing.tREFW;
-        params.tRc = timing.tRC;
-        params.counterBits = core::ceilLog2(nbl) + 1;
-        params.seed = spec.seed;
-        return std::make_unique<BlockHammer>(banks, params);
-      }
-
-      case SchemeKind::Para: {
-        const double p =
-            Para::requiredProbability(spec.flipTh, 1e-15);
-        return std::make_unique<Para>(p, spec.seed);
-      }
-
-      case SchemeKind::Graphene: {
-        GrapheneParams params;
-        params.threshold = std::max(1u, spec.flipTh / 4);
-        params.nEntry =
-            Graphene::requiredEntries(max_acts, params.threshold);
-        params.resetInterval = timing.tREFW;
-        params.rowBits = row_bits;
-        params.counterBits = core::ceilLog2(params.threshold) + 2;
-        return std::make_unique<Graphene>(banks, params);
-      }
-
-      case SchemeKind::RfmGraphene: {
-        RfmGrapheneParams params;
-        params.threshold = std::max(1u, spec.flipTh / 4);
-        params.rfmTh = spec.rfmTh ? spec.rfmTh : 64;
-        params.nEntry =
-            Graphene::requiredEntries(max_acts, params.threshold);
-        params.resetInterval = timing.tREFW;
-        params.rowBits = row_bits;
-        params.counterBits = core::ceilLog2(params.threshold) + 2;
-        return std::make_unique<RfmGraphene>(banks, params);
-      }
-
-      case SchemeKind::Twice: {
-        TwiceParams params;
-        params.rhThreshold = std::max(1u, spec.flipTh / 4);
-        // Rate-exact pruning: an entry survives only while its ACT
-        // rate could still reach th_RO within one tREFW.
-        params.pruneRateNum = params.rhThreshold;
-        params.pruneRateDen = static_cast<std::uint32_t>(
-            timing.tREFW / timing.tREFI);
-        const std::uint64_t base =
-            Graphene::requiredEntries(max_acts, params.rhThreshold);
-        const double factor = std::max(
-            1.0, std::log(static_cast<double>(max_acts) /
-                          static_cast<double>(base)));
-        params.capacity = static_cast<std::uint32_t>(
-            std::ceil(static_cast<double>(base) * factor));
-        params.rowBits = row_bits;
-        return std::make_unique<Twice>(banks, params);
-      }
-
-      case SchemeKind::Cbt: {
-        CbtParams params;
-        params.nCounters = static_cast<std::uint32_t>(
-            12.0e6 / static_cast<double>(spec.flipTh));
-        params.refreshThreshold = std::max(2u, spec.flipTh / 4);
-        params.splitThreshold =
-            std::max(1u, params.refreshThreshold / 2);
-        params.rowsPerBank = geometry.rowsPerBank;
-        params.resetInterval = timing.tREFW;
-        return std::make_unique<Cbt>(banks, params);
-      }
+    try {
+        return registry::makeScheme(schemeKey(spec.kind),
+                                    schemeSpecParams(spec),
+                                    {timing, geometry});
+    } catch (const registry::SpecError &err) {
+        fatal("%s", err.what());
     }
-    panic("unhandled scheme kind");
     return nullptr;
 }
+
+// ------------------------------------------------------ registration
+//
+// "none" and the two Mithril variants register here; every other
+// scheme registers in its own translation unit.
+
+namespace
+{
+
+std::unique_ptr<RhProtection>
+makeMithrilEntry(const ParamSet &params,
+                 const registry::SchemeContext &ctx, bool plus_mode)
+{
+    const auto knobs = registry::SchemeKnobs::fromParams(params);
+    const std::uint32_t rfm_th =
+        knobs.rfmTh ? knobs.rfmTh : defaultMithrilRfmTh(knobs.flipTh);
+    core::ConfigSolver solver(ctx.timing, ctx.geometry);
+    const double effect = core::aggregatedEffect(knobs.blastRadius);
+    auto cfg = solver.solve(knobs.flipTh, rfm_th, knobs.adTh, effect);
+    if (!cfg) {
+        throw registry::SpecError(
+            "Mithril infeasible at flip=" +
+            std::to_string(knobs.flipTh) + " rfm=" +
+            std::to_string(rfm_th) + " ad=" +
+            std::to_string(knobs.adTh) + " blast-radius=" +
+            std::to_string(knobs.blastRadius));
+    }
+    core::MithrilParams mparams;
+    mparams.nEntry = cfg->nEntry;
+    mparams.rfmTh = rfm_th;
+    mparams.adTh = knobs.adTh;
+    mparams.rowBits = core::ceilLog2(ctx.geometry.rowsPerBank);
+    mparams.counterBits = cfg->counterBits;
+    mparams.plusMode = plus_mode;
+    return std::make_unique<core::Mithril>(ctx.geometry.totalBanks(),
+                                           mparams);
+}
+
+const registry::Registrar<registry::SchemeTraits> kRegisterNone{{
+    /*name=*/"none",
+    /*display=*/"None",
+    /*description=*/"unprotected baseline (no tracker)",
+    /*aliases=*/{},
+    /*uses=*/"",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &, const registry::SchemeContext &)
+        -> std::unique_ptr<RhProtection> { return nullptr; },
+}};
+
+const registry::Registrar<registry::SchemeTraits> kRegisterMithril{{
+    /*name=*/"mithril",
+    /*display=*/"Mithril",
+    /*description=*/
+    "CbS-tracked RFM scheme sized by the Theorem 1/2 solver",
+    /*aliases=*/{},
+    /*uses=*/"flip, rfm (0 = paper default), ad, blast-radius",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx) {
+        return makeMithrilEntry(params, ctx, false);
+    },
+}};
+
+const registry::Registrar<registry::SchemeTraits> kRegisterMithrilPlus{{
+    /*name=*/"mithril+",
+    /*display=*/"Mithril+",
+    /*description=*/
+    "Mithril with the MRR poll that skips needless RFM commands",
+    /*aliases=*/{"mithril_plus"},
+    /*uses=*/"flip, rfm (0 = paper default), ad, blast-radius",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx) {
+        return makeMithrilEntry(params, ctx, true);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::trackers

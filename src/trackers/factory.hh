@@ -1,7 +1,12 @@
 /**
  * @file
- * Factory that instantiates every protection scheme with the paper's
- * Section VI-A configuration rules, given only (scheme, FlipTH).
+ * Deprecated enum-based shims over the scheme registry
+ * (registry/scheme_registry.hh). New code should address schemes by
+ * registry name through registry::makeScheme / sim::ExperimentSpec;
+ * the SchemeKind/SchemeSpec surface below remains for callers that
+ * predate the registry and maps 1:1 onto the built-in entries.
+ * Construction logic lives in each tracker's translation unit (its
+ * registration block), not here.
  */
 
 #ifndef MITHRIL_TRACKERS_FACTORY_HH
@@ -10,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "common/config.hh"
 #include "dram/timing.hh"
 #include "trackers/rh_protection.hh"
 
@@ -49,11 +55,20 @@ struct SchemeSpec
     std::uint64_t seed = 7;
 };
 
-/** Parse a scheme name ("mithril", "mithril+", "parfm", ...). */
+/** Parse a scheme name ("mithril", "mithril+", "parfm", ...);
+ *  fatal on unknown names, listing every registered scheme. */
 SchemeKind schemeFromName(const std::string &name);
 
-/** Printable name of a scheme kind. */
+/** Printable name of a scheme kind ("Mithril", "RFM-Graphene"). */
 std::string schemeName(SchemeKind kind);
+
+/** Canonical registry key of a scheme kind ("mithril",
+ *  "rfm-graphene"). */
+std::string schemeKey(SchemeKind kind);
+
+/** The spec rendered as the registry's shared knob parameters
+ *  (flip=, rfm=, ad=, blast-radius=, scheme-seed=). */
+ParamSet schemeSpecParams(const SchemeSpec &spec);
 
 /** The paper's default RFM_TH for Mithril at a given FlipTH
  *  (Section VI-A: 256 at >=12.5K, down to 32 at 1.5K). */

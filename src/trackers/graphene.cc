@@ -1,6 +1,10 @@
 #include "graphene.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "core/config_solver.hh"
+#include "registry/scheme_registry.hh"
 
 namespace mithril::trackers
 {
@@ -52,5 +56,35 @@ Graphene::requiredEntries(std::uint64_t max_acts, std::uint32_t threshold)
     return static_cast<std::uint32_t>(
         (max_acts + threshold - 1) / threshold);
 }
+
+namespace
+{
+
+const registry::Registrar<registry::SchemeTraits> kRegisterGraphene{{
+    /*name=*/"graphene",
+    /*display=*/"Graphene",
+    /*description=*/
+    "Misra-Gries counter summary with immediate ARR refreshes",
+    /*aliases=*/{},
+    /*uses=*/"flip",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx)
+        -> std::unique_ptr<RhProtection> {
+        const auto knobs = registry::SchemeKnobs::fromParams(params);
+        GrapheneParams gparams;
+        gparams.threshold = std::max(1u, knobs.flipTh / 4);
+        gparams.nEntry = Graphene::requiredEntries(
+            dram::maxActsPerWindow(ctx.timing), gparams.threshold);
+        gparams.resetInterval = ctx.timing.tREFW;
+        gparams.rowBits = core::ceilLog2(ctx.geometry.rowsPerBank);
+        gparams.counterBits =
+            core::ceilLog2(gparams.threshold) + 2;
+        return std::make_unique<Graphene>(ctx.geometry.totalBanks(),
+                                          gparams);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::trackers

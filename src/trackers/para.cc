@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "registry/scheme_registry.hh"
 
 namespace mithril::trackers
 {
@@ -33,5 +34,38 @@ Para::requiredProbability(std::uint32_t flip_th, double fail_target)
     const double exponent = 2.0 / static_cast<double>(flip_th);
     return 1.0 - std::pow(fail_target, exponent);
 }
+
+namespace
+{
+
+const registry::Registrar<registry::SchemeTraits> kRegisterPara{{
+    /*name=*/"para",
+    /*display=*/"PARA",
+    /*description=*/
+    "stateless probabilistic adjacent-row refresh on every ACT",
+    /*aliases=*/{},
+    /*uses=*/"flip, scheme-seed",
+    /*params=*/
+    {{
+        "para-p",
+        registry::ParamDesc::Type::Double,
+        "0",
+        0.0,
+        1.0,
+        "refresh probability override (0 = derive from flip for a "
+        "1e-15 failure target)",
+    }},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &)
+        -> std::unique_ptr<RhProtection> {
+        const auto knobs = registry::SchemeKnobs::fromParams(params);
+        double p = params.getDoubleIn("para-p", 0.0, 0.0, 1.0);
+        if (p == 0.0)
+            p = Para::requiredProbability(knobs.flipTh, 1e-15);
+        return std::make_unique<Para>(p, knobs.seed);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::trackers

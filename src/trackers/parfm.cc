@@ -1,6 +1,8 @@
 #include "parfm.hh"
 
+#include "analysis/parfm_failure.hh"
 #include "common/logging.hh"
+#include "registry/scheme_registry.hh"
 
 namespace mithril::trackers
 {
@@ -39,5 +41,36 @@ Parfm::onRfm(BankId bank, Tick now, std::vector<RowId> &aggressors)
     res.sampled = kInvalidRow;
     res.seen = 0;
 }
+
+namespace
+{
+
+const registry::Registrar<registry::SchemeTraits> kRegisterParfm{{
+    /*name=*/"parfm",
+    /*display=*/"PARFM",
+    /*description=*/
+    "probabilistic reservoir sampling over the RFM interface",
+    /*aliases=*/{},
+    /*uses=*/"flip, rfm (0 = max safe for 1e-15), scheme-seed",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx)
+        -> std::unique_ptr<RhProtection> {
+        const auto knobs = registry::SchemeKnobs::fromParams(params);
+        std::uint32_t rfm_th = knobs.rfmTh;
+        if (rfm_th == 0) {
+            rfm_th = analysis::parfmMaxRfmTh(ctx.timing, knobs.flipTh);
+            if (rfm_th == 0) {
+                throw registry::SpecError(
+                    "PARFM cannot reach 1e-15 at flip=" +
+                    std::to_string(knobs.flipTh));
+            }
+        }
+        return std::make_unique<Parfm>(ctx.geometry.totalBanks(),
+                                       rfm_th, knobs.seed);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::trackers

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/config_solver.hh"
+#include "registry/scheme_registry.hh"
+#include "trackers/graphene.hh"
 
 namespace mithril::trackers
 {
@@ -61,5 +64,36 @@ RfmGraphene::tableBytesPerBank() const
     return static_cast<double>(params_.nEntry) *
            (params_.rowBits + params_.counterBits) / 8.0;
 }
+
+namespace
+{
+
+const registry::Registrar<registry::SchemeTraits> kRegisterRfmGraphene{{
+    /*name=*/"rfm-graphene",
+    /*display=*/"RFM-Graphene",
+    /*description=*/
+    "Graphene's summary driven through buffered RFM refreshes",
+    /*aliases=*/{"rfm_graphene"},
+    /*uses=*/"flip, rfm (0 = 64)",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx)
+        -> std::unique_ptr<RhProtection> {
+        const auto knobs = registry::SchemeKnobs::fromParams(params);
+        RfmGrapheneParams gparams;
+        gparams.threshold = std::max(1u, knobs.flipTh / 4);
+        gparams.rfmTh = knobs.rfmTh ? knobs.rfmTh : 64;
+        gparams.nEntry = Graphene::requiredEntries(
+            dram::maxActsPerWindow(ctx.timing), gparams.threshold);
+        gparams.resetInterval = ctx.timing.tREFW;
+        gparams.rowBits = core::ceilLog2(ctx.geometry.rowsPerBank);
+        gparams.counterBits =
+            core::ceilLog2(gparams.threshold) + 2;
+        return std::make_unique<RfmGraphene>(
+            ctx.geometry.totalBanks(), gparams);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::trackers

@@ -1,8 +1,12 @@
 #include "twice.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
+#include "core/config_solver.hh"
+#include "registry/scheme_registry.hh"
+#include "trackers/graphene.hh"
 
 namespace mithril::trackers
 {
@@ -78,5 +82,44 @@ Twice::tableBytesPerBank() const
     return static_cast<double>(params_.capacity) * params_.entryBits /
            8.0;
 }
+
+namespace
+{
+
+const registry::Registrar<registry::SchemeTraits> kRegisterTwice{{
+    /*name=*/"twice",
+    /*display=*/"TWiCe",
+    /*description=*/
+    "Lossy-Counting table in the DIMM buffer chip with rate pruning",
+    /*aliases=*/{},
+    /*uses=*/"flip",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx)
+        -> std::unique_ptr<RhProtection> {
+        const auto knobs = registry::SchemeKnobs::fromParams(params);
+        TwiceParams tparams;
+        tparams.rhThreshold = std::max(1u, knobs.flipTh / 4);
+        // Rate-exact pruning: an entry survives only while its ACT
+        // rate could still reach th_RO within one tREFW.
+        tparams.pruneRateNum = tparams.rhThreshold;
+        tparams.pruneRateDen = static_cast<std::uint32_t>(
+            ctx.timing.tREFW / ctx.timing.tREFI);
+        const std::uint64_t max_acts =
+            dram::maxActsPerWindow(ctx.timing);
+        const std::uint64_t base = Graphene::requiredEntries(
+            max_acts, tparams.rhThreshold);
+        const double factor = std::max(
+            1.0, std::log(static_cast<double>(max_acts) /
+                          static_cast<double>(base)));
+        tparams.capacity = static_cast<std::uint32_t>(
+            std::ceil(static_cast<double>(base) * factor));
+        tparams.rowBits = core::ceilLog2(ctx.geometry.rowsPerBank);
+        return std::make_unique<Twice>(ctx.geometry.totalBanks(),
+                                       tparams);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::trackers

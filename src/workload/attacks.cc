@@ -1,6 +1,11 @@
 #include "attacks.hh"
 
+#include <algorithm>
+#include <map>
+
+#include "analysis/area_model.hh"
 #include "common/logging.hh"
+#include "registry/attack_registry.hh"
 
 namespace mithril::workload
 {
@@ -157,5 +162,203 @@ CbfPollutionAttack::next()
     ++produced_;
     return hammerRecord(target_, row);
 }
+
+// ------------------------------------------------------ registration
+//
+// The attacker-thread variants of the evaluation register here. A new
+// attack is one generator class plus one Registrar block in its own
+// translation unit — nothing in sim/, trackers/, or runner/ changes.
+
+namespace
+{
+
+using registry::AttackContext;
+
+/** Aim point decoded from the shared attack knobs. */
+AttackTarget
+targetFromParams(const ParamSet &params, const AttackContext &ctx)
+{
+    AttackTarget target;
+    target.map = &ctx.map;
+    target.channel = 0;
+    target.rank = 0;
+    target.bank = params.getUint32("attack-bank", 5);
+    target.baseRow = params.getUint("attack-row", 0x3000);
+    return target;
+}
+
+const std::vector<registry::ParamDesc> kTargetParams = {
+    {"attack-bank", registry::ParamDesc::Type::Uint, "5", 0, 65535,
+     "bank (within the rank) the attack hammers"},
+    {"attack-row", registry::ParamDesc::Type::Uint, "12288", 0,
+     1048576, "base row of the aggressor block"},
+};
+
+std::vector<registry::ParamDesc>
+targetParamsPlus(std::initializer_list<registry::ParamDesc> extra)
+{
+    std::vector<registry::ParamDesc> out = kTargetParams;
+    out.insert(out.end(), extra.begin(), extra.end());
+    return out;
+}
+
+/**
+ * Sample the benign threads' address streams and return row-granular
+ * representative addresses of their hottest (bank, row) pairs — the
+ * "profiled rows sharing CBF entries with the benign threads" that the
+ * BlockHammer performance adversary activates.
+ */
+std::vector<Addr>
+profileBenignHotRows(const AttackContext &ctx)
+{
+    const auto [cbf_size, nbl] =
+        analysis::AreaModel::blockHammerConfig(ctx.flipTh);
+    (void)cbf_size;
+    // One tREFW of attack budget pushes ~600K/NBL rows to the
+    // blacklist threshold.
+    const std::size_t wanted = std::max<std::size_t>(
+        16, static_cast<std::size_t>(600000 / nbl));
+
+    struct Key
+    {
+        BankId bank;
+        RowId row;
+        bool operator<(const Key &o) const
+        {
+            return bank != o.bank ? bank < o.bank : row < o.row;
+        }
+    };
+    std::map<Key, std::pair<std::uint64_t, Addr>> freq;
+    for (std::uint32_t i = 0; i < ctx.benignCores; ++i) {
+        auto gen = ctx.benignThread(i);
+        for (int k = 0; k < 30000; ++k) {
+            auto rec = gen->next();
+            if (!rec)
+                break;
+            mc::Request req;
+            req.addr = rec->addr;
+            ctx.map.decode(req);
+            auto &entry = freq[Key{req.bank, req.row}];
+            if (entry.first++ == 0)
+                entry.second = rec->addr;
+        }
+    }
+
+    std::vector<std::pair<std::uint64_t, Addr>> ranked;
+    ranked.reserve(freq.size());
+    for (const auto &[key, value] : freq)
+        ranked.emplace_back(value.first, value.second);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first > b.first;
+              });
+    std::vector<Addr> targets;
+    for (std::size_t i = 0; i < ranked.size() && i < wanted; ++i)
+        targets.push_back(ranked[i].second);
+    return targets;
+}
+
+const registry::Registrar<registry::AttackTraits> kRegisterNone{{
+    /*name=*/"none",
+    /*display=*/"none",
+    /*description=*/"no attacker thread",
+    /*aliases=*/{},
+    /*uses=*/"",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &, const AttackContext &)
+        -> std::unique_ptr<TraceGenerator> { return nullptr; },
+}};
+
+const registry::Registrar<registry::AttackTraits> kRegisterDoubleSided{{
+    /*name=*/"double-sided",
+    /*display=*/"double-sided",
+    /*description=*/
+    "classic two-aggressor hammer around one victim row",
+    /*aliases=*/{"double_sided"},
+    /*uses=*/"",
+    /*params=*/kTargetParams,
+    /*make=*/
+    [](const ParamSet &params, const AttackContext &ctx)
+        -> std::unique_ptr<TraceGenerator> {
+        return std::make_unique<DoubleSidedAttack>(
+            targetFromParams(params, ctx));
+    },
+}};
+
+const registry::Registrar<registry::AttackTraits> kRegisterMultiSided{{
+    /*name=*/"multi-sided",
+    /*display=*/"multi-sided",
+    /*description=*/
+    "TRRespass-style interleaved many-sided hammer",
+    /*aliases=*/{"multi_sided"},
+    /*uses=*/"",
+    /*params=*/
+    targetParamsPlus({{"victims", registry::ParamDesc::Type::Uint,
+                       "32", 1, 1024,
+                       "victim rows between the aggressors"}}),
+    /*make=*/
+    [](const ParamSet &params, const AttackContext &ctx)
+        -> std::unique_ptr<TraceGenerator> {
+        return std::make_unique<MultiSidedAttack>(
+            targetFromParams(params, ctx),
+            params.getUint32("victims", 32));
+    },
+}};
+
+const registry::Registrar<registry::AttackTraits> kRegisterRfmOptimal{{
+    /*name=*/"rfm-optimal",
+    /*display=*/"rfm-optimal",
+    /*description=*/
+    "one ACT per row over a rotating distinct-row set "
+    "(cost-optimal against sampling)",
+    /*aliases=*/{"rfm_optimal"},
+    /*uses=*/"",
+    /*params=*/
+    targetParamsPlus({{"attack-rows", registry::ParamDesc::Type::Uint,
+                       "64", 1, 1048576,
+                       "distinct rows in the rotation"}}),
+    /*make=*/
+    [](const ParamSet &params, const AttackContext &ctx)
+        -> std::unique_ptr<TraceGenerator> {
+        return std::make_unique<RfmOptimalAttack>(
+            targetFromParams(params, ctx),
+            params.getUint32("attack-rows", 64));
+    },
+}};
+
+const registry::Registrar<registry::AttackTraits>
+    kRegisterCbfPollution{{
+        /*name=*/"cbf-pollution",
+        /*display=*/"cbf-pollution",
+        /*description=*/
+        "BlockHammer performance adversary: inflate the CBF slots "
+        "the benign hot rows alias with",
+        /*aliases=*/{"cbf_pollution"},
+        /*uses=*/"flip (CBF sizing)",
+        /*params=*/kTargetParams,
+        /*make=*/
+        [](const ParamSet &params, const AttackContext &ctx)
+            -> std::unique_ptr<TraceGenerator> {
+            if (ctx.benignThread && ctx.benignCores > 0) {
+                auto targets = profileBenignHotRows(ctx);
+                if (targets.size() >= 2) {
+                    return std::make_unique<ProfiledAliasAttack>(
+                        std::move(targets));
+                }
+            }
+            // Degenerate profile (or no workload context): fall back
+            // to blind pollution.
+            const auto [cbf_size, nbl] =
+                analysis::AreaModel::blockHammerConfig(ctx.flipTh);
+            (void)nbl;
+            const std::uint32_t rows =
+                std::max<std::uint32_t>(64, cbf_size / 8);
+            return std::make_unique<CbfPollutionAttack>(
+                targetFromParams(params, ctx), rows);
+        },
+    }};
+
+} // namespace
 
 } // namespace mithril::workload

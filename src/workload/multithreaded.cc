@@ -1,6 +1,7 @@
 #include "multithreaded.hh"
 
 #include "common/logging.hh"
+#include "registry/workload_registry.hh"
 
 namespace mithril::workload
 {
@@ -94,5 +95,83 @@ PageRankGen::next()
     }
     return rec;
 }
+
+// ------------------------------------------------------ registration
+//
+// The multithreaded kernels of the evaluation share one region past
+// every private region (WorkloadContext::sharedBase()).
+
+namespace
+{
+
+using registry::WorkloadContext;
+
+const registry::Registrar<registry::WorkloadTraits> kRegisterMtFft{{
+    /*name=*/"mt-fft",
+    /*display=*/"mt-fft",
+    /*description=*/"FFT-like partitioned phase sweep, 40% writes",
+    /*aliases=*/{},
+    /*uses=*/"seed",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &, const WorkloadContext &ctx)
+        -> std::unique_ptr<TraceGenerator> {
+        MtParams p;
+        p.base = ctx.sharedBase();
+        p.footprint = 1ull << 31;
+        p.threads = ctx.cores;
+        p.seed = ctx.seed * 3001;
+        p.phaseLines = 2048;
+        p.meanGap = 22.0;
+        p.writeFraction = 0.4;
+        return std::make_unique<PartitionedSweepGen>(p, ctx.coreId);
+    },
+}};
+
+const registry::Registrar<registry::WorkloadTraits> kRegisterMtRadix{{
+    /*name=*/"mt-radix",
+    /*display=*/"mt-radix",
+    /*description=*/
+    "RADIX-like partitioned sweep, write heavy (55% writes)",
+    /*aliases=*/{},
+    /*uses=*/"seed",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &, const WorkloadContext &ctx)
+        -> std::unique_ptr<TraceGenerator> {
+        MtParams p;
+        p.base = ctx.sharedBase();
+        p.footprint = 1ull << 31;
+        p.threads = ctx.cores;
+        p.seed = ctx.seed * 4001;
+        p.phaseLines = 8192;
+        p.meanGap = 20.0;
+        p.writeFraction = 0.55;
+        return std::make_unique<PartitionedSweepGen>(p, ctx.coreId);
+    },
+}};
+
+const registry::Registrar<registry::WorkloadTraits>
+    kRegisterMtPageRank{{
+        /*name=*/"mt-pagerank",
+        /*display=*/"mt-pagerank",
+        /*description=*/"PageRank-like sequential scan plus gathers",
+        /*aliases=*/{},
+        /*uses=*/"seed",
+        /*params=*/{},
+        /*make=*/
+        [](const ParamSet &, const WorkloadContext &ctx)
+            -> std::unique_ptr<TraceGenerator> {
+            MtParams p;
+            p.base = ctx.sharedBase();
+            p.footprint = 1ull << 31;
+            p.threads = ctx.cores;
+            p.seed = ctx.seed * 5003;
+            p.meanGap = 22.0;
+            return std::make_unique<PageRankGen>(p, ctx.coreId);
+        },
+    }};
+
+} // namespace
 
 } // namespace mithril::workload

@@ -1,6 +1,9 @@
 #include "spec_like.hh"
 
+#include <cstdio>
+
 #include "common/logging.hh"
+#include "registry/workload_registry.hh"
 
 namespace mithril::workload
 {
@@ -186,5 +189,140 @@ StencilGen::next()
         ++cursor_;
     return rec;
 }
+
+// ------------------------------------------------------ registration
+//
+// The multi-programmed mixes and single-pattern synthetic workloads of
+// the evaluation (Section VI-A) register here; the multithreaded
+// kernels register in multithreaded.cc.
+
+namespace
+{
+
+using registry::WorkloadContext;
+
+const registry::ParamDesc kMeanGapParam = {
+    "mean-gap",
+    registry::ParamDesc::Type::Double,
+    "", // Per-workload default; filled in below.
+    1.0,
+    10000.0,
+    "mean instructions per LLC-missing access",
+};
+
+registry::ParamDesc
+meanGapParam(double def)
+{
+    registry::ParamDesc desc = kMeanGapParam;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", def);
+    desc.def = buf;
+    return desc;
+}
+
+const registry::Registrar<registry::WorkloadTraits> kRegisterMixHigh{{
+    /*name=*/"mix-high",
+    /*display=*/"mix-high",
+    /*description=*/
+    "memory-intensive SPEC-like mix (stream/chase/zipf per core)",
+    /*aliases=*/{},
+    /*uses=*/"seed",
+    /*params=*/{meanGapParam(28.0)},
+    /*make=*/
+    [](const ParamSet &params, const WorkloadContext &ctx)
+        -> std::unique_ptr<TraceGenerator> {
+        SyntheticParams p;
+        p.base = ctx.privateBase();
+        p.seed = ctx.seed * 1009 + ctx.coreId;
+        // ~36 LLC accesses per 1000 instructions, matching the L3
+        // MPKI of memory-intensive SPEC CPU2017 workloads.
+        p.meanGap =
+            params.getDoubleIn("mean-gap", 28.0, 1.0, 10000.0);
+        // Rotate the three memory-intensive archetypes.
+        switch (ctx.coreId % 3) {
+          case 0:
+            p.footprint = 96ull << 20;
+            return std::make_unique<StreamSweepGen>(p);
+          case 1:
+            p.footprint = 64ull << 20;
+            return std::make_unique<PointerChaseGen>(p);
+          default:
+            p.footprint = 48ull << 20;
+            return std::make_unique<ZipfGen>(p);
+        }
+    },
+}};
+
+const registry::Registrar<registry::WorkloadTraits> kRegisterMixBlend{{
+    /*name=*/"mix-blend",
+    /*display=*/"mix-blend",
+    /*description=*/
+    "blend of memory-intensive and compute-bound cores",
+    /*aliases=*/{},
+    /*uses=*/"seed",
+    /*params=*/{meanGapParam(28.0)},
+    /*make=*/
+    [](const ParamSet &params, const WorkloadContext &ctx)
+        -> std::unique_ptr<TraceGenerator> {
+        SyntheticParams p;
+        p.base = ctx.privateBase();
+        p.seed = ctx.seed * 2003 + ctx.coreId;
+        if (ctx.coreId % 2 == 0) {
+            p.footprint = 8ull << 20;  // Mostly cache resident.
+            p.meanGap = 40.0;
+            return std::make_unique<ComputeGen>(p);
+        }
+        p.footprint = 64ull << 20;
+        p.meanGap =
+            params.getDoubleIn("mean-gap", 28.0, 1.0, 10000.0);
+        if (ctx.coreId % 4 == 1)
+            return std::make_unique<StreamSweepGen>(p);
+        return std::make_unique<PointerChaseGen>(p);
+    },
+}};
+
+const registry::Registrar<registry::WorkloadTraits> kRegisterGups{{
+    /*name=*/"gups",
+    /*display=*/"gups",
+    /*description=*/
+    "random read-modify-write updates (worst-case benign ACT rate)",
+    /*aliases=*/{},
+    /*uses=*/"seed",
+    /*params=*/{meanGapParam(30.0)},
+    /*make=*/
+    [](const ParamSet &params, const WorkloadContext &ctx)
+        -> std::unique_ptr<TraceGenerator> {
+        SyntheticParams p;
+        p.base = ctx.privateBase();
+        p.footprint = 128ull << 20;
+        p.seed = ctx.seed * 6007 + ctx.coreId;
+        p.meanGap =
+            params.getDoubleIn("mean-gap", 30.0, 1.0, 10000.0);
+        return std::make_unique<GupsGen>(p);
+    },
+}};
+
+const registry::Registrar<registry::WorkloadTraits> kRegisterStencil{{
+    /*name=*/"stencil",
+    /*display=*/"stencil",
+    /*description=*/
+    "multi-stream plane sweep holding many rows open",
+    /*aliases=*/{},
+    /*uses=*/"seed",
+    /*params=*/{meanGapParam(24.0)},
+    /*make=*/
+    [](const ParamSet &params, const WorkloadContext &ctx)
+        -> std::unique_ptr<TraceGenerator> {
+        SyntheticParams p;
+        p.base = ctx.privateBase();
+        p.footprint = 120ull << 20;
+        p.seed = ctx.seed * 7001 + ctx.coreId;
+        p.meanGap =
+            params.getDoubleIn("mean-gap", 24.0, 1.0, 10000.0);
+        return std::make_unique<StencilGen>(p);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::workload

@@ -287,6 +287,42 @@ TEST(ParamSet, MalformedListEntryIsFatal)
     setLogThrowOnFatal(false);
 }
 
+TEST(ParamSet, DuplicateKeyIsFatal)
+{
+    setLogThrowOnFatal(true);
+    const char *argv[] = {"prog", "a=1", "b=2", "a=3"};
+    EXPECT_THROW(ParamSet::fromArgs(4, argv), std::runtime_error);
+    EXPECT_THROW(ParamSet::fromString("x=1 x=2"),
+                 std::runtime_error);
+    setLogThrowOnFatal(false);
+}
+
+TEST(ParamSet, FromStringSplitsOnWhitespace)
+{
+    const auto p = ParamSet::fromString("a=1  b=two\npos c=0.5");
+    EXPECT_EQ(p.getUint("a"), 1u);
+    EXPECT_EQ(p.getString("b"), "two");
+    EXPECT_DOUBLE_EQ(p.getDouble("c"), 0.5);
+    ASSERT_EQ(p.positional().size(), 1u);
+    EXPECT_EQ(p.positional()[0], "pos");
+}
+
+TEST(ParamSet, GetDoubleInEnforcesRange)
+{
+    ParamSet p;
+    p.set("p", "0.25");
+    EXPECT_DOUBLE_EQ(p.getDoubleIn("p", 0.5, 0.0, 1.0), 0.25);
+    EXPECT_DOUBLE_EQ(p.getDoubleIn("missing", 0.5, 0.0, 1.0), 0.5);
+    setLogThrowOnFatal(true);
+    p.set("p", "1.5");
+    EXPECT_THROW(p.getDoubleIn("p", 0.5, 0.0, 1.0),
+                 std::runtime_error);
+    p.set("p", "-0.1");
+    EXPECT_THROW(p.getDoubleIn("p", 0.5, 0.0, 1.0),
+                 std::runtime_error);
+    setLogThrowOnFatal(false);
+}
+
 TEST(ParamSet, MalformedIntegerIsFatal)
 {
     setLogThrowOnFatal(true);

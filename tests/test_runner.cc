@@ -2,8 +2,8 @@
  * @file
  * Unit tests for the parallel experiment runner: the work-stealing
  * pool, sweep-grid expansion and seeding, determinism of the result
- * sinks across thread counts, and the JSON artifact schema (golden
- * file).
+ * sinks across thread counts, per-job failure surfacing, and the JSON
+ * artifact schema (golden file).
  */
 
 #include <gtest/gtest.h>
@@ -89,25 +89,22 @@ TEST(SweepSpec, DefaultSpecIsOneJob)
     EXPECT_EQ(spec.jobCount(), 1u);
     const auto jobs = spec.expand();
     ASSERT_EQ(jobs.size(), 1u);
-    EXPECT_EQ(jobs[0].scheme.kind, trackers::SchemeKind::Mithril);
-    EXPECT_EQ(jobs[0].scheme.flipTh, 6250u);
-    EXPECT_EQ(jobs[0].run.workload, sim::WorkloadKind::MixHigh);
-    EXPECT_EQ(jobs[0].run.attack, sim::AttackKind::None);
+    EXPECT_EQ(jobs[0].spec.scheme, "mithril");
+    EXPECT_EQ(jobs[0].spec.flipTh, 6250u);
+    EXPECT_EQ(jobs[0].spec.workload, "mix-high");
+    EXPECT_EQ(jobs[0].spec.attack, "none");
     EXPECT_FALSE(jobs[0].isBaseline);
 }
 
 TEST(SweepSpec, GridCountIsCartesianProduct)
 {
     SweepSpec spec;
-    spec.schemes = {trackers::SchemeKind::Mithril,
-                    trackers::SchemeKind::Parfm,
-                    trackers::SchemeKind::Para};
+    spec.schemes = {"mithril", "parfm", "para"};
     spec.flipThs = {50000, 6250};
     spec.rfmThs = {64, 128};
-    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
-                  {sim::WorkloadKind::MtFft, sim::AttackKind::None},
-                  {sim::WorkloadKind::MixHigh,
-                   sim::AttackKind::MultiSided}};
+    spec.cases = {{"mix-high", "none"},
+                  {"mt-fft", "none"},
+                  {"mix-high", "multi-sided"}};
     EXPECT_EQ(spec.jobCount(), 3u * 2u * 2u * 3u);
     EXPECT_EQ(spec.expand().size(), spec.jobCount());
 
@@ -118,7 +115,7 @@ TEST(SweepSpec, GridCountIsCartesianProduct)
     // Baselines come first, one per case, unprotected.
     for (std::size_t i = 0; i < 3; ++i) {
         EXPECT_TRUE(jobs[i].isBaseline);
-        EXPECT_EQ(jobs[i].scheme.kind, trackers::SchemeKind::None);
+        EXPECT_EQ(jobs[i].spec.scheme, "none");
     }
     EXPECT_FALSE(jobs[3].isBaseline);
     // Indices are the expansion order.
@@ -129,8 +126,7 @@ TEST(SweepSpec, GridCountIsCartesianProduct)
 TEST(SweepSpec, ExpansionIsDeterministic)
 {
     SweepSpec spec;
-    spec.schemes = {trackers::SchemeKind::Mithril,
-                    trackers::SchemeKind::BlockHammer};
+    spec.schemes = {"mithril", "blockhammer"};
     spec.flipThs = {25000, 3125};
     spec.includeBaseline = true;
     const auto a = spec.expand();
@@ -138,34 +134,34 @@ TEST(SweepSpec, ExpansionIsDeterministic)
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].label, b[i].label);
-        EXPECT_EQ(a[i].run.seed, b[i].run.seed);
+        EXPECT_EQ(a[i].spec.seed, b[i].spec.seed);
     }
 }
 
 TEST(SweepSpec, SharedSeedPolicyUsesSweepSeedVerbatim)
 {
     SweepSpec spec;
-    spec.schemes = {trackers::SchemeKind::Mithril};
+    spec.schemes = {"mithril"};
     spec.flipThs = {50000, 6250};
     spec.seed = 1234;
     for (const Job &job : spec.expand()) {
-        EXPECT_EQ(job.run.seed, 1234u);
-        EXPECT_EQ(job.scheme.seed, trackers::SchemeSpec().seed);
+        EXPECT_EQ(job.spec.seed, 1234u);
+        EXPECT_EQ(job.spec.schemeSeed, sim::ExperimentSpec().schemeSeed);
     }
 }
 
 TEST(SweepSpec, PerJobSeedPolicyGivesDistinctDeterministicSeeds)
 {
     SweepSpec spec;
-    spec.schemes = {trackers::SchemeKind::Mithril};
+    spec.schemes = {"mithril"};
     spec.flipThs = {50000, 25000, 6250};
     spec.seed = 99;
     spec.seedPolicy = SeedPolicy::PerJob;
     const auto jobs = spec.expand();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        EXPECT_EQ(jobs[i].run.seed, mixSeed(99, i));
+        EXPECT_EQ(jobs[i].spec.seed, mixSeed(99, i));
         for (std::size_t j = i + 1; j < jobs.size(); ++j)
-            EXPECT_NE(jobs[i].run.seed, jobs[j].run.seed);
+            EXPECT_NE(jobs[i].spec.seed, jobs[j].spec.seed);
     }
 }
 
@@ -173,14 +169,12 @@ TEST(SweepSpec, WarmupRuleFollowsAttack)
 {
     SweepSpec spec;
     spec.trackerWarmupActs = 1000;
-    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
-                  {sim::WorkloadKind::MixHigh,
-                   sim::AttackKind::MultiSided}};
+    spec.cases = {{"mix-high", "none"}, {"mix-high", "multi-sided"}};
     const auto jobs = spec.expand();
     ASSERT_EQ(jobs.size(), 2u);
-    EXPECT_TRUE(jobs[0].run.warmupFromWorkload);
-    EXPECT_FALSE(jobs[1].run.warmupFromWorkload);
-    EXPECT_EQ(jobs[0].run.trackerWarmupActs, 1000u);
+    EXPECT_TRUE(jobs[0].spec.warmupFromWorkload);
+    EXPECT_FALSE(jobs[1].spec.warmupFromWorkload);
+    EXPECT_EQ(jobs[0].spec.trackerWarmupActs, 1000u);
 }
 
 TEST(SweepSpec, FromParamsParsesLists)
@@ -211,6 +205,16 @@ TEST(SweepSpec, FromParamsParsesLists)
     EXPECT_EQ(spec.jobCount(), 2u * 2u * 1u * 4u + 4u);
 }
 
+TEST(SweepSpec, FromParamsCanonicalizesAliases)
+{
+    ParamSet params;
+    params.set("schemes", "mithril_plus,rfm_graphene");
+    const SweepSpec spec = SweepSpec::fromParams(params);
+    ASSERT_EQ(spec.schemes.size(), 2u);
+    EXPECT_EQ(spec.schemes[0], "mithril+");
+    EXPECT_EQ(spec.schemes[1], "rfm-graphene");
+}
+
 TEST(SweepSpec, FromParamsRejectsUnknownKeysAndBadRanges)
 {
     setLogThrowOnFatal(true);
@@ -236,7 +240,39 @@ TEST(SweepSpec, FromParamsRejectsUnknownKeysAndBadRanges)
         EXPECT_THROW(SweepSpec::fromParams(params),
                      std::runtime_error);
     }
+    {
+        // Unknown axis names report the registered candidates (the
+        // fatal exception carries no text, so capture the log).
+        ParamSet params;
+        params.set("schemes", "mithril,nosuch");
+        std::string capture;
+        setLogCapture(&capture);
+        EXPECT_THROW(SweepSpec::fromParams(params),
+                     std::runtime_error);
+        setLogCapture(nullptr);
+        EXPECT_NE(capture.find("rfm-graphene"), std::string::npos)
+            << capture;
+    }
     setLogThrowOnFatal(false);
+}
+
+TEST(SweepSpec, EntryDeclaredTunablesRideAlong)
+{
+    ParamSet params;
+    params.set("schemes", "mithril,para");
+    params.set("attacks", "multi-sided");
+    params.set("victims", "8");
+    params.set("para-p", "0.5");
+    const SweepSpec spec = SweepSpec::fromParams(params);
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 2u);
+    // Every job keeps the attack knob; only para keeps para-p.
+    EXPECT_EQ(jobs[0].spec.extras.getString("victims"), "8");
+    EXPECT_FALSE(jobs[0].spec.extras.has("para-p"));
+    EXPECT_EQ(jobs[1].spec.extras.getString("para-p"), "0.5");
+    // Each expanded spec validates as-is.
+    EXPECT_NO_THROW(jobs[0].spec.validate());
+    EXPECT_NO_THROW(jobs[1].spec.validate());
 }
 
 TEST(SweepSpec, AttackNamesRoundTrip)
@@ -249,19 +285,32 @@ TEST(SweepSpec, AttackNamesRoundTrip)
 
 // ------------------------------------------------------ determinism
 
-/** Deterministic stand-in for sim::runSystem: metrics are a pure
+/** The attack enum values the original schema encoded in bitFlips. */
+std::uint64_t
+attackIndex(const std::string &attack)
+{
+    if (attack == "none")
+        return 0;
+    if (attack == "double-sided")
+        return 1;
+    if (attack == "multi-sided")
+        return 2;
+    return 3;
+}
+
+/** Deterministic stand-in for sim::runExperiment: metrics are a pure
  *  function of the job description. */
 sim::RunMetrics
 stubMetrics(const Job &job)
 {
     sim::RunMetrics m;
     m.aggIpc =
-        1.0 + 0.01 * static_cast<double>(job.scheme.flipTh % 97);
-    m.energyPj = static_cast<double>(job.run.seed % 1000) * 3.5;
-    m.acts = job.scheme.flipTh + job.run.instrPerCore;
-    m.bitFlips = static_cast<std::uint64_t>(job.run.attack);
+        1.0 + 0.01 * static_cast<double>(job.spec.flipTh % 97);
+    m.energyPj = static_cast<double>(job.spec.seed % 1000) * 3.5;
+    m.acts = job.spec.flipTh + job.spec.instrPerCore;
+    m.bitFlips = attackIndex(job.spec.attack);
     m.trackerBytesPerBank =
-        static_cast<double>(job.scheme.rfmTh) * 16.0;
+        static_cast<double>(job.spec.rfmTh) * 16.0;
     return m;
 }
 
@@ -269,15 +318,10 @@ SweepSpec
 bigStubSpec()
 {
     SweepSpec spec;
-    spec.schemes = {trackers::SchemeKind::Mithril,
-                    trackers::SchemeKind::MithrilPlus,
-                    trackers::SchemeKind::Parfm,
-                    trackers::SchemeKind::Graphene};
+    spec.schemes = {"mithril", "mithril+", "parfm", "graphene"};
     spec.flipThs = {50000, 12500, 6250, 1500};
     spec.rfmThs = {32, 256};
-    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
-                  {sim::WorkloadKind::MixHigh,
-                   sim::AttackKind::MultiSided}};
+    spec.cases = {{"mix-high", "none"}, {"mix-high", "multi-sided"}};
     spec.includeBaseline = true;
     return spec;
 }
@@ -308,12 +352,9 @@ TEST(SweepRunner, RealSimulationIsIdenticalAcrossThreadCounts)
 {
     // Tiny but real end-to-end runs, attacked and benign.
     SweepSpec spec;
-    spec.schemes = {trackers::SchemeKind::Mithril,
-                    trackers::SchemeKind::Para};
+    spec.schemes = {"mithril", "para"};
     spec.flipThs = {6250};
-    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
-                  {sim::WorkloadKind::MixHigh,
-                   sim::AttackKind::DoubleSided}};
+    spec.cases = {{"mix-high", "none"}, {"mix-high", "double-sided"}};
     spec.cores = 2;
     spec.instrPerCore = 2000;
     spec.includeBaseline = true;
@@ -332,6 +373,42 @@ TEST(SweepRunner, RealSimulationIsIdenticalAcrossThreadCounts)
     EXPECT_EQ(CsvSink().render(r1), CsvSink().render(r8));
 }
 
+TEST(SweepRunner, RejectedConfigurationFailsItsJobOnly)
+{
+    // Mithril at flip=100 is infeasible; the PARA cell and the
+    // baseline still run, and the sweep reports the error per job.
+    SweepSpec spec;
+    spec.schemes = {"mithril", "para"};
+    spec.flipThs = {100};
+    spec.cores = 1;
+    spec.instrPerCore = 500;
+    spec.includeBaseline = true;
+
+    RunnerOptions options;
+    options.jobs = 2;
+    options.progress = false;
+    const SweepResult result = SweepRunner(options).run(spec);
+    ASSERT_EQ(result.results.size(), 3u);
+    EXPECT_EQ(result.failedCount(), 1u);
+
+    const JobResult *mithril = result.find("mithril", 100, "mix-high");
+    ASSERT_NE(mithril, nullptr);
+    EXPECT_TRUE(mithril->failed());
+    EXPECT_NE(mithril->error.find("infeasible"), std::string::npos)
+        << mithril->error;
+
+    const JobResult *para = result.find("para", 100, "mix-high");
+    ASSERT_NE(para, nullptr);
+    EXPECT_FALSE(para->failed());
+    EXPECT_GT(para->metrics.aggIpc, 0.0);
+
+    // Sinks surface the failure instead of dying.
+    const std::string table = TableSink().render(result);
+    EXPECT_NE(table.find("FAILED"), std::string::npos);
+    const std::string json = JsonSink().render(result);
+    EXPECT_NE(json.find("\"error\""), std::string::npos);
+}
+
 TEST(SweepResult, FindAndBaselineLookups)
 {
     const SweepSpec spec = bigStubSpec();
@@ -341,24 +418,20 @@ TEST(SweepResult, FindAndBaselineLookups)
     const SweepResult result =
         SweepRunner(options).run(spec, &stubMetrics);
 
-    const JobResult *r =
-        result.find(trackers::SchemeKind::Parfm, 12500,
-                    sim::WorkloadKind::MixHigh,
-                    sim::AttackKind::MultiSided, 256);
+    const JobResult *r = result.find("parfm", 12500, "mix-high",
+                                     "multi-sided", 256);
     ASSERT_NE(r, nullptr);
-    EXPECT_EQ(r->job.scheme.rfmTh, 256u);
+    EXPECT_EQ(r->job.spec.rfmTh, 256u);
     EXPECT_FALSE(r->job.isBaseline);
 
-    const JobResult *base = result.baseline(
-        sim::WorkloadKind::MixHigh, sim::AttackKind::MultiSided);
+    const JobResult *base =
+        result.baseline("mix-high", "multi-sided");
     ASSERT_NE(base, nullptr);
     EXPECT_TRUE(base->job.isBaseline);
-    EXPECT_EQ(base->job.scheme.kind, trackers::SchemeKind::None);
+    EXPECT_EQ(base->job.spec.scheme, "none");
 
-    EXPECT_EQ(result.find(trackers::SchemeKind::Twice, 12500,
-                          sim::WorkloadKind::MixHigh),
-              nullptr);
-    EXPECT_EQ(result.baseline(sim::WorkloadKind::Gups), nullptr);
+    EXPECT_EQ(result.find("twice", 12500, "mix-high"), nullptr);
+    EXPECT_EQ(result.baseline("gups"), nullptr);
 }
 
 // ----------------------------------------------------- JSON schema
@@ -370,13 +443,10 @@ TEST(JsonSink, GoldenFileSchema)
     //   MITHRIL_UPDATE_GOLDEN=1 ./test_runner
     //       --gtest_filter=JsonSink.GoldenFileSchema
     SweepSpec spec;
-    spec.schemes = {trackers::SchemeKind::Mithril,
-                    trackers::SchemeKind::Parfm};
+    spec.schemes = {"mithril", "parfm"};
     spec.flipThs = {50000, 6250};
     spec.rfmThs = {64};
-    spec.cases = {{sim::WorkloadKind::MixHigh, sim::AttackKind::None},
-                  {sim::WorkloadKind::MtFft,
-                   sim::AttackKind::MultiSided}};
+    spec.cases = {{"mix-high", "none"}, {"mt-fft", "multi-sided"}};
     spec.cores = 4;
     spec.instrPerCore = 1000;
     spec.seed = 7;
