@@ -18,7 +18,7 @@
 #include "core/bounds.hh"
 #include "core/config_solver.hh"
 #include "sim/act_harness.hh"
-#include "trackers/factory.hh"
+#include "core/mithril.hh"
 #include "trackers/graphene.hh"
 #include "trackers/rfm_graphene.hh"
 
@@ -67,7 +67,7 @@ main(int argc, char **argv)
                        "reset-equiv KB", "saving"});
     for (std::uint32_t flip : {6250u, 3125u}) {
         const std::uint32_t rfm_th =
-            trackers::defaultMithrilRfmTh(flip);
+            core::defaultMithrilRfmTh(flip);
         auto cfg = solver.solve(flip, rfm_th);
         if (!cfg)
             continue;

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * ActStream engine throughput bench: acts/sec per scheme at 16 banks,
+ * batched vs scalar tracker dispatch — the headline number of the
+ * engine refactor.
+ *
+ * The stream is a synthetic per-bank double-sided hammer generated
+ * straight into the SoA batches (no generator/address-map cost), and
+ * the ground-truth oracle is disabled, so the measurement isolates
+ * exactly what the batched path optimizes: tracker dispatch plus the
+ * engine's REF/RFM interleaving bookkeeping. Safety runs keep the
+ * oracle on and are bounded by it equally in both modes.
+ *
+ * Knobs: acts=N per timed run (default 2M), banks=N (default 16),
+ * json=FILE writes the BENCH_engine.json artifact.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "engine/act_stream_engine.hh"
+#include "registry/scheme_registry.hh"
+
+using namespace mithril;
+
+namespace
+{
+
+/** Zero-cost stream: every bank hammers its own double-sided pair,
+ *  banks round-robin inside each batch. */
+class HammerSource : public engine::ActSource
+{
+  public:
+    HammerSource(std::uint32_t banks, std::uint64_t count)
+        : banks_(banks), count_(count)
+    {
+    }
+
+    std::string name() const override { return "hammer-16"; }
+
+    std::size_t
+    fill(engine::ActBatch &batch, std::size_t limit) override
+    {
+        std::size_t appended = 0;
+        while (produced_ < count_ && appended < limit &&
+               !batch.full()) {
+            const auto bank =
+                static_cast<BankId>(produced_ % banks_);
+            const auto row = static_cast<RowId>(
+                2000 + 2 * ((produced_ / banks_) % 2));
+            batch.push(bank, row);
+            ++produced_;
+            ++appended;
+        }
+        return appended;
+    }
+
+  private:
+    std::uint32_t banks_;
+    std::uint64_t count_;
+    std::uint64_t produced_ = 0;
+};
+
+double
+measureActsPerSec(const std::string &scheme, std::uint32_t banks,
+                  std::uint64_t acts,
+                  engine::EngineConfig::Dispatch dispatch)
+{
+    const dram::Timing timing = dram::ddr5_4800();
+    dram::Geometry geom = dram::paperGeometry();
+    geom.channels = 1;
+    geom.ranksPerChannel = 1;
+    geom.banksPerRank = banks;
+
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = 6250;
+    auto tracker = registry::makeScheme(scheme, knobs.toParams(),
+                                        {timing, geom});
+
+    engine::EngineConfig cfg;
+    cfg.timing = timing;
+    cfg.geometry = geom;
+    cfg.flipTh = 6250;
+    cfg.dispatch = dispatch;
+    cfg.enableOracle = false;  // Time the tracker/dispatch loop.
+    engine::ActStreamEngine eng(cfg, tracker.get());
+
+    // Warm up tables and branch predictors, untimed.
+    HammerSource warmup(banks, acts / 8 + 1);
+    eng.run(warmup);
+
+    HammerSource source(banks, acts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t done = eng.run(source);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (done != acts)
+        fatal("engine consumed %llu of %llu acts",
+              static_cast<unsigned long long>(done),
+              static_cast<unsigned long long>(acts));
+    return static_cast<double>(done) / seconds;
+}
+
+struct SchemeResult
+{
+    std::string name;
+    std::string display;
+    double batched = 0.0;
+    double scalar = 0.0;
+
+    double speedup() const
+    {
+        return scalar > 0.0 ? batched / scalar : 0.0;
+    }
+};
+
+void
+writeJson(const std::string &path, std::uint32_t banks,
+          std::uint64_t acts, const std::vector<SchemeResult> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write %s", path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"mithril.bench_engine.v1\",\n");
+    std::fprintf(f, "  \"banks\": %u,\n", banks);
+    std::fprintf(f, "  \"acts_per_run\": %llu,\n",
+                 static_cast<unsigned long long>(acts));
+    std::fprintf(f, "  \"pattern\": \"per-bank double-sided\",\n");
+    std::fprintf(f, "  \"oracle\": false,\n");
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SchemeResult &r = results[i];
+        std::fprintf(f,
+                     "    {\"scheme\": \"%s\", \"display\": \"%s\", "
+                     "\"batched_acts_per_sec\": %.0f, "
+                     "\"scalar_acts_per_sec\": %.0f, "
+                     "\"speedup\": %.3f}%s\n",
+                     r.name.c_str(), r.display.c_str(), r.batched,
+                     r.scalar, r.speedup(),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchScale scale =
+        bench::BenchScale::fromArgs(argc, argv, {"acts", "banks"});
+    bench::rejectParallelKnobs(scale, "micro_engine");
+    if (!scale.csvOut.empty())
+        fatal("micro_engine emits json= only");
+    const std::uint64_t acts =
+        scale.params.getUint("acts", 2000000);
+    const auto banks = scale.params.getUint32("banks", 16);
+    if (acts == 0 || banks == 0)
+        fatal("acts= and banks= must be positive");
+
+    bench::banner("ActStream engine throughput (" +
+                  std::to_string(banks) + " banks, oracle off)");
+
+    std::vector<SchemeResult> results;
+    for (const std::string &scheme :
+         registry::schemeRegistry().names()) {
+        SchemeResult r;
+        r.name = scheme;
+        r.display = registry::schemeDisplay(scheme);
+        r.batched = measureActsPerSec(
+            scheme, banks, acts,
+            engine::EngineConfig::Dispatch::Batched);
+        r.scalar = measureActsPerSec(
+            scheme, banks, acts,
+            engine::EngineConfig::Dispatch::Scalar);
+        results.push_back(r);
+    }
+
+    TablePrinter table({"scheme", "batched Macts/s", "scalar Macts/s",
+                        "speedup"});
+    for (const SchemeResult &r : results) {
+        table.beginRow()
+            .cell(r.display)
+            .num(r.batched / 1e6, 2)
+            .num(r.scalar / 1e6, 2)
+            .cell(formatFixed(r.speedup(), 2) + "x");
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\nReading: batched dispatch amortizes the virtual "
+                "call, per-bank table lookup,\nand REF/RFM "
+                "bookkeeping over whole per-bank runs; the CBS "
+                "schemes add the\ncached-touch fast path on top. "
+                "Scalar mode is the faithful per-ACT port of\nthe "
+                "historical ActHarness loop.\n");
+
+    if (!scale.jsonOut.empty())
+        writeJson(scale.jsonOut, banks, acts, results);
+    return 0;
+}

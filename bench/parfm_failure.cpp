@@ -13,7 +13,7 @@
 
 #include "analysis/parfm_failure.hh"
 #include "bench_util.hh"
-#include "trackers/factory.hh"
+#include "core/mithril.hh"
 
 using namespace mithril;
 
@@ -41,7 +41,7 @@ main(int argc, char **argv)
         } else {
             table.cell("-").cell("-");
         }
-        table.intCell(trackers::defaultMithrilRfmTh(flip));
+        table.intCell(core::defaultMithrilRfmTh(flip));
     }
     std::printf("%s", table.str().c_str());
 

@@ -16,8 +16,8 @@
 #include "common/config.hh"
 #include "common/random.hh"
 #include "common/table_printer.hh"
+#include "registry/scheme_registry.hh"
 #include "sim/act_harness.hh"
-#include "trackers/factory.hh"
 
 using namespace mithril;
 
@@ -61,16 +61,21 @@ main(int argc, char **argv)
     ParamSet params = ParamSet::fromArgs(argc, argv);
     const std::string scheme_name =
         params.getString("scheme", "mithril");
+    if (!registry::schemeRegistry().has(scheme_name))
+        fatal("unknown scheme '%s' (registered schemes: %s)",
+              scheme_name.c_str(),
+              registry::joinSorted(
+                  registry::schemeRegistry().names())
+                  .c_str());
     const auto flip_th =
         static_cast<std::uint32_t>(params.getUint("flip_th", 6250));
     const auto windows = params.getUint("windows", 2);
 
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::schemeFromName(scheme_name);
-    spec.flipTh = flip_th;
-    spec.rfmTh =
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = flip_th;
+    knobs.rfmTh =
         static_cast<std::uint32_t>(params.getUint("rfm_th", 0));
-    spec.adTh =
+    knobs.adTh =
         static_cast<std::uint32_t>(params.getUint("ad_th", 200));
 
     const dram::Timing timing = dram::ddr5_4800();
@@ -80,7 +85,7 @@ main(int argc, char **argv)
 
     std::printf("Attack battery vs %s at FlipTH %u (%llu ACTs ~= %llu "
                 "tREFW windows, max rate)\n\n",
-                trackers::schemeName(spec.kind).c_str(), flip_th,
+                registry::schemeDisplay(scheme_name).c_str(), flip_th,
                 static_cast<unsigned long long>(acts),
                 static_cast<unsigned long long>(windows));
 
@@ -88,7 +93,14 @@ main(int argc, char **argv)
                         "prev. refreshes", "RFMs", "verdict"});
     bool all_safe = true;
     for (const Pattern &pattern : kPatterns) {
-        auto tracker = trackers::makeScheme(spec, timing, geom);
+        std::unique_ptr<trackers::RhProtection> tracker;
+        try {
+            tracker = registry::makeScheme(scheme_name,
+                                           knobs.toParams(),
+                                           {timing, geom});
+        } catch (const registry::SpecError &err) {
+            fatal("%s", err.what());
+        }
         sim::ActHarnessConfig cfg;
         cfg.timing = timing;
         cfg.flipTh = flip_th;

@@ -58,7 +58,7 @@ main(int argc, char **argv)
     }
     if (!params.positional().empty())
         fatal("unexpected argument '%s': all knobs are key=value "
-              "(or --list [schemes|workloads|attacks])",
+              "(or --list [schemes|workloads|attacks|sources])",
               params.positional().front().c_str());
 
     const runner::SweepSpec spec = runner::SweepSpec::fromParams(

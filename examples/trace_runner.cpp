@@ -21,8 +21,8 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/table_printer.hh"
+#include "registry/scheme_registry.hh"
 #include "sim/system.hh"
-#include "trackers/factory.hh"
 #include "workload/spec_like.hh"
 #include "workload/trace_file.hh"
 
@@ -60,15 +60,19 @@ main(int argc, char **argv)
         files.push_back(demo);
     }
 
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::schemeFromName(
-        params.getString("scheme", "mithril"));
-    spec.flipTh = flip_th;
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = flip_th;
 
     sim::SystemConfig cfg;
     cfg.flipTh = flip_th;
-    auto tracker =
-        trackers::makeScheme(spec, cfg.timing, cfg.geometry);
+    std::unique_ptr<trackers::RhProtection> tracker;
+    try {
+        tracker = registry::makeScheme(
+            params.getString("scheme", "mithril"), knobs.toParams(),
+            {cfg.timing, cfg.geometry});
+    } catch (const registry::SpecError &err) {
+        fatal("%s", err.what());
+    }
     sim::System system(cfg, std::move(tracker));
 
     for (const auto &file : files) {

@@ -143,25 +143,102 @@ CbsTable::attachWithCount(std::uint32_t e, std::uint64_t count,
     counts_[e] = count;
 }
 
+std::uint32_t
+CbsTable::lookupOrEvict(RowId row)
+{
+    auto it = index_.find(row);
+    if (it != index_.end())
+        return it->second;
+    // Miss: evict the head of the minimum bucket and rename it.
+    const std::uint32_t e = bucketHead_[minBucket_];
+    if (rows_[e] != kInvalidRow)
+        index_.erase(rows_[e]);
+    else
+        ++size_;
+    rows_[e] = row;
+    index_[row] = e;
+    return e;
+}
+
 std::uint64_t
 CbsTable::touch(RowId row)
 {
     ++touches_;
-    std::uint32_t e;
-    auto it = index_.find(row);
-    if (it != index_.end()) {
-        e = it->second;
-    } else {
-        // Miss: evict the head of the minimum bucket and rename it.
-        e = bucketHead_[minBucket_];
-        if (rows_[e] != kInvalidRow)
-            index_.erase(rows_[e]);
-        else
-            ++size_;
-        rows_[e] = row;
-        index_[row] = e;
-    }
+    return incrementEntry(lookupOrEvict(row));
+}
 
+std::uint64_t
+CbsTable::touchFast(RowId row)
+{
+    ++touches_;
+    std::uint32_t e;
+    if (cacheRow_[0] == row && rows_[cacheEntry_[0]] == row) {
+        e = cacheEntry_[0];
+    } else if (cacheRow_[1] == row && rows_[cacheEntry_[1]] == row) {
+        e = cacheEntry_[1];
+        // Promote to way 0 so an alternating pair always hits.
+        cacheRow_[1] = cacheRow_[0];
+        cacheEntry_[1] = cacheEntry_[0];
+        cacheRow_[0] = row;
+        cacheEntry_[0] = e;
+    } else {
+        e = lookupOrEvict(row);
+        cacheRow_[1] = cacheRow_[0];
+        cacheEntry_[1] = cacheEntry_[0];
+        cacheRow_[0] = row;
+        cacheEntry_[0] = e;
+    }
+    return incrementEntry(e);
+}
+
+std::size_t
+CbsTable::touchRun(const RowId *rows, std::size_t n,
+                   std::uint64_t divisor, bool *hit)
+{
+    if (hit)
+        *hit = false;
+    // Divisibility by multiplication (Lemire & Kaser): for d >= 2,
+    // x % d == 0  iff  x * M <= M - 1 (mod 2^64), M = 2^64/d + 1.
+    const bool check = divisor > 1;
+    const std::uint64_t magic = check ? (~0ull / divisor + 1) : 0;
+    RowId cr0 = cacheRow_[0], cr1 = cacheRow_[1];
+    std::uint32_t ce0 = cacheEntry_[0], ce1 = cacheEntry_[1];
+    std::size_t i = 0;
+    while (i < n) {
+        const RowId row = rows[i];
+        ++i;
+        std::uint32_t e;
+        if (cr0 == row && rows_[ce0] == row) {
+            e = ce0;
+        } else {
+            if (cr1 == row && rows_[ce1] == row) {
+                e = ce1;
+            } else {
+                e = lookupOrEvict(row);
+            }
+            cr1 = cr0;
+            ce1 = ce0;
+            cr0 = row;
+            ce0 = e;
+        }
+        const std::uint64_t est = incrementEntry(e);
+        if (divisor == 1 || (check && est * magic <= magic - 1)) {
+            if (hit)
+                *hit = true;
+            break;
+        }
+    }
+    touches_ += i;
+    cacheRow_[0] = cr0;
+    cacheRow_[1] = cr1;
+    cacheEntry_[0] = ce0;
+    cacheEntry_[1] = ce1;
+    return i;
+}
+
+std::uint64_t
+CbsTable::incrementEntry(std::uint32_t e)
+{
     // Increment: move the entry from its bucket (count c) into the
     // bucket with count c+1.
     const std::uint32_t b = entryBucket_[e];

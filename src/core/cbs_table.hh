@@ -69,6 +69,29 @@ class CbsTable
      */
     std::uint64_t touch(RowId row);
 
+    /**
+     * touch() with a 2-way row->entry cache in front of the hash
+     * index — the batched-dispatch hot path. Hammer patterns
+     * alternate between a handful of rows, so the cache converts the
+     * dominant hash lookup into two compares. Value-identical to
+     * touch() (the cache is validated against the entry array, so
+     * evictions/renames can never serve a stale hit).
+     */
+    std::uint64_t touchFast(RowId row);
+
+    /**
+     * Batched touch: process rows[0..n) with the cache ways held in
+     * registers. With `divisor` > 0, stop after (and including) the
+     * first touch whose new estimate is a multiple of `divisor` —
+     * the Graphene-family ARR/buffer trigger, evaluated without a
+     * per-touch division (Lemire divisibility) — and set *hit.
+     * Returns the number of rows touched; value-identical to calling
+     * touch() that many times.
+     */
+    std::size_t touchRun(const RowId *rows, std::size_t n,
+                         std::uint64_t divisor = 0,
+                         bool *hit = nullptr);
+
     /** True when the row currently occupies a table entry. */
     bool contains(RowId row) const;
 
@@ -129,6 +152,14 @@ class CbsTable
   private:
     static constexpr std::uint32_t kNone = 0xffffffffu;
 
+    /** Hit-or-evict lookup shared by touch()/touchFast(): the entry
+     *  now holding `row` (index updated on eviction). */
+    std::uint32_t lookupOrEvict(RowId row);
+
+    /** The counter-increment bucket dance for entry e; returns the
+     *  new count. */
+    std::uint64_t incrementEntry(std::uint32_t e);
+
     /** Detach entry e from its bucket (bucket freed if emptied). */
     void detachEntry(std::uint32_t e);
 
@@ -162,6 +193,11 @@ class CbsTable
 
     std::uint32_t minBucket_ = kNone;  //!< MinPtr.
     std::uint32_t maxBucket_ = kNone;  //!< MaxPtr.
+
+    /** touchFast() front cache: last two (row, entry) pairs, way 0
+     *  most recent. Validated against rows_ before use. */
+    RowId cacheRow_[2] = {kInvalidRow, kInvalidRow};
+    std::uint32_t cacheEntry_[2] = {0, 0};
 
     std::unordered_map<RowId, std::uint32_t> index_;
 };

@@ -1,6 +1,9 @@
 #include "mithril.hh"
 
 #include "common/logging.hh"
+#include "core/bounds.hh"
+#include "core/config_solver.hh"
+#include "registry/scheme_registry.hh"
 
 namespace mithril::core
 {
@@ -30,6 +33,16 @@ Mithril::onActivate(BankId bank, RowId row, Tick now,
     (void)arr_aggressors;  // Mithril never requests ARR.
     tables_.at(bank).touch(row);
     countOp();
+}
+
+std::size_t
+Mithril::onActivateBatch(const trackers::ActSpan &span,
+                         std::vector<RowId> &arr_aggressors)
+{
+    (void)arr_aggressors;  // Mithril never requests ARR.
+    tables_.at(span.bank).touchRun(span.rows, span.size);
+    countOp(span.size);
+    return span.size;
 }
 
 void
@@ -66,5 +79,96 @@ Mithril::tableBytesPerBank() const
     return static_cast<double>(params_.nEntry) *
            (params_.rowBits + params_.counterBits) / 8.0;
 }
+
+std::uint32_t
+defaultMithrilRfmTh(std::uint32_t flip_th)
+{
+    if (flip_th >= 12500)
+        return 256;
+    if (flip_th >= 6250)
+        return 128;
+    if (flip_th >= 3125)
+        return 64;
+    return 32;
+}
+
+// ------------------------------------------------------ registration
+//
+// "none" and the two Mithril variants register here; every other
+// scheme registers in its own translation unit.
+
+namespace
+{
+
+std::unique_ptr<trackers::RhProtection>
+makeMithrilEntry(const ParamSet &params,
+                 const registry::SchemeContext &ctx, bool plus_mode)
+{
+    const auto knobs = registry::SchemeKnobs::fromParams(params);
+    const std::uint32_t rfm_th =
+        knobs.rfmTh ? knobs.rfmTh : defaultMithrilRfmTh(knobs.flipTh);
+    ConfigSolver solver(ctx.timing, ctx.geometry);
+    const double effect = aggregatedEffect(knobs.blastRadius);
+    auto cfg = solver.solve(knobs.flipTh, rfm_th, knobs.adTh, effect);
+    if (!cfg) {
+        throw registry::SpecError(
+            "Mithril infeasible at flip=" +
+            std::to_string(knobs.flipTh) + " rfm=" +
+            std::to_string(rfm_th) + " ad=" +
+            std::to_string(knobs.adTh) + " blast-radius=" +
+            std::to_string(knobs.blastRadius));
+    }
+    MithrilParams mparams;
+    mparams.nEntry = cfg->nEntry;
+    mparams.rfmTh = rfm_th;
+    mparams.adTh = knobs.adTh;
+    mparams.rowBits = ceilLog2(ctx.geometry.rowsPerBank);
+    mparams.counterBits = cfg->counterBits;
+    mparams.plusMode = plus_mode;
+    return std::make_unique<Mithril>(ctx.geometry.totalBanks(),
+                                     mparams);
+}
+
+const registry::Registrar<registry::SchemeTraits> kRegisterNone{{
+    /*name=*/"none",
+    /*display=*/"None",
+    /*description=*/"unprotected baseline (no tracker)",
+    /*aliases=*/{},
+    /*uses=*/"",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &, const registry::SchemeContext &)
+        -> std::unique_ptr<trackers::RhProtection> { return nullptr; },
+}};
+
+const registry::Registrar<registry::SchemeTraits> kRegisterMithril{{
+    /*name=*/"mithril",
+    /*display=*/"Mithril",
+    /*description=*/
+    "CbS-tracked RFM scheme sized by the Theorem 1/2 solver",
+    /*aliases=*/{},
+    /*uses=*/"flip, rfm (0 = paper default), ad, blast-radius",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx) {
+        return makeMithrilEntry(params, ctx, false);
+    },
+}};
+
+const registry::Registrar<registry::SchemeTraits> kRegisterMithrilPlus{{
+    /*name=*/"mithril+",
+    /*display=*/"Mithril+",
+    /*description=*/
+    "Mithril with the MRR poll that skips needless RFM commands",
+    /*aliases=*/{"mithril_plus"},
+    /*uses=*/"flip, rfm (0 = paper default), ad, blast-radius",
+    /*params=*/{},
+    /*make=*/
+    [](const ParamSet &params, const registry::SchemeContext &ctx) {
+        return makeMithrilEntry(params, ctx, true);
+    },
+}};
+
+} // namespace
 
 } // namespace mithril::core

@@ -64,6 +64,12 @@ class Mithril : public trackers::RhProtection
     void onActivate(BankId bank, RowId row, Tick now,
                     std::vector<RowId> &arr_aggressors) override;
 
+    /** Batched hot path: Mithril never requests ARR, so the whole
+     *  span collapses into one cached-touch loop per bank table. */
+    std::size_t onActivateBatch(const trackers::ActSpan &span,
+                                std::vector<RowId> &arr_aggressors)
+        override;
+
     void onRfm(BankId bank, Tick now,
                std::vector<RowId> &aggressors) override;
 
@@ -84,6 +90,10 @@ class Mithril : public trackers::RhProtection
     std::vector<CbsTable> tables_;
     std::uint64_t adaptiveSkips_ = 0;
 };
+
+/** The paper's default RFM_TH for Mithril at a given FlipTH
+ *  (Section VI-A: 256 at >=12.5K, down to 32 at 1.5K). */
+std::uint32_t defaultMithrilRfmTh(std::uint32_t flip_th);
 
 } // namespace mithril::core
 

@@ -110,20 +110,20 @@ Device::rfm(BankId b, Tick t)
     bank.doRefresh(t, timing_.tRFM);
     ++rfmCount_;
 
-    scratchAggressors_.clear();
+    scratch_.reset();
     if (tracker_)
-        tracker_->onRfm(b, t, scratchAggressors_);
+        tracker_->onRfm(b, t, scratch_.arr);
 
-    if (scratchAggressors_.empty()) {
+    if (scratch_.arr.empty()) {
         ++rfmSkipped_;
         return 0;
     }
-    for (RowId aggressor : scratchAggressors_) {
+    for (RowId aggressor : scratch_.arr) {
         oracle_.onNeighborRefresh(b, aggressor);
         energy_.addPreventiveRows(2ull * blastRadius_);
         ++preventiveCount_;
     }
-    return scratchAggressors_.size();
+    return scratch_.arr.size();
 }
 
 void

@@ -140,7 +140,9 @@ class Device
     std::uint64_t rfmSkipped_ = 0;
     std::uint64_t preventiveCount_ = 0;
 
-    std::vector<RowId> scratchAggressors_;
+    /** RFM aggressor scratch — the shared reusable-buffer protocol
+     *  (trackers append, frontend drains). */
+    trackers::ActScratch scratch_;
 };
 
 } // namespace mithril::dram

@@ -1,0 +1,240 @@
+#include "act_stream_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mithril::engine
+{
+
+EngineConfig
+EngineConfig::singleBank(const dram::Timing &timing,
+                         std::uint32_t rows_per_bank,
+                         std::uint32_t flip_th,
+                         std::uint32_t blast_radius)
+{
+    EngineConfig cfg;
+    cfg.timing = timing;
+    cfg.geometry.channels = 1;
+    cfg.geometry.ranksPerChannel = 1;
+    cfg.geometry.banksPerRank = 1;
+    cfg.geometry.rowsPerBank = rows_per_bank;
+    cfg.geometry.rowBytes = 8192;
+    cfg.geometry.lineBytes = 64;
+    cfg.flipTh = flip_th;
+    cfg.blastRadius = blast_radius;
+    return cfg;
+}
+
+ActStreamEngine::ActStreamEngine(const EngineConfig &config,
+                                 trackers::RhProtection *tracker)
+    : config_(config), tracker_(tracker),
+      oracle_(config.geometry.totalBanks(), config.geometry.rowsPerBank,
+              config.flipTh, config.blastRadius),
+      refreshGroups_(dram::refreshGroups(config.timing)),
+      banks_(config.geometry.totalBanks())
+{
+    MITHRIL_ASSERT(config_.geometry.totalBanks() > 0);
+    MITHRIL_ASSERT(config_.timing.tRC > 0);
+    for (BankState &bs : banks_)
+        bs.nextRef = config_.timing.tREFI;
+    if (tracker_) {
+        usesRfm_ = tracker_->usesRfm();
+        rfmTh_ = tracker_->rfmTh();
+    }
+}
+
+void
+ActStreamEngine::maybeRefresh(BankState &bs, BankId bank)
+{
+    while (bs.now >= bs.nextRef) {
+        if (config_.enableOracle)
+            oracle_.onAutoRefresh(bank, refreshGroups_);
+        if (tracker_)
+            tracker_->onRefresh(bank, bs.nextRef);
+        bs.now += config_.timing.tRFC;  // Bank blocked for tRFC.
+        bs.nextRef += config_.timing.tREFI;
+        ++bs.refs;
+        ++refs_;
+    }
+}
+
+void
+ActStreamEngine::applyArr(BankState &bs, BankId bank)
+{
+    for (RowId aggressor : scratch_.arr) {
+        if (config_.enableOracle)
+            oracle_.onNeighborRefresh(bank, aggressor);
+        bs.now += static_cast<Tick>(2 * config_.blastRadius) *
+                  config_.timing.tRC;
+        ++bs.preventive;
+        ++preventive_;
+    }
+}
+
+void
+ActStreamEngine::maybeRfm(BankState &bs, BankId bank,
+                          std::uint32_t consumed)
+{
+    if (!tracker_ || !usesRfm_)
+        return;
+    bs.raa += consumed;
+    if (bs.raa < rfmTh_)
+        return;
+    bs.raa = 0;
+    if (tracker_->rfmPending(bank)) {
+        scratch_.reset();
+        tracker_->onRfm(bank, bs.now, scratch_.arr);
+        for (RowId aggressor : scratch_.arr) {
+            if (config_.enableOracle)
+                oracle_.onNeighborRefresh(bank, aggressor);
+            ++bs.preventive;
+            ++preventive_;
+        }
+        bs.now += config_.timing.tRFM;
+        ++bs.rfms;
+        ++rfms_;
+    }
+    // Mithril+ MRR skip: no time cost beyond the poll.
+}
+
+void
+ActStreamEngine::activate(BankId bank, RowId row)
+{
+    BankState &bs = banks_.at(bank);
+    maybeRefresh(bs, bank);
+
+    if (config_.honorThrottle && tracker_) {
+        const Tick earliest = tracker_->throttleAct(bank, row, bs.now);
+        if (earliest > bs.now) {
+            ++throttleStalls_;
+            bs.now = earliest;
+            maybeRefresh(bs, bank);
+        }
+    }
+
+    if (config_.enableOracle)
+        oracle_.onActivate(bank, row);
+    ++bs.acts;
+    ++acts_;
+    scratch_.reset();
+    if (tracker_)
+        tracker_->onActivate(bank, row, bs.now, scratch_.arr);
+    bs.now += config_.timing.tRC;
+
+    // Immediate ARR work requested by reactive schemes.
+    applyArr(bs, bank);
+
+    // RFM cadence. Scalar dispatch re-reads the virtual per ACT,
+    // faithful to the historical harness loop; the cached values it
+    // must agree with are pinned constant by the RhProtection
+    // contract.
+    if (tracker_ && tracker_->usesRfm())
+        maybeRfm(bs, bank, 1);
+}
+
+void
+ActStreamEngine::processRun(BankState &bs, BankId bank,
+                            const RowId *rows, std::size_t n)
+{
+    const Tick t_rc = config_.timing.tRC;
+    while (n > 0) {
+        maybeRefresh(bs, bank);
+
+        // Cut the run at the next REF boundary and RFM epoch so the
+        // span's ticks are exact under the uniform tRC stride.
+        const Tick until_ref = bs.nextRef - bs.now;
+        std::uint64_t cap = static_cast<std::uint64_t>(
+            (until_ref + t_rc - 1) / t_rc);
+        if (usesRfm_)
+            cap = std::min<std::uint64_t>(cap, rfmTh_ - bs.raa);
+        cap = std::min<std::uint64_t>(cap, n);
+
+        trackers::ActSpan span;
+        span.bank = bank;
+        span.rows = rows;
+        span.size = static_cast<std::size_t>(cap);
+        span.tick0 = bs.now;
+        span.tickStride = t_rc;
+
+        scratch_.reset();
+        std::size_t consumed = span.size;
+        if (tracker_) {
+            consumed = tracker_->onActivateBatch(span, scratch_.arr);
+            MITHRIL_ASSERT(consumed >= 1 && consumed <= span.size);
+        }
+
+        if (config_.enableOracle) {
+            for (std::size_t i = 0; i < consumed; ++i)
+                oracle_.onActivate(bank, rows[i]);
+        }
+        bs.acts += consumed;
+        acts_ += consumed;
+        bs.now += static_cast<Tick>(consumed) * t_rc;
+
+        applyArr(bs, bank);
+        maybeRfm(bs, bank, static_cast<std::uint32_t>(consumed));
+
+        rows += consumed;
+        n -= consumed;
+    }
+}
+
+void
+ActStreamEngine::dispatchBatch(const ActBatch &batch, std::size_t n)
+{
+    // Partition per bank (buffers reused; clear() keeps capacity).
+    // Both dispatch modes traverse the partition in ascending bank
+    // order so they agree on the interleaving seen by process-wide
+    // tracker state (shared RNGs, logic-op counters).
+    for (BankState &bs : banks_)
+        bs.rows.clear();
+    const BankId *bank_col = batch.banks();
+    const RowId *row_col = batch.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+        MITHRIL_ASSERT(bank_col[i] < banks_.size());
+        banks_[bank_col[i]].rows.push_back(row_col[i]);
+    }
+
+    const bool scalar =
+        config_.dispatch == EngineConfig::Dispatch::Scalar ||
+        config_.honorThrottle;
+    for (BankId bank = 0; bank < banks_.size(); ++bank) {
+        BankState &bs = banks_[bank];
+        if (bs.rows.empty())
+            continue;
+        if (scalar) {
+            for (RowId row : bs.rows)
+                activate(bank, row);
+        } else {
+            processRun(bs, bank, bs.rows.data(), bs.rows.size());
+        }
+    }
+}
+
+std::uint64_t
+ActStreamEngine::run(ActSource &source)
+{
+    return run(source, ~0ull);
+}
+
+std::uint64_t
+ActStreamEngine::run(ActSource &source, std::uint64_t max_acts)
+{
+    std::uint64_t done = 0;
+    while (done < max_acts) {
+        batch_.clear();
+        const auto limit = static_cast<std::size_t>(
+            std::min<std::uint64_t>(ActBatch::kCapacity,
+                                    max_acts - done));
+        const std::size_t n = source.fill(batch_, limit);
+        if (n == 0)
+            break;
+        MITHRIL_ASSERT(n <= limit);
+        dispatchBatch(batch_, n);
+        done += n;
+    }
+    return done;
+}
+
+} // namespace mithril::engine

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The ActStream engine: the one command-level simulation core every
+ * maximum-rate frontend drives.
+ *
+ * It generalizes the historical single-bank ActHarness to the full
+ * dram::Geometry (channels x ranks x banks, each bank an independent
+ * clock at one ACT per tRC), consumes SoA batches of activations from
+ * an ActSource, and interleaves REF (every tREFI, per the refresh-group
+ * rotation), RFM (every rfmTh() ACTs), immediate ARR work, and —
+ * optionally — BlockHammer-style throttling per bank exactly as the
+ * harness always has, while keeping the ground-truth oracle and the
+ * ACT/REF/RFM/preventive counters per bank.
+ *
+ * Two dispatch modes share all bookkeeping:
+ *
+ *  - Scalar: the faithful per-ACT port of ActHarness::activate() —
+ *    one virtual tracker call per activation.
+ *  - Batched (default): activations are partitioned per bank and cut
+ *    into maximal runs that cross no REF or RFM boundary; each run is
+ *    handed to RhProtection::onActivateBatch() with precomputed ticks
+ *    (tick = run start + i*tRC), so the hot trackers amortize virtual
+ *    dispatch, table lookup, and scratch management over the whole
+ *    run. ARR triggers terminate a run (preventive refreshes advance
+ *    the bank clock), which keeps both modes byte-identical at any
+ *    batch size — pinned by the engine equivalence golden test.
+ *
+ * Every buffer (batch, per-bank partitions, ARR scratch) is reused
+ * across the run, so the steady-state loop performs zero heap
+ * allocations.
+ */
+
+#ifndef MITHRIL_ENGINE_ACT_STREAM_ENGINE_HH
+#define MITHRIL_ENGINE_ACT_STREAM_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/rh_oracle.hh"
+#include "dram/timing.hh"
+#include "engine/act_source.hh"
+#include "trackers/rh_protection.hh"
+
+namespace mithril::engine
+{
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    /** Tracker dispatch strategy (see file header). */
+    enum class Dispatch
+    {
+        Batched,
+        Scalar,
+    };
+
+    dram::Timing timing;
+    dram::Geometry geometry;
+    std::uint32_t flipTh = 6250;
+    std::uint32_t blastRadius = 1;
+    Dispatch dispatch = Dispatch::Batched;
+    /** Ground-truth safety accounting. Throughput benches may disable
+     *  it to time the tracker/dispatch hot loop alone; safety
+     *  experiments must keep it on. */
+    bool enableOracle = true;
+    /** Honour RhProtection::throttleAct() (System-style frontends).
+     *  Off by default — the harness never throttled, and max-rate
+     *  safety sweeps model an attacker that ignores advisories.
+     *  Throttling is an inherently per-ACT decision, so enabling it
+     *  forces scalar dispatch regardless of `dispatch`. */
+    bool honorThrottle = false;
+
+    /** The historical ActHarness shape: one bank, default geometry
+     *  elsewhere. */
+    static EngineConfig singleBank(const dram::Timing &timing,
+                                   std::uint32_t rows_per_bank,
+                                   std::uint32_t flip_th,
+                                   std::uint32_t blast_radius);
+};
+
+/** Multi-bank maximum-rate command stream engine. */
+class ActStreamEngine
+{
+  public:
+    ActStreamEngine(const EngineConfig &config,
+                    trackers::RhProtection *tracker);
+
+    /** Feed one activation on one bank (scalar path; advances that
+     *  bank's clock by tRC, interleaving REF/RFM/ARR work as due). */
+    void activate(BankId bank, RowId row);
+
+    /** Drain the source until exhausted; returns ACTs performed. */
+    std::uint64_t run(ActSource &source);
+
+    /**
+     * Drain the source until exhausted or `max_acts` activations.
+     * The source is only ever asked for the remaining budget, so
+     * bounded incremental runs dispatch every record they pull and
+     * stay in lockstep with the source's cursor.
+     */
+    std::uint64_t run(ActSource &source, std::uint64_t max_acts);
+
+    const dram::RhOracle &oracle() const { return oracle_; }
+    dram::RhOracle &oracle() { return oracle_; }
+
+    std::uint32_t numBanks() const
+    {
+        return static_cast<std::uint32_t>(banks_.size());
+    }
+
+    /** Per-bank virtual clock. */
+    Tick now(BankId bank = 0) const { return banks_.at(bank).now; }
+
+    // Aggregate counters (sum over banks).
+    std::uint64_t acts() const { return acts_; }
+    std::uint64_t refs() const { return refs_; }
+    std::uint64_t rfms() const { return rfms_; }
+    std::uint64_t preventiveRefreshes() const { return preventive_; }
+    std::uint64_t throttleStalls() const { return throttleStalls_; }
+
+    // Per-bank counters.
+    std::uint64_t actsAt(BankId bank) const
+    {
+        return banks_.at(bank).acts;
+    }
+    std::uint64_t refsAt(BankId bank) const
+    {
+        return banks_.at(bank).refs;
+    }
+    std::uint64_t rfmsAt(BankId bank) const
+    {
+        return banks_.at(bank).rfms;
+    }
+    std::uint64_t preventiveRefreshesAt(BankId bank) const
+    {
+        return banks_.at(bank).preventive;
+    }
+
+    const EngineConfig &config() const { return config_; }
+
+  private:
+    /** Per-bank interleaving state. */
+    struct BankState
+    {
+        Tick now = 0;
+        Tick nextRef = 0;
+        std::uint32_t raa = 0;
+        std::uint64_t acts = 0;
+        std::uint64_t refs = 0;
+        std::uint64_t rfms = 0;
+        std::uint64_t preventive = 0;
+        /** Partition buffer: this bank's rows of the current batch. */
+        std::vector<RowId> rows;
+    };
+
+    /** Catch the bank up on every REF due at or before its clock. */
+    void maybeRefresh(BankState &bs, BankId bank);
+
+    /** Execute the immediate ARR work in scratch_ for the bank. */
+    void applyArr(BankState &bs, BankId bank);
+
+    /** Per-ACT RFM cadence bookkeeping after `consumed` ACTs. */
+    void maybeRfm(BankState &bs, BankId bank, std::uint32_t consumed);
+
+    /** Batched-dispatch processing of one bank's contiguous rows. */
+    void processRun(BankState &bs, BankId bank, const RowId *rows,
+                    std::size_t n);
+
+    /** Partition a batch per bank and dispatch it. */
+    void dispatchBatch(const ActBatch &batch, std::size_t n);
+
+    EngineConfig config_;
+    trackers::RhProtection *tracker_;
+    dram::RhOracle oracle_;
+
+    // Tracker constants hoisted out of the hot loop (batched path).
+    bool usesRfm_ = false;
+    std::uint32_t rfmTh_ = 0;
+    std::uint32_t refreshGroups_;
+
+    std::vector<BankState> banks_;
+    trackers::ActScratch scratch_;
+    ActBatch batch_;
+
+    std::uint64_t acts_ = 0;
+    std::uint64_t refs_ = 0;
+    std::uint64_t rfms_ = 0;
+    std::uint64_t preventive_ = 0;
+    std::uint64_t throttleStalls_ = 0;
+};
+
+} // namespace mithril::engine
+
+#endif // MITHRIL_ENGINE_ACT_STREAM_ENGINE_HH

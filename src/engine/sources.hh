@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Engine-drivable workload sources: adapters that turn the existing
+ * trace-record generators (trace files, the attack registry's
+ * patterns) into multi-bank activation streams for ActStreamEngine.
+ *
+ * Both adapters decode each record's physical address through the MC
+ * address map, so a source aims at exactly the (channel, rank, bank,
+ * row) its generator composed — the same address semantics the full
+ * System uses. The registry entries ("trace-file", "attack") live in
+ * sources.cc; registry::makeActSource() builds them by name.
+ */
+
+#ifndef MITHRIL_ENGINE_SOURCES_HH
+#define MITHRIL_ENGINE_SOURCES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/act_source.hh"
+#include "mc/address_map.hh"
+#include "workload/trace.hh"
+
+namespace mithril::engine
+{
+
+/**
+ * One trace-record generator decoded to (bank, row) activations over
+ * the full geometry. The record's instruction gap is ignored — the
+ * engine drives banks at the maximum legal rate — and the record
+ * index is carried in the batch's tick column as a replay hint.
+ */
+class TraceActSource : public ActSource
+{
+  public:
+    TraceActSource(std::unique_ptr<workload::TraceGenerator> generator,
+                   const dram::Geometry &geometry);
+
+    std::string name() const override;
+
+    std::size_t fill(ActBatch &batch, std::size_t limit) override;
+
+  private:
+    mc::AddressMap map_;
+    std::unique_ptr<workload::TraceGenerator> generator_;
+    std::uint64_t produced_ = 0;
+};
+
+/**
+ * N concurrent per-bank generators drained round-robin — the
+ * multi-bank attack shape: every targeted bank hammers at its own
+ * full ACT rate, the worst case the paper's Theorem 1/2 margins are
+ * sized for. Owns the address map its generators compose through.
+ */
+class MultiBankSource : public ActSource
+{
+  public:
+    MultiBankSource(std::string name, const dram::Geometry &geometry);
+
+    /** The map generators must aim through (alive as long as the
+     *  source). */
+    const mc::AddressMap &map() const { return map_; }
+
+    /** Append one per-bank generator (ownership transferred). */
+    void addGenerator(std::unique_ptr<workload::TraceGenerator> gen);
+
+    std::string name() const override { return name_; }
+
+    std::size_t fill(ActBatch &batch, std::size_t limit) override;
+
+  private:
+    std::string name_;
+    mc::AddressMap map_;
+    std::vector<std::unique_ptr<workload::TraceGenerator>> generators_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace mithril::engine
+
+#endif // MITHRIL_ENGINE_SOURCES_HH

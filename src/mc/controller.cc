@@ -329,9 +329,9 @@ Controller::execute(std::uint32_t channel, const Decision &d)
       }
       case Decision::Kind::Act: {
         const Request &req = queue[d.reqIndex];
-        scratchArr_.clear();
-        device_.activate(d.bank, req.row, d.issue, scratchArr_);
-        handleActSideEffects(d.bank, d.issue, scratchArr_);
+        scratch_.reset();
+        device_.activate(d.bank, req.row, d.issue, scratch_.arr);
+        handleActSideEffects(d.bank, d.issue, scratch_.arr);
         banks_[d.bank].rowHitStreak = 0;
         ++stats_.activates;
         ++stats_.rowMisses;

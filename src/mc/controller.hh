@@ -26,6 +26,7 @@
 #include "dram/device.hh"
 #include "mc/address_map.hh"
 #include "mc/request.hh"
+#include "trackers/rh_protection.hh"
 
 namespace mithril::mc
 {
@@ -188,7 +189,9 @@ class Controller
 
     std::uint64_t seq_ = 0;
     ControllerStats stats_;
-    std::vector<RowId> scratchArr_;
+    /** ARR/RFM aggressor scratch — the same reusable-buffer protocol
+     *  the ActStream engine uses (trackers append, frontend drains). */
+    trackers::ActScratch scratch_;
 };
 
 } // namespace mithril::mc

@@ -5,6 +5,7 @@
 
 #include "registry/attack_registry.hh"
 #include "registry/scheme_registry.hh"
+#include "registry/source_registry.hh"
 #include "registry/workload_registry.hh"
 
 namespace mithril::registry
@@ -31,9 +32,16 @@ listRegistries(std::ostream &os, const std::string &what)
         listRegistry(attackRegistry(), os);
         matched = true;
     }
+    if (all || what == "sources") {
+        if (matched)
+            os << "\n";
+        listRegistry(sourceRegistry(), os);
+        matched = true;
+    }
     if (!matched) {
         throw SpecError("unknown --list category '" + what +
-                        "' (want schemes|workloads|attacks|all)");
+                        "' (want schemes|workloads|attacks|sources|"
+                        "all)");
     }
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
- * Deterministic human-readable listings of the scheme/workload/attack
- * registries, shared by `sweep_cli --list` and the golden-file test
+ * Deterministic human-readable listings of the scheme/workload/
+ * attack/engine-source registries, shared by `sweep_cli --list` and the golden-file test
  * that pins the output.
  */
 
@@ -16,8 +16,8 @@ namespace mithril::registry
 
 /**
  * Write the listing for one category ("schemes", "workloads",
- * "attacks") or for all three ("all" or ""). Throws SpecError on any
- * other category name.
+ * "attacks", "sources") or for all of them ("all" or ""). Throws
+ * SpecError on any other category name.
  */
 void listRegistries(std::ostream &os, const std::string &what);
 

@@ -16,6 +16,18 @@ SchemeKnobs::fromParams(const ParamSet &params)
     return knobs;
 }
 
+ParamSet
+SchemeKnobs::toParams() const
+{
+    ParamSet params;
+    params.set("flip", std::to_string(flipTh));
+    params.set("rfm", std::to_string(rfmTh));
+    params.set("ad", std::to_string(adTh));
+    params.set("blast-radius", std::to_string(blastRadius));
+    params.set("scheme-seed", std::to_string(seed));
+    return params;
+}
+
 std::unique_ptr<trackers::RhProtection>
 makeScheme(const std::string &name, const ParamSet &params,
            const SchemeContext &ctx)

@@ -58,6 +58,11 @@ struct SchemeKnobs
     std::uint64_t seed = 7;
 
     static SchemeKnobs fromParams(const ParamSet &params);
+
+    /** The knobs rendered back as the shared ParamSet keys (`flip=`,
+     *  `rfm=`, `ad=`, `blast-radius=`, `scheme-seed=`) — what
+     *  makeScheme() and the registry factories consume. */
+    ParamSet toParams() const;
 };
 
 /**

@@ -1,0 +1,13 @@
+#include "registry/source_registry.hh"
+
+namespace mithril::registry
+{
+
+std::unique_ptr<engine::ActSource>
+makeActSource(const std::string &name, const ParamSet &params,
+              const SourceContext &ctx)
+{
+    return sourceRegistry().at(name).make(params, ctx);
+}
+
+} // namespace mithril::registry

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The engine-source registry: named workloads that drive the
+ * ActStream engine directly at the activation level (no cores, no MC
+ * queues). Entries wrap trace files, the attack generators, or any
+ * other record stream as an engine::ActSource; the factory receives
+ * the experiment ParamSet and the DRAM timing/geometry the stream
+ * must aim at. This is what makes every registered attack runnable at
+ * multi-bank scale against every tracker without a System build.
+ */
+
+#ifndef MITHRIL_REGISTRY_SOURCE_REGISTRY_HH
+#define MITHRIL_REGISTRY_SOURCE_REGISTRY_HH
+
+#include "dram/timing.hh"
+#include "engine/act_source.hh"
+#include "registry/registry.hh"
+
+namespace mithril::registry
+{
+
+/** Side inputs every engine-source factory needs. */
+struct SourceContext
+{
+    const dram::Timing &timing;
+    const dram::Geometry &geometry;
+    std::uint32_t flipTh = 6250;
+    std::uint64_t seed = 42;
+};
+
+struct SourceTraits
+{
+    using Product = engine::ActSource;
+    using Context = SourceContext;
+    static constexpr const char *kCategory = "source";
+    static constexpr const char *kPlural = "sources";
+};
+
+using SourceRegistry = Registry<SourceTraits>;
+
+/** The process-wide engine-source registry. */
+inline SourceRegistry &
+sourceRegistry()
+{
+    return SourceRegistry::instance();
+}
+
+/**
+ * Build an engine source by registry name. Throws SpecError on
+ * unknown names (listing every registered source) and on invalid
+ * entry parameters.
+ */
+std::unique_ptr<engine::ActSource>
+makeActSource(const std::string &name, const ParamSet &params,
+              const SourceContext &ctx);
+
+} // namespace mithril::registry
+
+#endif // MITHRIL_REGISTRY_SOURCE_REGISTRY_HH

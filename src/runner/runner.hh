@@ -74,7 +74,7 @@ struct RunnerOptions
 };
 
 /**
- * Runs sweeps. The default job body is sim::runSystem; tests inject a
+ * Runs sweeps. The default job body is sim::runExperiment; tests inject a
  * stub through the second run() overload.
  */
 class SweepRunner
@@ -84,7 +84,7 @@ class SweepRunner
 
     explicit SweepRunner(RunnerOptions options = {});
 
-    /** Expand and execute the sweep with sim::runSystem. */
+    /** Expand and execute the sweep with sim::runExperiment. */
     SweepResult run(const SweepSpec &spec) const;
 
     /** Expand and execute with a custom job body. */

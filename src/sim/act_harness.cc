@@ -1,75 +1,23 @@
 #include "act_harness.hh"
 
-#include "common/logging.hh"
-
 namespace mithril::sim
 {
 
 ActHarness::ActHarness(const ActHarnessConfig &config,
                        trackers::RhProtection *tracker)
-    : config_(config), tracker_(tracker),
-      oracle_(1, config.rowsPerBank, config.flipTh, config.blastRadius)
+    : engine_(engine::EngineConfig::singleBank(
+                  config.timing, config.rowsPerBank, config.flipTh,
+                  config.blastRadius),
+              tracker)
 {
-    nextRef_ = config_.timing.tREFI;
-}
-
-void
-ActHarness::maybeRefresh()
-{
-    while (now_ >= nextRef_) {
-        oracle_.onAutoRefresh(0, dram::refreshGroups(config_.timing));
-        if (tracker_)
-            tracker_->onRefresh(0, nextRef_);
-        now_ += config_.timing.tRFC;  // Bank blocked for tRFC.
-        nextRef_ += config_.timing.tREFI;
-        ++refs_;
-    }
-}
-
-void
-ActHarness::activate(RowId row)
-{
-    maybeRefresh();
-
-    oracle_.onActivate(0, row);
-    ++acts_;
-    scratch_.clear();
-    if (tracker_)
-        tracker_->onActivate(0, row, now_, scratch_);
-    now_ += config_.timing.tRC;
-
-    // Immediate ARR work requested by reactive schemes.
-    for (RowId aggressor : scratch_) {
-        oracle_.onNeighborRefresh(0, aggressor);
-        now_ += static_cast<Tick>(2 * config_.blastRadius) *
-                config_.timing.tRC;
-        ++preventive_;
-    }
-
-    // RFM cadence.
-    if (tracker_ && tracker_->usesRfm() &&
-        ++raa_ >= tracker_->rfmTh()) {
-        raa_ = 0;
-        if (tracker_->rfmPending(0)) {
-            scratch_.clear();
-            tracker_->onRfm(0, now_, scratch_);
-            for (RowId aggressor : scratch_) {
-                oracle_.onNeighborRefresh(0, aggressor);
-                ++preventive_;
-            }
-            now_ += config_.timing.tRFM;
-            ++rfms_;
-        }
-        // Mithril+ MRR skip: no time cost beyond the poll.
-    }
 }
 
 void
 ActHarness::run(std::uint64_t count,
                 const std::function<RowId(std::uint64_t)> &row_source)
 {
-    for (std::uint64_t i = 0; i < count; ++i)
-        activate(row_source(i));
+    engine::CallbackSource source(count, row_source);
+    engine_.run(source);
 }
 
 } // namespace mithril::sim

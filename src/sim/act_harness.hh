@@ -1,15 +1,15 @@
 /**
  * @file
- * Command-level single-bank harness for safety experiments.
+ * Command-level single-bank harness for safety experiments — now a
+ * thin frontend over engine::ActStreamEngine.
  *
  * Worst-case Row Hammer analysis does not need cores or queues — only
  * the exact interleaving of ACT, REF, RFM, and preventive refreshes at
- * the maximum legal activation rate. The harness drives one bank at one
- * ACT per tRC, issues REF every tREFI (per its refresh-group rotation)
- * and RFM every RFM_TH ACTs, executes ARR work immediately, and keeps
- * the ground-truth oracle up to date. It processes millions of ACTs per
- * second, which is what the Figure 2 sweeps and the Theorem 1/2
- * validation tests require.
+ * the maximum legal activation rate. The harness keeps its historical
+ * surface (one bank, one ACT per tRC, an index-addressed row-source
+ * callback) and delegates all interleaving to the shared engine, so
+ * every Figure 2 sweep and Theorem 1/2 validation test rides the same
+ * batched hot loop as the multi-bank experiments.
  */
 
 #ifndef MITHRIL_SIM_ACT_HARNESS_HH
@@ -20,6 +20,7 @@
 
 #include "dram/rh_oracle.hh"
 #include "dram/timing.hh"
+#include "engine/act_stream_engine.hh"
 #include "trackers/rh_protection.hh"
 
 namespace mithril::sim
@@ -43,39 +44,34 @@ class ActHarness
 
     /** Feed one activation (advances virtual time by tRC, interleaving
      *  REF/RFM/preventive work as due). */
-    void activate(RowId row);
+    void activate(RowId row) { engine_.activate(0, row); }
 
     /**
      * Drive `count` activations produced by the row source callback
-     * (called with the activation index).
+     * (called with the activation index), through the engine's
+     * batched dispatch.
      */
     void run(std::uint64_t count,
              const std::function<RowId(std::uint64_t)> &row_source);
 
-    const dram::RhOracle &oracle() const { return oracle_; }
-    dram::RhOracle &oracle() { return oracle_; }
+    const dram::RhOracle &oracle() const { return engine_.oracle(); }
+    dram::RhOracle &oracle() { return engine_.oracle(); }
 
-    Tick now() const { return now_; }
-    std::uint64_t acts() const { return acts_; }
-    std::uint64_t refs() const { return refs_; }
-    std::uint64_t rfms() const { return rfms_; }
-    std::uint64_t preventiveRefreshes() const { return preventive_; }
+    Tick now() const { return engine_.now(0); }
+    std::uint64_t acts() const { return engine_.acts(); }
+    std::uint64_t refs() const { return engine_.refs(); }
+    std::uint64_t rfms() const { return engine_.rfms(); }
+    std::uint64_t preventiveRefreshes() const
+    {
+        return engine_.preventiveRefreshes();
+    }
+
+    /** The engine underneath, for frontends mixing both surfaces. */
+    engine::ActStreamEngine &engine() { return engine_; }
+    const engine::ActStreamEngine &engine() const { return engine_; }
 
   private:
-    void maybeRefresh();
-
-    ActHarnessConfig config_;
-    trackers::RhProtection *tracker_;
-    dram::RhOracle oracle_;
-
-    Tick now_ = 0;
-    Tick nextRef_;
-    std::uint32_t raa_ = 0;
-    std::uint64_t acts_ = 0;
-    std::uint64_t refs_ = 0;
-    std::uint64_t rfms_ = 0;
-    std::uint64_t preventive_ = 0;
-    std::vector<RowId> scratch_;
+    engine::ActStreamEngine engine_;
 };
 
 } // namespace mithril::sim

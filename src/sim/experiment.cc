@@ -8,75 +8,6 @@
 namespace mithril::sim
 {
 
-namespace
-{
-
-/** Kind <-> registry key, in enum order. */
-const struct
-{
-    AttackKind kind;
-    const char *key;
-} kAttackKeys[] = {
-    {AttackKind::None, "none"},
-    {AttackKind::DoubleSided, "double-sided"},
-    {AttackKind::MultiSided, "multi-sided"},
-    {AttackKind::CbfPollution, "cbf-pollution"},
-};
-
-} // namespace
-
-std::string
-attackName(AttackKind kind)
-{
-    for (const auto &m : kAttackKeys) {
-        if (m.kind == kind)
-            return m.key;
-    }
-    panic("unhandled attack kind");
-    return "?";
-}
-
-AttackKind
-attackFromName(const std::string &name)
-{
-    const auto *entry = registry::attackRegistry().find(name);
-    if (entry) {
-        for (const auto &m : kAttackKeys) {
-            if (entry->name == m.key)
-                return m.kind;
-        }
-        fatal("attack '%s' is registered but not addressable through "
-              "the deprecated AttackKind enum; use the name-based "
-              "ExperimentSpec API",
-              name.c_str());
-    }
-    fatal("unknown attack: %s (registered attacks: %s)", name.c_str(),
-          registry::joinSorted(registry::attackRegistry().names())
-              .c_str());
-    return AttackKind::None;
-}
-
-ExperimentSpec
-RunConfig::toSpec(const trackers::SchemeSpec &scheme) const
-{
-    ExperimentSpec spec;
-    spec.scheme = trackers::schemeKey(scheme.kind);
-    spec.workload = workloadName(workload);
-    spec.attack = attackName(attack);
-    spec.flipTh = scheme.flipTh;
-    spec.rfmTh = scheme.rfmTh;
-    spec.adTh = scheme.adTh;
-    spec.blastRadius = scheme.blastRadius;
-    spec.schemeSeed = scheme.seed;
-    spec.cores = cores;
-    spec.instrPerCore = instrPerCore;
-    spec.seed = seed;
-    spec.trackerWarmupActs = trackerWarmupActs;
-    spec.warmupFromWorkload = warmupFromWorkload;
-    spec.sys = sys;
-    return spec;
-}
-
 RunMetrics
 runExperiment(const ExperimentSpec &spec)
 {
@@ -184,17 +115,6 @@ runExperiment(const ExperimentSpec &spec)
     if (tracker_ptr)
         m.trackerBytesPerBank = tracker_ptr->tableBytesPerBank();
     return m;
-}
-
-RunMetrics
-runSystem(const RunConfig &config, const trackers::SchemeSpec &scheme)
-{
-    try {
-        return runExperiment(config.toSpec(scheme));
-    } catch (const registry::SpecError &err) {
-        fatal("%s", err.what());
-    }
-    return {};
 }
 
 double

@@ -4,10 +4,6 @@
  * integration tests: build a system from an ExperimentSpec (scheme,
  * workload, and attack resolved through the registries), run it, and
  * collect the metrics the paper's figures report.
- *
- * The enum-based RunConfig/AttackKind surface below is a deprecated
- * shim over the registries, kept for callers that predate
- * ExperimentSpec.
  */
 
 #ifndef MITHRIL_SIM_EXPERIMENT_HH
@@ -19,54 +15,9 @@
 #include "sim/experiment_spec.hh"
 #include "sim/system.hh"
 #include "sim/workload_suite.hh"
-#include "trackers/factory.hh"
 
 namespace mithril::sim
 {
-
-/** Attacker thread variants (Section VI-A). Deprecated: the attack
- *  registry is open; this enum only spans the original entries. */
-enum class AttackKind
-{
-    None,
-    DoubleSided,
-    MultiSided,    //!< 32-victim TRRespass-style pattern.
-    CbfPollution,  //!< BlockHammer performance adversary.
-};
-
-/** Printable attack name ("none", "double-sided", ...). */
-std::string attackName(AttackKind kind);
-
-/** Parse an attack name; fatal on unknown names, listing every
- *  registered attack. */
-AttackKind attackFromName(const std::string &name);
-
-/** Deprecated enum-based experiment description; superseded by
- *  ExperimentSpec. */
-struct RunConfig
-{
-    SystemConfig sys;
-    WorkloadKind workload = WorkloadKind::MixHigh;
-    std::uint32_t cores = 16;
-    std::uint64_t instrPerCore = 200000;
-    AttackKind attack = AttackKind::None;
-    std::uint64_t seed = 42;
-
-    /**
-     * Tracker warm-up: before the measured run, replay this many
-     * activations of the attack pattern (or, with warmupFromWorkload,
-     * of the benign address streams) directly into the tracker. This
-     * stands in for the CBF/counter pressure that accumulates over a
-     * full tREFW in the paper's 400M-instruction runs, which a short
-     * simulation cannot build up organically. The ground-truth oracle
-     * is *not* warmed, so safety metrics stay exact.
-     */
-    std::uint64_t trackerWarmupActs = 0;
-    bool warmupFromWorkload = false;
-
-    /** The equivalent ExperimentSpec (adopting the scheme knobs). */
-    ExperimentSpec toSpec(const trackers::SchemeSpec &scheme) const;
-};
 
 /** Everything a figure needs from one run. */
 struct RunMetrics
@@ -98,11 +49,6 @@ struct RunMetrics
  * (the sweep runner surfaces it per job).
  */
 RunMetrics runExperiment(const ExperimentSpec &spec);
-
-/** Deprecated shim: convert to an ExperimentSpec and run it; fatal
- *  on configuration errors (the historical behavior). */
-RunMetrics runSystem(const RunConfig &config,
-                     const trackers::SchemeSpec &scheme);
 
 /**
  * Relative performance (%) of `value` against `baseline` aggregate

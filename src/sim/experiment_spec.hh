@@ -2,7 +2,7 @@
  * @file
  * The unified experiment description: ONE spec object naming the
  * protection scheme, workload, and attack by registry name, plus every
- * shared knob the evaluation varies. It subsumes the historical
+ * shared knob the evaluation varies. It subsumed (and replaced) the historical
  * RunConfig + SchemeSpec pair and is constructed from a ParamSet, so
  * the CLI, sweep grids, and tests share one parser:
  *

@@ -42,6 +42,51 @@ Graphene::onActivate(BankId bank, RowId row, Tick now,
     }
 }
 
+std::size_t
+Graphene::onActivateBatch(const ActSpan &span,
+                          std::vector<RowId> &arr_aggressors)
+{
+    core::CbsTable &table = tables_.at(span.bank);
+    Tick &last_reset = lastReset_.at(span.bank);
+    if (span.size == 0)
+        return 0;
+
+    // A table reset can only fall inside this span when its last tick
+    // crosses the reset interval (once per tREFW); take the scalar
+    // loop for that rare span, the tight run otherwise.
+    if (span.tickAt(span.size - 1) - last_reset >=
+        params_.resetInterval) {
+        std::size_t consumed = 0;
+        while (consumed < span.size) {
+            const Tick now = span.tickAt(consumed);
+            if (now - last_reset >= params_.resetInterval) {
+                table.clear();
+                last_reset = now;
+            }
+            const std::uint64_t est =
+                table.touchFast(span.rows[consumed]);
+            ++consumed;
+            if (est % params_.threshold == 0) {
+                arr_aggressors.push_back(span.rows[consumed - 1]);
+                ++arrCount_;
+                break;
+            }
+        }
+        countOp(consumed);
+        return consumed;
+    }
+
+    bool hit = false;
+    const std::size_t consumed =
+        table.touchRun(span.rows, span.size, params_.threshold, &hit);
+    if (hit) {
+        arr_aggressors.push_back(span.rows[consumed - 1]);
+        ++arrCount_;
+    }
+    countOp(consumed);
+    return consumed;
+}
+
 double
 Graphene::tableBytesPerBank() const
 {

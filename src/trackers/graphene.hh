@@ -44,6 +44,13 @@ class Graphene : public RhProtection
     void onActivate(BankId bank, RowId row, Tick now,
                     std::vector<RowId> &arr_aggressors) override;
 
+    /** Batched hot path: cached-touch loop with the table lookup and
+     *  reset bookkeeping hoisted; stops at the first ARR trigger per
+     *  the batch contract. */
+    std::size_t onActivateBatch(const ActSpan &span,
+                                std::vector<RowId> &arr_aggressors)
+        override;
+
     double tableBytesPerBank() const override;
 
     const GrapheneParams &params() const { return params_; }

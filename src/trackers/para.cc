@@ -25,6 +25,23 @@ Para::onActivate(BankId bank, RowId row, Tick now,
         arr_aggressors.push_back(row);
 }
 
+std::size_t
+Para::onActivateBatch(const ActSpan &span,
+                      std::vector<RowId> &arr_aggressors)
+{
+    std::size_t consumed = 0;
+    while (consumed < span.size) {
+        const RowId row = span.rows[consumed];
+        ++consumed;
+        if (rng_.nextBool(probability_)) {
+            arr_aggressors.push_back(row);
+            break;
+        }
+    }
+    countOp(consumed);
+    return consumed;
+}
+
 double
 Para::requiredProbability(std::uint32_t flip_th, double fail_target)
 {

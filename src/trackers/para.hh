@@ -33,6 +33,12 @@ class Para : public RhProtection
     void onActivate(BankId bank, RowId row, Tick now,
                     std::vector<RowId> &arr_aggressors) override;
 
+    /** Batched hot path: one RNG draw per record, no virtual hops;
+     *  stops at the first triggered ARR per the batch contract. */
+    std::size_t onActivateBatch(const ActSpan &span,
+                                std::vector<RowId> &arr_aggressors)
+        override;
+
     double tableBytesPerBank() const override { return 0.0; }
 
     double probability() const { return probability_; }

@@ -46,6 +46,54 @@ RfmGraphene::onActivate(BankId bank, RowId row, Tick now,
     }
 }
 
+std::size_t
+RfmGraphene::onActivateBatch(const ActSpan &span,
+                             std::vector<RowId> &arr_aggressors)
+{
+    (void)arr_aggressors;  // Buffered, never immediate.
+    core::CbsTable &table = tables_.at(span.bank);
+    Tick &last_reset = lastReset_.at(span.bank);
+    auto &queue = pending_.at(span.bank);
+    if (span.size == 0)
+        return 0;
+
+    // Rare reset-crossing span: scalar loop (see Graphene).
+    if (span.tickAt(span.size - 1) - last_reset >=
+        params_.resetInterval) {
+        for (std::size_t i = 0; i < span.size; ++i) {
+            const Tick now = span.tickAt(i);
+            if (now - last_reset >= params_.resetInterval) {
+                table.clear();
+                queue.clear();
+                last_reset = now;
+            }
+            const std::uint64_t est = table.touchFast(span.rows[i]);
+            if (est % params_.threshold == 0) {
+                queue.push_back(span.rows[i]);
+                maxQueueDepth_ =
+                    std::max(maxQueueDepth_, queue.size());
+            }
+        }
+        countOp(span.size);
+        return span.size;
+    }
+
+    // Buffering never stops the span: resume the run after each
+    // threshold crossing.
+    std::size_t done = 0;
+    while (done < span.size) {
+        bool hit = false;
+        done += table.touchRun(span.rows + done, span.size - done,
+                               params_.threshold, &hit);
+        if (hit) {
+            queue.push_back(span.rows[done - 1]);
+            maxQueueDepth_ = std::max(maxQueueDepth_, queue.size());
+        }
+    }
+    countOp(span.size);
+    return span.size;
+}
+
 void
 RfmGraphene::onRfm(BankId bank, Tick now, std::vector<RowId> &aggressors)
 {

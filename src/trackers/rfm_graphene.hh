@@ -52,6 +52,12 @@ class RfmGraphene : public RhProtection
     void onActivate(BankId bank, RowId row, Tick now,
                     std::vector<RowId> &arr_aggressors) override;
 
+    /** Batched hot path: buffering never requests ARR, so the whole
+     *  span is consumed in one cached-touch loop. */
+    std::size_t onActivateBatch(const ActSpan &span,
+                                std::vector<RowId> &arr_aggressors)
+        override;
+
     void onRfm(BankId bank, Tick now,
                std::vector<RowId> &aggressors) override;
 

@@ -1,0 +1,19 @@
+#include "rh_protection.hh"
+
+namespace mithril::trackers
+{
+
+std::size_t
+RhProtection::onActivateBatch(const ActSpan &span,
+                              std::vector<RowId> &arr_aggressors)
+{
+    for (std::size_t i = 0; i < span.size; ++i) {
+        onActivate(span.bank, span.rows[i], span.tickAt(i),
+                   arr_aggressors);
+        if (!arr_aggressors.empty())
+            return i + 1;
+    }
+    return span.size;
+}
+
+} // namespace mithril::trackers

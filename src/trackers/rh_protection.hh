@@ -18,6 +18,7 @@
 #ifndef MITHRIL_TRACKERS_RH_PROTECTION_HH
 #define MITHRIL_TRACKERS_RH_PROTECTION_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,6 +36,41 @@ enum class Location
     BufferChip, //!< DIMM buffer chip (TWiCe).
 };
 
+/**
+ * One bank's slice of an activation batch, as the ActStream engine
+ * hands it to a tracker: a contiguous SoA view of rows, all on the
+ * same bank, with engine-resolved ticks. Record i activates
+ * rows[i] at tick0 + i * tickStride (the engine guarantees no REF or
+ * RFM boundary falls inside the span, so the stride is exact).
+ */
+struct ActSpan
+{
+    BankId bank = 0;
+    const RowId *rows = nullptr;
+    std::size_t size = 0;
+    Tick tick0 = 0;
+    Tick tickStride = 0;
+
+    /** Tick of record i under the span's uniform stride. */
+    Tick tickAt(std::size_t i) const
+    {
+        return tick0 + static_cast<Tick>(i) * tickStride;
+    }
+};
+
+/**
+ * Reusable aggressor scratch shared by every frontend — engine runs,
+ * the single-bank harness wrapper, and the MC's ARR/RFM protocol.
+ * One heap buffer, cleared (capacity kept) between uses, so steady
+ * state performs zero allocations.
+ */
+struct ActScratch
+{
+    std::vector<RowId> arr;
+
+    void reset() { arr.clear(); }
+};
+
 /** Base class for all protection schemes. */
 class RhProtection
 {
@@ -47,10 +83,14 @@ class RhProtection
     /** Where the scheme is implemented. */
     virtual Location location() const = 0;
 
-    /** True when the scheme consumes RFM commands. */
+    /** True when the scheme consumes RFM commands. Must be constant
+     *  over the tracker's lifetime — the ActStream engine caches it
+     *  at construction for the batched hot loop. */
     virtual bool usesRfm() const { return false; }
 
-    /** RFM threshold the MC must honour (0 when usesRfm() is false). */
+    /** RFM threshold the MC must honour (0 when usesRfm() is false).
+     *  Must be constant over the tracker's lifetime (cached like
+     *  usesRfm()). */
     virtual std::uint32_t rfmTh() const { return 0; }
 
     /**
@@ -59,6 +99,25 @@ class RhProtection
      */
     virtual void onActivate(BankId bank, RowId row, Tick now,
                             std::vector<RowId> &arr_aggressors) = 0;
+
+    /**
+     * Observe a span of same-bank ACTs in one call (the engine's hot
+     * path). Contract, mirrored from the scalar loop it replaces:
+     *
+     *  - `arr_aggressors` arrives empty;
+     *  - the tracker processes records in order and MUST stop after
+     *    the first record that requests ARR work (its aggressors are
+     *    appended to `arr_aggressors`), because preventive refreshes
+     *    advance the bank clock and invalidate the remaining ticks;
+     *  - returns the number of records consumed (>= 1 when
+     *    span.size > 0), byte-identical in effect to calling
+     *    onActivate() that many times.
+     *
+     * The default does exactly that scalar loop; hot trackers
+     * override it with an allocation-free tight loop.
+     */
+    virtual std::size_t onActivateBatch(const ActSpan &span,
+                                        std::vector<RowId> &arr_aggressors);
 
     /**
      * Consume an RFM command for the bank. Appends the aggressor rows

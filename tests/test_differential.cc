@@ -199,6 +199,64 @@ TEST(CbsDifferentialReset, GreedyResetMatchesReference)
     }
 }
 
+TEST(CbsFastPaths, TouchFastAndTouchRunMatchTouch)
+{
+    // The cached scalar fast path and the register-cached batch run
+    // must stay value-identical to touch() under random mixed use.
+    CbsTable plain(16), fast(16), run(16);
+    Rng rng(99);
+    std::vector<RowId> buf;
+    for (int round = 0; round < 3000; ++round) {
+        buf.clear();
+        const std::size_t n = 1 + rng.nextBounded(24);
+        for (std::size_t i = 0; i < n; ++i)
+            buf.push_back(static_cast<RowId>(rng.nextZipf(128, 0.9)));
+
+        for (RowId r : buf)
+            plain.touch(r);
+        for (RowId r : buf)
+            fast.touchFast(r);
+        std::size_t done = 0;
+        while (done < buf.size()) {
+            done += run.touchRun(buf.data() + done,
+                                 buf.size() - done, 7, nullptr);
+        }
+
+        ASSERT_EQ(plain.touches(), fast.touches());
+        ASSERT_EQ(plain.touches(), run.touches());
+        if (round % 97 == 0) {
+            ASSERT_EQ(sortedCounts(plain), sortedCounts(fast));
+            ASSERT_EQ(sortedCounts(plain), sortedCounts(run));
+            ASSERT_EQ(plain.minValue(), fast.minValue());
+            ASSERT_EQ(plain.maxValue(), run.maxValue());
+            ASSERT_EQ(plain.estimate(buf.back()),
+                      fast.estimate(buf.back()));
+            ASSERT_EQ(plain.estimate(buf.back()),
+                      run.estimate(buf.back()));
+            ASSERT_TRUE(fast.checkInvariants());
+            ASSERT_TRUE(run.checkInvariants());
+        }
+    }
+}
+
+TEST(CbsFastPaths, DivisibilityTriggerMatchesModulo)
+{
+    // touchRun's multiply-based divisibility trigger must agree with
+    // the literal est % divisor == 0 for every divisor shape.
+    for (std::uint64_t d : {1ull, 2ull, 3ull, 7ull, 10ull, 781ull,
+                            1562ull, 65536ull}) {
+        CbsTable fast(8), ref(8);
+        Rng rng(static_cast<std::uint64_t>(d * 31 + 5));
+        for (int i = 0; i < 5000; ++i) {
+            RowId row = static_cast<RowId>(rng.nextZipf(64, 1.0));
+            bool hit = false;
+            ASSERT_EQ(fast.touchRun(&row, 1, d, &hit), 1u);
+            const bool expect = (ref.touch(row) % d) == 0;
+            ASSERT_EQ(hit, expect) << "divisor " << d << " step " << i;
+        }
+    }
+}
+
 TEST(HarnessCadence, RfmAndRefCountsMatchClosedForm)
 {
     // Drive exactly N ACTs and check REF/RFM counts against the

@@ -17,8 +17,8 @@
 #include "dram/bank.hh"
 #include "dram/rh_oracle.hh"
 #include "mc/address_map.hh"
+#include "registry/scheme_registry.hh"
 #include "sim/act_harness.hh"
-#include "trackers/factory.hh"
 
 namespace mithril
 {
@@ -128,24 +128,33 @@ TEST(EdgeCbs, WrappedLessRejectsBadBits)
                  std::runtime_error);
 }
 
-TEST(EdgeFactory, UnknownSchemeNameIsFatal)
+TEST(EdgeFactory, UnknownSchemeNameThrowsWithCandidates)
 {
-    FatalGuard guard;
-    EXPECT_THROW(trackers::schemeFromName("no-such-scheme"),
-                 std::runtime_error);
+    try {
+        registry::makeScheme("no-such-scheme", ParamSet(),
+                             {dram::ddr5_4800(),
+                              dram::paperGeometry()});
+        FAIL() << "unknown scheme was accepted";
+    } catch (const registry::SpecError &err) {
+        EXPECT_NE(std::string(err.what()).find("mithril"),
+                  std::string::npos);
+    }
 }
 
-TEST(EdgeFactory, InfeasibleMithrilConfigIsFatal)
+TEST(EdgeFactory, InfeasibleMithrilConfigThrows)
 {
-    FatalGuard guard;
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::SchemeKind::Mithril;
-    spec.flipTh = 1500;
-    spec.rfmTh = 512;  // Infeasible per Figure 6.
-    EXPECT_THROW(trackers::makeScheme(spec, dram::ddr5_4800(),
-                                      dram::paperGeometry()),
-                 std::runtime_error);
-    EXPECT_NE(guard.log().find("infeasible"), std::string::npos);
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = 1500;
+    knobs.rfmTh = 512;  // Infeasible per Figure 6.
+    try {
+        registry::makeScheme("mithril", knobs.toParams(),
+                             {dram::ddr5_4800(),
+                              dram::paperGeometry()});
+        FAIL() << "infeasible configuration was accepted";
+    } catch (const registry::SpecError &err) {
+        EXPECT_NE(std::string(err.what()).find("infeasible"),
+                  std::string::npos);
+    }
 }
 
 TEST(EdgeSolver, TinyFlipThInfeasibleEverywhere)

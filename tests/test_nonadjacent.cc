@@ -13,8 +13,8 @@
 
 #include "core/bounds.hh"
 #include "core/config_solver.hh"
+#include "registry/scheme_registry.hh"
 #include "sim/act_harness.hh"
-#include "trackers/factory.hh"
 
 namespace mithril
 {
@@ -44,16 +44,17 @@ TEST(NonAdjacent, FactorySizesForRadius)
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
 
-    trackers::SchemeSpec near;
-    near.kind = trackers::SchemeKind::Mithril;
+    registry::SchemeKnobs near;
     near.flipTh = 6250;
     near.adTh = 0;
     near.blastRadius = 1;
-    auto t1 = trackers::makeScheme(near, timing, geom);
+    auto t1 = registry::makeScheme("mithril", near.toParams(),
+                                   {timing, geom});
 
-    trackers::SchemeSpec far = near;
+    registry::SchemeKnobs far = near;
     far.blastRadius = 3;
-    auto t3 = trackers::makeScheme(far, timing, geom);
+    auto t3 = registry::makeScheme("mithril", far.toParams(),
+                                   {timing, geom});
 
     EXPECT_GT(t3->tableBytesPerBank(), t1->tableBytesPerBank());
 }
@@ -123,12 +124,12 @@ TEST_P(NonAdjacentSafety, MithrilConfiguredForRadiusSurvives)
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
 
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::SchemeKind::Mithril;
-    spec.flipTh = 6250;
-    spec.adTh = 0;
-    spec.blastRadius = radius;
-    auto tracker = trackers::makeScheme(spec, timing, geom);
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = 6250;
+    knobs.adTh = 0;
+    knobs.blastRadius = radius;
+    auto tracker = registry::makeScheme("mithril", knobs.toParams(),
+                                        {timing, geom});
 
     sim::ActHarnessConfig cfg;
     cfg.timing = timing;
@@ -154,12 +155,12 @@ TEST(NonAdjacent, SafetyMarginShrinksWithoutRadiusAwareness)
     const dram::Geometry geom = dram::paperGeometry();
 
     auto run_with = [&](std::uint32_t config_radius) {
-        trackers::SchemeSpec spec;
-        spec.kind = trackers::SchemeKind::Mithril;
-        spec.flipTh = 6250;
-        spec.adTh = 0;
-        spec.blastRadius = config_radius;
-        auto tracker = trackers::makeScheme(spec, timing, geom);
+        registry::SchemeKnobs knobs;
+        knobs.flipTh = 6250;
+        knobs.adTh = 0;
+        knobs.blastRadius = config_radius;
+        auto tracker = registry::makeScheme(
+            "mithril", knobs.toParams(), {timing, geom});
 
         sim::ActHarnessConfig cfg;
         cfg.timing = timing;

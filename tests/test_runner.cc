@@ -15,6 +15,7 @@
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "registry/attack_registry.hh"
 #include "runner/runner.hh"
 #include "runner/sinks.hh"
 #include "runner/sweep_spec.hh"
@@ -275,12 +276,14 @@ TEST(SweepSpec, EntryDeclaredTunablesRideAlong)
     EXPECT_NO_THROW(jobs[1].spec.validate());
 }
 
-TEST(SweepSpec, AttackNamesRoundTrip)
+TEST(SweepSpec, AttackNamesResolveInRegistry)
 {
-    for (sim::AttackKind kind :
-         {sim::AttackKind::None, sim::AttackKind::DoubleSided,
-          sim::AttackKind::MultiSided, sim::AttackKind::CbfPollution})
-        EXPECT_EQ(sim::attackFromName(sim::attackName(kind)), kind);
+    for (const char *name :
+         {"none", "double-sided", "multi-sided", "cbf-pollution"}) {
+        const auto *entry = registry::attackRegistry().find(name);
+        ASSERT_NE(entry, nullptr) << name;
+        EXPECT_EQ(entry->name, name);
+    }
 }
 
 // ------------------------------------------------------ determinism

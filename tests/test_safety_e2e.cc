@@ -18,8 +18,8 @@
 
 #include "common/random.hh"
 #include "dram/timing.hh"
+#include "registry/scheme_registry.hh"
 #include "sim/act_harness.hh"
-#include "trackers/factory.hh"
 #include "trackers/graphene.hh"
 #include "trackers/rfm_graphene.hh"
 
@@ -70,7 +70,7 @@ patternRow(Pattern p, std::uint64_t i, Rng &rng)
 
 struct SafetyCase
 {
-    trackers::SchemeKind scheme;
+    const char *scheme;
     std::uint32_t flipTh;
     Pattern pattern;
 };
@@ -78,7 +78,7 @@ struct SafetyCase
 std::string
 caseName(const ::testing::TestParamInfo<SafetyCase> &info)
 {
-    std::string s = trackers::schemeName(info.param.scheme) + "_" +
+    std::string s = std::string(info.param.scheme) + "_" +
                     std::to_string(info.param.flipTh) + "_" +
                     patternName(info.param.pattern);
     for (auto &c : s)
@@ -98,11 +98,11 @@ TEST_P(DeterministicSafety, NoVictimReachesFlipTh)
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
 
-    trackers::SchemeSpec spec;
-    spec.kind = tc.scheme;
-    spec.flipTh = tc.flipTh;
-    spec.adTh = 0;  // Pure Theorem 1 configuration.
-    auto tracker = trackers::makeScheme(spec, timing, geom);
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = tc.flipTh;
+    knobs.adTh = 0;  // Pure Theorem 1 configuration.
+    auto tracker = registry::makeScheme(tc.scheme, knobs.toParams(),
+                                        {timing, geom});
     ASSERT_NE(tracker, nullptr);
 
     sim::ActHarnessConfig cfg;
@@ -129,11 +129,11 @@ std::vector<SafetyCase>
 deterministicCases()
 {
     std::vector<SafetyCase> cases;
-    const trackers::SchemeKind schemes[] = {
-        trackers::SchemeKind::Mithril,
-        trackers::SchemeKind::MithrilPlus,
-        trackers::SchemeKind::Graphene,
-        trackers::SchemeKind::Twice,
+    const char *const schemes[] = {
+        "mithril",
+        "mithril+",
+        "graphene",
+        "twice",
     };
     const Pattern patterns[] = {
         Pattern::DoubleSided, Pattern::MultiSided32,
@@ -157,11 +157,11 @@ TEST(AdaptiveSafety, MithrilWithAdth200StillSafe)
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
     for (std::uint32_t flip : {3125u, 6250u}) {
-        trackers::SchemeSpec spec;
-        spec.kind = trackers::SchemeKind::Mithril;
-        spec.flipTh = flip;
-        spec.adTh = 200;
-        auto tracker = trackers::makeScheme(spec, timing, geom);
+        registry::SchemeKnobs knobs;
+        knobs.flipTh = flip;
+        knobs.adTh = 200;
+        auto tracker = registry::makeScheme(
+            "mithril", knobs.toParams(), {timing, geom});
 
         sim::ActHarnessConfig cfg;
         cfg.timing = timing;
@@ -181,10 +181,10 @@ TEST(ParfmSafety, SurvivesBatteryInPractice)
     // runs must not flip (failure probability ~1e-15).
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::SchemeKind::Parfm;
-    spec.flipTh = 6250;
-    auto tracker = trackers::makeScheme(spec, timing, geom);
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = 6250;
+    auto tracker = registry::makeScheme("parfm", knobs.toParams(),
+                                        {timing, geom});
 
     sim::ActHarnessConfig cfg;
     cfg.timing = timing;
@@ -246,11 +246,11 @@ TEST(RfmGrapheneFailure, MithrilSurvivesTheSameAttack)
     // Mithril at the same FlipTH — the paper's motivating contrast.
     const dram::Timing timing = dram::ddr5_4800();
     const dram::Geometry geom = dram::paperGeometry();
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::SchemeKind::Mithril;
-    spec.flipTh = 10000;
-    spec.adTh = 0;
-    auto tracker = trackers::makeScheme(spec, timing, geom);
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = 10000;
+    knobs.adTh = 0;
+    auto tracker = registry::makeScheme("mithril", knobs.toParams(),
+                                        {timing, geom});
 
     sim::ActHarnessConfig cfg;
     cfg.timing = timing;

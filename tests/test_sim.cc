@@ -107,22 +107,21 @@ TEST(ActHarness, UnprotectedHammerFlipsBits)
 
 // ----------------------------------------------------- System runs
 
-RunConfig
-smallRun(WorkloadKind kind = WorkloadKind::MixHigh)
+ExperimentSpec
+smallRun(const std::string &scheme)
 {
-    RunConfig run;
-    run.workload = kind;
-    run.cores = 4;
-    run.instrPerCore = 20000;
-    return run;
+    ExperimentSpec spec;
+    spec.scheme = scheme;
+    spec.workload = "mix-high";
+    spec.flipTh = 6250;
+    spec.cores = 4;
+    spec.instrPerCore = 20000;
+    return spec;
 }
 
 TEST(SystemIntegration, BaselineRunProducesTraffic)
 {
-    trackers::SchemeSpec none;
-    none.kind = trackers::SchemeKind::None;
-    none.flipTh = 6250;
-    const RunMetrics m = runSystem(smallRun(), none);
+    const RunMetrics m = runExperiment(smallRun("none"));
     EXPECT_GT(m.aggIpc, 0.0);
     EXPECT_GT(m.acts, 0u);
     EXPECT_GT(m.reads, 0u);
@@ -133,75 +132,51 @@ TEST(SystemIntegration, BaselineRunProducesTraffic)
 
 TEST(SystemIntegration, DeterministicAcrossRuns)
 {
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::SchemeKind::Mithril;
-    spec.flipTh = 6250;
-    const RunMetrics a = runSystem(smallRun(), spec);
-    const RunMetrics b = runSystem(smallRun(), spec);
+    const RunMetrics a = runExperiment(smallRun("mithril"));
+    const RunMetrics b = runExperiment(smallRun("mithril"));
     EXPECT_DOUBLE_EQ(a.aggIpc, b.aggIpc);
     EXPECT_EQ(a.acts, b.acts);
     EXPECT_EQ(a.simTicks, b.simTicks);
 }
 
-class SystemSchemes
-    : public ::testing::TestWithParam<trackers::SchemeKind>
+class SystemSchemes : public ::testing::TestWithParam<const char *>
 {
 };
 
 TEST_P(SystemSchemes, RunsCleanlyWithModestOverhead)
 {
-    trackers::SchemeSpec none;
-    none.kind = trackers::SchemeKind::None;
-    none.flipTh = 6250;
-    const RunMetrics base = runSystem(smallRun(), none);
-
-    trackers::SchemeSpec spec;
-    spec.kind = GetParam();
-    spec.flipTh = 6250;
-    const RunMetrics m = runSystem(smallRun(), spec);
+    const RunMetrics base = runExperiment(smallRun("none"));
+    const RunMetrics m = runExperiment(smallRun(GetParam()));
 
     EXPECT_GT(m.aggIpc, 0.0);
     const double rel = relativePerf(m, base);
-    EXPECT_GT(rel, 70.0) << trackers::schemeName(GetParam());
-    EXPECT_LT(rel, 115.0) << trackers::schemeName(GetParam());
+    EXPECT_GT(rel, 70.0) << GetParam();
+    EXPECT_LT(rel, 115.0) << GetParam();
     EXPECT_EQ(m.bitFlips, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchemes, SystemSchemes,
-    ::testing::Values(trackers::SchemeKind::Mithril,
-                      trackers::SchemeKind::MithrilPlus,
-                      trackers::SchemeKind::Parfm,
-                      trackers::SchemeKind::BlockHammer,
-                      trackers::SchemeKind::Para,
-                      trackers::SchemeKind::Graphene,
-                      trackers::SchemeKind::Twice,
-                      trackers::SchemeKind::Cbt));
+    ::testing::Values("mithril", "mithril+", "parfm", "blockhammer",
+                      "para", "graphene", "twice", "cbt"));
 
 TEST(SystemIntegration, MithrilIssuesRfmUnderAttack)
 {
-    RunConfig run = smallRun();
-    run.attack = AttackKind::DoubleSided;
-    run.cores = 4;
-    run.instrPerCore = 100000;
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::SchemeKind::Mithril;
-    spec.flipTh = 6250;
+    ExperimentSpec spec = smallRun("mithril");
+    spec.attack = "double-sided";
+    spec.instrPerCore = 100000;
     spec.rfmTh = 32;  // Short run: keep the RAA epoch small.
-    const RunMetrics m = runSystem(run, spec);
+    const RunMetrics m = runExperiment(spec);
     EXPECT_GT(m.rfmIssued, 0u);
     EXPECT_EQ(m.bitFlips, 0u);
 }
 
 TEST(SystemIntegration, MithrilPlusSkipsRfmOnBenignWork)
 {
-    RunConfig run = smallRun();
-    run.instrPerCore = 100000;
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::SchemeKind::MithrilPlus;
-    spec.flipTh = 6250;
+    ExperimentSpec spec = smallRun("mithril+");
+    spec.instrPerCore = 100000;
     spec.rfmTh = 16;  // Short run: keep the RAA epoch small.
-    const RunMetrics m = runSystem(run, spec);
+    const RunMetrics m = runExperiment(spec);
     // Benign traffic: most RAA epochs end in an MRR skip.
     EXPECT_GT(m.rfmSkippedMrr, 0u);
     EXPECT_GT(m.rfmSkippedMrr, m.rfmIssued);
@@ -209,17 +184,15 @@ TEST(SystemIntegration, MithrilPlusSkipsRfmOnBenignWork)
 
 TEST(SystemIntegration, BlockHammerThrottlesAttacker)
 {
-    RunConfig run = smallRun();
-    run.attack = AttackKind::DoubleSided;
+    ExperimentSpec spec = smallRun("blockhammer");
+    spec.attack = "double-sided";
     // One benign core and a long budget: the attacker needs ~50us of
     // hammering for its pair to cross the blacklist threshold.
-    run.cores = 2;
-    run.instrPerCore = 600000;
-    trackers::SchemeSpec spec;
-    spec.kind = trackers::SchemeKind::BlockHammer;
+    spec.cores = 2;
+    spec.instrPerCore = 600000;
     // Low FlipTH -> low NBL (490).
     spec.flipTh = 1500;
-    const RunMetrics m = runSystem(run, spec);
+    const RunMetrics m = runExperiment(spec);
     EXPECT_GT(m.throttleStalls, 0u);
 }
 

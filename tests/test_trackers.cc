@@ -10,10 +10,11 @@
 #include <cmath>
 #include <map>
 
+#include "core/mithril.hh"
 #include "dram/timing.hh"
+#include "registry/scheme_registry.hh"
 #include "trackers/blockhammer.hh"
 #include "trackers/cbt.hh"
-#include "trackers/factory.hh"
 #include "trackers/graphene.hh"
 #include "trackers/para.hh"
 #include "trackers/parfm.hh"
@@ -429,58 +430,50 @@ class FactoryTest : public ::testing::Test
     dram::Geometry geom_ = dram::paperGeometry();
 };
 
-TEST_F(FactoryTest, NameRoundTrip)
+TEST_F(FactoryTest, EveryRegisteredSchemeBuilds)
 {
-    const SchemeKind kinds[] = {
-        SchemeKind::Mithril,     SchemeKind::MithrilPlus,
-        SchemeKind::Parfm,       SchemeKind::BlockHammer,
-        SchemeKind::Para,        SchemeKind::Graphene,
-        SchemeKind::RfmGraphene, SchemeKind::Twice,
-        SchemeKind::Cbt,
-    };
-    for (SchemeKind kind : kinds) {
-        SchemeSpec spec;
-        spec.kind = kind;
-        spec.flipTh = 6250;
-        auto tracker = makeScheme(spec, timing_, geom_);
-        ASSERT_NE(tracker, nullptr) << schemeName(kind);
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = 6250;
+    for (const std::string &name :
+         registry::schemeRegistry().names()) {
+        auto tracker = registry::makeScheme(name, knobs.toParams(),
+                                            {timing_, geom_});
+        if (name == "none") {
+            EXPECT_EQ(tracker, nullptr);
+            continue;
+        }
+        ASSERT_NE(tracker, nullptr) << name;
         EXPECT_FALSE(tracker->name().empty());
         EXPECT_GE(tracker->tableBytesPerBank(), 0.0);
     }
 }
 
-TEST_F(FactoryTest, NoneYieldsNull)
+TEST_F(FactoryTest, AliasesResolveToCanonicalEntries)
 {
-    SchemeSpec spec;
-    spec.kind = SchemeKind::None;
-    EXPECT_EQ(makeScheme(spec, timing_, geom_), nullptr);
-}
-
-TEST_F(FactoryTest, SchemeFromNameParses)
-{
-    EXPECT_EQ(schemeFromName("mithril"), SchemeKind::Mithril);
-    EXPECT_EQ(schemeFromName("mithril+"), SchemeKind::MithrilPlus);
-    EXPECT_EQ(schemeFromName("blockhammer"), SchemeKind::BlockHammer);
-    EXPECT_EQ(schemeFromName("rfm-graphene"),
-              SchemeKind::RfmGraphene);
-    EXPECT_EQ(schemeFromName("none"), SchemeKind::None);
+    const auto *plus = registry::schemeRegistry().find("mithril_plus");
+    ASSERT_NE(plus, nullptr);
+    EXPECT_EQ(plus->name, "mithril+");
+    const auto *rfmg =
+        registry::schemeRegistry().find("rfm_graphene");
+    ASSERT_NE(rfmg, nullptr);
+    EXPECT_EQ(rfmg->name, "rfm-graphene");
 }
 
 TEST_F(FactoryTest, DefaultRfmThSchedule)
 {
-    EXPECT_EQ(defaultMithrilRfmTh(50000), 256u);
-    EXPECT_EQ(defaultMithrilRfmTh(12500), 256u);
-    EXPECT_EQ(defaultMithrilRfmTh(6250), 128u);
-    EXPECT_EQ(defaultMithrilRfmTh(3125), 64u);
-    EXPECT_EQ(defaultMithrilRfmTh(1500), 32u);
+    EXPECT_EQ(core::defaultMithrilRfmTh(50000), 256u);
+    EXPECT_EQ(core::defaultMithrilRfmTh(12500), 256u);
+    EXPECT_EQ(core::defaultMithrilRfmTh(6250), 128u);
+    EXPECT_EQ(core::defaultMithrilRfmTh(3125), 64u);
+    EXPECT_EQ(core::defaultMithrilRfmTh(1500), 32u);
 }
 
 TEST_F(FactoryTest, ParfmAutoRfmThMeetsTarget)
 {
-    SchemeSpec spec;
-    spec.kind = SchemeKind::Parfm;
-    spec.flipTh = 6250;
-    auto tracker = makeScheme(spec, timing_, geom_);
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = 6250;
+    auto tracker = registry::makeScheme("parfm", knobs.toParams(),
+                                        {timing_, geom_});
     ASSERT_NE(tracker, nullptr);
     EXPECT_TRUE(tracker->usesRfm());
     EXPECT_GT(tracker->rfmTh(), 0u);
@@ -490,12 +483,12 @@ TEST_F(FactoryTest, ParfmAutoRfmThMeetsTarget)
 
 TEST_F(FactoryTest, MithrilRespectsExplicitKnobs)
 {
-    SchemeSpec spec;
-    spec.kind = SchemeKind::Mithril;
-    spec.flipTh = 6250;
-    spec.rfmTh = 64;
-    spec.adTh = 0;
-    auto tracker = makeScheme(spec, timing_, geom_);
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = 6250;
+    knobs.rfmTh = 64;
+    knobs.adTh = 0;
+    auto tracker = registry::makeScheme("mithril", knobs.toParams(),
+                                        {timing_, geom_});
     EXPECT_EQ(tracker->rfmTh(), 64u);
 }
 
