@@ -1,28 +1,36 @@
 /**
  * @file
- * ActStream engine throughput bench: acts/sec per scheme at 16 banks,
- * batched vs scalar tracker dispatch — the headline number of the
- * engine refactor.
+ * ActStream engine throughput bench: acts/sec per scheme at 16 banks —
+ * batched vs scalar tracker dispatch, plus the sharded multi-threaded
+ * engine across a `threads=` axis. The headline numbers of the engine
+ * refactor (batching) and the shard refactor (scaling).
  *
  * The stream is a synthetic per-bank double-sided hammer generated
- * straight into the SoA batches (no generator/address-map cost), and
- * the ground-truth oracle is disabled, so the measurement isolates
- * exactly what the batched path optimizes: tracker dispatch plus the
- * engine's REF/RFM interleaving bookkeeping. Safety runs keep the
- * oracle on and are bounded by it equally in both modes.
+ * straight into the SoA batches (no generator/address-map cost); the
+ * sharded runs use native per-shard slices of the same stream (no
+ * filtering cost), and the ground-truth oracle is disabled, so the
+ * measurement isolates exactly what the optimized paths touch:
+ * tracker dispatch, the engine's REF/RFM interleaving bookkeeping,
+ * and the shard fan-out/merge. Safety runs keep the oracle on and are
+ * bounded by it equally in all modes.
  *
  * Knobs: acts=N per timed run (default 2M), banks=N (default 16),
- * json=FILE writes the BENCH_engine.json artifact.
+ * threads=LIST sharded thread counts (default "1,4"), shards=N shard
+ * count override (default 0 = one shard per worker thread),
+ * json=FILE writes the BENCH_engine.json artifact (schema v2).
  */
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "engine/act_stream_engine.hh"
+#include "engine/sharded_engine.hh"
 #include "registry/scheme_registry.hh"
+#include "runner/thread_pool.hh"
 
 using namespace mithril;
 
@@ -64,28 +72,89 @@ class HammerSource : public engine::ActSource
     std::uint64_t produced_ = 0;
 };
 
+/**
+ * Native shard slice of HammerSource: only banks [lo, hi), with the
+ * identical per-bank row subsequences (bank b's j-th activation is
+ * row 2000 + 2*(j%2), and b receives ceil((count - b) / banks)
+ * records of the global stream) — zero generation waste.
+ */
+class ShardHammerSource : public engine::ActSource
+{
+  public:
+    ShardHammerSource(std::uint32_t banks, std::uint64_t count,
+                      BankId lo, BankId hi)
+        : banks_(banks), count_(count), lo_(lo), hi_(hi)
+    {
+    }
+
+    std::string name() const override { return "hammer-shard"; }
+
+    std::size_t
+    fill(engine::ActBatch &batch, std::size_t limit) override
+    {
+        const std::uint32_t width = hi_ - lo_;
+        std::size_t appended = 0;
+        while (appended < limit && !batch.full()) {
+            const BankId bank =
+                lo_ + static_cast<BankId>(local_ % width);
+            const std::uint64_t round = local_ / width;
+            // The global index of bank's round-th record.
+            const std::uint64_t global = round * banks_ + bank;
+            if (global >= count_) {
+                if (bank + 1 == hi_)
+                    break;  // Last (partial) round finished.
+                ++local_;
+                continue;
+            }
+            batch.push(bank,
+                       static_cast<RowId>(2000 + 2 * (round % 2)));
+            ++local_;
+            ++appended;
+        }
+        return appended;
+    }
+
+  private:
+    std::uint32_t banks_;
+    std::uint64_t count_;
+    BankId lo_;
+    BankId hi_;
+    std::uint64_t local_ = 0;
+};
+
+engine::EngineConfig
+makeEngineConfig(std::uint32_t banks,
+                 engine::EngineConfig::Dispatch dispatch)
+{
+    engine::EngineConfig cfg;
+    cfg.timing = dram::ddr5_4800();
+    cfg.geometry = dram::paperGeometry();
+    cfg.geometry.channels = 1;
+    cfg.geometry.ranksPerChannel = 1;
+    cfg.geometry.banksPerRank = banks;
+    cfg.flipTh = 6250;
+    cfg.dispatch = dispatch;
+    cfg.enableOracle = false;  // Time the tracker/dispatch loop.
+    return cfg;
+}
+
+std::unique_ptr<trackers::RhProtection>
+makeTracker(const std::string &scheme,
+            const engine::EngineConfig &cfg)
+{
+    registry::SchemeKnobs knobs;
+    knobs.flipTh = 6250;
+    return registry::makeScheme(scheme, knobs.toParams(),
+                                {cfg.timing, cfg.geometry});
+}
+
 double
 measureActsPerSec(const std::string &scheme, std::uint32_t banks,
                   std::uint64_t acts,
                   engine::EngineConfig::Dispatch dispatch)
 {
-    const dram::Timing timing = dram::ddr5_4800();
-    dram::Geometry geom = dram::paperGeometry();
-    geom.channels = 1;
-    geom.ranksPerChannel = 1;
-    geom.banksPerRank = banks;
-
-    registry::SchemeKnobs knobs;
-    knobs.flipTh = 6250;
-    auto tracker = registry::makeScheme(scheme, knobs.toParams(),
-                                        {timing, geom});
-
-    engine::EngineConfig cfg;
-    cfg.timing = timing;
-    cfg.geometry = geom;
-    cfg.flipTh = 6250;
-    cfg.dispatch = dispatch;
-    cfg.enableOracle = false;  // Time the tracker/dispatch loop.
+    const engine::EngineConfig cfg = makeEngineConfig(banks, dispatch);
+    auto tracker = makeTracker(scheme, cfg);
     engine::ActStreamEngine eng(cfg, tracker.get());
 
     // Warm up tables and branch predictors, untimed.
@@ -105,33 +174,92 @@ measureActsPerSec(const std::string &scheme, std::uint32_t banks,
     return static_cast<double>(done) / seconds;
 }
 
+double
+measureShardedActsPerSec(const std::string &scheme,
+                         std::uint32_t banks, std::uint64_t acts,
+                         std::uint32_t shards,
+                         runner::ThreadPool *pool)
+{
+    engine::ShardedEngineConfig cfg;
+    cfg.engine = makeEngineConfig(
+        banks, engine::EngineConfig::Dispatch::Batched);
+    cfg.shards = shards;
+    cfg.pool = pool;
+    engine::ShardedActStreamEngine eng(cfg, [&] {
+        return makeTracker(scheme, cfg.engine);
+    });
+
+    auto slices = [&](std::uint64_t count) {
+        return [count, banks](std::uint32_t, BankId lo, BankId hi) {
+            return std::make_unique<ShardHammerSource>(banks, count,
+                                                       lo, hi);
+        };
+    };
+
+    eng.runSliced(slices(acts / 8 + 1));  // Warm-up, untimed.
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t done = eng.runSliced(slices(acts));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (done != acts)
+        fatal("sharded engine consumed %llu of %llu acts",
+              static_cast<unsigned long long>(done),
+              static_cast<unsigned long long>(acts));
+    return static_cast<double>(done) / seconds;
+}
+
+struct ShardedPoint
+{
+    unsigned threads = 1;
+    std::uint32_t shards = 1;
+    double actsPerSec = 0.0;
+};
+
 struct SchemeResult
 {
     std::string name;
     std::string display;
     double batched = 0.0;
     double scalar = 0.0;
+    std::vector<ShardedPoint> sharded;
 
     double speedup() const
     {
         return scalar > 0.0 ? batched / scalar : 0.0;
     }
+
+    /** acts/sec of the threads=N point scaled to the threads=1 one. */
+    double
+    scalingAt(std::size_t i) const
+    {
+        return !sharded.empty() && sharded.front().actsPerSec > 0.0
+                   ? sharded[i].actsPerSec /
+                         sharded.front().actsPerSec
+                   : 0.0;
+    }
 };
 
 void
 writeJson(const std::string &path, std::uint32_t banks,
-          std::uint64_t acts, const std::vector<SchemeResult> &results)
+          std::uint64_t acts, const std::vector<unsigned> &threads,
+          const std::vector<SchemeResult> &results)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot write %s", path.c_str());
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"mithril.bench_engine.v1\",\n");
+    std::fprintf(f, "  \"schema\": \"mithril.bench_engine.v2\",\n");
     std::fprintf(f, "  \"banks\": %u,\n", banks);
     std::fprintf(f, "  \"acts_per_run\": %llu,\n",
                  static_cast<unsigned long long>(acts));
     std::fprintf(f, "  \"pattern\": \"per-bank double-sided\",\n");
     std::fprintf(f, "  \"oracle\": false,\n");
+    std::fprintf(f, "  \"threads\": [");
+    for (std::size_t i = 0; i < threads.size(); ++i)
+        std::fprintf(f, "%s%u", i ? ", " : "", threads[i]);
+    std::fprintf(f, "],\n");
     std::fprintf(f, "  \"results\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SchemeResult &r = results[i];
@@ -139,9 +267,19 @@ writeJson(const std::string &path, std::uint32_t banks,
                      "    {\"scheme\": \"%s\", \"display\": \"%s\", "
                      "\"batched_acts_per_sec\": %.0f, "
                      "\"scalar_acts_per_sec\": %.0f, "
-                     "\"speedup\": %.3f}%s\n",
+                     "\"speedup\": %.3f, \"sharded\": [",
                      r.name.c_str(), r.display.c_str(), r.batched,
-                     r.scalar, r.speedup(),
+                     r.scalar, r.speedup());
+        for (std::size_t j = 0; j < r.sharded.size(); ++j) {
+            const ShardedPoint &p = r.sharded[j];
+            std::fprintf(f,
+                         "%s{\"threads\": %u, \"shards\": %u, "
+                         "\"acts_per_sec\": %.0f, "
+                         "\"scaling\": %.3f}",
+                         j ? ", " : "", p.threads, p.shards,
+                         p.actsPerSec, r.scalingAt(j));
+        }
+        std::fprintf(f, "]}%s\n",
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -154,19 +292,38 @@ writeJson(const std::string &path, std::uint32_t banks,
 int
 main(int argc, char **argv)
 {
-    bench::BenchScale scale =
-        bench::BenchScale::fromArgs(argc, argv, {"acts", "banks"});
+    bench::BenchScale scale = bench::BenchScale::fromArgs(
+        argc, argv, {"acts", "banks", "threads", "shards"});
     bench::rejectParallelKnobs(scale, "micro_engine");
     if (!scale.csvOut.empty())
         fatal("micro_engine emits json= only");
     const std::uint64_t acts =
         scale.params.getUint("acts", 2000000);
     const auto banks = scale.params.getUint32("banks", 16);
+    const auto shard_override =
+        scale.params.getUint32("shards", 0);
     if (acts == 0 || banks == 0)
         fatal("acts= and banks= must be positive");
 
+    std::vector<unsigned> thread_counts;
+    for (std::uint64_t t : scale.params.has("threads")
+                               ? scale.params.getUintList("threads")
+                               : std::vector<std::uint64_t>{1, 4}) {
+        if (t == 0 || t > 1024)
+            fatal("threads= entries must be in [1, 1024]");
+        thread_counts.push_back(static_cast<unsigned>(t));
+    }
+
     bench::banner("ActStream engine throughput (" +
                   std::to_string(banks) + " banks, oracle off)");
+
+    // One reused pool per thread count, shared by every scheme.
+    std::vector<std::unique_ptr<runner::ThreadPool>> pools;
+    for (unsigned t : thread_counts) {
+        pools.push_back(
+            t > 1 ? std::make_unique<runner::ThreadPool>(t)
+                  : nullptr);  // threads=1 runs shards inline.
+    }
 
     std::vector<SchemeResult> results;
     for (const std::string &scheme :
@@ -180,27 +337,48 @@ main(int argc, char **argv)
         r.scalar = measureActsPerSec(
             scheme, banks, acts,
             engine::EngineConfig::Dispatch::Scalar);
+        for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+            ShardedPoint p;
+            p.threads = thread_counts[i];
+            p.shards = shard_override != 0
+                           ? shard_override
+                           : std::min<std::uint32_t>(p.threads,
+                                                     banks);
+            p.actsPerSec = measureShardedActsPerSec(
+                scheme, banks, acts, p.shards, pools[i].get());
+            r.sharded.push_back(p);
+        }
         results.push_back(r);
     }
 
-    TablePrinter table({"scheme", "batched Macts/s", "scalar Macts/s",
-                        "speedup"});
+    std::vector<std::string> header = {"scheme", "batched Macts/s",
+                                       "scalar Macts/s", "speedup"};
+    for (unsigned t : thread_counts)
+        header.push_back("sh@" + std::to_string(t) + "t Macts/s");
+    header.push_back("scaling");
+    TablePrinter table(header);
     for (const SchemeResult &r : results) {
-        table.beginRow()
-            .cell(r.display)
-            .num(r.batched / 1e6, 2)
-            .num(r.scalar / 1e6, 2)
-            .cell(formatFixed(r.speedup(), 2) + "x");
+        auto &row = table.beginRow()
+                        .cell(r.display)
+                        .num(r.batched / 1e6, 2)
+                        .num(r.scalar / 1e6, 2)
+                        .cell(formatFixed(r.speedup(), 2) + "x");
+        for (const ShardedPoint &p : r.sharded)
+            row.num(p.actsPerSec / 1e6, 2);
+        row.cell(formatFixed(r.scalingAt(r.sharded.size() - 1), 2) +
+                 "x");
     }
     std::printf("%s", table.str().c_str());
-    std::printf("\nReading: batched dispatch amortizes the virtual "
-                "call, per-bank table lookup,\nand REF/RFM "
-                "bookkeeping over whole per-bank runs; the CBS "
-                "schemes add the\ncached-touch fast path on top. "
-                "Scalar mode is the faithful per-ACT port of\nthe "
-                "historical ActHarness loop.\n");
+    std::printf(
+        "\nReading: batched dispatch amortizes the virtual call, "
+        "per-bank table lookup,\nand REF/RFM bookkeeping over whole "
+        "per-bank runs; every tracker now has a\nbatch fast path. "
+        "The sh@Nt columns run the bank partition as shards on an\n"
+        "N-worker pool (deterministic merge, byte-identical output); "
+        "'scaling' is the\nlargest thread count's acts/sec over the "
+        "1-thread sharded run.\n");
 
     if (!scale.jsonOut.empty())
-        writeJson(scale.jsonOut, banks, acts, results);
+        writeJson(scale.jsonOut, banks, acts, thread_counts, results);
     return 0;
 }

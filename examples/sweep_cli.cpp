@@ -9,6 +9,13 @@
  * so user-registered entries sweep exactly like the built-ins, and
  * `--list` prints what is available.
  *
+ * With `sources=` the matching jobs skip the System build entirely
+ * and drive the max-rate sharded ActStream engine instead: a
+ * scheme x source (x shards) grid runs every registered tracker
+ * against trace replays or replicated attack patterns at engine
+ * speed, parallel at two levels (jobs across the pool, bank shards
+ * inside a job reusing the same pool).
+ *
  * Examples:
  *
  *   sweep_cli --list schemes
@@ -17,12 +24,16 @@
  *             attacks=none,multi-sided baseline=1 jobs=8 json=out.json
  *   sweep_cli schemes=blockhammer attacks=cbf-pollution cores=4 \
  *             instr=20000 seed-policy=per-job csv=out.csv
+ *   sweep_cli schemes=mithril,graphene,para sources=attack \
+ *             attacks=multi-sided acts=2000000 shards=4 jobs=8
  *
  * Knobs: cores= instr= seed= ad= warmup= baseline=0/1 blast-radius=
+ *        acts=N (engine ACT budget with sources=)
  *        seed-policy=shared|per-job jobs=N progress=0/1
  *        table=0/1 json=PATH csv=PATH
  *        plus any parameter a selected registry entry declares
- *        (e.g. victims= with attacks=multi-sided).
+ *        (e.g. victims= with attacks=multi-sided, trace-file= with
+ *        sources=trace-file).
  */
 
 #include <cstdio>

@@ -15,6 +15,13 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
+std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t state = seed + stream * 0x9e3779b97f4a7c15ull;
+    return splitmix64(state);
+}
+
 namespace
 {
 

@@ -25,6 +25,16 @@ namespace mithril
 std::uint64_t splitmix64(std::uint64_t &state);
 
 /**
+ * Sub-seed for stream `stream` of a base seed: one splitmix64 step
+ * from the golden-gamma-spaced stream index. The single derivation
+ * rule shared by every consumer that needs independent deterministic
+ * streams — runner jobs (per-job seeds) and trackers (per-bank RNGs,
+ * the property that makes the sharded engine's output independent of
+ * its shard partition).
+ */
+std::uint64_t deriveSeed(std::uint64_t seed, std::uint64_t stream);
+
+/**
  * xoshiro256** generator. Small, fast, and high quality; satisfies the
  * UniformRandomBitGenerator named requirement so it also plugs into
  * <random> distributions if ever needed.

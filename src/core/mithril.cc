@@ -80,6 +80,13 @@ Mithril::tableBytesPerBank() const
            (params_.rowBits + params_.counterBits) / 8.0;
 }
 
+void
+Mithril::mergeStatsFrom(const trackers::RhProtection &other)
+{
+    RhProtection::mergeStatsFrom(other);
+    adaptiveSkips_ += dynamic_cast<const Mithril &>(other).adaptiveSkips_;
+}
+
 std::uint32_t
 defaultMithrilRfmTh(std::uint32_t flip_th)
 {

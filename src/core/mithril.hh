@@ -77,6 +77,8 @@ class Mithril : public trackers::RhProtection
 
     double tableBytesPerBank() const override;
 
+    void mergeStatsFrom(const trackers::RhProtection &other) override;
+
     /** Direct table access for tests and analysis. */
     const CbsTable &table(BankId bank) const { return tables_.at(bank); }
 

@@ -235,6 +235,10 @@ JsonSink::write(const SweepResult &result, std::ostream &os) const
         os << "      \"workload\": \"" << r.job.spec.workload
            << "\",\n";
         os << "      \"attack\": \"" << r.job.spec.attack << "\",\n";
+        os << "      \"source\": \"" << r.job.spec.source << "\",\n";
+        os << "      \"shards\": " << r.job.spec.shards << ",\n";
+        os << "      \"actBudget\": " << r.job.spec.engineActs
+           << ",\n";
         os << "      \"cores\": " << r.job.spec.cores << ",\n";
         os << "      \"instrPerCore\": " << r.job.spec.instrPerCore
            << ",\n";
@@ -264,7 +268,7 @@ void
 CsvSink::write(const SweepResult &result, std::ostream &os) const
 {
     os << "index,label,baseline,scheme,flipTh,rfmTh,workload,attack,"
-          "cores,instrPerCore,seed";
+          "source,shards,actBudget,cores,instrPerCore,seed";
     for (const MetricColumn &col : kMetricColumns)
         os << "," << col.name;
     os << ",error\n";
@@ -274,8 +278,9 @@ CsvSink::write(const SweepResult &result, std::ostream &os) const
            << registry::schemeDisplay(r.job.spec.scheme) << ","
            << r.job.spec.flipTh << "," << r.job.spec.rfmTh << ","
            << r.job.spec.workload << "," << r.job.spec.attack << ","
-           << r.job.spec.cores << "," << r.job.spec.instrPerCore
-           << "," << r.job.spec.seed;
+           << r.job.spec.source << "," << r.job.spec.shards << ","
+           << r.job.spec.engineActs << "," << r.job.spec.cores << ","
+           << r.job.spec.instrPerCore << "," << r.job.spec.seed;
         // Failed jobs get blank metric cells, not fabricated zeros —
         // a consumer aggregating the columns must not average them.
         for (const MetricColumn &col : kMetricColumns) {

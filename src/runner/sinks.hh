@@ -20,8 +20,9 @@
 namespace mithril::runner
 {
 
-/** Version tag embedded in every JsonSink artifact. */
-inline constexpr const char *kSweepSchemaVersion = "mithril.sweep.v1";
+/** Version tag embedded in every JsonSink artifact. v2 added the
+ *  per-job source/shards/acts fields (engine-only sweeps). */
+inline constexpr const char *kSweepSchemaVersion = "mithril.sweep.v2";
 
 /** Renders one sweep's results into some output format. */
 class ResultSink

@@ -7,6 +7,7 @@
 #include "common/random.hh"
 #include "registry/attack_registry.hh"
 #include "registry/scheme_registry.hh"
+#include "registry/source_registry.hh"
 #include "registry/workload_registry.hh"
 
 namespace mithril::runner
@@ -87,9 +88,7 @@ entryDeclares(const Reg &registry,
 std::uint64_t
 mixSeed(std::uint64_t seed, std::uint64_t index)
 {
-    // One splitmix64 step from the golden-gamma-spaced index stream.
-    std::uint64_t state = seed + index * 0x9e3779b97f4a7c15ull;
-    return splitmix64(state);
+    return deriveSeed(seed, index);
 }
 
 std::vector<SweepCase>
@@ -120,6 +119,13 @@ SweepSpec::fromParams(const ParamSet &params,
             resolveName(registry::schemeRegistry(), name));
     spec.flipThs = narrowUintList(params, "flip");
     spec.rfmThs = narrowUintList(params, "rfm");
+    for (const std::string &name : params.getStringList("sources")) {
+        spec.sources.push_back(
+            name == "none"
+                ? name
+                : resolveName(registry::sourceRegistry(), name));
+    }
+    spec.shardsList = narrowUintList(params, "shards");
 
     std::vector<std::string> workloads;
     for (const std::string &name : params.getStringList("workloads"))
@@ -142,7 +148,7 @@ SweepSpec::fromParams(const ParamSet &params,
         "schemes",      "flip",   "rfm",      "workloads",
         "attacks",      "cores",  "instr",    "seed",
         "blast-radius", "ad",     "warmup",   "baseline",
-        "seed-policy",
+        "seed-policy",  "sources", "shards",  "acts",
     };
     std::vector<std::string> case_workloads;
     std::vector<std::string> case_attacks;
@@ -172,6 +178,9 @@ SweepSpec::fromParams(const ParamSet &params,
             desc = declaredBy(registry::attackRegistry(),
                               case_attacks, key, &owner);
         if (!desc)
+            desc = declaredBy(registry::sourceRegistry(),
+                              spec.sources, key, &owner);
+        if (!desc)
             fatal("unknown sweep parameter: %s", key.c_str());
         // Check the value now: a typo'd tunable must die at the CLI,
         // not as per-job FAILED cells after the sweep has run.
@@ -188,6 +197,7 @@ SweepSpec::fromParams(const ParamSet &params,
     spec.adTh = params.getUint32("ad", spec.adTh);
     spec.cores = params.getUint32("cores", spec.cores);
     spec.instrPerCore = params.getUint("instr", spec.instrPerCore);
+    spec.engineActs = params.getUint("acts", spec.engineActs);
     spec.seed = params.getUint("seed", spec.seed);
     spec.trackerWarmupActs =
         params.getUint("warmup", spec.trackerWarmupActs);
@@ -212,8 +222,18 @@ SweepSpec::jobCount() const
     const std::size_t n_schemes = std::max<std::size_t>(1, schemes.size());
     const std::size_t n_flips = std::max<std::size_t>(1, flipThs.size());
     const std::size_t n_rfms = std::max<std::size_t>(1, rfmThs.size());
+    const std::size_t n_shards =
+        std::max<std::size_t>(1, shardsList.size());
     const std::size_t n_cases = std::max<std::size_t>(1, cases.size());
-    return n_schemes * n_flips * n_rfms * n_cases +
+    // The shards axis only applies to engine-only (non-"none")
+    // sources: a System job has no shards to vary, so it expands
+    // exactly once regardless of the shards list.
+    std::size_t n_source_cells = 0;
+    for (const std::string &source :
+         sources.empty() ? std::vector<std::string>{"none"}
+                         : sources)
+        n_source_cells += source == "none" ? 1 : n_shards;
+    return n_schemes * n_flips * n_rfms * n_source_cells * n_cases +
            (includeBaseline ? n_cases : 0);
 }
 
@@ -224,12 +244,16 @@ SweepSpec::expand() const
         "mithril"};
     static const std::vector<std::uint32_t> kDefaultFlips = {6250};
     static const std::vector<std::uint32_t> kDefaultRfms = {0};
+    static const std::vector<std::string> kDefaultSources = {"none"};
+    static const std::vector<std::uint32_t> kDefaultShards = {0};
     static const std::vector<SweepCase> kDefaultCases = {
         {"mix-high", "none"}};
 
     const auto &grid_schemes = orDefault(schemes, kDefaultSchemes);
     const auto &grid_flips = orDefault(flipThs, kDefaultFlips);
     const auto &grid_rfms = orDefault(rfmThs, kDefaultRfms);
+    const auto &grid_sources = orDefault(sources, kDefaultSources);
+    const auto &grid_shards = orDefault(shardsList, kDefaultShards);
     const auto &grid_cases = orDefault(cases, kDefaultCases);
 
     std::vector<Job> jobs;
@@ -245,7 +269,9 @@ SweepSpec::expand() const
                 entryDeclares(registry::workloadRegistry(),
                               {spec.workload}, key) ||
                 entryDeclares(registry::attackRegistry(),
-                              {spec.attack}, key))
+                              {spec.attack}, key) ||
+                entryDeclares(registry::sourceRegistry(),
+                              {spec.source}, key))
                 spec.extras.set(key, tunables.getString(key));
         }
     };
@@ -256,6 +282,7 @@ SweepSpec::expand() const
         spec.attack = c.attack;
         spec.cores = cores;
         spec.instrPerCore = instrPerCore;
+        spec.engineActs = engineActs;
         spec.seed = seed;
         spec.trackerWarmupActs = trackerWarmupActs;
         spec.warmupFromWorkload = (c.attack == "none");
@@ -291,22 +318,41 @@ SweepSpec::expand() const
     for (const std::string &scheme : grid_schemes) {
         for (std::uint32_t flip : grid_flips) {
             for (std::uint32_t rfm : grid_rfms) {
-                for (const SweepCase &c : grid_cases) {
-                    Job job;
-                    job.spec = base_spec(c);
-                    job.spec.scheme = scheme;
-                    job.spec.flipTh = flip;
-                    job.spec.rfmTh = rfm;
-                    job.spec.adTh = adTh;
-                    job.spec.blastRadius = blastRadius;
-                    apply_tunables(job.spec);
-                    job.label =
-                        registry::schemeDisplay(scheme) + "/" +
-                        std::to_string(flip) +
-                        (rfm != 0 ? "/r" + std::to_string(rfm)
-                                  : "") +
-                        "/" + case_label(c);
-                    finish(std::move(job));
+                for (const std::string &source : grid_sources) {
+                    // System jobs have no shards to vary: the shards
+                    // axis collapses to one cell for source=none.
+                    static const std::vector<std::uint32_t>
+                        kSystemShards = {0};
+                    const auto &source_shards =
+                        source == "none" ? kSystemShards
+                                         : grid_shards;
+                    for (std::uint32_t shards : source_shards) {
+                        for (const SweepCase &c : grid_cases) {
+                            Job job;
+                            job.spec = base_spec(c);
+                            job.spec.scheme = scheme;
+                            job.spec.flipTh = flip;
+                            job.spec.rfmTh = rfm;
+                            job.spec.adTh = adTh;
+                            job.spec.blastRadius = blastRadius;
+                            job.spec.source = source;
+                            job.spec.shards = shards;
+                            apply_tunables(job.spec);
+                            job.label =
+                                registry::schemeDisplay(scheme) +
+                                "/" + std::to_string(flip) +
+                                (rfm != 0
+                                     ? "/r" + std::to_string(rfm)
+                                     : "") +
+                                (source != "none" ? "/" + source
+                                                  : "") +
+                                (shards != 0
+                                     ? "/s" + std::to_string(shards)
+                                     : "") +
+                                "/" + case_label(c);
+                            finish(std::move(job));
+                        }
+                    }
                 }
             }
         }

@@ -60,11 +60,23 @@ struct SweepSpec
     std::vector<std::uint32_t> flipThs; //!< default {6250}
     std::vector<std::uint32_t> rfmThs;  //!< default {0} (auto)
     std::vector<SweepCase> cases;       //!< default {mix-high, none}
+    /** Engine-source axis; default {"none"} = full-System runs. Any
+     *  other name makes the matching jobs engine-only runs of that
+     *  ActSource (scheme x source grids at engine speed, no System
+     *  build). The case's attack still selects which pattern an
+     *  "attack" source replicates. */
+    std::vector<std::string> sources;
+    /** Engine shard-count axis; default {0} = one shard per channel.
+     *  Ignored by System jobs. Sharding never changes results — this
+     *  axis exists for scaling studies. */
+    std::vector<std::uint32_t> shardsList;
 
     std::uint32_t blastRadius = 1;
     std::uint32_t adTh = 200;
     std::uint32_t cores = 8;
     std::uint64_t instrPerCore = 80000;
+    /** ACT budget per engine-only job (sources axis). */
+    std::uint64_t engineActs = 1000000;
     std::uint64_t seed = 42;
     SeedPolicy seedPolicy = SeedPolicy::Shared;
 
@@ -87,8 +99,10 @@ struct SweepSpec
 
     /**
      * Build a spec from CLI-style parameters: comma-separated lists
-     * `schemes=`, `flip=`, `rfm=`, `workloads=`, `attacks=`, scalars
-     * `cores=`, `instr=`, `seed=`, `ad=`, `warmup=`, `baseline=`, and
+     * `schemes=`, `flip=`, `rfm=`, `workloads=`, `attacks=`,
+     * `sources=` (engine-only jobs), `shards=` (engine shard counts),
+     * scalars `cores=`, `instr=`, `acts=` (engine ACT budget),
+     * `seed=`, `ad=`, `warmup=`, `baseline=`, and
      * `seed-policy=shared|per-job`. Axis names resolve through the
      * registries — an unknown name is fatal and lists every
      * registered candidate. Keys declared by a selected registry
@@ -105,7 +119,8 @@ struct SweepSpec
     std::size_t jobCount() const;
 
     /** Expand the grid into jobs, in deterministic order: baselines
-     *  (one per case) first, then schemes x flipThs x rfmThs x cases. */
+     *  (one per case) first, then
+     *  schemes x flipThs x rfmThs x sources x shards x cases. */
     std::vector<Job> expand() const;
 };
 

@@ -1,5 +1,6 @@
 #include "runner/thread_pool.hh"
 
+#include <atomic>
 #include <exception>
 
 #include "common/logging.hh"
@@ -7,11 +8,54 @@
 namespace mithril::runner
 {
 
+namespace
+{
+
+/** The pool (and worker id) executing the current thread, if any. */
+thread_local ThreadPool *t_currentPool = nullptr;
+thread_local unsigned t_currentWorker = 0;
+
+/** Marks the current thread as `pool`'s worker for the enclosing
+ *  scope (restoring the previous marking on exit), so any thread
+ *  executing pool work — a spawned worker, a helping parallelFor
+ *  caller — reports the right ambient pool through current(). */
+class CurrentPoolScope
+{
+  public:
+    CurrentPoolScope(ThreadPool *pool, unsigned worker)
+        : prevPool_(t_currentPool), prevWorker_(t_currentWorker)
+    {
+        t_currentPool = pool;
+        t_currentWorker = worker;
+    }
+
+    ~CurrentPoolScope()
+    {
+        t_currentPool = prevPool_;
+        t_currentWorker = prevWorker_;
+    }
+
+    CurrentPoolScope(const CurrentPoolScope &) = delete;
+    CurrentPoolScope &operator=(const CurrentPoolScope &) = delete;
+
+  private:
+    ThreadPool *prevPool_;
+    unsigned prevWorker_;
+};
+
+} // namespace
+
 unsigned
 defaultThreadCount()
 {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
+}
+
+ThreadPool *
+ThreadPool::current()
+{
+    return t_currentPool;
 }
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -82,19 +126,29 @@ ThreadPool::takeTask(unsigned id)
     return nullptr;
 }
 
+bool
+ThreadPool::runOneTask(unsigned hint)
+{
+    std::function<void()> task = takeTask(hint);
+    if (!task)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        --queued_;
+    }
+    CurrentPoolScope scope(this, hint);
+    task();
+    return true;
+}
+
 void
 ThreadPool::workerLoop(unsigned id)
 {
+    t_currentPool = this;
+    t_currentWorker = id;
     for (;;) {
-        std::function<void()> task = takeTask(id);
-        if (task) {
-            {
-                std::lock_guard<std::mutex> lock(sleepMutex_);
-                --queued_;
-            }
-            task();
+        if (runOneTask(id))
             continue;
-        }
         std::unique_lock<std::mutex> lock(sleepMutex_);
         if (queued_ > 0)
             continue; // Raced with a submit; retry the queues.
@@ -112,17 +166,34 @@ ThreadPool::parallelFor(std::size_t count,
     if (count == 0)
         return;
 
+    // Index-claiming participation: the indices live in a shared
+    // atomic counter, the pool receives one *participation* task per
+    // worker (not one task per index), and the caller participates
+    // too. The caller therefore always drives its own loop to
+    // completion — it never executes unrelated queued work while
+    // waiting (which could deadlock on an event sequenced after this
+    // call returns), nested calls from inside a pool task make
+    // progress even when every worker is busy, and an external
+    // caller's core joins the pool for the duration.
     struct State
     {
+        std::atomic<std::size_t> next{0};
         std::mutex mutex;
         std::condition_variable doneCv;
-        std::size_t done = 0;
+        std::size_t completed = 0;
         std::exception_ptr error;
     };
     auto state = std::make_shared<State>();
 
-    for (std::size_t i = 0; i < count; ++i) {
-        submit([state, &fn, i, count] {
+    // Captures fn by reference: safe, because fn is only invoked for
+    // a freshly claimed index, and the caller cannot return before
+    // every claimed index completed. A participation task that starts
+    // late finds the counter exhausted and exits without touching fn.
+    auto run_indices = [state, &fn, count] {
+        for (;;) {
+            const std::size_t i = state->next.fetch_add(1);
+            if (i >= count)
+                return;
             try {
                 fn(i);
             } catch (...) {
@@ -131,14 +202,28 @@ ThreadPool::parallelFor(std::size_t count,
                     state->error = std::current_exception();
             }
             std::lock_guard<std::mutex> lock(state->mutex);
-            if (++state->done == count)
+            if (++state->completed == count)
                 state->doneCv.notify_all();
-        });
-    }
+        }
+    };
+
+    // A nested caller (already on this pool) must participate —
+    // every worker may be busy, and only its own loop guarantees
+    // progress. An external caller must NOT: it would run as an
+    // extra body beside the pool's workers and silently break the
+    // `threads` concurrency cap callers sized the pool by (a
+    // jobs=1 sweep must run one simulation at a time).
+    const bool nested = t_currentPool == this;
+    const std::size_t participants = std::min<std::size_t>(
+        nested && count > 0 ? count - 1 : count, size());
+    for (std::size_t p = 0; p < participants; ++p)
+        submit(run_indices);
+    if (nested)
+        run_indices();
 
     std::unique_lock<std::mutex> lock(state->mutex);
     state->doneCv.wait(lock,
-                       [&] { return state->done == count; });
+                       [&] { return state->completed == count; });
     if (state->error)
         std::rethrow_exception(state->error);
 }

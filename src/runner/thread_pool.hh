@@ -56,11 +56,28 @@ class ThreadPool
      * Run `fn(0) .. fn(count - 1)` on the pool and block until every
      * call returned. Calls run concurrently and in no particular
      * order. The first exception thrown by any call is rethrown here
-     * (remaining tasks still run to completion). Must not be called
-     * from inside a pool task.
+     * (remaining calls still run to completion).
+     *
+     * The indices are claimed from a shared counter by per-worker
+     * participation tasks; a caller already running on this pool
+     * claims indices itself too, so the call is safe from inside a
+     * pool task — a sweep job that shards its own work re-enters the
+     * pool it is running on without deadlock and without
+     * oversubscribing a second pool. An external caller only waits:
+     * at most size() calls run concurrently (the cap the pool was
+     * sized by), and the waiting caller never executes unrelated
+     * queued tasks.
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &fn);
+
+    /**
+     * The pool whose worker is executing the current thread, or
+     * nullptr outside any pool task. Lets nested work (e.g. a sharded
+     * engine run inside a sweep job) reuse the ambient pool instead
+     * of spawning a competing one.
+     */
+    static ThreadPool *current();
 
   private:
     struct Worker
@@ -73,6 +90,11 @@ class ThreadPool
 
     /** Pop from our own queue front, else steal from a sibling's back. */
     std::function<void()> takeTask(unsigned id);
+
+    /** Take and run one queued task (fixing the queued_ bookkeeping);
+     *  false when every queue is empty. Used by workers and by
+     *  helping parallelFor() callers alike. */
+    bool runOneTask(unsigned hint);
 
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;

@@ -1,17 +1,121 @@
 #include "experiment.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "engine/sharded_engine.hh"
 #include "registry/attack_registry.hh"
 #include "registry/scheme_registry.hh"
+#include "registry/source_registry.hh"
 #include "registry/workload_registry.hh"
+#include "runner/thread_pool.hh"
 
 namespace mithril::sim
 {
+
+namespace
+{
+
+/**
+ * The engine-only experiment body: scheme x source at maximum ACT
+ * rate on the sharded ActStream engine — no cores, no MC queues.
+ * Inside a sweep worker the shards reuse the sweep's own pool
+ * (ThreadPool::current()); standalone runs honour spec.threads.
+ */
+RunMetrics
+runEngineExperiment(const ExperimentSpec &spec)
+{
+    const SystemConfig &sys = spec.sys;
+    const ParamSet params = spec.toParams();
+    const registry::SchemeContext scheme_ctx{sys.timing,
+                                             sys.geometry};
+
+    engine::ShardedEngineConfig cfg;
+    cfg.engine.timing = sys.timing;
+    cfg.engine.geometry = sys.geometry;
+    cfg.engine.flipTh = spec.flipTh;
+    cfg.engine.blastRadius = spec.blastRadius;
+    cfg.shards = spec.shards;
+
+    // Pool policy, in priority order: the ambient pool when this job
+    // already runs on one (no second pool, no oversubscription), a
+    // private pool when threads= asks for one, else inline shards.
+    std::unique_ptr<runner::ThreadPool> local_pool;
+    if (!runner::ThreadPool::current() && spec.threads > 1) {
+        local_pool =
+            std::make_unique<runner::ThreadPool>(spec.threads);
+        cfg.pool = local_pool.get();
+    }
+
+    engine::ShardedActStreamEngine eng(cfg, [&] {
+        return registry::makeScheme(spec.scheme, params, scheme_ctx);
+    });
+    const registry::SourceContext source_ctx{
+        sys.timing, sys.geometry, spec.flipTh, spec.seed};
+    auto make_stream = [&] {
+        return registry::makeActSource(spec.source, params,
+                                       source_ctx);
+    };
+
+    // Tracker warm-up, mirroring the System path: the tracker
+    // observes `warmup=` ACTs at tick 0 before the measured run, the
+    // oracle none. Each shard's tracker warms from its own banks'
+    // slice of the stream prefix, so warm-up — like the run itself —
+    // is byte-identical at any shard count.
+    if (spec.trackerWarmupActs > 0) {
+        std::vector<RowId> discard;
+        engine::ActBatch batch;
+        for (std::uint32_t s = 0; s < eng.shardCount(); ++s) {
+            trackers::RhProtection *tracker = eng.tracker(s);
+            if (!tracker)
+                break;
+            const auto [lo, hi] = eng.shardRange(s);
+            engine::BankFilterSource warm(make_stream(), lo, hi,
+                                          spec.trackerWarmupActs);
+            for (;;) {
+                batch.clear();
+                const std::size_t n =
+                    warm.fill(batch, engine::ActBatch::kCapacity);
+                if (n == 0)
+                    break;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const engine::ActRecord rec = batch.record(i);
+                    discard.clear();
+                    tracker->onActivate(rec.bank, rec.row, 0,
+                                        discard);
+                }
+            }
+        }
+    }
+
+    eng.run(make_stream, spec.engineActs);
+
+    RunMetrics m;
+    m.acts = eng.acts();
+    m.rfmIssued = eng.rfms();
+    m.preventiveRefreshes = eng.preventiveRefreshes();
+    m.arrExecuted = eng.preventiveRefreshes();
+    m.throttleStalls = eng.throttleStalls();
+    m.maxDisturbance = eng.maxDisturbanceEver();
+    m.bitFlips = eng.bitFlips();
+    Tick latest = 0;
+    for (BankId b = 0; b < eng.numBanks(); ++b)
+        latest = std::max(latest, eng.now(b));
+    m.simTicks = latest;
+    if (trackers::RhProtection *t = eng.tracker(0))
+        m.trackerBytesPerBank = t->tableBytesPerBank();
+    return m;
+}
+
+} // namespace
 
 RunMetrics
 runExperiment(const ExperimentSpec &spec)
 {
     spec.validate();
+
+    if (spec.engineRun())
+        return runEngineExperiment(spec);
 
     SystemConfig sys = spec.sys;
     sys.flipTh = spec.flipTh;

@@ -46,7 +46,10 @@ struct RunMetrics
  * Build, run, and measure one experiment. Scheme, workload, and
  * attack construction go through the registries; throws
  * registry::SpecError on unknown names or infeasible configurations
- * (the sweep runner surfaces it per job).
+ * (the sweep runner surfaces it per job). A spec with `source=` set
+ * runs the sharded ActStream engine over that source instead of a
+ * full System (IPC/energy/latency metrics stay zero; ACT, RFM,
+ * preventive, and oracle metrics are filled from the engine).
  */
 RunMetrics runExperiment(const ExperimentSpec &spec);
 

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "registry/attack_registry.hh"
 #include "registry/scheme_registry.hh"
+#include "registry/source_registry.hh"
 #include "registry/workload_registry.hh"
 
 namespace mithril::sim
@@ -48,6 +49,16 @@ coreParams()
          "tracker warm-up activations before the measured run"},
         {"warmup-from-workload", ParamDesc::Type::Bool, "0", 0, 0,
          "warm the tracker from the benign streams"},
+        {"source", ParamDesc::Type::String, "none", 0, 0,
+         "engine ActSource registry name (none = full-System run)"},
+        {"acts", ParamDesc::Type::Uint, "1000000", 1, 1e12,
+         "ACT budget of an engine (source=) run"},
+        {"shards", ParamDesc::Type::Uint, "0", 0, 65536,
+         "engine bank shards (0 = one per channel); never affects "
+         "results, only parallelism"},
+        {"threads", ParamDesc::Type::Uint, "0", 0, 1024,
+         "worker threads for a standalone engine run (0 = ambient "
+         "pool / inline)"},
     };
     return descs;
 }
@@ -62,12 +73,14 @@ findDesc(const std::vector<ParamDesc> &descs, const std::string &key)
     return nullptr;
 }
 
-/** The desc of an entry-declared key across the spec's three selected
- *  entries, with a printable owner; nullptr when none declares it. */
+/** The desc of an entry-declared key across the spec's selected
+ *  entries (source_entry null when source=none), with a printable
+ *  owner; nullptr when none declares it. */
 const ParamDesc *
 findEntryParam(const registry::SchemeRegistry::Entry &scheme_entry,
                const registry::WorkloadRegistry::Entry &workload_entry,
                const registry::AttackRegistry::Entry &attack_entry,
+               const registry::SourceRegistry::Entry *source_entry,
                const std::string &key, std::string *owner)
 {
     if (const ParamDesc *d = findDesc(scheme_entry.params, key)) {
@@ -81,6 +94,13 @@ findEntryParam(const registry::SchemeRegistry::Entry &scheme_entry,
     if (const ParamDesc *d = findDesc(attack_entry.params, key)) {
         *owner = "attack '" + attack_entry.name + "'";
         return d;
+    }
+    if (source_entry) {
+        if (const ParamDesc *d =
+                findDesc(source_entry->params, key)) {
+            *owner = "source '" + source_entry->name + "'";
+            return d;
+        }
     }
     return nullptr;
 }
@@ -112,8 +132,9 @@ ExperimentSpec::parse(const ParamSet &params,
     spec.scheme = params.getString("scheme", spec.scheme);
     spec.workload = params.getString("workload", spec.workload);
     spec.attack = params.getString("attack", spec.attack);
+    spec.source = params.getString("source", spec.source);
 
-    // Resolve the three entries first so every later error can cite
+    // Resolve the selected entries first so every later error can cite
     // them — and so aliases canonicalize before anything is stored.
     const auto &scheme_entry =
         registry::schemeRegistry().at(spec.scheme);
@@ -121,6 +142,11 @@ ExperimentSpec::parse(const ParamSet &params,
         registry::workloadRegistry().at(spec.workload);
     const auto &attack_entry =
         registry::attackRegistry().at(spec.attack);
+    const registry::SourceRegistry::Entry *source_entry = nullptr;
+    if (spec.source != "none") {
+        source_entry = &registry::sourceRegistry().at(spec.source);
+        spec.source = source_entry->name;
+    }
     spec.scheme = scheme_entry.name;
     spec.workload = workload_entry.name;
     spec.attack = attack_entry.name;
@@ -136,7 +162,8 @@ ExperimentSpec::parse(const ParamSet &params,
             continue;
         std::string owner;
         if (!findEntryParam(scheme_entry, workload_entry,
-                            attack_entry, key, &owner)) {
+                            attack_entry, source_entry, key,
+                            &owner)) {
             std::vector<std::string> known;
             for (const ParamDesc &d : coreParams())
                 known.push_back(d.key);
@@ -144,6 +171,10 @@ ExperimentSpec::parse(const ParamSet &params,
                  {&scheme_entry.params, &workload_entry.params,
                   &attack_entry.params}) {
                 for (const ParamDesc &d : *entry_params)
+                    known.push_back(d.key);
+            }
+            if (source_entry) {
+                for (const ParamDesc &d : source_entry->params)
                     known.push_back(d.key);
             }
             throw SpecError("unknown experiment parameter '" + key +
@@ -169,6 +200,9 @@ ExperimentSpec::parse(const ParamSet &params,
         params.getUint("warmup", spec.trackerWarmupActs);
     spec.warmupFromWorkload = params.getBool(
         "warmup-from-workload", spec.warmupFromWorkload);
+    spec.engineActs = params.getUint("acts", spec.engineActs);
+    spec.shards = params.getUint32("shards", spec.shards);
+    spec.threads = params.getUint32("threads", spec.threads);
     spec.validate();
     return spec;
 }
@@ -192,6 +226,9 @@ ExperimentSpec::validate() const
     const auto &workload_entry =
         registry::workloadRegistry().at(workload);
     const auto &attack_entry = registry::attackRegistry().at(attack);
+    const registry::SourceRegistry::Entry *source_entry =
+        source != "none" ? &registry::sourceRegistry().at(source)
+                         : nullptr;
 
     checkCoreRange("flip", flipTh);
     checkCoreRange("rfm", rfmTh);
@@ -200,7 +237,10 @@ ExperimentSpec::validate() const
     checkCoreRange("cores", cores);
     checkCoreRange("instr", instrPerCore);
     checkCoreRange("warmup", trackerWarmupActs);
-    if (attacking() && cores < 2) {
+    checkCoreRange("acts", engineActs);
+    checkCoreRange("shards", shards);
+    checkCoreRange("threads", threads);
+    if (attacking() && !engineRun() && cores < 2) {
         throw SpecError("attack '" + attack +
                         "' needs cores >= 2 (one core becomes the "
                         "attacker)");
@@ -208,13 +248,14 @@ ExperimentSpec::validate() const
 
     for (const std::string &key : extras.keys()) {
         std::string owner;
-        const ParamDesc *desc = findEntryParam(
-            scheme_entry, workload_entry, attack_entry, key, &owner);
+        const ParamDesc *desc =
+            findEntryParam(scheme_entry, workload_entry,
+                           attack_entry, source_entry, key, &owner);
         if (!desc) {
             throw SpecError(
                 "parameter '" + key + "' is not declared by scheme '" +
-                scheme + "', workload '" + workload + "', or attack '" +
-                attack + "'");
+                scheme + "', workload '" + workload + "', attack '" +
+                attack + "', or source '" + source + "'");
         }
         registry::checkParam(owner, *desc, extras);
     }
@@ -238,6 +279,10 @@ ExperimentSpec::toParams() const
     params.set("warmup", std::to_string(trackerWarmupActs));
     params.set("warmup-from-workload",
                warmupFromWorkload ? "1" : "0");
+    params.set("source", source);
+    params.set("acts", std::to_string(engineActs));
+    params.set("shards", std::to_string(shards));
+    params.set("threads", std::to_string(threads));
     for (const std::string &key : extras.keys())
         params.set(key, extras.getString(key));
     return params;

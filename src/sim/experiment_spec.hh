@@ -39,6 +39,22 @@ struct ExperimentSpec
     std::string scheme = "mithril";
     std::string workload = "mix-high";
     std::string attack = "none";
+    /** Engine ActSource registry name; "none" = full-System run. Any
+     *  other value runs the max-rate sharded ActStream engine over
+     *  this source instead of building cores/MC — the engine-only
+     *  sweep path (scheme x source grids at engine speed). */
+    std::string source = "none";
+
+    // ------------------------------------------- engine-run knobs
+    /** ACT budget of an engine (source=) run. */
+    std::uint64_t engineActs = 1000000;
+    /** Bank shards of an engine run (0 = one per channel). Never
+     *  affects results — sharded output is byte-identical at any
+     *  shard count — only the available parallelism. */
+    std::uint32_t shards = 0;
+    /** Worker threads for a *standalone* engine run (0 = the ambient
+     *  pool when running inside a sweep worker, else inline). */
+    std::uint32_t threads = 0;
 
     // ------------------------------------------------- scheme knobs
     std::uint32_t flipTh = 6250;
@@ -68,6 +84,13 @@ struct ExperimentSpec
     attacking() const
     {
         return attack != "none";
+    }
+
+    /** True when this spec runs the ActStream engine, not a System. */
+    bool
+    engineRun() const
+    {
+        return source != "none";
     }
 
     /**

@@ -37,6 +37,7 @@ BlockHammer::BlockHammer(std::uint32_t num_banks,
                static_cast<Tick>(params_.nbl) * params_.tRc) /
               static_cast<Tick>(params_.flipTh - params_.nbl);
     MITHRIL_ASSERT(tDelay_ > 0);
+    slotScratch_.resize(params_.hashes);
 
     for (auto &bank : banks_) {
         bank.filters[0].counts.assign(params_.cbfSize, 0);
@@ -102,6 +103,56 @@ BlockHammer::onActivate(BankId bank, RowId row, Tick now,
         state.lastBlacklistedAct[row] = now;
 }
 
+std::size_t
+BlockHammer::onActivateBatch(const ActSpan &span,
+                             std::vector<RowId> &arr_aggressors)
+{
+    if (span.size == 0)
+        return 0;
+    BankState &state = banks_.at(span.bank);
+
+    // Catch the filters up to the span start (what the first scalar
+    // onActivate would do), then check whether a CBF lifetime ends
+    // inside the span — twice per tCbf ~ tREFW, so rare — and take
+    // the faithful scalar loop there.
+    rotateEpochs(state, span.tick0);
+    const Tick last = span.tickAt(span.size - 1);
+    if (last >= state.filters[0].epochStart + params_.tCbf ||
+        last >= state.filters[1].epochStart + params_.tCbf)
+        return RhProtection::onActivateBatch(span, arr_aggressors);
+
+    const std::uint32_t cap = (1u << params_.counterBits) - 1;
+    std::size_t *slots = slotScratch_.data();
+    Cbf &f0 = state.filters[0];
+    Cbf &f1 = state.filters[1];
+    for (std::size_t i = 0; i < span.size; ++i) {
+        const RowId row = span.rows[i];
+        countOp(2 * params_.hashes);
+        for (std::uint32_t h = 0; h < params_.hashes; ++h)
+            slots[h] = hashSlot(row, h);
+        for (std::uint32_t h = 0; h < params_.hashes; ++h) {
+            auto &slot = f0.counts[slots[h]];
+            if (slot < cap)
+                ++slot;
+        }
+        for (std::uint32_t h = 0; h < params_.hashes; ++h) {
+            auto &slot = f1.counts[slots[h]];
+            if (slot < cap)
+                ++slot;
+        }
+        // estimate() over the post-insert counts, reusing the slots.
+        std::uint32_t min0 = ~0u;
+        std::uint32_t min1 = ~0u;
+        for (std::uint32_t h = 0; h < params_.hashes; ++h) {
+            min0 = std::min(min0, f0.counts[slots[h]]);
+            min1 = std::min(min1, f1.counts[slots[h]]);
+        }
+        if (std::max(min0, min1) >= params_.nbl)
+            state.lastBlacklistedAct[row] = span.tickAt(i);
+    }
+    return span.size;
+}
+
 std::uint32_t
 BlockHammer::estimate(BankId bank, RowId row, Tick now) const
 {
@@ -133,6 +184,13 @@ BlockHammer::throttleAct(BankId bank, RowId row, Tick now)
         return earliest;
     }
     return now;
+}
+
+void
+BlockHammer::mergeStatsFrom(const RhProtection &other)
+{
+    RhProtection::mergeStatsFrom(other);
+    throttles_ += dynamic_cast<const BlockHammer &>(other).throttles_;
 }
 
 double

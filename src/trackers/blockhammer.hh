@@ -54,9 +54,21 @@ class BlockHammer : public RhProtection
     void onActivate(BankId bank, RowId row, Tick now,
                     std::vector<RowId> &arr_aggressors) override;
 
+    /** Batched hot path: each row's CBF slots are hashed once and
+     *  reused for both filters' inserts *and* the blacklist estimate
+     *  (the scalar path hashes 4x per ACT: two filter inserts plus
+     *  estimate()), with the epoch-rotation check hoisted to the span
+     *  boundary. Falls back to the scalar loop for the rare span that
+     *  crosses a CBF lifetime boundary. Byte-identical to scalar. */
+    std::size_t onActivateBatch(const ActSpan &span,
+                                std::vector<RowId> &arr_aggressors)
+        override;
+
     Tick throttleAct(BankId bank, RowId row, Tick now) override;
 
     double tableBytesPerBank() const override;
+
+    void mergeStatsFrom(const RhProtection &other) override;
 
     /** Minimum count of the row across hashes, max over both CBFs. */
     std::uint32_t estimate(BankId bank, RowId row, Tick now) const;
@@ -92,6 +104,9 @@ class BlockHammer : public RhProtection
     Tick tDelay_;
     std::vector<BankState> banks_;
     std::uint64_t throttles_ = 0;
+    /** Reusable per-row slot indices for the batched path (one hash
+     *  evaluation per row instead of four). */
+    std::vector<std::size_t> slotScratch_;
 };
 
 } // namespace mithril::trackers

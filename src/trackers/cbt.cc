@@ -87,6 +87,86 @@ Cbt::onActivate(BankId bank, RowId row, Tick now,
     }
 }
 
+std::size_t
+Cbt::onActivateBatch(const ActSpan &span,
+                     std::vector<RowId> &arr_aggressors)
+{
+    if (span.size == 0)
+        return 0;
+    Tree &tree = trees_.at(span.bank);
+
+    // A tree reset can only fall inside this span when its last tick
+    // crosses the reset interval (once per tREFW): take the faithful
+    // scalar loop for that rare span. Otherwise no per-ACT reset
+    // check is needed and the walk runs in one tight loop.
+    if (span.tickAt(span.size - 1) - tree.lastReset >=
+        params_.resetInterval)
+        return RhProtection::onActivateBatch(span, arr_aggressors);
+
+    RowId cached_row[2] = {kInvalidRow, kInvalidRow};
+    std::size_t cached_leaf[2] = {0, 0};
+
+    std::size_t consumed = 0;
+    while (consumed < span.size) {
+        const RowId row = span.rows[consumed];
+        ++consumed;
+        countOp();
+
+        std::size_t idx;
+        if (row == cached_row[0]) {
+            idx = cached_leaf[0];
+        } else if (row == cached_row[1]) {
+            idx = cached_leaf[1];
+            std::swap(cached_row[0], cached_row[1]);
+            std::swap(cached_leaf[0], cached_leaf[1]);
+        } else {
+            idx = findLeaf(tree, row);
+            cached_row[1] = cached_row[0];
+            cached_leaf[1] = cached_leaf[0];
+            cached_row[0] = row;
+            cached_leaf[0] = idx;
+        }
+        ++tree.nodes[idx].count;
+
+        // At most one split per ACT, exactly as the scalar loop.
+        if (tree.nodes[idx].count >= params_.splitThreshold &&
+            tree.nodes[idx].count < params_.refreshThreshold &&
+            tree.nodes[idx].hi - tree.nodes[idx].lo > 1 &&
+            tree.nodes.size() + 2 <= params_.nCounters) {
+            const RowId lo = tree.nodes[idx].lo;
+            const RowId hi = tree.nodes[idx].hi;
+            const RowId mid = lo + (hi - lo) / 2;
+            const std::uint32_t inherited = tree.nodes[idx].count;
+            const auto left =
+                static_cast<std::int32_t>(tree.nodes.size());
+            tree.nodes.push_back(Node{lo, mid, inherited, -1, -1});
+            tree.nodes.push_back(Node{mid, hi, inherited, -1, -1});
+            tree.nodes[idx].left = left;
+            tree.nodes[idx].right = left + 1;
+            idx = static_cast<std::size_t>(row < mid ? left
+                                                     : left + 1);
+            countOp();
+            // The split node is interior now; both cache ways may
+            // point at it, so re-prime with the fresh child only.
+            cached_row[0] = row;
+            cached_leaf[0] = idx;
+            cached_row[1] = kInvalidRow;
+        }
+
+        if (tree.nodes[idx].count >= params_.refreshThreshold) {
+            const Node &leaf = tree.nodes[idx];
+            const std::uint32_t group_span = leaf.hi - leaf.lo;
+            maxGroupRefreshed_ =
+                std::max(maxGroupRefreshed_, group_span);
+            for (RowId r = leaf.lo; r < leaf.hi; ++r)
+                arr_aggressors.push_back(r);
+            tree.nodes[idx].count = 0;
+            break;
+        }
+    }
+    return consumed;
+}
+
 double
 Cbt::tableBytesPerBank() const
 {
@@ -95,6 +175,15 @@ Cbt::tableBytesPerBank() const
         static_cast<double>(params_.counterBits) + 2.0;
     return static_cast<double>(params_.nCounters) * bits_per_counter /
            8.0;
+}
+
+void
+Cbt::mergeStatsFrom(const RhProtection &other)
+{
+    RhProtection::mergeStatsFrom(other);
+    maxGroupRefreshed_ =
+        std::max(maxGroupRefreshed_,
+                 dynamic_cast<const Cbt &>(other).maxGroupRefreshed_);
 }
 
 std::size_t

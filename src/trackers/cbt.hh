@@ -49,7 +49,19 @@ class Cbt : public RhProtection
     void onActivate(BankId bank, RowId row, Tick now,
                     std::vector<RowId> &arr_aggressors) override;
 
+    /** Batched hot path: the counter-tree walk with the bank/reset
+     *  bookkeeping hoisted out of the per-ACT loop and a 2-way
+     *  (row -> leaf) cache, so repeated hammer rows skip the root
+     *  walk; falls back to the scalar loop for the rare span that
+     *  crosses a tree-reset boundary. Byte-identical to the scalar
+     *  loop (the existing engine equivalence suite pins it). */
+    std::size_t onActivateBatch(const ActSpan &span,
+                                std::vector<RowId> &arr_aggressors)
+        override;
+
     double tableBytesPerBank() const override;
+
+    void mergeStatsFrom(const RhProtection &other) override;
 
     const CbtParams &params() const { return params_; }
 

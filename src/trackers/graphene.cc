@@ -87,6 +87,13 @@ Graphene::onActivateBatch(const ActSpan &span,
     return consumed;
 }
 
+void
+Graphene::mergeStatsFrom(const RhProtection &other)
+{
+    RhProtection::mergeStatsFrom(other);
+    arrCount_ += dynamic_cast<const Graphene &>(other).arrCount_;
+}
+
 double
 Graphene::tableBytesPerBank() const
 {

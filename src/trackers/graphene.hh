@@ -53,6 +53,8 @@ class Graphene : public RhProtection
 
     double tableBytesPerBank() const override;
 
+    void mergeStatsFrom(const RhProtection &other) override;
+
     const GrapheneParams &params() const { return params_; }
     const core::CbsTable &table(BankId bank) const
     {

@@ -8,20 +8,24 @@
 namespace mithril::trackers
 {
 
-Para::Para(double probability, std::uint64_t seed)
-    : probability_(probability), rng_(seed)
+Para::Para(double probability, std::uint64_t seed,
+           std::uint32_t num_banks)
+    : probability_(probability)
 {
     MITHRIL_ASSERT(probability_ > 0.0 && probability_ <= 1.0);
+    MITHRIL_ASSERT(num_banks > 0);
+    rngs_.reserve(num_banks);
+    for (std::uint32_t b = 0; b < num_banks; ++b)
+        rngs_.emplace_back(bankSeed(seed, b));
 }
 
 void
 Para::onActivate(BankId bank, RowId row, Tick now,
                  std::vector<RowId> &arr_aggressors)
 {
-    (void)bank;
     (void)now;
     countOp();
-    if (rng_.nextBool(probability_))
+    if (rngs_.at(bank).nextBool(probability_))
         arr_aggressors.push_back(row);
 }
 
@@ -29,11 +33,12 @@ std::size_t
 Para::onActivateBatch(const ActSpan &span,
                       std::vector<RowId> &arr_aggressors)
 {
+    Rng &rng = rngs_.at(span.bank);
     std::size_t consumed = 0;
     while (consumed < span.size) {
         const RowId row = span.rows[consumed];
         ++consumed;
-        if (rng_.nextBool(probability_)) {
+        if (rng.nextBool(probability_)) {
             arr_aggressors.push_back(row);
             break;
         }
@@ -73,13 +78,14 @@ const registry::Registrar<registry::SchemeTraits> kRegisterPara{{
         "1e-15 failure target)",
     }},
     /*make=*/
-    [](const ParamSet &params, const registry::SchemeContext &)
+    [](const ParamSet &params, const registry::SchemeContext &ctx)
         -> std::unique_ptr<RhProtection> {
         const auto knobs = registry::SchemeKnobs::fromParams(params);
         double p = params.getDoubleIn("para-p", 0.0, 0.0, 1.0);
         if (p == 0.0)
             p = Para::requiredProbability(knobs.flipTh, 1e-15);
-        return std::make_unique<Para>(p, knobs.seed);
+        return std::make_unique<Para>(p, knobs.seed,
+                                      ctx.geometry.totalBanks());
     },
 }};
 

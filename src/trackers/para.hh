@@ -23,9 +23,15 @@ class Para : public RhProtection
   public:
     /**
      * @param probability Per-ACT ARR probability.
-     * @param seed        RNG seed (deterministic runs).
+     * @param seed        Base RNG seed (deterministic runs). Bank b
+     *                    draws from its own stream seeded with
+     *                    bankSeed(seed, b), so the draw sequence of a
+     *                    bank is independent of how banks interleave
+     *                    or shard.
+     * @param num_banks   Number of banks observed.
      */
-    explicit Para(double probability, std::uint64_t seed = 1);
+    explicit Para(double probability, std::uint64_t seed = 1,
+                  std::uint32_t num_banks = 1);
 
     std::string name() const override { return "PARA"; }
     Location location() const override { return Location::Mc; }
@@ -53,7 +59,7 @@ class Para : public RhProtection
 
   private:
     double probability_;
-    Rng rng_;
+    std::vector<Rng> rngs_;  //!< One independent stream per bank.
 };
 
 } // namespace mithril::trackers

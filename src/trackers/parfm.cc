@@ -9,10 +9,13 @@ namespace mithril::trackers
 
 Parfm::Parfm(std::uint32_t num_banks, std::uint32_t rfm_th,
              std::uint64_t seed)
-    : rfmTh_(rfm_th), rng_(seed), reservoirs_(num_banks)
+    : rfmTh_(rfm_th), reservoirs_(num_banks)
 {
     MITHRIL_ASSERT(num_banks > 0);
     MITHRIL_ASSERT(rfm_th > 0);
+    rngs_.reserve(num_banks);
+    for (std::uint32_t b = 0; b < num_banks; ++b)
+        rngs_.emplace_back(bankSeed(seed, b));
 }
 
 void
@@ -26,7 +29,7 @@ Parfm::onActivate(BankId bank, RowId row, Tick now,
     ++res.seen;
     // Classic reservoir of size one: the i-th item replaces the sample
     // with probability 1/i, giving a uniform pick over the interval.
-    if (rng_.nextBounded(res.seen) == 0)
+    if (rngs_.at(bank).nextBounded(res.seen) == 0)
         res.sampled = row;
 }
 

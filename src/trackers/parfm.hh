@@ -28,7 +28,10 @@ class Parfm : public RhProtection
     /**
      * @param num_banks Number of banks tracked.
      * @param rfm_th    RFM threshold (sampling period).
-     * @param seed      RNG seed.
+     * @param seed      Base RNG seed; bank b samples from its own
+     *                  stream seeded with bankSeed(seed, b), so the
+     *                  reservoir picks of a bank are independent of
+     *                  bank interleaving and engine sharding.
      */
     Parfm(std::uint32_t num_banks, std::uint32_t rfm_th,
           std::uint64_t seed = 2);
@@ -50,7 +53,7 @@ class Parfm : public RhProtection
 
   private:
     std::uint32_t rfmTh_;
-    Rng rng_;
+    std::vector<Rng> rngs_;  //!< One independent stream per bank.
 
     struct Reservoir
     {

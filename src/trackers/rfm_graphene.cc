@@ -106,6 +106,15 @@ RfmGraphene::onRfm(BankId bank, Tick now, std::vector<RowId> &aggressors)
     queue.pop_front();
 }
 
+void
+RfmGraphene::mergeStatsFrom(const RhProtection &other)
+{
+    RhProtection::mergeStatsFrom(other);
+    maxQueueDepth_ =
+        std::max(maxQueueDepth_,
+                 dynamic_cast<const RfmGraphene &>(other).maxQueueDepth_);
+}
+
 double
 RfmGraphene::tableBytesPerBank() const
 {

@@ -63,6 +63,8 @@ class RfmGraphene : public RhProtection
 
     double tableBytesPerBank() const override;
 
+    void mergeStatsFrom(const RhProtection &other) override;
+
     /** Deepest pending-queue backlog observed (the failure signature). */
     std::size_t maxQueueDepth() const { return maxQueueDepth_; }
 

@@ -1,7 +1,15 @@
 #include "rh_protection.hh"
 
+#include "common/random.hh"
+
 namespace mithril::trackers
 {
+
+std::uint64_t
+RhProtection::bankSeed(std::uint64_t seed, BankId bank)
+{
+    return deriveSeed(seed, bank);
+}
 
 std::size_t
 RhProtection::onActivateBatch(const ActSpan &span,

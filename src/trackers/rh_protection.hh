@@ -164,6 +164,31 @@ class RhProtection
     /** Counter-table bytes per bank (for Table IV / Fig. 10e). */
     virtual double tableBytesPerBank() const = 0;
 
+    /**
+     * Fold the statistics of `other` — a tracker of the same concrete
+     * type that observed a *disjoint* set of banks — into this one.
+     * This is the sharded engine's join protocol: each shard runs its
+     * own tracker instance over its bank partition, and the merge
+     * reduces the cross-bank counters (sums for event counts, max for
+     * high-water marks). Overrides must call the base, which folds
+     * the logic-op counter.
+     */
+    virtual void mergeStatsFrom(const RhProtection &other)
+    {
+        logicOps_ += other.logicOps_;
+    }
+
+    /**
+     * Seed-derivation hook for per-bank RNG streams (one splitmix64
+     * step over the bank index). Every stochastic tracker (PARA,
+     * PARFM) seeds bank b's generator with bankSeed(seed, b), so a
+     * bank's draw sequence depends only on (seed, bank) — never on
+     * how the banks are interleaved or partitioned across engine
+     * shards. This is what makes sharded runs byte-identical to
+     * single-threaded ones for the probabilistic schemes.
+     */
+    static std::uint64_t bankSeed(std::uint64_t seed, BankId bank);
+
     /** Total tracker logic operations performed (energy accounting). */
     std::uint64_t logicOps() const { return logicOps_; }
 

@@ -56,6 +56,71 @@ Twice::onActivate(BankId bank, RowId row, Tick now,
     }
 }
 
+std::size_t
+Twice::onActivateBatch(const ActSpan &span,
+                       std::vector<RowId> &arr_aggressors)
+{
+    // onActivate() never reads the tick, so the whole span runs in
+    // one tight loop (REF-boundary pruning happens in onRefresh(),
+    // which the engine interleaves between spans). The 2-way cache
+    // keeps the entries of the last two distinct rows — the hammer
+    // pair in the patterns that matter — and is invalidated on every
+    // insert (possible rehash) and erase.
+    auto &table = tables_.at(span.bank);
+    using Iter = std::unordered_map<RowId, EntryState>::iterator;
+    RowId cached_row[2] = {kInvalidRow, kInvalidRow};
+    Iter cached_it[2] = {table.end(), table.end()};
+
+    std::size_t consumed = 0;
+    while (consumed < span.size) {
+        const RowId row = span.rows[consumed];
+        ++consumed;
+        countOp();
+
+        Iter it;
+        if (row == cached_row[0]) {
+            it = cached_it[0];
+        } else if (row == cached_row[1]) {
+            it = cached_it[1];
+            std::swap(cached_row[0], cached_row[1]);
+            std::swap(cached_it[0], cached_it[1]);
+        } else {
+            it = table.find(row);
+            if (it == table.end()) {
+                if (table.size() >= params_.capacity) {
+                    ++overflows_;
+                    auto victim = table.begin();
+                    for (auto cur = table.begin(); cur != table.end();
+                         ++cur) {
+                        if (cur->second.count < victim->second.count)
+                            victim = cur;
+                    }
+                    table.erase(victim);
+                }
+                it = table.emplace(row, EntryState{}).first;
+                peakOccupancy_ =
+                    std::max(peakOccupancy_, table.size());
+                cached_row[1] = kInvalidRow;
+            } else {
+                cached_row[1] = cached_row[0];
+                cached_it[1] = cached_it[0];
+            }
+            cached_row[0] = row;
+            cached_it[0] = it;
+        }
+
+        EntryState &entry = it->second;
+        ++entry.count;
+        if (entry.count >= params_.rhThreshold) {
+            arr_aggressors.push_back(row);
+            ++arrCount_;
+            table.erase(it);
+            break;
+        }
+    }
+    return consumed;
+}
+
 void
 Twice::onRefresh(BankId bank, Tick now)
 {
@@ -81,6 +146,16 @@ Twice::tableBytesPerBank() const
 {
     return static_cast<double>(params_.capacity) * params_.entryBits /
            8.0;
+}
+
+void
+Twice::mergeStatsFrom(const RhProtection &other)
+{
+    RhProtection::mergeStatsFrom(other);
+    const auto &o = dynamic_cast<const Twice &>(other);
+    peakOccupancy_ = std::max(peakOccupancy_, o.peakOccupancy_);
+    arrCount_ += o.arrCount_;
+    overflows_ += o.overflows_;
 }
 
 namespace

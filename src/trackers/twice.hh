@@ -50,10 +50,20 @@ class Twice : public RhProtection
     void onActivate(BankId bank, RowId row, Tick now,
                     std::vector<RowId> &arr_aggressors) override;
 
+    /** Batched hot path: the per-ACT table walk with the bank lookup
+     *  hoisted and a 2-way (row -> entry) iterator cache, so the hot
+     *  hammer pair skips the hash probe; stops at the first ARR per
+     *  the batch contract. Byte-identical to the scalar loop. */
+    std::size_t onActivateBatch(const ActSpan &span,
+                                std::vector<RowId> &arr_aggressors)
+        override;
+
     /** tREFI checkpoint: age and prune. */
     void onRefresh(BankId bank, Tick now) override;
 
     double tableBytesPerBank() const override;
+
+    void mergeStatsFrom(const RhProtection &other) override;
 
     const TwiceParams &params() const { return params_; }
 

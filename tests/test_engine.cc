@@ -195,6 +195,9 @@ struct RunOutcome
     double maxDisturbance;
     std::uint64_t bitFlips;
     std::uint64_t flippedRows;
+    /** Tracker logic-op count: pins the batch fast paths to the exact
+     *  per-ACT accounting of the scalar loop. */
+    std::uint64_t logicOps;
 };
 
 bool
@@ -203,7 +206,9 @@ operator==(const RunOutcome &a, const RunOutcome &b)
     return a.acts == b.acts && a.refs == b.refs && a.rfms == b.rfms &&
            a.preventive == b.preventive && a.now == b.now &&
            a.maxDisturbance == b.maxDisturbance &&
-           a.bitFlips == b.bitFlips && a.flippedRows == b.flippedRows;
+           a.bitFlips == b.bitFlips &&
+           a.flippedRows == b.flippedRows &&
+           a.logicOps == b.logicOps;
 }
 
 std::ostream &
@@ -213,7 +218,8 @@ operator<<(std::ostream &os, const RunOutcome &o)
               << " rfms=" << o.rfms << " prev=" << o.preventive
               << " now=" << o.now << " maxDist=" << o.maxDisturbance
               << " flips=" << o.bitFlips
-              << " flippedRows=" << o.flippedRows;
+              << " flippedRows=" << o.flippedRows
+              << " logicOps=" << o.logicOps;
 }
 
 RunOutcome
@@ -233,7 +239,8 @@ runReference(const std::string &scheme)
             ref.now(),
             ref.oracle().maxDisturbanceEver(),
             ref.oracle().bitFlips(),
-            ref.oracle().flippedRows()};
+            ref.oracle().flippedRows(),
+            tracker ? tracker->logicOps() : 0};
 }
 
 RunOutcome
@@ -259,7 +266,8 @@ runEngine(const std::string &scheme,
             eng.now(0),
             eng.oracle().maxDisturbanceEver(),
             eng.oracle().bitFlips(),
-            eng.oracle().flippedRows()};
+            eng.oracle().flippedRows(),
+            tracker ? tracker->logicOps() : 0};
 }
 
 class EngineEquivalence

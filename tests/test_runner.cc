@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -80,6 +81,81 @@ TEST(ThreadPool, SubmittedTasksDrainBeforeDestruction)
             pool.submit([&] { ran.fetch_add(1); });
     }
     EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, NestedParallelForFromInsideATaskCompletes)
+{
+    // A task that re-enters parallelFor on its own pool (the sharded
+    // engine inside a sweep job) must not deadlock, even when the
+    // pool has a single worker — the caller claims indices itself.
+    for (unsigned workers : {1u, 2u, 4u}) {
+        ThreadPool pool(workers);
+        std::atomic<int> inner{0};
+        pool.parallelFor(3, [&](std::size_t) {
+            EXPECT_EQ(ThreadPool::current(), &pool);
+            pool.parallelFor(5, [&](std::size_t) {
+                inner.fetch_add(1);
+            });
+        });
+        EXPECT_EQ(inner.load(), 15) << workers << " workers";
+    }
+}
+
+TEST(ThreadPool, CurrentIsNullOutsidePoolTasks)
+{
+    EXPECT_EQ(ThreadPool::current(), nullptr);
+    ThreadPool pool(2);
+    pool.parallelFor(2, [&](std::size_t) {
+        EXPECT_EQ(ThreadPool::current(), &pool);
+    });
+    EXPECT_EQ(ThreadPool::current(), nullptr);
+}
+
+TEST(ThreadPool, ExternalParallelForRespectsTheWorkerCap)
+{
+    // An external caller only waits: every fn runs on a pool worker,
+    // never on the calling thread, so a pool sized `jobs=N` runs at
+    // most N bodies concurrently (the contract SweepRunner sizes
+    // simulations by).
+    ThreadPool pool(2);
+    const auto caller = std::this_thread::get_id();
+    std::mutex mutex;
+    std::set<std::thread::id> ids;
+    std::atomic<int> live{0};
+    std::atomic<int> peak{0};
+    pool.parallelFor(32, [&](std::size_t) {
+        const int now = live.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ids.insert(std::this_thread::get_id());
+        }
+        live.fetch_sub(1);
+    });
+    EXPECT_EQ(ids.count(caller), 0u);
+    EXPECT_LE(ids.size(), 2u);
+    EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadPool, ExternalParallelForFinishesWhenWorkersFreeUp)
+{
+    // A busy worker delays but never deadlocks an external
+    // parallelFor: the bodies run once the worker frees.
+    ThreadPool pool(1);
+    std::atomic<bool> release{false};
+    pool.submit([&] {
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    std::atomic<int> ran{0};
+    std::thread helper([&] {
+        pool.parallelFor(8, [&](std::size_t) { ran.fetch_add(1); });
+    });
+    release.store(true);
+    helper.join();
+    EXPECT_EQ(ran.load(), 8);
 }
 
 // -------------------------------------------------------- expansion
@@ -376,6 +452,99 @@ TEST(SweepRunner, RealSimulationIsIdenticalAcrossThreadCounts)
     EXPECT_EQ(CsvSink().render(r1), CsvSink().render(r8));
 }
 
+TEST(SweepRunner, EngineWarmupIsAppliedAndShardInvariant)
+{
+    // warmup= must reach the tracker on engine-only runs (it warms
+    // from the source stream prefix at tick 0, like the System path
+    // warms from the generators), and — like everything else — must
+    // not depend on the shard count.
+    auto run = [](std::uint64_t warmup, std::uint32_t shards) {
+        sim::ExperimentSpec spec;
+        spec.scheme = "cbt";
+        spec.flipTh = 800;
+        spec.attack = "double-sided";
+        spec.source = "attack";
+        spec.engineActs = 4000;
+        spec.trackerWarmupActs = warmup;
+        spec.shards = shards;
+        return sim::runExperiment(spec);
+    };
+    const sim::RunMetrics cold = run(0, 1);
+    const sim::RunMetrics warm1 = run(8000, 1);
+    const sim::RunMetrics warm4 = run(8000, 4);
+    // The warm-up pushes CBT's hot leaves over the group-refresh
+    // threshold inside the measured window; a cold tree stays below
+    // it for this budget.
+    EXPECT_NE(warm1.preventiveRefreshes, cold.preventiveRefreshes);
+    EXPECT_EQ(warm1.preventiveRefreshes, warm4.preventiveRefreshes);
+    EXPECT_EQ(warm1.maxDisturbance, warm4.maxDisturbance);
+    EXPECT_EQ(warm1.simTicks, warm4.simTicks);
+}
+
+TEST(SweepSpec, SourceAndShardAxesExpand)
+{
+    const SweepSpec spec = SweepSpec::fromParams(
+        ParamSet::fromString("schemes=mithril,para sources=attack "
+                             "attacks=multi-sided shards=1,2 "
+                             "acts=20000"));
+    EXPECT_EQ(spec.jobCount(), 2u * 1u * 2u);
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 4u);
+    for (const Job &job : jobs) {
+        EXPECT_EQ(job.spec.source, "attack");
+        EXPECT_EQ(job.spec.attack, "multi-sided");
+        EXPECT_EQ(job.spec.engineActs, 20000u);
+        EXPECT_TRUE(job.spec.engineRun());
+        EXPECT_NE(job.label.find("/attack/s"), std::string::npos)
+            << job.label;
+    }
+    EXPECT_EQ(jobs[0].spec.shards, 1u);
+    EXPECT_EQ(jobs[1].spec.shards, 2u);
+}
+
+TEST(SweepRunner, EngineOnlySweepIsDeterministicAcrossEverything)
+{
+    // An engine-only (sources=) grid must produce identical sink
+    // output at any jobs= count, and — because sharded output is
+    // byte-identical to single-threaded output — the shards=1 and
+    // shards=2 cells of each scheme must carry identical metrics.
+    SweepSpec spec;
+    spec.schemes = {"mithril", "para"};
+    spec.sources = {"attack"};
+    spec.shardsList = {1, 2};
+    spec.cases = {{"mix-high", "multi-sided"}};
+    spec.engineActs = 20000;
+
+    RunnerOptions serial;
+    serial.jobs = 1;
+    serial.progress = false;
+    RunnerOptions parallel;
+    parallel.jobs = 4;
+    parallel.progress = false;
+
+    const SweepResult r1 = SweepRunner(serial).run(spec);
+    const SweepResult r4 = SweepRunner(parallel).run(spec);
+    EXPECT_EQ(r1.failedCount(), 0u);
+    EXPECT_EQ(JsonSink().render(r1), JsonSink().render(r4));
+
+    ASSERT_EQ(r1.results.size(), 4u);
+    for (std::size_t scheme = 0; scheme < 2; ++scheme) {
+        const sim::RunMetrics &s1 =
+            r1.results[2 * scheme + 0].metrics;
+        const sim::RunMetrics &s2 =
+            r1.results[2 * scheme + 1].metrics;
+        EXPECT_EQ(r1.results[2 * scheme].job.spec.shards, 1u);
+        EXPECT_EQ(r1.results[2 * scheme + 1].job.spec.shards, 2u);
+        EXPECT_EQ(s1.acts, 20000u);
+        EXPECT_EQ(s1.acts, s2.acts);
+        EXPECT_EQ(s1.rfmIssued, s2.rfmIssued);
+        EXPECT_EQ(s1.preventiveRefreshes, s2.preventiveRefreshes);
+        EXPECT_EQ(s1.bitFlips, s2.bitFlips);
+        EXPECT_EQ(s1.maxDisturbance, s2.maxDisturbance);
+        EXPECT_EQ(s1.simTicks, s2.simTicks);
+    }
+}
+
 TEST(SweepRunner, RejectedConfigurationFailsItsJobOnly)
 {
     // Mithril at flip=100 is infeasible; the PARA cell and the
@@ -464,7 +633,7 @@ TEST(JsonSink, GoldenFileSchema)
 
     const std::string golden_path =
         std::string(MITHRIL_SOURCE_DIR) +
-        "/tests/golden/sweep_v1.json";
+        "/tests/golden/sweep_v2.json";
     if (std::getenv("MITHRIL_UPDATE_GOLDEN") != nullptr) {
         std::ofstream out(golden_path);
         out << artifact;
