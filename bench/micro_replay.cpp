@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Capture/replay throughput bench — the headline number of the
+ * act-trace subsystem: record one full-System run's ACT stream, then
+ * replay it through the sharded ActStream engine and compare acts/sec
+ * against the System that produced it. The paper's
+ * capture-once-replay-many methodology only pays off if replay is
+ * orders of magnitude faster than re-simulating CPU+MC per scheme;
+ * this bench measures exactly that ratio.
+ *
+ * To make the replay long enough to time, the tiny captured stream is
+ * replayed `loops=` times back to back (each loop is an independent
+ * full replay of the trace through a fresh engine+tracker).
+ *
+ * Knobs: cores=N instr=N seed=N (the recorded System run),
+ *        scheme=NAME replay tracker (default mithril),
+ *        loops=N replay repetitions per timing point (default 50),
+ *        threads=LIST sharded replay thread counts (default "1,4"),
+ *        trace=PATH trace file location (default micro_replay.acttrace),
+ *        json=FILE write the BENCH_replay.json artifact.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "engine/act_trace.hh"
+#include "runner/thread_pool.hh"
+
+using namespace mithril;
+
+namespace
+{
+
+struct ReplayPoint
+{
+    unsigned threads = 1;
+    std::uint32_t shards = 1;
+    double actsPerSec = 0.0;
+};
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void
+writeJson(const std::string &path, const sim::ExperimentSpec &sys_spec,
+          std::uint64_t system_acts, double system_acts_per_sec,
+          double system_seconds, const engine::ActTraceInfo &info,
+          std::uint64_t trace_bytes, const std::string &scheme,
+          std::uint64_t loops, const std::vector<ReplayPoint> &points)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write %s", path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"mithril.bench_replay.v1\",\n");
+    // system.acts comes from the System's own counters and
+    // trace.records from the file's index, so the CI cross-check of
+    // the two is a real capture-completeness assertion.
+    std::fprintf(f, "  \"system\": {\"spec\": \"%s\", "
+                    "\"acts\": %llu, \"wall_seconds\": %.4f, "
+                    "\"acts_per_sec\": %.0f},\n",
+                 sys_spec.describe().c_str(),
+                 static_cast<unsigned long long>(system_acts),
+                 system_seconds, system_acts_per_sec);
+    std::fprintf(f, "  \"trace\": {\"records\": %llu, "
+                    "\"bytes\": %llu},\n",
+                 static_cast<unsigned long long>(info.records),
+                 static_cast<unsigned long long>(trace_bytes));
+    std::fprintf(f, "  \"replay_scheme\": \"%s\",\n", scheme.c_str());
+    std::fprintf(f, "  \"replay_loops\": %llu,\n",
+                 static_cast<unsigned long long>(loops));
+    std::fprintf(f, "  \"replay\": [");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ReplayPoint &p = points[i];
+        std::fprintf(f,
+                     "%s{\"threads\": %u, \"shards\": %u, "
+                     "\"acts_per_sec\": %.0f, "
+                     "\"speedup_vs_system\": %.1f}",
+                     i ? ", " : "", p.threads, p.shards,
+                     p.actsPerSec,
+                     system_acts_per_sec > 0.0
+                         ? p.actsPerSec / system_acts_per_sec
+                         : 0.0);
+    }
+    std::fprintf(f, "]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchScale scale = bench::BenchScale::fromArgs(
+        argc, argv, {"scheme", "loops", "threads", "trace"});
+    if (!scale.csvOut.empty())
+        fatal("micro_replay emits json= only");
+    const std::string scheme =
+        scale.params.getString("scheme", "mithril");
+    const std::uint64_t loops = scale.params.getUint("loops", 50);
+    const std::string trace_path =
+        scale.params.getString("trace", "micro_replay.acttrace");
+    if (loops == 0)
+        fatal("loops= must be positive");
+
+    std::vector<unsigned> thread_counts;
+    for (std::uint64_t t : scale.params.has("threads")
+                               ? scale.params.getUintList("threads")
+                               : std::vector<std::uint64_t>{1, 4}) {
+        if (t == 0 || t > 1024)
+            fatal("threads= entries must be in [1, 1024]");
+        thread_counts.push_back(static_cast<unsigned>(t));
+    }
+
+    bench::banner("ACT-stream capture/replay vs System throughput");
+
+    // ---- capture: one attacked System run, recorded.
+    sim::ExperimentSpec sys_spec;
+    sys_spec.scheme = "none";
+    sys_spec.workload = "mix-high";
+    sys_spec.attack = "multi-sided";
+    sys_spec.cores = scale.cores;
+    sys_spec.instrPerCore = scale.instrPerCore;
+    sys_spec.seed = scale.seed;
+    sys_spec.record = trace_path;
+
+    const auto sys_t0 = std::chrono::steady_clock::now();
+    const sim::RunMetrics sys_metrics = sim::runExperiment(sys_spec);
+    const auto sys_t1 = std::chrono::steady_clock::now();
+    const double sys_seconds = seconds(sys_t0, sys_t1);
+    const double sys_aps =
+        static_cast<double>(sys_metrics.acts) / sys_seconds;
+
+    const engine::ActTraceInfo info =
+        engine::actTraceInfo(trace_path);
+    if (info.records != sys_metrics.acts)
+        fatal("capture lost records: trace has %llu, System ran %llu",
+              static_cast<unsigned long long>(info.records),
+              static_cast<unsigned long long>(sys_metrics.acts));
+    std::uint64_t trace_bytes = 0;
+    if (std::FILE *f = std::fopen(trace_path.c_str(), "rb")) {
+        std::fseek(f, 0, SEEK_END);
+        trace_bytes = static_cast<std::uint64_t>(std::ftell(f));
+        std::fclose(f);
+    }
+
+    std::printf("System run: %llu ACTs in %.3f s (%.0f acts/s), "
+                "trace %llu bytes\n",
+                static_cast<unsigned long long>(sys_metrics.acts),
+                sys_seconds, sys_aps,
+                static_cast<unsigned long long>(trace_bytes));
+
+    // ---- replay: the captured stream through `scheme`, repeated.
+    auto replay_spec = [&](unsigned threads) {
+        sim::ExperimentSpec spec;
+        spec.scheme = scheme;
+        spec.source = "act-trace";
+        spec.extras.set("trace", trace_path);
+        spec.engineActs = info.records;
+        spec.shards = threads;
+        spec.threads = threads;
+        return spec;
+    };
+
+    std::vector<ReplayPoint> points;
+    sim::RunMetrics reference;
+    bool have_reference = false;
+    for (unsigned threads : thread_counts) {
+        const sim::ExperimentSpec spec = replay_spec(threads);
+        sim::runExperiment(spec);  // Warm-up (page cache), untimed.
+        const auto t0 = std::chrono::steady_clock::now();
+        sim::RunMetrics last{};
+        for (std::uint64_t i = 0; i < loops; ++i)
+            last = sim::runExperiment(spec);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        // Determinism canary: every replay, at every thread count,
+        // is the same outcome.
+        if (!have_reference) {
+            reference = last;
+            have_reference = true;
+        } else if (last.rfmIssued != reference.rfmIssued ||
+                   last.preventiveRefreshes !=
+                       reference.preventiveRefreshes ||
+                   last.simTicks != reference.simTicks) {
+            fatal("replay diverged at threads=%u", threads);
+        }
+
+        ReplayPoint p;
+        p.threads = threads;
+        p.shards = threads;
+        p.actsPerSec = static_cast<double>(info.records) *
+                       static_cast<double>(loops) /
+                       seconds(t0, t1);
+        points.push_back(p);
+    }
+
+    TablePrinter table({"mode", "threads", "acts/s", "vs System"});
+    table.beginRow()
+        .cell("System (capture)")
+        .cell("-")
+        .num(sys_aps, 0)
+        .cell("1.0x");
+    for (const ReplayPoint &p : points) {
+        table.beginRow()
+            .cell("replay " + scheme)
+            .cell(std::to_string(p.threads))
+            .num(p.actsPerSec, 0)
+            .cell(formatFixed(p.actsPerSec / sys_aps, 1) + "x");
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf(
+        "\nReading: the System row is full CPU+LLC+MC+DRAM "
+        "co-simulation; the replay rows\ndrive the identical ACT "
+        "stream (captured once, record=) through the sharded\n"
+        "engine + %s tracker alone. The ratio is what "
+        "capture-once-replay-many saves\nper additional scheme in a "
+        "sweep.\n",
+        scheme.c_str());
+
+    if (!scale.jsonOut.empty())
+        writeJson(scale.jsonOut, sys_spec, sys_metrics.acts, sys_aps,
+                  sys_seconds, info, trace_bytes, scheme, loops,
+                  points);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Inspect a captured mithril.acttrace.v1 file: validate header,
+ * index, and footer, and print the deterministic describe() dump
+ * (geometry, seed, record totals, per-bank counts, meta line).
+ *
+ *   acttrace_info trace.acttrace
+ *
+ * Exits non-zero (with the SpecError message) on anything that is
+ * not a structurally valid v1 trace — which makes it a cheap CI
+ * check for freshly captured artifacts.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "engine/act_trace.hh"
+#include "registry/registry.hh"
+
+using namespace mithril;
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2)
+        fatal("usage: acttrace_info <trace file>");
+    try {
+        const engine::ActTraceInfo info =
+            engine::actTraceInfo(argv[1]);
+        std::printf("%s", info.describe().c_str());
+    } catch (const registry::SpecError &err) {
+        fatal("%s", err.what());
+    }
+    return 0;
+}

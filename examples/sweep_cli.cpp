@@ -16,6 +16,11 @@
  * speed, parallel at two levels (jobs across the pool, bank shards
  * inside a job reusing the same pool).
  *
+ * `record=PATH` captures the (single) job's ACT stream as a
+ * mithril.acttrace.v1 file; `sources=act-trace trace=PATH` replays
+ * it. Capture-once-replay-many is two invocations: one recording
+ * System job, then an engine grid over every scheme (see README).
+ *
  * Examples:
  *
  *   sweep_cli --list schemes
@@ -26,14 +31,18 @@
  *             instr=20000 seed-policy=per-job csv=out.csv
  *   sweep_cli schemes=mithril,graphene,para sources=attack \
  *             attacks=multi-sided acts=2000000 shards=4 jobs=8
+ *   sweep_cli schemes=none attacks=multi-sided record=run.acttrace
+ *   sweep_cli schemes=mithril,graphene,para,cbt,twice \
+ *             sources=act-trace trace=run.acttrace jobs=8
  *
  * Knobs: cores= instr= seed= ad= warmup= baseline=0/1 blast-radius=
  *        acts=N (engine ACT budget with sources=)
+ *        record=PATH (capture the single job's ACT stream)
  *        seed-policy=shared|per-job jobs=N progress=0/1
  *        table=0/1 json=PATH csv=PATH
  *        plus any parameter a selected registry entry declares
- *        (e.g. victims= with attacks=multi-sided, trace-file= with
- *        sources=trace-file).
+ *        (e.g. victims= with attacks=multi-sided, trace= with
+ *        sources=act-trace).
  */
 
 #include <cstdio>

@@ -41,6 +41,8 @@ Device::activate(BankId b, RowId row, Tick t, std::vector<RowId> &arr_out)
     ranks_.at(rankOf(b)).recordAct(t);
     energy_.addAct();
     oracle_.onActivate(b, row);
+    if (actObserver_)
+        actObserver_(b, row, t);
     if (tracker_)
         tracker_->onActivate(b, row, t, arr_out);
 }

@@ -12,7 +12,9 @@
 #ifndef MITHRIL_DRAM_DEVICE_HH
 #define MITHRIL_DRAM_DEVICE_HH
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -42,6 +44,15 @@ class Device
     /** Attach the active protection scheme (may be null = unprotected). */
     void setTracker(trackers::RhProtection *tracker) { tracker_ = tracker; }
     trackers::RhProtection *tracker() const { return tracker_; }
+
+    /** Observes every committed ACT (bank, row, issue tick) — the
+     *  tap an act-trace recorder captures a System run through.
+     *  Preventive/auto refreshes are not ACTs and are not reported. */
+    using ActObserver = std::function<void(BankId, RowId, Tick)>;
+    void setActObserver(ActObserver observer)
+    {
+        actObserver_ = std::move(observer);
+    }
 
     const Timing &timing() const { return timing_; }
     const Geometry &geometry() const { return geometry_; }
@@ -134,6 +145,7 @@ class Device
     RhOracle oracle_;
     EnergyMeter energy_;
     trackers::RhProtection *tracker_ = nullptr;
+    ActObserver actObserver_;
     std::uint32_t blastRadius_;
 
     std::uint64_t rfmCount_ = 0;

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/types.hh"
@@ -93,6 +94,25 @@ class ActSource
      * cursor never runs ahead of the simulation.
      */
     virtual std::size_t fill(ActBatch &batch, std::size_t limit) = 0;
+
+    /**
+     * A native slice of this stream restricted to banks [lo, hi) and
+     * to the first `budget` records of the global stream — exactly
+     * what a BankFilterSource over a fresh copy would deliver, but
+     * produced without scanning the out-of-range records (e.g. an
+     * act-trace reader seeking through its per-bank block index).
+     * The sharded engine asks every stream for one and falls back to
+     * BankFilterSource on nullptr (the default). Slicing must not
+     * disturb this source — implementations open fresh state.
+     */
+    virtual std::unique_ptr<ActSource>
+    shardSlice(BankId lo, BankId hi, std::uint64_t budget)
+    {
+        (void)lo;
+        (void)hi;
+        (void)budget;
+        return nullptr;
+    }
 };
 
 /**

@@ -99,9 +99,28 @@ ShardedActStreamEngine::run(const StreamFactory &make_stream,
 {
     std::vector<std::unique_ptr<ActSource>> sources;
     sources.reserve(shards_.size());
-    for (const Shard &shard : shards_) {
-        sources.push_back(std::make_unique<BankFilterSource>(
-            make_stream(), shard.lo, shard.hi, max_acts));
+    // A stream that can slice itself natively (an act-trace reader
+    // seeking through its bank index) skips the filter-and-discard
+    // scan — and every shard slices off the SAME parsed instance, so
+    // the trace header/index are parsed once per run, not per shard.
+    // Both paths deliver the identical bounded per-bank
+    // subsequences.
+    auto probe = make_stream();
+    if (auto native = probe->shardSlice(shards_[0].lo, shards_[0].hi,
+                                        max_acts)) {
+        sources.push_back(std::move(native));
+        for (std::size_t s = 1; s < shards_.size(); ++s) {
+            sources.push_back(probe->shardSlice(
+                shards_[s].lo, shards_[s].hi, max_acts));
+            MITHRIL_ASSERT(sources.back() != nullptr);
+        }
+    } else {
+        for (const Shard &shard : shards_) {
+            if (!probe)
+                probe = make_stream();
+            sources.push_back(std::make_unique<BankFilterSource>(
+                std::move(probe), shard.lo, shard.hi, max_acts));
+        }
     }
     return runShards(sources);
 }

@@ -98,8 +98,9 @@ const registry::Registrar<registry::SourceTraits> kRegisterTraceFile{{
     /*name=*/"trace-file",
     /*display=*/"trace-file",
     /*description=*/
-    "replay a recorded trace file's ACT stream (addresses decoded "
-    "through the MC map)",
+    "replay an instruction-level trace file (Ramulator-style gap/addr "
+    "records decoded through the MC map); raw captured ACT streams "
+    "replay via act-trace",
     /*aliases=*/{"trace_file"},
     /*uses=*/"",
     /*params=*/

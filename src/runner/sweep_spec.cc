@@ -149,6 +149,7 @@ SweepSpec::fromParams(const ParamSet &params,
         "attacks",      "cores",  "instr",    "seed",
         "blast-radius", "ad",     "warmup",   "baseline",
         "seed-policy",  "sources", "shards",  "acts",
+        "record",
     };
     std::vector<std::string> case_workloads;
     std::vector<std::string> case_attacks;
@@ -203,6 +204,15 @@ SweepSpec::fromParams(const ParamSet &params,
         params.getUint("warmup", spec.trackerWarmupActs);
     spec.includeBaseline =
         params.getBool("baseline", spec.includeBaseline);
+    spec.record = params.getString("record", spec.record);
+    if (!spec.record.empty() && spec.jobCount() > 1) {
+        // N jobs racing one trace file would interleave garbage;
+        // capture-once-replay-many is two sweeps (record, then a
+        // sources=act-trace grid).
+        fatal("record=%s captures one ACT stream, but this sweep "
+              "expands to %zu jobs; narrow the grid to a single job",
+              spec.record.c_str(), spec.jobCount());
+    }
 
     const std::string policy =
         params.getString("seed-policy", "shared");
@@ -286,6 +296,7 @@ SweepSpec::expand() const
         spec.seed = seed;
         spec.trackerWarmupActs = trackerWarmupActs;
         spec.warmupFromWorkload = (c.attack == "none");
+        spec.record = record;
         return spec;
     };
     auto case_label = [](const SweepCase &c) {

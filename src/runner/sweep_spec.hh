@@ -84,6 +84,13 @@ struct SweepSpec
      *  workload, attacked runs from the attacker (as in Fig. 10). */
     std::uint64_t trackerWarmupActs = 0;
 
+    /** Capture the job's ACT stream to this path
+     *  (mithril.acttrace.v1). One file — fromParams() rejects grids
+     *  that expand to more than one job. The capture-once-replay-many
+     *  pattern is two sweeps: one recording job, then a
+     *  sources=act-trace trace=<path> grid over every scheme. */
+    std::string record;
+
     /** Prepend one unprotected ("none") job per case, for
      *  normalizing relative performance and energy. */
     bool includeBaseline = false;

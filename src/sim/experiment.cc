@@ -1,8 +1,11 @@
 #include "experiment.hh"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "engine/act_trace.hh"
 #include "engine/sharded_engine.hh"
 #include "registry/attack_registry.hh"
 #include "registry/scheme_registry.hh"
@@ -15,6 +18,19 @@ namespace mithril::sim
 
 namespace
 {
+
+/** True when two paths name the same existing file, through any
+ *  aliasing (relative vs absolute spellings, symlinks, hardlinks). */
+bool
+sameFile(const std::string &a, const std::string &b)
+{
+    if (a == b)
+        return true;
+    struct stat sa, sb;
+    if (::stat(a.c_str(), &sa) != 0 || ::stat(b.c_str(), &sb) != 0)
+        return false;
+    return sa.st_dev == sb.st_dev && sa.st_ino == sb.st_ino;
+}
 
 /**
  * The engine-only experiment body: scheme x source at maximum ACT
@@ -57,6 +73,50 @@ runEngineExperiment(const ExperimentSpec &spec)
                                        source_ctx);
     };
 
+    // record=: capture the exact stream prefix this run will consume
+    // — a separate drain of a fresh stream copy, so sharded runs
+    // (which pull one filtered copy per shard) record the one
+    // canonical global stream. Registry sources are deterministic in
+    // their seed, so the capture equals what the run replays.
+    // Opening the writer would truncate an input file before the
+    // reader ever sees it. Any entry-declared extra naming the
+    // record target is treated as that input — "trace=" (act-trace),
+    // "trace-file=" (instruction traces), or a user-registered
+    // source's own path param; sameFile() sees through aliases.
+    if (!spec.record.empty()) {
+        for (const std::string &key : spec.extras.keys()) {
+            const std::string value = spec.extras.getString(key, "");
+            if (!value.empty() && sameFile(spec.record, value)) {
+                throw registry::SpecError(
+                    "record= and " + key + "= name the same file '" +
+                    spec.record + "'; re-capturing a replay needs a "
+                    "different output path");
+            }
+        }
+    }
+    if (!spec.record.empty()) {
+        engine::ActTraceWriter writer(spec.record, sys.geometry,
+                                      spec.seed, spec.describe());
+        auto stream = make_stream();
+        engine::ActBatch batch;
+        std::uint64_t remaining = spec.engineActs;
+        while (remaining > 0) {
+            batch.clear();
+            const std::size_t n = stream->fill(
+                batch,
+                static_cast<std::size_t>(std::min<std::uint64_t>(
+                    engine::ActBatch::kCapacity, remaining)));
+            if (n == 0)
+                break;
+            for (std::size_t i = 0; i < n; ++i) {
+                const engine::ActRecord rec = batch.record(i);
+                writer.append(rec.bank, rec.row, rec.tick);
+            }
+            remaining -= n;
+        }
+        writer.finalize();
+    }
+
     // Tracker warm-up, mirroring the System path: the tracker
     // observes `warmup=` ACTs at tick 0 before the measured run, the
     // oracle none. Each shard's tracker warms from its own banks'
@@ -65,17 +125,32 @@ runEngineExperiment(const ExperimentSpec &spec)
     if (spec.trackerWarmupActs > 0) {
         std::vector<RowId> discard;
         engine::ActBatch batch;
+        // One stream instance feeds every shard's warm-up slice when
+        // the source slices natively (the same probe-and-fall-back
+        // the sharded run itself uses), so an act-trace warm-up
+        // parses the index once and seeks instead of filter-scanning
+        // per shard.
+        std::unique_ptr<engine::ActSource> probe = make_stream();
         for (std::uint32_t s = 0; s < eng.shardCount(); ++s) {
             trackers::RhProtection *tracker = eng.tracker(s);
             if (!tracker)
                 break;
             const auto [lo, hi] = eng.shardRange(s);
-            engine::BankFilterSource warm(make_stream(), lo, hi,
-                                          spec.trackerWarmupActs);
+            std::unique_ptr<engine::ActSource> warm;
+            if (probe)
+                warm = probe->shardSlice(lo, hi,
+                                         spec.trackerWarmupActs);
+            if (!warm) {
+                if (!probe)
+                    probe = make_stream();
+                warm = std::make_unique<engine::BankFilterSource>(
+                    std::move(probe), lo, hi,
+                    spec.trackerWarmupActs);
+            }
             for (;;) {
                 batch.clear();
                 const std::size_t n =
-                    warm.fill(batch, engine::ActBatch::kCapacity);
+                    warm->fill(batch, engine::ActBatch::kCapacity);
                 if (n == 0)
                     break;
                 for (std::size_t i = 0; i < n; ++i) {
@@ -180,6 +255,19 @@ runExperiment(const ExperimentSpec &spec)
     System system(sys, std::move(tracker));
     system.snapshotTrackerOps();
 
+    // record=: tap every ACT the controller commits (bank, row,
+    // issue tick) — exactly the stream the tracker observes; warm-up
+    // above fed generators directly, so it is not captured.
+    std::unique_ptr<engine::ActTraceWriter> recorder;
+    if (!spec.record.empty()) {
+        recorder = std::make_unique<engine::ActTraceWriter>(
+            spec.record, sys.geometry, spec.seed, spec.describe());
+        system.device().setActObserver(
+            [&recorder](BankId bank, RowId row, Tick t) {
+                recorder->append(bank, row, t);
+            });
+    }
+
     for (std::uint32_t i = 0; i < benign; ++i) {
         cpu::CoreParams core_params;
         core_params.instrBudget = spec.instrPerCore;
@@ -194,6 +282,11 @@ runExperiment(const ExperimentSpec &spec)
     }
 
     system.run();
+
+    if (recorder) {
+        system.device().setActObserver(nullptr);
+        recorder->finalize();
+    }
 
     RunMetrics m;
     m.aggIpc = system.aggregateIpc();

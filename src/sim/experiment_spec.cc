@@ -51,6 +51,9 @@ coreParams()
          "warm the tracker from the benign streams"},
         {"source", ParamDesc::Type::String, "none", 0, 0,
          "engine ActSource registry name (none = full-System run)"},
+        {"record", ParamDesc::Type::String, "", 0, 0,
+         "capture the run's ACT stream to this path "
+         "(mithril.acttrace.v1; replay with source=act-trace)"},
         {"acts", ParamDesc::Type::Uint, "1000000", 1, 1e12,
          "ACT budget of an engine (source=) run"},
         {"shards", ParamDesc::Type::Uint, "0", 0, 65536,
@@ -200,6 +203,7 @@ ExperimentSpec::parse(const ParamSet &params,
         params.getUint("warmup", spec.trackerWarmupActs);
     spec.warmupFromWorkload = params.getBool(
         "warmup-from-workload", spec.warmupFromWorkload);
+    spec.record = params.getString("record", spec.record);
     spec.engineActs = params.getUint("acts", spec.engineActs);
     spec.shards = params.getUint32("shards", spec.shards);
     spec.threads = params.getUint32("threads", spec.threads);
@@ -279,6 +283,10 @@ ExperimentSpec::toParams() const
     params.set("warmup", std::to_string(trackerWarmupActs));
     params.set("warmup-from-workload",
                warmupFromWorkload ? "1" : "0");
+    // The capture path is off by default; like the extras it only
+    // appears when set, so existing describe() goldens are stable.
+    if (!record.empty())
+        params.set("record", record);
     params.set("source", source);
     params.set("acts", std::to_string(engineActs));
     params.set("shards", std::to_string(shards));

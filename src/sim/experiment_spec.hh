@@ -70,6 +70,13 @@ struct ExperimentSpec
     std::uint64_t trackerWarmupActs = 0;
     bool warmupFromWorkload = false;
 
+    /** Capture the run's ACT stream to this path as a
+     *  mithril.acttrace.v1 file (empty = off). A System run records
+     *  every ACT the controller commits; an engine run records the
+     *  exact source prefix the ACT budget admits. Replay it with
+     *  source=act-trace trace=<path>. */
+    std::string record;
+
     /** Entry-declared extra tunables (e.g. victims=, mean-gap=),
      *  validated against the selected entries' declarations. */
     ParamSet extras;
