@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config.hh"
@@ -219,6 +220,30 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n", title.c_str());
+}
+
+#ifndef MITHRIL_BUILD_TYPE
+#define MITHRIL_BUILD_TYPE ""
+#endif
+
+/**
+ * Write the shared "meta" member of a bench JSON artifact: the host's
+ * hardware concurrency, the CMake build type, and the bench's
+ * thread/shard configuration — the context a perf trajectory needs to
+ * tell a regression from a machine change.
+ */
+inline void
+writeMetaJson(std::FILE *f, const std::vector<unsigned> &threads,
+              std::uint32_t shards)
+{
+    std::fprintf(f,
+                 "  \"meta\": {\"hardware_concurrency\": %u, "
+                 "\"build_type\": \"%s\", \"threads\": [",
+                 std::thread::hardware_concurrency(),
+                 MITHRIL_BUILD_TYPE);
+    for (std::size_t i = 0; i < threads.size(); ++i)
+        std::fprintf(f, "%s%u", i ? ", " : "", threads[i]);
+    std::fprintf(f, "], \"shards\": %u},\n", shards);
 }
 
 } // namespace mithril::bench

@@ -17,7 +17,9 @@
  * Knobs: acts=N per timed run (default 2M), banks=N (default 16),
  * threads=LIST sharded thread counts (default "1,4"), shards=N shard
  * count override (default 0 = one shard per worker thread),
- * json=FILE writes the BENCH_engine.json artifact (schema v2).
+ * json=FILE writes the BENCH_engine.json artifact (schema v3: adds
+ * the host/build "meta" block and the engine's per-point phase
+ * breakdown — source-pull, tracker-dispatch, and join seconds).
  */
 
 #include <chrono>
@@ -174,7 +176,18 @@ measureActsPerSec(const std::string &scheme, std::uint32_t banks,
     return static_cast<double>(done) / seconds;
 }
 
-double
+/** One sharded timing point, with the engine's phase breakdown. */
+struct ShardedMeasurement
+{
+    double actsPerSec = 0.0;
+    /** Wall seconds summed over shards, inside the timed run only. */
+    double sourceSec = 0.0;   //!< Pulling batches from the source.
+    double dispatchSec = 0.0; //!< Dispatching batches to the tracker.
+    double joinSec = 0.0;     //!< Fan-out/merge beyond the slowest
+                              //!< shard.
+};
+
+ShardedMeasurement
 measureShardedActsPerSec(const std::string &scheme,
                          std::uint32_t banks, std::uint64_t acts,
                          std::uint32_t shards,
@@ -185,6 +198,7 @@ measureShardedActsPerSec(const std::string &scheme,
         banks, engine::EngineConfig::Dispatch::Batched);
     cfg.shards = shards;
     cfg.pool = pool;
+    cfg.telemetry.phases = true;
     engine::ShardedActStreamEngine eng(cfg, [&] {
         return makeTracker(scheme, cfg.engine);
     });
@@ -198,6 +212,20 @@ measureShardedActsPerSec(const std::string &scheme,
 
     eng.runSliced(slices(acts / 8 + 1));  // Warm-up, untimed.
 
+    // The phase profile accumulates across runs; snapshot after the
+    // warm-up so the reported breakdown covers the timed run only.
+    auto phase_sums = [&] {
+        double source = 0.0, dispatch = 0.0;
+        for (std::uint32_t s = 0; s < eng.shardCount(); ++s) {
+            const auto &p = eng.shardTelemetry(s)->phases();
+            source += p.sourceSec;
+            dispatch += p.dispatchSec;
+        }
+        return std::pair<double, double>(source, dispatch);
+    };
+    const auto [source0, dispatch0] = phase_sums();
+    const double join0 = eng.joinSec();
+
     const auto t0 = std::chrono::steady_clock::now();
     const std::uint64_t done = eng.runSliced(slices(acts));
     const auto t1 = std::chrono::steady_clock::now();
@@ -207,7 +235,14 @@ measureShardedActsPerSec(const std::string &scheme,
         fatal("sharded engine consumed %llu of %llu acts",
               static_cast<unsigned long long>(done),
               static_cast<unsigned long long>(acts));
-    return static_cast<double>(done) / seconds;
+
+    ShardedMeasurement m;
+    m.actsPerSec = static_cast<double>(done) / seconds;
+    const auto [source1, dispatch1] = phase_sums();
+    m.sourceSec = source1 - source0;
+    m.dispatchSec = dispatch1 - dispatch0;
+    m.joinSec = eng.joinSec() - join0;
+    return m;
 }
 
 struct ShardedPoint
@@ -215,6 +250,9 @@ struct ShardedPoint
     unsigned threads = 1;
     std::uint32_t shards = 1;
     double actsPerSec = 0.0;
+    double sourceSec = 0.0;
+    double dispatchSec = 0.0;
+    double joinSec = 0.0;
 };
 
 struct SchemeResult
@@ -244,13 +282,15 @@ struct SchemeResult
 void
 writeJson(const std::string &path, std::uint32_t banks,
           std::uint64_t acts, const std::vector<unsigned> &threads,
+          std::uint32_t shard_override,
           const std::vector<SchemeResult> &results)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot write %s", path.c_str());
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"mithril.bench_engine.v2\",\n");
+    std::fprintf(f, "  \"schema\": \"mithril.bench_engine.v3\",\n");
+    bench::writeMetaJson(f, threads, shard_override);
     std::fprintf(f, "  \"banks\": %u,\n", banks);
     std::fprintf(f, "  \"acts_per_run\": %llu,\n",
                  static_cast<unsigned long long>(acts));
@@ -275,9 +315,13 @@ writeJson(const std::string &path, std::uint32_t banks,
             std::fprintf(f,
                          "%s{\"threads\": %u, \"shards\": %u, "
                          "\"acts_per_sec\": %.0f, "
-                         "\"scaling\": %.3f}",
+                         "\"scaling\": %.3f, "
+                         "\"source_sec\": %.4f, "
+                         "\"dispatch_sec\": %.4f, "
+                         "\"join_sec\": %.4f}",
                          j ? ", " : "", p.threads, p.shards,
-                         p.actsPerSec, r.scalingAt(j));
+                         p.actsPerSec, r.scalingAt(j), p.sourceSec,
+                         p.dispatchSec, p.joinSec);
         }
         std::fprintf(f, "]}%s\n",
                      i + 1 < results.size() ? "," : "");
@@ -344,8 +388,12 @@ main(int argc, char **argv)
                            ? shard_override
                            : std::min<std::uint32_t>(p.threads,
                                                      banks);
-            p.actsPerSec = measureShardedActsPerSec(
+            const ShardedMeasurement sm = measureShardedActsPerSec(
                 scheme, banks, acts, p.shards, pools[i].get());
+            p.actsPerSec = sm.actsPerSec;
+            p.sourceSec = sm.sourceSec;
+            p.dispatchSec = sm.dispatchSec;
+            p.joinSec = sm.joinSec;
             r.sharded.push_back(p);
         }
         results.push_back(r);
@@ -379,6 +427,7 @@ main(int argc, char **argv)
         "1-thread sharded run.\n");
 
     if (!scale.jsonOut.empty())
-        writeJson(scale.jsonOut, banks, acts, thread_counts, results);
+        writeJson(scale.jsonOut, banks, acts, thread_counts,
+                  shard_override, results);
     return 0;
 }

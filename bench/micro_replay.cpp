@@ -54,13 +54,18 @@ writeJson(const std::string &path, const sim::ExperimentSpec &sys_spec,
           std::uint64_t system_acts, double system_acts_per_sec,
           double system_seconds, const engine::ActTraceInfo &info,
           std::uint64_t trace_bytes, const std::string &scheme,
-          std::uint64_t loops, const std::vector<ReplayPoint> &points)
+          std::uint64_t loops,
+          const std::vector<unsigned> &thread_counts,
+          const std::vector<ReplayPoint> &points)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot write %s", path.c_str());
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"mithril.bench_replay.v1\",\n");
+    std::fprintf(f, "  \"schema\": \"mithril.bench_replay.v2\",\n");
+    // Replay points shard one way per thread count (shards ==
+    // threads), so the meta shard field is 0 (per-point).
+    bench::writeMetaJson(f, thread_counts, 0);
     // system.acts comes from the System's own counters and
     // trace.records from the file's index, so the CI cross-check of
     // the two is a real capture-completeness assertion.
@@ -230,6 +235,6 @@ main(int argc, char **argv)
     if (!scale.jsonOut.empty())
         writeJson(scale.jsonOut, sys_spec, sys_metrics.acts, sys_aps,
                   sys_seconds, info, trace_bytes, scheme, loops,
-                  points);
+                  thread_counts, points);
     return 0;
 }

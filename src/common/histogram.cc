@@ -42,6 +42,19 @@ Histogram::reset()
     sum_ = 0.0;
 }
 
+void
+Histogram::mergeFrom(const Histogram &other)
+{
+    MITHRIL_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
+                   counts_.size() == other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
 double
 Histogram::bucketLo(std::size_t i) const
 {

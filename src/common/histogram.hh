@@ -25,6 +25,13 @@ class Histogram
     void sample(double v, std::uint64_t weight = 1);
     void reset();
 
+    /**
+     * Fold another histogram of the identical shape (same lo/hi/bucket
+     * count) into this one, bucket-wise. Exact for integer weights, so
+     * per-shard histograms merge to the single-shard result.
+     */
+    void mergeFrom(const Histogram &other);
+
     std::uint64_t totalSamples() const { return total_; }
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }

@@ -29,6 +29,21 @@ Average::reset()
     max_ = 0.0;
 }
 
+void
+Average::mergeFrom(const Average &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
 Counter &
 StatRegistry::counter(const std::string &name)
 {
@@ -66,6 +81,15 @@ StatRegistry::averageMeans() const
     for (const auto &[name, a] : averages_)
         out.emplace_back(name, a.mean());
     return out;
+}
+
+void
+StatRegistry::mergeFrom(const StatRegistry &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counters_[name].inc(c.value());
+    for (const auto &[name, a] : other.averages_)
+        averages_[name].mergeFrom(a);
 }
 
 void

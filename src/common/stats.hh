@@ -40,6 +40,15 @@ class Average
     void sample(double v);
     void reset();
 
+    /**
+     * Fold another Average into this one, preserving count/sum/min/max
+     * exactly. Merging the per-shard averages of a partitioned run in
+     * any grouping yields the same result as sampling the union on one
+     * instance; an empty side never contributes a spurious 0 to the
+     * min/max.
+     */
+    void mergeFrom(const Average &other);
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -74,6 +83,14 @@ class StatRegistry
 
     /** All averages in name order. */
     std::vector<std::pair<std::string, double>> averageMeans() const;
+
+    /**
+     * Fold another registry into this one by name union: counters add,
+     * averages merge via Average::mergeFrom(). Deterministic (name
+     * order) and associative, so shard registries may be folded in any
+     * grouping.
+     */
+    void mergeFrom(const StatRegistry &other);
 
     /** Reset every stat to zero. */
     void resetAll();

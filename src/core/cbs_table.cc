@@ -151,10 +151,13 @@ CbsTable::lookupOrEvict(RowId row)
         return it->second;
     // Miss: evict the head of the minimum bucket and rename it.
     const std::uint32_t e = bucketHead_[minBucket_];
-    if (rows_[e] != kInvalidRow)
+    if (rows_[e] != kInvalidRow) {
         index_.erase(rows_[e]);
-    else
+        ++evictions_;
+    } else {
         ++size_;
+    }
+    ++inserts_;
     rows_[e] = row;
     index_[row] = e;
     return e;

@@ -149,6 +149,12 @@ class CbsTable
     /** Total touch operations processed. */
     std::uint64_t touches() const { return touches_; }
 
+    /** Rows ever installed into an entry (misses). */
+    std::uint64_t inserts() const { return inserts_; }
+
+    /** Installed rows that displaced a live minimum entry. */
+    std::uint64_t evictions() const { return evictions_; }
+
   private:
     static constexpr std::uint32_t kNone = 0xffffffffu;
 
@@ -175,6 +181,8 @@ class CbsTable
     std::uint32_t counterBits_;
     std::uint32_t size_ = 0;
     std::uint64_t touches_ = 0;
+    std::uint64_t inserts_ = 0;
+    std::uint64_t evictions_ = 0;
 
     // Entry arrays (index = entry id).
     std::vector<RowId> rows_;

@@ -1,9 +1,13 @@
 #include "mithril.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "core/bounds.hh"
 #include "core/config_solver.hh"
 #include "registry/scheme_registry.hh"
+#include "telemetry/event_trace.hh"
+#include "telemetry/metric_sheet.hh"
 
 namespace mithril::core
 {
@@ -29,9 +33,22 @@ void
 Mithril::onActivate(BankId bank, RowId row, Tick now,
                     std::vector<RowId> &arr_aggressors)
 {
-    (void)now;
     (void)arr_aggressors;  // Mithril never requests ARR.
-    tables_.at(bank).touch(row);
+    CbsTable &table = tables_.at(bank);
+    if (eventRecorder_) {
+        const std::uint64_t inserts = table.inserts();
+        const std::uint64_t evictions = table.evictions();
+        table.touch(row);
+        if (table.evictions() != evictions) {
+            eventRecorder_->record(telemetry::EventKind::CbsEvict,
+                                   now, bank, row);
+        } else if (table.inserts() != inserts) {
+            eventRecorder_->record(telemetry::EventKind::CbsInsert,
+                                   now, bank, row);
+        }
+    } else {
+        table.touch(row);
+    }
     countOp();
 }
 
@@ -39,6 +56,11 @@ std::size_t
 Mithril::onActivateBatch(const trackers::ActSpan &span,
                          std::vector<RowId> &arr_aggressors)
 {
+    // While tracing, take the base scalar loop so per-record table
+    // events carry exact ticks; byte-identical in effect by the
+    // onActivateBatch() contract (pinned by the equivalence tests).
+    if (eventRecorder_)
+        return RhProtection::onActivateBatch(span, arr_aggressors);
     (void)arr_aggressors;  // Mithril never requests ARR.
     tables_.at(span.bank).touchRun(span.rows, span.size);
     countOp(span.size);
@@ -85,6 +107,26 @@ Mithril::mergeStatsFrom(const trackers::RhProtection &other)
 {
     RhProtection::mergeStatsFrom(other);
     adaptiveSkips_ += dynamic_cast<const Mithril &>(other).adaptiveSkips_;
+}
+
+void
+Mithril::exportMetrics(telemetry::MetricSheet &sheet) const
+{
+    RhProtection::exportMetrics(sheet);
+    std::uint64_t touches = 0, inserts = 0, evictions = 0;
+    std::uint64_t spread = 0;
+    for (const CbsTable &table : tables_) {
+        touches += table.touches();
+        inserts += table.inserts();
+        evictions += table.evictions();
+        spread = std::max(spread, table.spread());
+    }
+    sheet.setCounter("tracker.cbs.touches", touches);
+    sheet.setCounter("tracker.cbs.inserts", inserts);
+    sheet.setCounter("tracker.cbs.evictions", evictions);
+    sheet.setCounter("tracker.adaptive_skips", adaptiveSkips_);
+    sheet.setGauge("tracker.cbs.max_spread",
+                   static_cast<double>(spread));
 }
 
 std::uint32_t

@@ -79,6 +79,8 @@ class Mithril : public trackers::RhProtection
 
     void mergeStatsFrom(const trackers::RhProtection &other) override;
 
+    void exportMetrics(telemetry::MetricSheet &sheet) const override;
+
     /** Direct table access for tests and analysis. */
     const CbsTable &table(BankId bank) const { return tables_.at(bank); }
 

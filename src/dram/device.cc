@@ -40,6 +40,9 @@ Device::activate(BankId b, RowId row, Tick t, std::vector<RowId> &arr_out)
     banks_.at(b).doActivate(t, row);
     ranks_.at(rankOf(b)).recordAct(t);
     energy_.addAct();
+    // Event-timestamp cursor for oracle flip/near-miss tracing (one
+    // dead store when no recorder is attached).
+    oracle_.setNow(t);
     oracle_.onActivate(b, row);
     if (actObserver_)
         actObserver_(b, row, t);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/event_trace.hh"
 
 namespace mithril::dram
 {
@@ -29,6 +30,20 @@ RhOracle::disturb(BankId bank, RowId row, std::uint32_t weight_q)
     if (was_below && count >= threshold_q) {
         ++bitFlips_;
         flippedRows_[RowKey{bank, row}] = true;
+        if (recorder_) {
+            recorder_->record(
+                telemetry::EventKind::OracleFlip, now_, bank, row,
+                static_cast<std::uint32_t>(flippedRows_.size()));
+        }
+    } else if (recorder_ && count < threshold_q) {
+        // Near-miss line: within 1/8 of FlipTH. Emit once, on the
+        // crossing (pure observation; no oracle state changes).
+        const std::uint64_t near_q = threshold_q - threshold_q / 8;
+        if (count >= near_q && count - weight_q < near_q) {
+            recorder_->record(
+                telemetry::EventKind::NearMiss, now_, bank, row,
+                static_cast<std::uint32_t>(threshold_q - count));
+        }
     }
 }
 

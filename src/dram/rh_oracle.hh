@@ -22,6 +22,11 @@
 
 #include "common/types.hh"
 
+namespace mithril::telemetry
+{
+class EventRecorder;
+}
+
 namespace mithril::dram
 {
 
@@ -84,6 +89,22 @@ class RhOracle
     /** Reset all disturbance state (not the high-water mark). */
     void resetCounts();
 
+    /**
+     * Attach a mitigation-event recorder: flip and near-miss
+     * crossings emit OracleFlip / NearMiss events stamped with the
+     * tick last given to setNow(). Observation only — attaching a
+     * recorder never changes oracle state. Null detaches.
+     */
+    void setEventRecorder(telemetry::EventRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
+    /** Event timestamp cursor: the oracle has no clock of its own,
+     *  so the frontend stamps each activation's tick before the
+     *  onActivate() call (only needed while tracing). */
+    void setNow(Tick now) { now_ = now; }
+
   private:
     struct RowKey
     {
@@ -118,6 +139,9 @@ class RhOracle
     std::uint64_t maxDisturbanceQ_ = 0;
     std::uint64_t bitFlips_ = 0;
     std::unordered_map<RowKey, bool, RowKeyHash> flippedRows_;
+
+    telemetry::EventRecorder *recorder_ = nullptr;
+    Tick now_ = 0;
 };
 
 } // namespace mithril::dram

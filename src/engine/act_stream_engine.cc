@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithril::engine
 {
@@ -42,6 +43,17 @@ ActStreamEngine::ActStreamEngine(const EngineConfig &config,
         usesRfm_ = tracker_->usesRfm();
         rfmTh_ = tracker_->rfmTh();
     }
+    if (config_.telemetry) {
+        events_ = config_.telemetry->events();
+        heatmap_ = config_.telemetry->heatmap();
+        if (config_.telemetry->config().phases)
+            phases_ = &config_.telemetry->phases();
+        if (events_) {
+            oracle_.setEventRecorder(events_);
+            if (tracker_)
+                tracker_->setEventRecorder(events_);
+        }
+    }
 }
 
 void
@@ -62,6 +74,12 @@ ActStreamEngine::maybeRefresh(BankState &bs, BankId bank)
 void
 ActStreamEngine::applyArr(BankState &bs, BankId bank)
 {
+    if (events_ && !scratch_.arr.empty()) {
+        events_->record(
+            telemetry::EventKind::ArrFired, bs.now, bank,
+            scratch_.arr.front(),
+            static_cast<std::uint32_t>(scratch_.arr.size()));
+    }
     for (RowId aggressor : scratch_.arr) {
         if (config_.enableOracle)
             oracle_.onNeighborRefresh(bank, aggressor);
@@ -85,6 +103,13 @@ ActStreamEngine::maybeRfm(BankState &bs, BankId bank,
     if (tracker_->rfmPending(bank)) {
         scratch_.reset();
         tracker_->onRfm(bank, bs.now, scratch_.arr);
+        if (events_) {
+            events_->record(
+                telemetry::EventKind::RfmIssued, bs.now, bank,
+                scratch_.arr.empty() ? kInvalidRow
+                                     : scratch_.arr.front(),
+                static_cast<std::uint32_t>(scratch_.arr.size()));
+        }
         for (RowId aggressor : scratch_.arr) {
             if (config_.enableOracle)
                 oracle_.onNeighborRefresh(bank, aggressor);
@@ -94,6 +119,9 @@ ActStreamEngine::maybeRfm(BankState &bs, BankId bank,
         bs.now += config_.timing.tRFM;
         ++bs.rfms;
         ++rfms_;
+    } else if (events_) {
+        events_->record(telemetry::EventKind::RfmSkipped, bs.now,
+                        bank, kInvalidRow);
     }
     // Mithril+ MRR skip: no time cost beyond the poll.
 }
@@ -107,14 +135,24 @@ ActStreamEngine::activate(BankId bank, RowId row)
     if (config_.honorThrottle && tracker_) {
         const Tick earliest = tracker_->throttleAct(bank, row, bs.now);
         if (earliest > bs.now) {
+            if (events_) {
+                events_->record(telemetry::EventKind::ThrottleStall,
+                                bs.now, bank, row, 0,
+                                earliest - bs.now);
+            }
             ++throttleStalls_;
             bs.now = earliest;
             maybeRefresh(bs, bank);
         }
     }
 
-    if (config_.enableOracle)
+    if (heatmap_)
+        heatmap_->touch(bank, row);
+    if (config_.enableOracle) {
+        if (events_)
+            oracle_.setNow(bs.now);
         oracle_.onActivate(bank, row);
+    }
     ++bs.acts;
     ++acts_;
     scratch_.reset();
@@ -164,9 +202,23 @@ ActStreamEngine::processRun(BankState &bs, BankId bank,
             MITHRIL_ASSERT(consumed >= 1 && consumed <= span.size);
         }
 
-        if (config_.enableOracle) {
+        if (heatmap_) {
             for (std::size_t i = 0; i < consumed; ++i)
-                oracle_.onActivate(bank, rows[i]);
+                heatmap_->touch(bank, rows[i]);
+        }
+        if (config_.enableOracle) {
+            if (events_) {
+                // Tracing variant: stamp the oracle's event clock
+                // with each record's exact tick.
+                for (std::size_t i = 0; i < consumed; ++i) {
+                    oracle_.setNow(span.tick0 +
+                                   static_cast<Tick>(i) * t_rc);
+                    oracle_.onActivate(bank, rows[i]);
+                }
+            } else {
+                for (std::size_t i = 0; i < consumed; ++i)
+                    oracle_.onActivate(bank, rows[i]);
+            }
         }
         bs.acts += consumed;
         acts_ += consumed;
@@ -222,19 +274,71 @@ std::uint64_t
 ActStreamEngine::run(ActSource &source, std::uint64_t max_acts)
 {
     std::uint64_t done = 0;
+    telemetry::PhaseTimer timer;
     while (done < max_acts) {
         batch_.clear();
         const auto limit = static_cast<std::size_t>(
             std::min<std::uint64_t>(ActBatch::kCapacity,
                                     max_acts - done));
+        if (phases_)
+            timer.lap();
         const std::size_t n = source.fill(batch_, limit);
+        if (phases_)
+            phases_->addSource(timer.lap());
         if (n == 0)
             break;
         MITHRIL_ASSERT(n <= limit);
         dispatchBatch(batch_, n);
+        if (phases_)
+            phases_->addDispatch(timer.lap());
         done += n;
     }
     return done;
+}
+
+void
+ActStreamEngine::exportTelemetry()
+{
+    if (!config_.telemetry)
+        return;
+    telemetry::MetricSheet &sheet = config_.telemetry->sheet();
+    sheet.setCounter("engine.acts", acts_);
+    sheet.setCounter("engine.refs", refs_);
+    sheet.setCounter("engine.rfms", rfms_);
+    sheet.setCounter("engine.preventive", preventive_);
+    sheet.setCounter("engine.throttle_stalls", throttleStalls_);
+    if (config_.enableOracle) {
+        sheet.setCounter("oracle.bit_flips", oracle_.bitFlips());
+        sheet.setCounter("oracle.flipped_rows",
+                         oracle_.flippedRows());
+        sheet.setGauge("oracle.max_disturbance",
+                       oracle_.maxDisturbanceEver());
+    }
+    if (events_) {
+        std::uint64_t emitted = 0;
+        for (BankId b = 0; b < events_->numBanks(); ++b)
+            emitted += events_->emitted(b);
+        sheet.setCounter("trace.emitted", emitted);
+        sheet.setCounter("trace.dropped", events_->dropped());
+    }
+    if (heatmap_) {
+        sheet.setCounter("heatmap.acts", heatmap_->totalActs());
+        std::uint64_t folds = 0, regions = 0;
+        std::uint32_t max_gran = 0;
+        for (BankId b = 0; b < heatmap_->numBanks(); ++b) {
+            folds += heatmap_->folds(b);
+            max_gran =
+                std::max(max_gran, heatmap_->granularityLog2(b));
+        }
+        for (const auto &snap : heatmap_->snapshot())
+            regions += snap.regions.size();
+        sheet.setCounter("heatmap.folds", folds);
+        sheet.setCounter("heatmap.regions", regions);
+        sheet.setGauge("heatmap.max_granularity_log2",
+                       static_cast<double>(max_gran));
+    }
+    if (tracker_)
+        tracker_->exportMetrics(sheet);
 }
 
 } // namespace mithril::engine

@@ -41,6 +41,14 @@
 #include "engine/act_source.hh"
 #include "trackers/rh_protection.hh"
 
+namespace mithril::telemetry
+{
+class ActHeatmap;
+class EngineTelemetry;
+class EventRecorder;
+class PhaseProfile;
+}
+
 namespace mithril::engine
 {
 
@@ -69,6 +77,14 @@ struct EngineConfig
      *  Throttling is an inherently per-ACT decision, so enabling it
      *  forces scalar dispatch regardless of `dispatch`. */
     bool honorThrottle = false;
+
+    /**
+     * Optional telemetry bundle (not owned; must outlive the engine
+     * and its tracker). Null — the default — costs the hot loop one
+     * pointer check per batch; non-null never changes simulated
+     * outcomes, only observes them.
+     */
+    telemetry::EngineTelemetry *telemetry = nullptr;
 
     /** The historical ActHarness shape: one bank, default geometry
      *  elsewhere. */
@@ -138,6 +154,14 @@ class ActStreamEngine
 
     const EngineConfig &config() const { return config_; }
 
+    /**
+     * Export engine, oracle, trace, heatmap, and tracker metrics into
+     * the attached telemetry sheet (no-op without a bundle).
+     * Idempotent — counters are set, not added — so it may run after
+     * every incremental run() call.
+     */
+    void exportTelemetry();
+
   private:
     /** Per-bank interleaving state. */
     struct BankState
@@ -172,6 +196,11 @@ class ActStreamEngine
     EngineConfig config_;
     trackers::RhProtection *tracker_;
     dram::RhOracle oracle_;
+
+    // Telemetry taps hoisted out of the bundle (all null when off).
+    telemetry::EventRecorder *events_ = nullptr;
+    telemetry::ActHeatmap *heatmap_ = nullptr;
+    telemetry::PhaseProfile *phases_ = nullptr;
 
     // Tracker constants hoisted out of the hot loop (batched path).
     bool usesRfm_ = false;

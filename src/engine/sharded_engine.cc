@@ -67,10 +67,18 @@ ShardedActStreamEngine::ShardedActStreamEngine(
             shards);
         MITHRIL_ASSERT(shard.hi > shard.lo);
         shard.tracker = make_tracker ? make_tracker() : nullptr;
+        EngineConfig engine_config = config_.engine;
+        if (config_.telemetry.any()) {
+            shard.telemetry =
+                std::make_unique<telemetry::EngineTelemetry>(
+                    config_.telemetry, numBanks_);
+            engine_config.telemetry = shard.telemetry.get();
+        }
         shard.engine = std::make_unique<ActStreamEngine>(
-            config_.engine, shard.tracker.get());
+            engine_config, shard.tracker.get());
         shards_.push_back(std::move(shard));
     }
+    shardWallSec_.assign(shards_.size(), 0.0);
 }
 
 std::uint32_t
@@ -143,11 +151,16 @@ ShardedActStreamEngine::runShards(
     MITHRIL_ASSERT(sources.size() == shards_.size());
     // Each shard writes only its own slot: the merged result below is
     // deterministic regardless of scheduling or completion order.
+    const bool phases = config_.telemetry.phases;
     std::vector<std::uint64_t> done(shards_.size(), 0);
     auto body = [&](std::size_t s) {
+        telemetry::PhaseTimer timer;
         done[s] = shards_[s].engine->run(*sources[s]);
+        if (phases)
+            shardWallSec_[s] += timer.lap();
     };
 
+    telemetry::PhaseTimer total_timer;
     runner::ThreadPool *pool =
         config_.pool ? config_.pool : runner::ThreadPool::current();
     if (pool && shards_.size() > 1) {
@@ -155,6 +168,15 @@ ShardedActStreamEngine::runShards(
     } else {
         for (std::size_t s = 0; s < shards_.size(); ++s)
             body(s);
+    }
+    if (phases) {
+        // Join overhead: the wall the caller waited beyond the
+        // slowest shard (scheduling + merge barrier).
+        const double wall = total_timer.lap();
+        double slowest = 0.0;
+        for (double w : shardWallSec_)
+            slowest = std::max(slowest, w);
+        joinSec_ += std::max(0.0, wall - slowest);
     }
 
     std::uint64_t total = 0;
@@ -254,6 +276,43 @@ ShardedActStreamEngine::mergeTrackerStatsInto(
         if (s.tracker)
             target.mergeStatsFrom(*s.tracker);
     }
+}
+
+telemetry::MetricSheet
+ShardedActStreamEngine::telemetrySheet()
+{
+    telemetry::MetricSheet merged;
+    for (const Shard &s : shards_) {
+        if (!s.telemetry)
+            continue;
+        s.engine->exportTelemetry();
+        merged.mergeFrom(s.telemetry->sheet());
+    }
+    return merged;
+}
+
+std::vector<telemetry::TraceEvent>
+ShardedActStreamEngine::mergedEvents() const
+{
+    std::vector<const telemetry::EventRecorder *> recorders;
+    for (const Shard &s : shards_) {
+        if (s.telemetry && s.telemetry->events())
+            recorders.push_back(s.telemetry->events());
+    }
+    return telemetry::mergeEvents(recorders);
+}
+
+telemetry::ActHeatmap
+ShardedActStreamEngine::mergedHeatmap() const
+{
+    MITHRIL_ASSERT(config_.telemetry.heatmap);
+    telemetry::ActHeatmap merged(
+        numBanks_, config_.telemetry.heatmapRegionBudget);
+    for (const Shard &s : shards_) {
+        if (s.telemetry && s.telemetry->heatmap())
+            merged.mergeFrom(*s.telemetry->heatmap());
+    }
+    return merged;
 }
 
 } // namespace mithril::engine

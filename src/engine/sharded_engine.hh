@@ -43,6 +43,7 @@
 
 #include "engine/act_stream_engine.hh"
 #include "runner/thread_pool.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithril::engine
 {
@@ -100,6 +101,12 @@ struct ShardedEngineConfig
      *  ThreadPool::current() when running inside a pool task, else
      *  run the shards inline on the calling thread. */
     runner::ThreadPool *pool = nullptr;
+
+    /** What to collect (off by default). Each shard gets its own
+     *  telemetry bundle; the accessors below merge deterministically
+     *  in shard order, so sheets/traces are byte-identical at any
+     *  shard/pool count. */
+    telemetry::TelemetryConfig telemetry;
 };
 
 /** Multi-threaded bank-sharded ActStream engine. */
@@ -216,12 +223,48 @@ class ShardedActStreamEngine
 
     const ShardedEngineConfig &config() const { return config_; }
 
+    // --------------------------------------------------- telemetry
+
+    /** A shard's telemetry bundle (null when telemetry is off). */
+    const telemetry::EngineTelemetry *
+    shardTelemetry(std::uint32_t shard) const
+    {
+        return shards_.at(shard).telemetry.get();
+    }
+
+    /**
+     * Export every shard's telemetry and fold the sheets in shard
+     * order: counters add, gauges max, averages/histograms merge
+     * exactly. Deterministic at any shard/pool count.
+     */
+    telemetry::MetricSheet telemetrySheet();
+
+    /** Tick-ordered merge of every shard's retained trace events
+     *  (empty when event tracing is off). */
+    std::vector<telemetry::TraceEvent> mergedEvents() const;
+
+    /** Union of the per-shard heatmaps (banks are disjoint, so this
+     *  is exact). Callable only when the heatmap is enabled. */
+    telemetry::ActHeatmap mergedHeatmap() const;
+
+    /** Wall seconds shard s spent inside its run loop (phase
+     *  profiling only; 0 otherwise). */
+    double shardWallSec(std::uint32_t shard) const
+    {
+        return shardWallSec_.at(shard);
+    }
+
+    /** Wall seconds of join overhead: total runShards wall minus the
+     *  slowest shard (phase profiling only). */
+    double joinSec() const { return joinSec_; }
+
   private:
     struct Shard
     {
         BankId lo = 0;
         BankId hi = 0;
         std::unique_ptr<trackers::RhProtection> tracker;
+        std::unique_ptr<telemetry::EngineTelemetry> telemetry;
         std::unique_ptr<ActStreamEngine> engine;
     };
 
@@ -238,6 +281,8 @@ class ShardedActStreamEngine
     ShardedEngineConfig config_;
     std::uint32_t numBanks_;
     std::vector<Shard> shards_;
+    std::vector<double> shardWallSec_;
+    double joinSec_ = 0.0;
 };
 
 } // namespace mithril::engine

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/event_trace.hh"
 
 namespace mithril::mc
 {
@@ -280,6 +281,11 @@ Controller::choose(std::uint32_t channel, Tick t0)
                 const Tick throttled =
                     tracker->throttleAct(req.bank, req.row, t);
                 if (throttled > t) {
+                    if (eventRecorder_) {
+                        eventRecorder_->record(
+                            telemetry::EventKind::ThrottleStall, t,
+                            req.bank, req.row, 0, throttled - t);
+                    }
                     ++stats_.throttleStalls;
                     t = throttled;
                 }
@@ -384,10 +390,15 @@ Controller::execute(std::uint32_t channel, const Decision &d)
         break;
       }
       case Decision::Kind::Rfm: {
-        device_.rfm(d.bank, d.issue);
+        const std::size_t treated = device_.rfm(d.bank, d.issue);
         banks_[d.bank].raa = 0;
         banks_[d.bank].rfmRequired = false;
         ++stats_.rfmIssued;
+        if (eventRecorder_) {
+            eventRecorder_->record(
+                telemetry::EventKind::RfmIssued, d.issue, d.bank,
+                kInvalidRow, static_cast<std::uint32_t>(treated));
+        }
         break;
       }
       case Decision::Kind::MrrSkip: {
@@ -395,6 +406,10 @@ Controller::execute(std::uint32_t channel, const Decision &d)
         banks_[d.bank].rfmRequired = false;
         ++stats_.rfmSkippedByMrr;
         bus_done = d.issue + params_.mrrLatency;
+        if (eventRecorder_) {
+            eventRecorder_->record(telemetry::EventKind::RfmSkipped,
+                                   d.issue, d.bank, kInvalidRow);
+        }
         break;
       }
       case Decision::Kind::Arr: {
@@ -403,6 +418,11 @@ Controller::execute(std::uint32_t channel, const Decision &d)
         device_.preventiveRefresh(d.bank, d.arrAggressor, d.issue);
         ctl.pendingArr.pop_front();
         ++stats_.arrExecuted;
+        if (eventRecorder_) {
+            eventRecorder_->record(telemetry::EventKind::ArrFired,
+                                   d.issue, d.bank, d.arrAggressor,
+                                   1);
+        }
         break;
       }
       case Decision::Kind::None:

@@ -28,6 +28,11 @@
 #include "mc/request.hh"
 #include "trackers/rh_protection.hh"
 
+namespace mithril::telemetry
+{
+class EventRecorder;
+}
+
 namespace mithril::mc
 {
 
@@ -109,6 +114,17 @@ class Controller
 
     const ControllerStats &stats() const { return stats_; }
     dram::Device &device() { return device_; }
+
+    /**
+     * Attach a mitigation-event recorder: RFM issue/skip, executed
+     * ARRs, and throttle stalls emit trace events at their issue
+     * ticks. Observation only — never affects scheduling. Null
+     * detaches.
+     */
+    void setEventRecorder(telemetry::EventRecorder *recorder)
+    {
+        eventRecorder_ = recorder;
+    }
 
     /** True when every queue and pending-work list is empty. */
     bool idle() const;
@@ -192,6 +208,8 @@ class Controller
     /** ARR/RFM aggressor scratch — the same reusable-buffer protocol
      *  the ActStream engine uses (trackers append, frontend drains). */
     trackers::ActScratch scratch_;
+    /** Non-null while mitigation-event tracing is enabled. */
+    telemetry::EventRecorder *eventRecorder_ = nullptr;
 };
 
 } // namespace mithril::mc

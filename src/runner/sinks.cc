@@ -255,7 +255,22 @@ JsonSink::write(const SweepResult &result, std::ostream &os) const
                    << "\": " << formatMetric(col, r.metrics);
                 first = false;
             }
-            os << "\n      }\n";
+            os << "\n      }";
+            // Flattened telemetry sheet, only for jobs that collected
+            // one (std::map order — deterministic).
+            if (!r.metrics.telemetry.empty()) {
+                os << ",\n      \"telemetry\": {";
+                first = true;
+                for (const auto &[name, value] :
+                     r.metrics.telemetry) {
+                    os << (first ? "\n" : ",\n");
+                    os << "        \"" << jsonEscape(name)
+                       << "\": " << formatDouble(value);
+                    first = false;
+                }
+                os << "\n      }";
+            }
+            os << "\n";
         }
         os << "    }" << (i + 1 < result.results.size() ? "," : "")
            << "\n";
@@ -271,7 +286,7 @@ CsvSink::write(const SweepResult &result, std::ostream &os) const
           "source,shards,actBudget,cores,instrPerCore,seed";
     for (const MetricColumn &col : kMetricColumns)
         os << "," << col.name;
-    os << ",error\n";
+    os << ",telemetry,error\n";
     for (const JobResult &r : result.results) {
         os << r.job.index << "," << r.job.label << ","
            << (r.job.isBaseline ? 1 : 0) << ","
@@ -288,6 +303,19 @@ CsvSink::write(const SweepResult &result, std::ostream &os) const
             if (!r.failed())
                 os << formatMetric(col, r.metrics);
         }
+        // Telemetry packs into one quoted "name=value;..." cell so
+        // the column set stays fixed across jobs and sweeps.
+        os << ",\"";
+        if (!r.failed()) {
+            bool first_stat = true;
+            for (const auto &[name, value] : r.metrics.telemetry) {
+                if (!first_stat)
+                    os << ";";
+                os << name << "=" << formatDouble(value);
+                first_stat = false;
+            }
+        }
+        os << "\"";
         // Quote the error (SpecError messages contain commas),
         // doubling embedded quotes per RFC 4180.
         os << ",\"";

@@ -21,8 +21,10 @@ namespace mithril::runner
 {
 
 /** Version tag embedded in every JsonSink artifact. v2 added the
- *  per-job source/shards/acts fields (engine-only sweeps). */
-inline constexpr const char *kSweepSchemaVersion = "mithril.sweep.v2";
+ *  per-job source/shards/acts fields (engine-only sweeps); v3 the
+ *  per-job "telemetry" map (flattened MetricSheet, present only when
+ *  the job collected telemetry). */
+inline constexpr const char *kSweepSchemaVersion = "mithril.sweep.v3";
 
 /** Renders one sweep's results into some output format. */
 class ResultSink

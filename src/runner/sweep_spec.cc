@@ -145,11 +145,12 @@ SweepSpec::fromParams(const ParamSet &params,
     // tunables (e.g. victims= with a multi-sided attack) can ride
     // along; every other unknown key is fatal.
     static const std::vector<std::string> kSpecKeys = {
-        "schemes",      "flip",   "rfm",      "workloads",
-        "attacks",      "cores",  "instr",    "seed",
-        "blast-radius", "ad",     "warmup",   "baseline",
-        "seed-policy",  "sources", "shards",  "acts",
-        "record",
+        "schemes",      "flip",    "rfm",      "workloads",
+        "attacks",      "cores",   "instr",    "seed",
+        "blast-radius", "ad",      "warmup",   "baseline",
+        "seed-policy",  "sources", "shards",   "acts",
+        "record",       "telemetry", "trace-events",
+        "heatmap-regions", "trace-capacity",
     };
     std::vector<std::string> case_workloads;
     std::vector<std::string> case_attacks;
@@ -212,6 +213,19 @@ SweepSpec::fromParams(const ParamSet &params,
         fatal("record=%s captures one ACT stream, but this sweep "
               "expands to %zu jobs; narrow the grid to a single job",
               spec.record.c_str(), spec.jobCount());
+    }
+    spec.telemetry = params.getBool("telemetry", spec.telemetry);
+    spec.traceEvents =
+        params.getString("trace-events", spec.traceEvents);
+    spec.heatmapRegions =
+        params.getUint32("heatmap-regions", spec.heatmapRegions);
+    spec.traceCapacity =
+        params.getUint32("trace-capacity", spec.traceCapacity);
+    if (!spec.traceEvents.empty() && spec.jobCount() > 1) {
+        // Same single-file rule as record=.
+        fatal("trace-events=%s writes one trace file, but this sweep "
+              "expands to %zu jobs; narrow the grid to a single job",
+              spec.traceEvents.c_str(), spec.jobCount());
     }
 
     const std::string policy =
@@ -297,6 +311,10 @@ SweepSpec::expand() const
         spec.trackerWarmupActs = trackerWarmupActs;
         spec.warmupFromWorkload = (c.attack == "none");
         spec.record = record;
+        spec.telemetry = telemetry;
+        spec.traceEvents = traceEvents;
+        spec.heatmapRegions = heatmapRegions;
+        spec.traceCapacity = traceCapacity;
         return spec;
     };
     auto case_label = [](const SweepCase &c) {

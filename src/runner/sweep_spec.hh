@@ -91,6 +91,19 @@ struct SweepSpec
      *  sources=act-trace trace=<path> grid over every scheme. */
     std::string record;
 
+    /** Collect the telemetry metric sheet + ACT heatmap on every job
+     *  (each job's flattened sheet lands in the sweep output's
+     *  per-job "telemetry" map). Observation only. */
+    bool telemetry = false;
+    /** Write a mitigation-event Chrome trace to this path. One file —
+     *  fromParams() rejects grids that expand to more than one job,
+     *  like record=. */
+    std::string traceEvents;
+    /** ACT heatmap region budget per bank (telemetry=1 jobs). */
+    std::uint32_t heatmapRegions = 64;
+    /** Mitigation-event ring capacity per bank (trace-events= jobs). */
+    std::uint32_t traceCapacity = 4096;
+
     /** Prepend one unprotected ("none") job per case, for
      *  normalizing relative performance and energy. */
     bool includeBaseline = false;
@@ -109,8 +122,10 @@ struct SweepSpec
      * `schemes=`, `flip=`, `rfm=`, `workloads=`, `attacks=`,
      * `sources=` (engine-only jobs), `shards=` (engine shard counts),
      * scalars `cores=`, `instr=`, `acts=` (engine ACT budget),
-     * `seed=`, `ad=`, `warmup=`, `baseline=`, and
-     * `seed-policy=shared|per-job`. Axis names resolve through the
+     * `seed=`, `ad=`, `warmup=`, `baseline=`,
+     * `seed-policy=shared|per-job`, and the telemetry knobs
+     * `telemetry=`, `trace-events=` (single-job grids only),
+     * `heatmap-regions=`, `trace-capacity=`. Axis names resolve through the
      * registries — an unknown name is fatal and lists every
      * registered candidate. Keys declared by a selected registry
      * entry (e.g. `victims=` with a multi-sided attack) are forwarded

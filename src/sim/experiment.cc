@@ -12,6 +12,8 @@
 #include "registry/source_registry.hh"
 #include "registry/workload_registry.hh"
 #include "runner/thread_pool.hh"
+#include "telemetry/chrome_trace.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mithril::sim
 {
@@ -52,6 +54,14 @@ runEngineExperiment(const ExperimentSpec &spec)
     cfg.engine.flipTh = spec.flipTh;
     cfg.engine.blastRadius = spec.blastRadius;
     cfg.shards = spec.shards;
+    // Telemetry: metrics + heatmap under telemetry=, event tracing
+    // under trace-events=. Observation only — the engine is
+    // byte-identical with any of these enabled.
+    cfg.telemetry.metrics = spec.telemetry || !spec.traceEvents.empty();
+    cfg.telemetry.events = !spec.traceEvents.empty();
+    cfg.telemetry.eventCapacityPerBank = spec.traceCapacity;
+    cfg.telemetry.heatmap = spec.telemetry;
+    cfg.telemetry.heatmapRegionBudget = spec.heatmapRegions;
 
     // Pool policy, in priority order: the ambient pool when this job
     // already runs on one (no second pool, no oversubscription), a
@@ -83,17 +93,23 @@ runEngineExperiment(const ExperimentSpec &spec)
     // record target is treated as that input — "trace=" (act-trace),
     // "trace-file=" (instruction traces), or a user-registered
     // source's own path param; sameFile() sees through aliases.
-    if (!spec.record.empty()) {
+    auto check_output_path = [&](const char *knob,
+                                 const std::string &path) {
+        if (path.empty())
+            return;
         for (const std::string &key : spec.extras.keys()) {
             const std::string value = spec.extras.getString(key, "");
-            if (!value.empty() && sameFile(spec.record, value)) {
+            if (!value.empty() && sameFile(path, value)) {
                 throw registry::SpecError(
-                    "record= and " + key + "= name the same file '" +
-                    spec.record + "'; re-capturing a replay needs a "
-                    "different output path");
+                    std::string(knob) + "= and " + key +
+                    "= name the same file '" + path +
+                    "'; re-capturing a replay needs a different "
+                    "output path");
             }
         }
-    }
+    };
+    check_output_path("record", spec.record);
+    check_output_path("trace-events", spec.traceEvents);
     if (!spec.record.empty()) {
         engine::ActTraceWriter writer(spec.record, sys.geometry,
                                       spec.seed, spec.describe());
@@ -179,6 +195,13 @@ runEngineExperiment(const ExperimentSpec &spec)
     m.simTicks = latest;
     if (trackers::RhProtection *t = eng.tracker(0))
         m.trackerBytesPerBank = t->tableBytesPerBank();
+    if (cfg.telemetry.metrics)
+        m.telemetry = eng.telemetrySheet().exportFlat();
+    if (!spec.traceEvents.empty()) {
+        telemetry::writeChromeTraceFile(spec.traceEvents,
+                                        eng.mergedEvents(),
+                                        spec.scheme, eng.numBanks());
+    }
     return m;
 }
 
@@ -257,15 +280,40 @@ runExperiment(const ExperimentSpec &spec)
 
     // record=: tap every ACT the controller commits (bank, row,
     // issue tick) — exactly the stream the tracker observes; warm-up
-    // above fed generators directly, so it is not captured.
+    // above fed generators directly, so it is not captured. The
+    // telemetry heatmap rides the same observer.
     std::unique_ptr<engine::ActTraceWriter> recorder;
     if (!spec.record.empty()) {
         recorder = std::make_unique<engine::ActTraceWriter>(
             spec.record, sys.geometry, spec.seed, spec.describe());
+    }
+    std::unique_ptr<telemetry::ActHeatmap> heatmap;
+    if (spec.telemetry) {
+        heatmap = std::make_unique<telemetry::ActHeatmap>(
+            sys.geometry.totalBanks(), spec.heatmapRegions);
+    }
+    if (recorder || heatmap) {
         system.device().setActObserver(
-            [&recorder](BankId bank, RowId row, Tick t) {
-                recorder->append(bank, row, t);
+            [&recorder, &heatmap](BankId bank, RowId row, Tick t) {
+                if (recorder)
+                    recorder->append(bank, row, t);
+                if (heatmap)
+                    heatmap->touch(bank, row);
             });
+    }
+
+    // trace-events=: mitigation events from the controller (RFM
+    // issue/skip, executed ARRs, throttle stalls), the oracle (flips
+    // and near misses), and the tracker (CBS inserts/evictions).
+    // Observation only — scheduling and outcomes are unchanged.
+    std::unique_ptr<telemetry::EventRecorder> events;
+    if (!spec.traceEvents.empty()) {
+        events = std::make_unique<telemetry::EventRecorder>(
+            sys.geometry.totalBanks(), spec.traceCapacity);
+        system.controller().setEventRecorder(events.get());
+        system.device().oracle().setEventRecorder(events.get());
+        if (tracker_ptr)
+            tracker_ptr->setEventRecorder(events.get());
     }
 
     for (std::uint32_t i = 0; i < benign; ++i) {
@@ -283,10 +331,10 @@ runExperiment(const ExperimentSpec &spec)
 
     system.run();
 
-    if (recorder) {
+    if (recorder || heatmap)
         system.device().setActObserver(nullptr);
+    if (recorder)
         recorder->finalize();
-    }
 
     RunMetrics m;
     m.aggIpc = system.aggregateIpc();
@@ -311,6 +359,59 @@ runExperiment(const ExperimentSpec &spec)
     m.bitFlips = oracle.bitFlips();
     if (tracker_ptr)
         m.trackerBytesPerBank = tracker_ptr->tableBytesPerBank();
+
+    if (spec.telemetry || events) {
+        telemetry::MetricSheet sheet;
+        sheet.setCounter("mc.acts", stats.activates);
+        sheet.setCounter("mc.reads", stats.reads);
+        sheet.setCounter("mc.writes", stats.writes);
+        sheet.setCounter("mc.row_hits", stats.rowHits);
+        sheet.setCounter("mc.row_misses", stats.rowMisses);
+        sheet.setCounter("mc.refreshes", stats.refreshes);
+        sheet.setCounter("mc.rfm_issued", stats.rfmIssued);
+        sheet.setCounter("mc.rfm_skipped_mrr", stats.rfmSkippedByMrr);
+        sheet.setCounter("mc.arr_executed", stats.arrExecuted);
+        sheet.setCounter("mc.throttle_stalls", stats.throttleStalls);
+        sheet.setCounter("oracle.bit_flips", oracle.bitFlips());
+        sheet.setCounter("oracle.flipped_rows", oracle.flippedRows());
+        sheet.setGauge("oracle.max_disturbance",
+                       oracle.maxDisturbanceEver());
+        if (events) {
+            std::uint64_t emitted = 0;
+            for (BankId b = 0; b < events->numBanks(); ++b)
+                emitted += events->emitted(b);
+            sheet.setCounter("trace.emitted", emitted);
+            sheet.setCounter("trace.dropped", events->dropped());
+        }
+        if (heatmap) {
+            sheet.setCounter("heatmap.acts", heatmap->totalActs());
+            std::uint64_t folds = 0, regions = 0;
+            std::uint32_t max_gran = 0;
+            for (BankId b = 0; b < heatmap->numBanks(); ++b) {
+                folds += heatmap->folds(b);
+                max_gran = std::max(max_gran,
+                                    heatmap->granularityLog2(b));
+            }
+            for (const auto &snap : heatmap->snapshot())
+                regions += snap.regions.size();
+            sheet.setCounter("heatmap.folds", folds);
+            sheet.setCounter("heatmap.regions", regions);
+            sheet.setGauge("heatmap.max_granularity_log2",
+                           static_cast<double>(max_gran));
+        }
+        if (tracker_ptr)
+            tracker_ptr->exportMetrics(sheet);
+        m.telemetry = sheet.exportFlat();
+    }
+    if (events) {
+        system.controller().setEventRecorder(nullptr);
+        system.device().oracle().setEventRecorder(nullptr);
+        if (tracker_ptr)
+            tracker_ptr->setEventRecorder(nullptr);
+        telemetry::writeChromeTraceFile(
+            spec.traceEvents, telemetry::mergeEvents({events.get()}),
+            spec.scheme, sys.geometry.totalBanks());
+    }
     return m;
 }
 

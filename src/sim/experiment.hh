@@ -10,6 +10,7 @@
 #define MITHRIL_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "sim/experiment_spec.hh"
@@ -40,6 +41,11 @@ struct RunMetrics
     double avgReadLatencyNs = 0.0;
     double p95ReadLatencyNs = 0.0;
     double trackerBytesPerBank = 0.0;
+
+    /** Flattened telemetry metric sheet (empty unless telemetry= or
+     *  trace-events= requested it). Deterministic: byte-identical at
+     *  any shard/pool count. */
+    std::map<std::string, double> telemetry;
 };
 
 /**

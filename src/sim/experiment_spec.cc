@@ -54,6 +54,17 @@ coreParams()
         {"record", ParamDesc::Type::String, "", 0, 0,
          "capture the run's ACT stream to this path "
          "(mithril.acttrace.v1; replay with source=act-trace)"},
+        {"telemetry", ParamDesc::Type::Bool, "0", 0, 0,
+         "collect the telemetry metric sheet + ACT heatmap "
+         "(observation only; never affects outcomes)"},
+        {"trace-events", ParamDesc::Type::String, "", 0, 0,
+         "write the mitigation-event trace to this path as Chrome "
+         "trace-event JSON (Perfetto-loadable)"},
+        {"heatmap-regions", ParamDesc::Type::Uint, "64", 1, 65536,
+         "ACT heatmap region budget per bank (power-of-two "
+         "coarsening at budget)"},
+        {"trace-capacity", ParamDesc::Type::Uint, "4096", 1, 1e8,
+         "mitigation-event ring capacity per bank (newest retained)"},
         {"acts", ParamDesc::Type::Uint, "1000000", 1, 1e12,
          "ACT budget of an engine (source=) run"},
         {"shards", ParamDesc::Type::Uint, "0", 0, 65536,
@@ -204,6 +215,13 @@ ExperimentSpec::parse(const ParamSet &params,
     spec.warmupFromWorkload = params.getBool(
         "warmup-from-workload", spec.warmupFromWorkload);
     spec.record = params.getString("record", spec.record);
+    spec.telemetry = params.getBool("telemetry", spec.telemetry);
+    spec.traceEvents =
+        params.getString("trace-events", spec.traceEvents);
+    spec.heatmapRegions =
+        params.getUint32("heatmap-regions", spec.heatmapRegions);
+    spec.traceCapacity =
+        params.getUint32("trace-capacity", spec.traceCapacity);
     spec.engineActs = params.getUint("acts", spec.engineActs);
     spec.shards = params.getUint32("shards", spec.shards);
     spec.threads = params.getUint32("threads", spec.threads);
@@ -244,6 +262,8 @@ ExperimentSpec::validate() const
     checkCoreRange("acts", engineActs);
     checkCoreRange("shards", shards);
     checkCoreRange("threads", threads);
+    checkCoreRange("heatmap-regions", heatmapRegions);
+    checkCoreRange("trace-capacity", traceCapacity);
     if (attacking() && !engineRun() && cores < 2) {
         throw SpecError("attack '" + attack +
                         "' needs cores >= 2 (one core becomes the "
@@ -287,6 +307,15 @@ ExperimentSpec::toParams() const
     // appears when set, so existing describe() goldens are stable.
     if (!record.empty())
         params.set("record", record);
+    // Telemetry knobs follow the same non-default-only discipline.
+    if (telemetry)
+        params.set("telemetry", "1");
+    if (!traceEvents.empty())
+        params.set("trace-events", traceEvents);
+    if (heatmapRegions != 64)
+        params.set("heatmap-regions", std::to_string(heatmapRegions));
+    if (traceCapacity != 4096)
+        params.set("trace-capacity", std::to_string(traceCapacity));
     params.set("source", source);
     params.set("acts", std::to_string(engineActs));
     params.set("shards", std::to_string(shards));

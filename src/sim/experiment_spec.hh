@@ -77,6 +77,21 @@ struct ExperimentSpec
      *  source=act-trace trace=<path>. */
     std::string record;
 
+    // ---------------------------------------------- telemetry knobs
+    /** Collect the telemetry metric sheet + ACT heatmap for this run
+     *  (reported in sweep outputs as the per-job `telemetry` map).
+     *  Never affects simulated outcomes — only what is observed. */
+    bool telemetry = false;
+    /** Write the run's mitigation-event trace to this path as Chrome
+     *  trace-event JSON (Perfetto-loadable; empty = off). Implies
+     *  event collection; bounded by traceCapacity events per bank. */
+    std::string traceEvents;
+    /** ACT heatmap region budget per bank (power-of-two coarsening
+     *  keeps distinct regions at or below this). */
+    std::uint32_t heatmapRegions = 64;
+    /** Mitigation-event ring capacity per bank (newest retained). */
+    std::uint32_t traceCapacity = 4096;
+
     /** Entry-declared extra tunables (e.g. victims=, mean-gap=),
      *  validated against the selected entries' declarations. */
     ParamSet extras;

@@ -1,0 +1,89 @@
+#include "telemetry/metric_sheet.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mithril::telemetry
+{
+
+Histogram &
+MetricSheet::histogram(const std::string &name, double lo, double hi,
+                       std::size_t buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, Histogram(lo, hi, buckets))
+                 .first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+MetricSheet::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+MetricSheet::gaugeValue(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void
+MetricSheet::mergeFrom(const MetricSheet &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counters_[name].inc(c.value());
+    for (const auto &[name, g] : other.gauges_) {
+        auto it = gauges_.find(name);
+        if (it == gauges_.end())
+            gauges_[name] = g;
+        else
+            it->second = std::max(it->second, g);
+    }
+    for (const auto &[name, a] : other.averages_)
+        averages_[name].mergeFrom(a);
+    for (const auto &[name, h] : other.histograms_) {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end())
+            histograms_.emplace(name, h);
+        else
+            it->second.mergeFrom(h);
+    }
+}
+
+std::map<std::string, double>
+MetricSheet::exportFlat() const
+{
+    std::map<std::string, double> out;
+    for (const auto &[name, c] : counters_)
+        out[name] = static_cast<double>(c.value());
+    for (const auto &[name, g] : gauges_)
+        out[name] = g;
+    for (const auto &[name, a] : averages_) {
+        out[name] = a.mean();
+        out[name + ".count"] = static_cast<double>(a.count());
+    }
+    for (const auto &[name, h] : histograms_) {
+        out[name + ".count"] =
+            static_cast<double>(h.totalSamples());
+        out[name + ".mean"] = h.mean();
+        out[name + ".p50"] = h.percentile(0.50);
+        out[name + ".p99"] = h.percentile(0.99);
+    }
+    return out;
+}
+
+std::string
+MetricSheet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : exportFlat())
+        os << name << " " << value << "\n";
+    return os.str();
+}
+
+} // namespace mithril::telemetry

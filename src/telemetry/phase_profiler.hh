@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Engine phase profile: wall-time split of one shard's run loop into
+ * source-pull and batch-dispatch, plus the sharded engine's join.
+ *
+ * Wall-clock data is nondeterministic by nature, so it never enters
+ * RunOutcome, MetricSheet exports, or trace files — it is reported
+ * only through the benchmark JSON (BENCH_engine.json) and stderr,
+ * where run-to-run variance is expected.
+ */
+
+#ifndef MITHRIL_TELEMETRY_PHASE_PROFILER_HH
+#define MITHRIL_TELEMETRY_PHASE_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace mithril::telemetry
+{
+
+/** Accumulated wall time per engine phase, one per shard. */
+struct PhaseProfile
+{
+    double sourceSec = 0.0;   //!< ActSource::fill / shardSlice pulls.
+    double dispatchSec = 0.0; //!< dispatchBatch (tracker + oracle).
+    std::uint64_t pulls = 0;
+    std::uint64_t batches = 0;
+
+    void addSource(double sec)
+    {
+        sourceSec += sec;
+        ++pulls;
+    }
+    void addDispatch(double sec)
+    {
+        dispatchSec += sec;
+        ++batches;
+    }
+};
+
+/** Monotonic stopwatch for phase timing. */
+class PhaseTimer
+{
+  public:
+    PhaseTimer() : start_(Clock::now()) {}
+
+    /** Seconds since construction or the last lap(). */
+    double lap()
+    {
+        const auto now = Clock::now();
+        const std::chrono::duration<double> d = now - start_;
+        start_ = now;
+        return d.count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace mithril::telemetry
+
+#endif // MITHRIL_TELEMETRY_PHASE_PROFILER_HH

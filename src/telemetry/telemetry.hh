@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Telemetry configuration and the per-shard bundle the engine carries.
+ *
+ * Everything here is off by default, and the hot-path contract is
+ * strict: with telemetry disabled the engine pays one pointer check
+ * per batch, and with it enabled the simulated outcome (RunOutcome,
+ * tracker stats, oracle state) must stay byte-identical — telemetry
+ * observes the simulation, it never participates in it.
+ */
+
+#ifndef MITHRIL_TELEMETRY_TELEMETRY_HH
+#define MITHRIL_TELEMETRY_TELEMETRY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "telemetry/event_trace.hh"
+#include "telemetry/heatmap.hh"
+#include "telemetry/metric_sheet.hh"
+#include "telemetry/phase_profiler.hh"
+
+namespace mithril::telemetry
+{
+
+/** What to collect; shared by every shard of a run. */
+struct TelemetryConfig
+{
+    bool metrics = false; //!< Per-shard MetricSheet export.
+    bool events = false;  //!< Mitigation-event ring tracing.
+    std::uint32_t eventCapacityPerBank = 4096;
+    bool heatmap = false; //!< Per-bank ACT region histograms.
+    std::uint32_t heatmapRegionBudget = 64;
+    bool phases = false;  //!< Wall-time phase profiling (bench only).
+
+    bool any() const { return metrics || events || heatmap || phases; }
+};
+
+/** One engine shard's telemetry state. */
+class EngineTelemetry
+{
+  public:
+    EngineTelemetry(const TelemetryConfig &config,
+                    std::uint32_t num_banks)
+        : config_(config)
+    {
+        if (config_.events) {
+            events_ = std::make_unique<EventRecorder>(
+                num_banks, config_.eventCapacityPerBank);
+        }
+        if (config_.heatmap) {
+            heatmap_ = std::make_unique<ActHeatmap>(
+                num_banks, config_.heatmapRegionBudget);
+        }
+    }
+
+    const TelemetryConfig &config() const { return config_; }
+
+    MetricSheet &sheet() { return sheet_; }
+    const MetricSheet &sheet() const { return sheet_; }
+
+    /** Null when event tracing is off — the hot-path check. */
+    EventRecorder *events() { return events_.get(); }
+    const EventRecorder *events() const { return events_.get(); }
+
+    /** Null when the heatmap is off. */
+    ActHeatmap *heatmap() { return heatmap_.get(); }
+    const ActHeatmap *heatmap() const { return heatmap_.get(); }
+
+    PhaseProfile &phases() { return phases_; }
+    const PhaseProfile &phases() const { return phases_; }
+
+  private:
+    TelemetryConfig config_;
+    MetricSheet sheet_;
+    std::unique_ptr<EventRecorder> events_;
+    std::unique_ptr<ActHeatmap> heatmap_;
+    PhaseProfile phases_;
+};
+
+} // namespace mithril::telemetry
+
+#endif // MITHRIL_TELEMETRY_TELEMETRY_HH

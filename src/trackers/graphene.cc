@@ -5,6 +5,8 @@
 #include "common/logging.hh"
 #include "core/config_solver.hh"
 #include "registry/scheme_registry.hh"
+#include "telemetry/event_trace.hh"
+#include "telemetry/metric_sheet.hh"
 
 namespace mithril::trackers
 {
@@ -31,7 +33,21 @@ Graphene::onActivate(BankId bank, RowId row, Tick now,
         lastReset_.at(bank) = now;
     }
 
-    const std::uint64_t est = table.touch(row);
+    std::uint64_t est;
+    if (eventRecorder_) {
+        const std::uint64_t inserts = table.inserts();
+        const std::uint64_t evictions = table.evictions();
+        est = table.touch(row);
+        if (table.evictions() != evictions) {
+            eventRecorder_->record(telemetry::EventKind::CbsEvict,
+                                   now, bank, row);
+        } else if (table.inserts() != inserts) {
+            eventRecorder_->record(telemetry::EventKind::CbsInsert,
+                                   now, bank, row);
+        }
+    } else {
+        est = table.touch(row);
+    }
     countOp();
     // Reactive trigger: every time the estimated count crosses a
     // multiple of the predefined threshold, refresh the victims (the
@@ -46,6 +62,11 @@ std::size_t
 Graphene::onActivateBatch(const ActSpan &span,
                           std::vector<RowId> &arr_aggressors)
 {
+    // While tracing, take the base scalar loop so per-record table
+    // events carry exact ticks; byte-identical in effect by the
+    // onActivateBatch() contract (pinned by the equivalence tests).
+    if (eventRecorder_)
+        return RhProtection::onActivateBatch(span, arr_aggressors);
     core::CbsTable &table = tables_.at(span.bank);
     Tick &last_reset = lastReset_.at(span.bank);
     if (span.size == 0)
@@ -92,6 +113,22 @@ Graphene::mergeStatsFrom(const RhProtection &other)
 {
     RhProtection::mergeStatsFrom(other);
     arrCount_ += dynamic_cast<const Graphene &>(other).arrCount_;
+}
+
+void
+Graphene::exportMetrics(telemetry::MetricSheet &sheet) const
+{
+    RhProtection::exportMetrics(sheet);
+    std::uint64_t touches = 0, inserts = 0, evictions = 0;
+    for (const core::CbsTable &table : tables_) {
+        touches += table.touches();
+        inserts += table.inserts();
+        evictions += table.evictions();
+    }
+    sheet.setCounter("tracker.cbs.touches", touches);
+    sheet.setCounter("tracker.cbs.inserts", inserts);
+    sheet.setCounter("tracker.cbs.evictions", evictions);
+    sheet.setCounter("tracker.arr_count", arrCount_);
 }
 
 double

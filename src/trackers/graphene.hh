@@ -55,6 +55,8 @@ class Graphene : public RhProtection
 
     void mergeStatsFrom(const RhProtection &other) override;
 
+    void exportMetrics(telemetry::MetricSheet &sheet) const override;
+
     const GrapheneParams &params() const { return params_; }
     const core::CbsTable &table(BankId bank) const
     {

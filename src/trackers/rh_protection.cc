@@ -1,9 +1,16 @@
 #include "rh_protection.hh"
 
 #include "common/random.hh"
+#include "telemetry/metric_sheet.hh"
 
 namespace mithril::trackers
 {
+
+void
+RhProtection::exportMetrics(telemetry::MetricSheet &sheet) const
+{
+    sheet.setCounter("tracker.logic_ops", logicOps_);
+}
 
 std::uint64_t
 RhProtection::bankSeed(std::uint64_t seed, BankId bank)

@@ -25,6 +25,12 @@
 
 #include "common/types.hh"
 
+namespace mithril::telemetry
+{
+class EventRecorder;
+class MetricSheet;
+}
+
 namespace mithril::trackers
 {
 
@@ -192,9 +198,34 @@ class RhProtection
     /** Total tracker logic operations performed (energy accounting). */
     std::uint64_t logicOps() const { return logicOps_; }
 
+    /**
+     * Attach a mitigation-event recorder (null detaches). Trackers
+     * emit scheme-internal events (CbS insert/evict, ...) from their
+     * scalar observation path when one is attached; trackers whose
+     * batched fast path skips that bookkeeping fall back to the base
+     * scalar loop while tracing — byte-identical in effect by the
+     * onActivateBatch() contract, so attaching a recorder can never
+     * change the simulated outcome.
+     */
+    void setEventRecorder(telemetry::EventRecorder *recorder)
+    {
+        eventRecorder_ = recorder;
+    }
+
+    /**
+     * Export scheme-internal metrics into a telemetry sheet under
+     * `tracker.`-prefixed dotted names. Idempotent (set, not add);
+     * the base exports the logic-op counter. Called at the end of a
+     * run on each shard's tracker, before the shard sheets merge.
+     */
+    virtual void exportMetrics(telemetry::MetricSheet &sheet) const;
+
   protected:
     /** Count one CAM/table operation. */
     void countOp(std::uint64_t n = 1) { logicOps_ += n; }
+
+    /** Non-null while mitigation-event tracing is enabled. */
+    telemetry::EventRecorder *eventRecorder_ = nullptr;
 
   private:
     std::uint64_t logicOps_ = 0;

@@ -390,6 +390,15 @@ stubMetrics(const Job &job)
     m.bitFlips = attackIndex(job.spec.attack);
     m.trackerBytesPerBank =
         static_cast<double>(job.spec.rfmTh) * 16.0;
+    // A small telemetry sheet on non-baseline jobs only, so the
+    // golden covers both the per-job "telemetry" block and its
+    // absence.
+    if (!job.isBaseline) {
+        m.telemetry["tracker.cbs.touches"] =
+            static_cast<double>(m.acts);
+        m.telemetry["tracker.logic_ops"] =
+            static_cast<double>(m.acts + job.spec.rfmTh);
+    }
     return m;
 }
 
@@ -633,7 +642,7 @@ TEST(JsonSink, GoldenFileSchema)
 
     const std::string golden_path =
         std::string(MITHRIL_SOURCE_DIR) +
-        "/tests/golden/sweep_v2.json";
+        "/tests/golden/sweep_v3.json";
     if (std::getenv("MITHRIL_UPDATE_GOLDEN") != nullptr) {
         std::ofstream out(golden_path);
         out << artifact;
