@@ -1,22 +1,30 @@
 /**
  * @file
  * Capture/replay throughput bench — the headline number of the
- * act-trace subsystem: record one full-System run's ACT stream, then
- * replay it through the sharded ActStream engine and compare acts/sec
- * against the System that produced it. The paper's
- * capture-once-replay-many methodology only pays off if replay is
- * orders of magnitude faster than re-simulating CPU+MC per scheme;
- * this bench measures exactly that ratio.
+ * act-trace subsystem: record one full-System run's ACT stream,
+ * compose it into a multi-tenant corpus through the trace-op
+ * pipeline (remap each tenant to its own bank offset, k-way merge,
+ * splice an attack burst), then replay the corpus through the
+ * sharded ActStream engine and compare acts/sec against the System
+ * that produced the seed trace. The paper's capture-once-replay-many
+ * methodology only pays off if replay is orders of magnitude faster
+ * than re-simulating CPU+MC per scheme; this bench measures exactly
+ * that ratio — and, per point, whether the zero-copy mmap decoder
+ * beats the buffered fread reader.
  *
- * To make the replay long enough to time, the tiny captured stream is
- * replayed `loops=` times back to back (each loop is an independent
- * full replay of the trace through a fresh engine+tracker).
+ * To make the replay long enough to time, the corpus is replayed
+ * `loops=` times back to back (each loop is an independent full
+ * replay through a fresh engine+tracker). Every point — any thread
+ * count, either decoder — must produce the identical outcome; a
+ * divergence is fatal.
  *
  * Knobs: cores=N instr=N seed=N (the recorded System run),
  *        scheme=NAME replay tracker (default mithril),
+ *        tenants=N merged corpus width (default 16),
  *        loops=N replay repetitions per timing point (default 50),
  *        threads=LIST sharded replay thread counts (default "1,4"),
- *        trace=PATH trace file location (default micro_replay.acttrace),
+ *        trace=PATH captured seed trace (default micro_replay.acttrace),
+ *        corpus=PATH composed corpus (default micro_replay.corpus.acttrace),
  *        json=FILE write the BENCH_replay.json artifact.
  */
 
@@ -29,16 +37,21 @@
 #include "bench_util.hh"
 #include "engine/act_trace.hh"
 #include "runner/thread_pool.hh"
+#include "trace/pipeline.hh"
 
 using namespace mithril;
 
 namespace
 {
 
+constexpr std::uint64_t kBurstActs = 10000;
+constexpr const char *kBurstAttack = "multi-sided";
+
 struct ReplayPoint
 {
     unsigned threads = 1;
     std::uint32_t shards = 1;
+    bool mmap = true;
     double actsPerSec = 0.0;
 };
 
@@ -49,11 +62,25 @@ seconds(std::chrono::steady_clock::time_point t0,
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    std::uint64_t bytes = 0;
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        std::fseek(f, 0, SEEK_END);
+        bytes = static_cast<std::uint64_t>(std::ftell(f));
+        std::fclose(f);
+    }
+    return bytes;
+}
+
 void
 writeJson(const std::string &path, const sim::ExperimentSpec &sys_spec,
           std::uint64_t system_acts, double system_acts_per_sec,
           double system_seconds, const engine::ActTraceInfo &info,
-          std::uint64_t trace_bytes, const std::string &scheme,
+          std::uint64_t trace_bytes, std::uint64_t tenants,
+          const engine::ActTraceInfo &corpus_info,
+          std::uint64_t corpus_bytes, const std::string &scheme,
           std::uint64_t loops,
           const std::vector<unsigned> &thread_counts,
           const std::vector<ReplayPoint> &points)
@@ -62,7 +89,7 @@ writeJson(const std::string &path, const sim::ExperimentSpec &sys_spec,
     if (!f)
         fatal("cannot write %s", path.c_str());
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"mithril.bench_replay.v2\",\n");
+    std::fprintf(f, "  \"schema\": \"mithril.bench_replay.v3\",\n");
     // Replay points shard one way per thread count (shards ==
     // threads), so the meta shard field is 0 (per-point).
     bench::writeMetaJson(f, thread_counts, 0);
@@ -79,6 +106,13 @@ writeJson(const std::string &path, const sim::ExperimentSpec &sys_spec,
                     "\"bytes\": %llu},\n",
                  static_cast<unsigned long long>(info.records),
                  static_cast<unsigned long long>(trace_bytes));
+    std::fprintf(f, "  \"corpus\": {\"tenants\": %llu, "
+                    "\"records\": %llu, \"bytes\": %llu, "
+                    "\"attack\": \"%s\"},\n",
+                 static_cast<unsigned long long>(tenants),
+                 static_cast<unsigned long long>(corpus_info.records),
+                 static_cast<unsigned long long>(corpus_bytes),
+                 kBurstAttack);
     std::fprintf(f, "  \"replay_scheme\": \"%s\",\n", scheme.c_str());
     std::fprintf(f, "  \"replay_loops\": %llu,\n",
                  static_cast<unsigned long long>(loops));
@@ -87,10 +121,10 @@ writeJson(const std::string &path, const sim::ExperimentSpec &sys_spec,
         const ReplayPoint &p = points[i];
         std::fprintf(f,
                      "%s{\"threads\": %u, \"shards\": %u, "
-                     "\"acts_per_sec\": %.0f, "
+                     "\"mmap\": %d, \"acts_per_sec\": %.0f, "
                      "\"speedup_vs_system\": %.1f}",
                      i ? ", " : "", p.threads, p.shards,
-                     p.actsPerSec,
+                     p.mmap ? 1 : 0, p.actsPerSec,
                      system_acts_per_sec > 0.0
                          ? p.actsPerSec / system_acts_per_sec
                          : 0.0);
@@ -106,27 +140,25 @@ int
 main(int argc, char **argv)
 {
     bench::BenchScale scale = bench::BenchScale::fromArgs(
-        argc, argv, {"scheme", "loops", "threads", "trace"});
+        argc, argv,
+        {"scheme", "loops", "threads", "trace", "corpus", "tenants"});
     if (!scale.csvOut.empty())
         fatal("micro_replay emits json= only");
     const std::string scheme =
         scale.params.getString("scheme", "mithril");
     const std::uint64_t loops = scale.params.getUint("loops", 50);
+    const std::uint64_t tenants =
+        scale.params.getUint("tenants", 16);
     const std::string trace_path =
         scale.params.getString("trace", "micro_replay.acttrace");
+    const std::string corpus_path = scale.params.getString(
+        "corpus", "micro_replay.corpus.acttrace");
     if (loops == 0)
         fatal("loops= must be positive");
+    if (tenants == 0 || tenants > 256)
+        fatal("tenants= must be in [1, 256]");
 
-    std::vector<unsigned> thread_counts;
-    for (std::uint64_t t : scale.params.has("threads")
-                               ? scale.params.getUintList("threads")
-                               : std::vector<std::uint64_t>{1, 4}) {
-        if (t == 0 || t > 1024)
-            fatal("threads= entries must be in [1, 1024]");
-        thread_counts.push_back(static_cast<unsigned>(t));
-    }
-
-    bench::banner("ACT-stream capture/replay vs System throughput");
+    bench::banner("ACT-stream capture/compose/replay vs System");
 
     // ---- capture: one attacked System run, recorded.
     sim::ExperimentSpec sys_spec;
@@ -151,12 +183,7 @@ main(int argc, char **argv)
         fatal("capture lost records: trace has %llu, System ran %llu",
               static_cast<unsigned long long>(info.records),
               static_cast<unsigned long long>(sys_metrics.acts));
-    std::uint64_t trace_bytes = 0;
-    if (std::FILE *f = std::fopen(trace_path.c_str(), "rb")) {
-        std::fseek(f, 0, SEEK_END);
-        trace_bytes = static_cast<std::uint64_t>(std::ftell(f));
-        std::fclose(f);
-    }
+    const std::uint64_t trace_bytes = fileBytes(trace_path);
 
     std::printf("System run: %llu ACTs in %.3f s (%.0f acts/s), "
                 "trace %llu bytes\n",
@@ -164,13 +191,62 @@ main(int argc, char **argv)
                 sys_seconds, sys_aps,
                 static_cast<unsigned long long>(trace_bytes));
 
-    // ---- replay: the captured stream through `scheme`, repeated.
-    auto replay_spec = [&](unsigned threads) {
+    // ---- compose: remap the capture to `tenants` bank offsets,
+    // merge them, splice one attack burst — the multi-tenant corpus
+    // the replay grid drives.
+    const auto comp_t0 = std::chrono::steady_clock::now();
+    std::vector<std::string> tenant_paths;
+    for (std::uint64_t i = 0; i < tenants; ++i) {
+        const std::string tenant =
+            corpus_path + ".tenant" + std::to_string(i);
+        trace::materializePipeline("remap:" + trace_path +
+                                       ",bank-rotate=" +
+                                       std::to_string(i),
+                                   tenant, scale.seed);
+        tenant_paths.push_back(tenant);
+    }
+    std::string spec = "merge:";
+    for (std::size_t i = 0; i < tenant_paths.size(); ++i) {
+        if (i)
+            spec += ",";
+        spec += tenant_paths[i];
+    }
+    spec += "|splice:attack=" + std::string(kBurstAttack) +
+            ",burst-acts=" + std::to_string(kBurstActs);
+    const engine::ActTraceInfo corpus_info =
+        trace::materializePipeline(spec, corpus_path, scale.seed);
+    for (const std::string &tenant : tenant_paths)
+        std::remove(tenant.c_str());
+    const auto comp_t1 = std::chrono::steady_clock::now();
+    const std::uint64_t corpus_bytes = fileBytes(corpus_path);
+
+    std::printf("corpus: %llu tenants merged + %llu-ACT %s burst = "
+                "%llu records, %llu bytes (composed in %.3f s)\n",
+                static_cast<unsigned long long>(tenants),
+                static_cast<unsigned long long>(kBurstActs),
+                kBurstAttack,
+                static_cast<unsigned long long>(corpus_info.records),
+                static_cast<unsigned long long>(corpus_bytes),
+                seconds(comp_t0, comp_t1));
+
+    std::vector<unsigned> thread_counts;
+    for (std::uint64_t t : scale.params.has("threads")
+                               ? scale.params.getUintList("threads")
+                               : std::vector<std::uint64_t>{1, 4}) {
+        if (t == 0 || t > 1024)
+            fatal("threads= entries must be in [1, 1024]");
+        thread_counts.push_back(static_cast<unsigned>(t));
+    }
+
+    // ---- replay: the corpus through `scheme`, repeated, at every
+    // thread count under both decoders.
+    auto replay_spec = [&](unsigned threads, bool mmap) {
         sim::ExperimentSpec spec;
         spec.scheme = scheme;
         spec.source = "act-trace";
-        spec.extras.set("trace", trace_path);
-        spec.engineActs = info.records;
+        spec.extras.set("trace", corpus_path);
+        spec.extras.set("mmap", mmap ? "1" : "0");
+        spec.engineActs = corpus_info.records;
         spec.shards = threads;
         spec.threads = threads;
         return spec;
@@ -180,38 +256,45 @@ main(int argc, char **argv)
     sim::RunMetrics reference;
     bool have_reference = false;
     for (unsigned threads : thread_counts) {
-        const sim::ExperimentSpec spec = replay_spec(threads);
-        sim::runExperiment(spec);  // Warm-up (page cache), untimed.
-        const auto t0 = std::chrono::steady_clock::now();
-        sim::RunMetrics last{};
-        for (std::uint64_t i = 0; i < loops; ++i)
-            last = sim::runExperiment(spec);
-        const auto t1 = std::chrono::steady_clock::now();
+        for (bool mmap : {true, false}) {
+            const sim::ExperimentSpec spec =
+                replay_spec(threads, mmap);
+            sim::runExperiment(spec); // Warm-up (page cache).
+            const auto t0 = std::chrono::steady_clock::now();
+            sim::RunMetrics last{};
+            for (std::uint64_t i = 0; i < loops; ++i)
+                last = sim::runExperiment(spec);
+            const auto t1 = std::chrono::steady_clock::now();
 
-        // Determinism canary: every replay, at every thread count,
-        // is the same outcome.
-        if (!have_reference) {
-            reference = last;
-            have_reference = true;
-        } else if (last.rfmIssued != reference.rfmIssued ||
-                   last.preventiveRefreshes !=
-                       reference.preventiveRefreshes ||
-                   last.simTicks != reference.simTicks) {
-            fatal("replay diverged at threads=%u", threads);
+            // Determinism canary: every replay — any thread count,
+            // either decoder — is the same outcome.
+            if (!have_reference) {
+                reference = last;
+                have_reference = true;
+            } else if (last.rfmIssued != reference.rfmIssued ||
+                       last.preventiveRefreshes !=
+                           reference.preventiveRefreshes ||
+                       last.simTicks != reference.simTicks) {
+                fatal("replay diverged at threads=%u mmap=%d",
+                      threads, mmap ? 1 : 0);
+            }
+
+            ReplayPoint p;
+            p.threads = threads;
+            p.shards = threads;
+            p.mmap = mmap;
+            p.actsPerSec = static_cast<double>(corpus_info.records) *
+                           static_cast<double>(loops) /
+                           seconds(t0, t1);
+            points.push_back(p);
         }
-
-        ReplayPoint p;
-        p.threads = threads;
-        p.shards = threads;
-        p.actsPerSec = static_cast<double>(info.records) *
-                       static_cast<double>(loops) /
-                       seconds(t0, t1);
-        points.push_back(p);
     }
 
-    TablePrinter table({"mode", "threads", "acts/s", "vs System"});
+    TablePrinter table(
+        {"mode", "threads", "decoder", "acts/s", "vs System"});
     table.beginRow()
         .cell("System (capture)")
+        .cell("-")
         .cell("-")
         .num(sys_aps, 0)
         .cell("1.0x");
@@ -219,22 +302,24 @@ main(int argc, char **argv)
         table.beginRow()
             .cell("replay " + scheme)
             .cell(std::to_string(p.threads))
+            .cell(p.mmap ? "mmap" : "buffered")
             .num(p.actsPerSec, 0)
             .cell(formatFixed(p.actsPerSec / sys_aps, 1) + "x");
     }
     std::printf("%s", table.str().c_str());
     std::printf(
         "\nReading: the System row is full CPU+LLC+MC+DRAM "
-        "co-simulation; the replay rows\ndrive the identical ACT "
-        "stream (captured once, record=) through the sharded\n"
-        "engine + %s tracker alone. The ratio is what "
-        "capture-once-replay-many saves\nper additional scheme in a "
-        "sweep.\n",
-        scheme.c_str());
+        "co-simulation; the replay rows\ndrive the composed "
+        "%llu-tenant corpus (same stream, every point) through the\n"
+        "sharded engine + %s tracker alone. The ratio is what "
+        "capture-once-replay-many\nsaves per additional scheme in a "
+        "sweep; mmap vs buffered isolates the decoder.\n",
+        static_cast<unsigned long long>(tenants), scheme.c_str());
 
     if (!scale.jsonOut.empty())
         writeJson(scale.jsonOut, sys_spec, sys_metrics.acts, sys_aps,
-                  sys_seconds, info, trace_bytes, scheme, loops,
+                  sys_seconds, info, trace_bytes, tenants,
+                  corpus_info, corpus_bytes, scheme, loops,
                   thread_counts, points);
     return 0;
 }

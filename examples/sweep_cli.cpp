@@ -34,10 +34,15 @@
  *   sweep_cli schemes=none attacks=multi-sided record=run.acttrace
  *   sweep_cli schemes=mithril,graphene,para,cbt,twice \
  *             sources=act-trace trace=run.acttrace jobs=8
+ *   sweep_cli schemes=mithril,graphene sources=act-trace \
+ *             trace=corpus.acttrace \
+ *             trace-pipeline='merge:t0.acttrace,t1.acttrace|splice:attack=multi-sided,at=1000000'
  *
  * Knobs: cores= instr= seed= ad= warmup= baseline=0/1 blast-radius=
  *        acts=N (engine ACT budget with sources=)
  *        record=PATH (capture the single job's ACT stream)
+ *        trace-pipeline=SPEC (compose the trace= corpus once before
+ *        the sweep; ops via --list trace-ops, or trace_cli)
  *        seed-policy=shared|per-job jobs=N progress=0/1
  *        table=0/1 json=PATH csv=PATH
  *        plus any parameter a selected registry entry declares
@@ -78,7 +83,8 @@ main(int argc, char **argv)
     }
     if (!params.positional().empty())
         fatal("unexpected argument '%s': all knobs are key=value "
-              "(or --list [schemes|workloads|attacks|sources])",
+              "(or --list [schemes|workloads|attacks|sources|"
+              "trace-ops])",
               params.positional().front().c_str());
 
     const runner::SweepSpec spec = runner::SweepSpec::fromParams(

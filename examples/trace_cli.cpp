@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Compose captured ACT traces from the command line: run a trace-op
+ * pipeline and materialize the result as a mithril.acttrace.v1 file.
+ * This is the corpus factory — capture tenant traces once (record=),
+ * then merge/remap/dilate/splice/slice them into multi-tenant
+ * replay corpora that sweep_cli drives through every scheme.
+ *
+ * Usage:
+ *
+ *   trace_cli --list
+ *   trace_cli out=PATH pipeline=SPEC [seed=N]
+ *
+ * The pipeline spec is stages separated by '|'; a stage is
+ * `op[:arg,arg,...]` where `key=value` args are the op's declared
+ * parameters and anything else is an input trace path. No whitespace
+ * anywhere — the spec is one shell word.
+ *
+ * Examples:
+ *
+ *   trace_cli out=pair.acttrace \
+ *     pipeline=merge:t0.acttrace,t1.acttrace
+ *   trace_cli out=corpus.acttrace \
+ *     pipeline='merge:t0.acttrace,t1.acttrace|remap:bank-rotate=4|splice:attack=multi-sided,at=1000000,burst-acts=50000|slice:to=2000000'
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "registry/listing.hh"
+#include "trace/pipeline.hh"
+
+using namespace mithril;
+
+int
+main(int argc, char **argv)
+{
+    const ParamSet params = ParamSet::fromArgs(argc, argv);
+
+    if (!params.positional().empty() &&
+        params.positional().front() == "--list") {
+        try {
+            registry::listRegistries(std::cout, "trace-ops");
+        } catch (const registry::SpecError &err) {
+            fatal("%s", err.what());
+        }
+        return 0;
+    }
+    if (!params.positional().empty())
+        fatal("unexpected argument '%s': knobs are out=PATH "
+              "pipeline=SPEC [seed=N] (or --list)",
+              params.positional().front().c_str());
+
+    const std::string out = params.getString("out", "");
+    const std::string pipeline = params.getString("pipeline", "");
+    if (out.empty() || pipeline.empty())
+        fatal("usage: trace_cli out=PATH pipeline=SPEC [seed=N] "
+              "(or trace_cli --list for the registered ops)");
+    const std::uint64_t seed = params.getUint("seed", 42);
+
+    try {
+        const engine::ActTraceInfo info =
+            trace::materializePipeline(pipeline, out, seed);
+        std::cout << info.describe();
+    } catch (const registry::SpecError &err) {
+        fatal("%s", err.what());
+    }
+    return 0;
+}

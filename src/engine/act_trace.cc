@@ -1,5 +1,7 @@
 #include "act_trace.hh"
 
+#include <sys/mman.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstring>
@@ -226,7 +228,8 @@ ActTraceWriter::ActTraceWriter(const std::string &path,
                                const dram::Geometry &geometry,
                                std::uint64_t seed,
                                const std::string &meta)
-    : path_(path), totalBanks_(geometry.totalBanks()),
+    : path_(path), tmpPath_(path + ".tmp"),
+      totalBanks_(geometry.totalBanks()),
       rowsPerBank_(geometry.rowsPerBank)
 {
     if (totalBanks_ == 0 || rowsPerBank_ == 0)
@@ -235,10 +238,14 @@ ActTraceWriter::ActTraceWriter(const std::string &path,
     if (meta.size() > kMaxMetaBytes)
         throw SpecError("act-trace '" + path + "': meta exceeds " +
                         std::to_string(kMaxMetaBytes) + " bytes");
-    file_ = std::fopen(path.c_str(), "wb");
+    // Crash safety: every byte lands in the temporary until
+    // finalize() renames it into place, so `path` either holds a
+    // complete earlier trace or nothing — never a torn capture.
+    file_ = std::fopen(tmpPath_.c_str(), "wb");
     if (!file_)
         throw SpecError("act-trace '" + path +
-                        "': cannot open for writing");
+                        "': cannot open '" + tmpPath_ +
+                        "' for writing");
     buffers_.resize(totalBanks_);
     lastTick_.assign(totalBanks_, std::numeric_limits<Tick>::min());
 
@@ -260,16 +267,18 @@ ActTraceWriter::~ActTraceWriter()
         return;
     // Deliberately NO finalize here: the destructor mostly runs
     // during exception unwind (a capture that died mid-run), and
-    // writing a valid index+footer over partial data would produce a
-    // truncated trace indistinguishable from a complete one. Close
-    // without a footer — readers reject the file — and say so.
+    // publishing a valid index+footer over partial data would produce
+    // a truncated trace indistinguishable from a complete one. Drop
+    // the temporary — nothing appears at the published path — and
+    // say so.
     if (file_) {
         std::fclose(file_);
         file_ = nullptr;
+        std::remove(tmpPath_.c_str());
     }
     if (records_ > 0)
         warn("act-trace '%s': abandoned without finalize() after "
-             "%llu records; the file will not parse",
+             "%llu records; the partial capture was discarded",
              path_.c_str(),
              static_cast<unsigned long long>(records_));
 }
@@ -413,9 +422,17 @@ ActTraceWriter::finalize()
 
     if (std::fclose(file_) != 0) {
         file_ = nullptr;
+        std::remove(tmpPath_.c_str());
         throw SpecError("act-trace '" + path_ + "': close failed");
     }
     file_ = nullptr;
+    // Atomic publish: readers either see the previous complete file
+    // or this one, never a prefix.
+    if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+        std::remove(tmpPath_.c_str());
+        throw SpecError("act-trace '" + path_ + "': renaming '" +
+                        tmpPath_ + "' into place failed");
+    }
     finalized_ = true;
 }
 
@@ -436,8 +453,15 @@ openTrace(const std::string &path)
 
 } // namespace
 
+ActTraceSource::Mapping::~Mapping()
+{
+    if (data)
+        ::munmap(const_cast<std::uint8_t *>(data), size);
+}
+
 std::shared_ptr<const ActTraceSource::Parsed>
-ActTraceSource::parse(std::FILE *file, const std::string &path)
+ActTraceSource::parse(std::FILE *file, const std::string &path,
+                      bool want_mmap)
 {
     auto parsed = std::make_shared<Parsed>();
     Parsed &out = *parsed;
@@ -619,6 +643,25 @@ ActTraceSource::parse(std::FILE *file, const std::string &path)
                           " records but the index sums to " +
                           std::to_string(records));
     info.records = records;
+
+    // Zero-copy mode: map the (now structurally validated) file once;
+    // every slice decodes straight from the page cache through this
+    // shared mapping. A failed map is not an error — the buffered
+    // fread path below serves the same bytes.
+    if (want_mmap) {
+        void *mem = ::mmap(nullptr, static_cast<std::size_t>(size),
+                           PROT_READ, MAP_PRIVATE, fileno(file), 0);
+        if (mem == MAP_FAILED) {
+            warn("act-trace '%s': mmap failed; falling back to "
+                 "buffered reads",
+                 path.c_str());
+        } else {
+            auto map = std::make_unique<Mapping>();
+            map->data = static_cast<const std::uint8_t *>(mem);
+            map->size = static_cast<std::size_t>(size);
+            out.map = std::move(map);
+        }
+    }
     return parsed;
 }
 
@@ -644,11 +687,33 @@ ActTraceSource::ActTraceSource(const std::string &path, BankId lo,
 {
     file_ = openTrace(path);
     try {
-        parsed_ = parse(file_, path_);
+        parsed_ = parse(file_, path_, false);
     } catch (...) {
         std::fclose(file_);
         file_ = nullptr;
         throw;
+    }
+}
+
+ActTraceSource::ActTraceSource(const std::string &path,
+                               ActTraceReadOptions opts,
+                               std::uint64_t max_records)
+    : path_(path), lo_(0), hi_(~BankId{0}), budget_(max_records)
+{
+    file_ = openTrace(path);
+    try {
+        parsed_ = parse(file_, path_, opts.mmap);
+    } catch (...) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw;
+    }
+    // A mapped reader never touches the handle again — the mapping
+    // outlives the fd — so mmap readers (and all their slices) hold
+    // no file descriptors at all.
+    if (parsed_->map) {
+        std::fclose(file_);
+        file_ = nullptr;
     }
 }
 
@@ -658,7 +723,14 @@ ActTraceSource::ActTraceSource(const ActTraceSource &parsed,
     : path_(parsed.path_), parsed_(parsed.parsed_), lo_(lo),
       hi_(hi), budget_(max_records)
 {
-    file_ = openTrace(path_);
+    if (!parsed_->map)
+        file_ = openTrace(path_);
+}
+
+bool
+ActTraceSource::mapped() const
+{
+    return parsed_->map != nullptr;
 }
 
 ActTraceSource::~ActTraceSource()
@@ -695,10 +767,21 @@ ActTraceSource::loadBlock(const IndexBlock &block)
     // Cross-check the in-band block header against the index before
     // trusting the payload (catches spliced/overwritten data that a
     // consistent index would otherwise hide).
-    std::uint8_t head[12];
-    seekTo(file_, block.payloadOffset - 12, path_);
-    readExact(file_, head, sizeof(head), path_, "block header");
-    ByteReader reader(head, sizeof(head), path_, "block header");
+    std::uint8_t head_buf[12];
+    const std::uint8_t *head;
+    if (const Mapping *map = parsed_->map.get()) {
+        // parse() bounded every payload inside [data_begin,
+        // index_offset), so header and payload both sit inside the
+        // mapping.
+        head = map->data + (block.payloadOffset - 12);
+        blockData_ = map->data + block.payloadOffset;
+    } else {
+        seekTo(file_, block.payloadOffset - 12, path_);
+        readExact(file_, head_buf, sizeof(head_buf), path_,
+                  "block header");
+        head = head_buf;
+    }
+    ByteReader reader(head, 12, path_, "block header");
     const std::uint32_t bank = reader.u32();
     const std::uint32_t count = reader.u32();
     const std::uint32_t bytes = reader.u32();
@@ -708,9 +791,13 @@ ActTraceSource::loadBlock(const IndexBlock &block)
                        "(bank " +
                            std::to_string(bank) + " vs " +
                            std::to_string(block.bank) + ")");
-    decode_.resize(block.payloadBytes);
-    readExact(file_, decode_.data(), decode_.size(), path_,
-              "block payload");
+    if (!parsed_->map) {
+        decode_.resize(block.payloadBytes);
+        readExact(file_, decode_.data(), decode_.size(), path_,
+                  "block payload");
+        blockData_ = decode_.data();
+    }
+    blockSize_ = block.payloadBytes;
     decodePos_ = 0;
     first_ = true;
     blockBank_ = block.bank;
@@ -739,6 +826,72 @@ ActTraceSource::nextBlock()
     return false;
 }
 
+void
+ActTraceSource::blockTickSpan(const IndexBlock &block, Tick *first,
+                              Tick *last)
+{
+    const std::uint8_t *payload;
+    std::vector<std::uint8_t> local;
+    if (const Mapping *map = parsed_->map.get()) {
+        payload = map->data + block.payloadOffset;
+    } else {
+        local.resize(block.payloadBytes);
+        seekTo(file_, block.payloadOffset, path_);
+        readExact(file_, local.data(), local.size(), path_,
+                  "block payload");
+        payload = local.data();
+    }
+    ByteReader r(payload, block.payloadBytes, path_, "block payload");
+    r.varint(); // First row (zigzag-encoded raw value; unused here).
+    const std::uint64_t raw_tick = r.varint();
+    if (raw_tick > static_cast<std::uint64_t>(kTickMax))
+        corrupt(path_, "tick overflows");
+    Tick tick = static_cast<Tick>(raw_tick);
+    *first = tick;
+    for (std::uint32_t i = 1; i < block.count; ++i) {
+        r.varint(); // Row delta.
+        const std::uint64_t delta = r.varint();
+        if (delta > static_cast<std::uint64_t>(kTickMax) -
+                        static_cast<std::uint64_t>(tick))
+            corrupt(path_, "tick overflows");
+        tick += static_cast<Tick>(delta);
+    }
+    *last = tick;
+}
+
+std::vector<ActTraceBankSpan>
+ActTraceSource::bankSpans()
+{
+    // The index orders blocks canonically (chunk-major, ascending
+    // bank within a chunk) and each bank's subsequence is tick-
+    // monotone across blocks, so a bank's span is [first tick of its
+    // first block, last tick of its last block] — two block decodes
+    // per touched bank, never a full scan.
+    const std::uint32_t banks = info().totalBanks();
+    std::vector<const IndexBlock *> head(banks, nullptr);
+    std::vector<const IndexBlock *> tail(banks, nullptr);
+    for (const IndexBlock &block : parsed_->blocks) {
+        if (!head[block.bank])
+            head[block.bank] = &block;
+        tail[block.bank] = &block;
+    }
+    std::vector<ActTraceBankSpan> spans(banks);
+    for (std::uint32_t b = 0; b < banks; ++b) {
+        spans[b].count = info().perBank[b];
+        if (!head[b])
+            continue;
+        Tick last_of_first;
+        blockTickSpan(*head[b], &spans[b].first, &last_of_first);
+        if (tail[b] == head[b]) {
+            spans[b].last = last_of_first;
+        } else {
+            Tick first_of_last;
+            blockTickSpan(*tail[b], &first_of_last, &spans[b].last);
+        }
+    }
+    return spans;
+}
+
 std::size_t
 ActTraceSource::fill(ActBatch &batch, std::size_t limit)
 {
@@ -750,8 +903,8 @@ ActTraceSource::fill(ActBatch &batch, std::size_t limit)
         }
         while (blockRemaining_ > 0 && appended < limit &&
                !batch.full()) {
-            ByteReader r(decode_.data() + decodePos_,
-                         decode_.size() - decodePos_, path_,
+            ByteReader r(blockData_ + decodePos_,
+                         blockSize_ - decodePos_, path_,
                          "block payload");
             RowId row;
             Tick tick;
@@ -801,7 +954,7 @@ ActTraceSource::fill(ActBatch &batch, std::size_t limit)
         // corruption — unless the replay budget truncated the block,
         // in which case the undecoded tail is expected.
         if (blockRemaining_ == 0 && !blockTruncated_ &&
-            decodePos_ != decode_.size())
+            decodePos_ != blockSize_)
             corrupt(path_, "block payload for bank " +
                                std::to_string(blockBank_) +
                                " has trailing bytes");
@@ -850,13 +1003,17 @@ const registry::Registrar<registry::SourceTraits> kRegisterActTrace{{
     /*display=*/"act-trace",
     /*description=*/
     "replay a captured mithril.acttrace.v1 ACT stream (written by "
-    "record=), seeking per shard through its bank index",
+    "record= or composed by the trace-ops pipeline; see --list "
+    "trace-ops), seeking per shard through its bank index",
     /*aliases=*/{"act_trace"},
     /*uses=*/"acts (replay budget), seed (ignored: the stream is "
              "already fixed)",
     /*params=*/
     {{"trace", registry::ParamDesc::Type::String, "", 0, 0,
-      "path of the captured .acttrace file (required)"}},
+      "path of the captured .acttrace file (required)"},
+     {"mmap", registry::ParamDesc::Type::Bool, "1", 0, 1,
+      "decode blocks zero-copy from an mmap of the file; falls back "
+      "to buffered reads when mapping fails"}},
     /*make=*/
     [](const ParamSet &params, const registry::SourceContext &ctx)
         -> std::unique_ptr<ActSource> {
@@ -864,9 +1021,11 @@ const registry::Registrar<registry::SourceTraits> kRegisterActTrace{{
         if (path.empty()) {
             throw registry::SpecError(
                 "source 'act-trace' needs trace=<path> (capture one "
-                "with record=<path> on any run)");
+                "with record=<path> on any run, or compose one with "
+                "trace_cli)");
         }
-        auto source = std::make_unique<ActTraceSource>(path);
+        auto source = std::make_unique<ActTraceSource>(
+            path, ActTraceReadOptions{params.getBool("mmap", true)});
         const ActTraceInfo &info = source->info();
         if (!info.matches(ctx.geometry)) {
             throw registry::SpecError(

@@ -86,16 +86,36 @@ struct ActTraceInfo
     std::string describe() const;
 };
 
+/** One bank's tick extent, computed from the block index alone. */
+struct ActTraceBankSpan
+{
+    std::uint64_t count = 0;
+    Tick first = 0;
+    Tick last = 0;
+};
+
+/** How a trace file is read back. */
+struct ActTraceReadOptions
+{
+    /** Decode blocks straight out of an mmap of the file (zero-copy,
+     *  shared by every shard slice). Falls back to the buffered
+     *  fread reader when the mapping cannot be established. */
+    bool mmap = false;
+};
+
 /**
  * Streaming trace writer. append() validates eagerly (bank/row inside
  * the declared geometry, ticks non-decreasing per bank) and throws
  * registry::SpecError on violation or I/O failure; finalize() flushes
- * the last chunk and writes index + footer, and MUST be called for
- * the file to be readable. The destructor only closes (with a
- * warning): it mostly runs during exception unwind, and writing a
- * valid footer over a partial capture would make a truncated trace
- * indistinguishable from a complete one. A capture that dies before
- * finalize() leaves a file readers reject.
+ * the last chunk, writes index + footer, and atomically renames the
+ * file into place — all bytes land in `<path>.tmp` until then, so an
+ * interrupted capture or compose never leaves a half-written trace
+ * at the published path for a later sweep job to trip over. The
+ * destructor only closes and removes the temporary (with a warning):
+ * it mostly runs during exception unwind, and publishing a partial
+ * capture would make a truncated trace indistinguishable from a
+ * complete one. A capture that dies before finalize() leaves nothing
+ * at `path`.
  */
 class ActTraceWriter
 {
@@ -114,7 +134,8 @@ class ActTraceWriter
     /** Append one activation (arrival order). */
     void append(BankId bank, RowId row, Tick tick);
 
-    /** Flush, write index + footer, close. Idempotent. */
+    /** Flush, write index + footer, close, rename into place.
+     *  Idempotent. */
     void finalize();
 
     std::uint64_t records() const { return records_; }
@@ -144,6 +165,7 @@ class ActTraceWriter
     void writeRaw(const void *data, std::size_t n);
 
     std::string path_;
+    std::string tmpPath_;   //!< Where bytes land until finalize().
     std::FILE *file_ = nullptr;
     std::uint32_t totalBanks_;
     std::uint32_t rowsPerBank_;
@@ -170,8 +192,11 @@ ActTraceInfo actTraceInfo(const std::string &path);
  * slice emits exactly the in-range records a BankFilterSource over
  * the bounded full stream would — the contract behind shardSlice().
  *
- * Each source owns its own file handle, so per-shard readers can run
- * on different threads.
+ * Each buffered source owns its own file handle, so per-shard
+ * readers can run on different threads; mmap readers share one
+ * read-only mapping (the page cache is the buffer) and need no
+ * handle at all, so per-(bank) cursors are cheap enough for k-way
+ * merges over many inputs.
  */
 class ActTraceSource : public ActSource
 {
@@ -180,17 +205,31 @@ class ActTraceSource : public ActSource
                             std::uint64_t max_records = ~0ull);
     ActTraceSource(const std::string &path, BankId lo, BankId hi,
                    std::uint64_t max_records = ~0ull);
+    ActTraceSource(const std::string &path, ActTraceReadOptions opts,
+                   std::uint64_t max_records = ~0ull);
     ~ActTraceSource() override;
 
     const ActTraceInfo &info() const { return parsed_->info; }
+
+    /** True when this reader decodes from a shared mapping. */
+    bool mapped() const;
 
     std::string name() const override;
 
     std::size_t fill(ActBatch &batch, std::size_t limit) override;
 
-    /** Native seeking slice of the same file (fresh handle). */
+    /** Native seeking slice of the same file (fresh handle, or the
+     *  shared mapping when this reader is mmap-backed). */
     std::unique_ptr<ActSource> shardSlice(
         BankId lo, BankId hi, std::uint64_t budget) override;
+
+    /**
+     * Per-bank (count, first tick, last tick), decoding only each
+     * bank's first and last indexed block — O(banks) block decodes,
+     * never a full-stream scan. Entries with count == 0 are banks the
+     * trace never touches.
+     */
+    std::vector<ActTraceBankSpan> bankSpans();
 
   private:
     struct IndexBlock
@@ -201,29 +240,45 @@ class ActTraceSource : public ActSource
         std::uint64_t payloadOffset;
     };
 
+    /** A read-only mmap of the whole file, shared by all slices. */
+    struct Mapping
+    {
+        const std::uint8_t *data = nullptr;
+        std::size_t size = 0;
+        ~Mapping();
+    };
+
     /** The immutable parse result (header + flattened canonical
-     *  block index), shared by a full reader and all its slices so a
-     *  sharded replay parses AND stores the index exactly once. */
+     *  block index, plus the mapping when mmap was requested),
+     *  shared by a full reader and all its slices so a sharded
+     *  replay parses AND stores the index exactly once. */
     struct Parsed
     {
         ActTraceInfo info;
         std::vector<IndexBlock> blocks;
+        std::unique_ptr<Mapping> map;
     };
 
     /** Slice off an already-parsed source: shares the header/index
-     *  state and opens only a fresh file handle. */
+     *  state (and the mapping) and opens at most a fresh handle. */
     ActTraceSource(const ActTraceSource &parsed, BankId lo, BankId hi,
                    std::uint64_t max_records);
 
-    /** Parse + structurally validate header, index, and footer. */
+    /** Parse + structurally validate header, index, and footer;
+     *  establishes the shared mapping when `want_mmap`. */
     static std::shared_ptr<const Parsed>
-    parse(std::FILE *file, const std::string &path);
+    parse(std::FILE *file, const std::string &path, bool want_mmap);
 
     /** Advance to the next in-range block; false when exhausted. */
     bool nextBlock();
 
-    /** Load + validate the current block's payload into decode_. */
+    /** Point blockData_ at the current block's validated payload —
+     *  into the mapping (zero-copy) or freshly read into decode_. */
     void loadBlock(const IndexBlock &block);
+
+    /** First and last tick of one indexed block (decodes it). */
+    void blockTickSpan(const IndexBlock &block, Tick *first,
+                       Tick *last);
 
     std::string path_;
     std::FILE *file_ = nullptr;
@@ -236,7 +291,9 @@ class ActTraceSource : public ActSource
     std::uint64_t blockRemaining_ = 0; //!< Records left in cur block.
     bool blockTruncated_ = false;     //!< Budget cut the cur block.
     std::uint32_t blockBank_ = 0;
-    std::vector<std::uint8_t> decode_; //!< Current payload bytes.
+    std::vector<std::uint8_t> decode_; //!< Buffered payload storage.
+    const std::uint8_t *blockData_ = nullptr; //!< Cur block payload.
+    std::size_t blockSize_ = 0;
     std::size_t decodePos_ = 0;
     RowId prevRow_ = 0;
     Tick prevTick_ = 0;

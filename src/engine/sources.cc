@@ -100,7 +100,7 @@ const registry::Registrar<registry::SourceTraits> kRegisterTraceFile{{
     /*description=*/
     "replay an instruction-level trace file (Ramulator-style gap/addr "
     "records decoded through the MC map); raw captured ACT streams "
-    "replay via act-trace",
+    "replay via act-trace and compose via the trace-ops pipeline",
     /*aliases=*/{"trace_file"},
     /*uses=*/"",
     /*params=*/

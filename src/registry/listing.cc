@@ -7,6 +7,7 @@
 #include "registry/scheme_registry.hh"
 #include "registry/source_registry.hh"
 #include "registry/workload_registry.hh"
+#include "trace/op_registry.hh"
 
 namespace mithril::registry
 {
@@ -38,10 +39,16 @@ listRegistries(std::ostream &os, const std::string &what)
         listRegistry(sourceRegistry(), os);
         matched = true;
     }
+    if (all || what == "trace-ops") {
+        if (matched)
+            os << "\n";
+        listRegistry(trace::traceOpRegistry(), os);
+        matched = true;
+    }
     if (!matched) {
         throw SpecError("unknown --list category '" + what +
                         "' (want schemes|workloads|attacks|sources|"
-                        "all)");
+                        "trace-ops|all)");
     }
 }
 

@@ -2,9 +2,11 @@
 
 #include <chrono>
 
+#include "common/logging.hh"
 #include "registry/registry.hh"
 #include "runner/progress.hh"
 #include "runner/thread_pool.hh"
+#include "trace/pipeline.hh"
 
 namespace mithril::runner
 {
@@ -67,6 +69,21 @@ SweepRunner::run(const SweepSpec &spec, JobFn fn) const
 {
     SweepResult out;
     out.spec = spec;
+
+    // Compose the replay corpus exactly once, before any job opens
+    // it — jobs never carry the pipeline, so N grid points replay
+    // one materialization instead of racing N writers on one path.
+    if (!spec.tracePipeline.empty()) {
+        try {
+            trace::materializePipeline(
+                spec.tracePipeline,
+                spec.tunables.getString("trace", ""), spec.seed);
+        } catch (const registry::SpecError &err) {
+            // A broken pipeline fails every act-trace job, so fail
+            // the sweep up front with the real message.
+            fatal("%s", err.what());
+        }
+    }
 
     std::vector<Job> jobs = spec.expand();
     out.results.resize(jobs.size());

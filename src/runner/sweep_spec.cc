@@ -150,7 +150,7 @@ SweepSpec::fromParams(const ParamSet &params,
         "blast-radius", "ad",      "warmup",   "baseline",
         "seed-policy",  "sources", "shards",   "acts",
         "record",       "telemetry", "trace-events",
-        "heatmap-regions", "trace-capacity",
+        "heatmap-regions", "trace-capacity", "trace-pipeline",
     };
     std::vector<std::string> case_workloads;
     std::vector<std::string> case_attacks;
@@ -226,6 +226,15 @@ SweepSpec::fromParams(const ParamSet &params,
         fatal("trace-events=%s writes one trace file, but this sweep "
               "expands to %zu jobs; narrow the grid to a single job",
               spec.traceEvents.c_str(), spec.jobCount());
+    }
+    spec.tracePipeline =
+        params.getString("trace-pipeline", spec.tracePipeline);
+    if (!spec.tracePipeline.empty() && !spec.tunables.has("trace")) {
+        // The pipeline materializes to the path the act-trace jobs
+        // replay; without trace= there is nowhere to put it.
+        fatal("trace-pipeline= needs trace=<path> (and "
+              "sources=act-trace) so the composed corpus has a "
+              "replay path");
     }
 
     const std::string policy =

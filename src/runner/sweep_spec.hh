@@ -91,6 +91,13 @@ struct SweepSpec
      *  sources=act-trace trace=<path> grid over every scheme. */
     std::string record;
 
+    /** Compose the sweep's replay corpus once, before any job runs: a
+     *  trace-op pipeline (--list trace-ops) materialized to the
+     *  tunables' trace= path, which every sources=act-trace job then
+     *  replays. Jobs never carry this knob — one compose per sweep,
+     *  not one per grid point. */
+    std::string tracePipeline;
+
     /** Collect the telemetry metric sheet + ACT heatmap on every job
      *  (each job's flattened sheet lands in the sweep output's
      *  per-job "telemetry" map). Observation only. */

@@ -14,6 +14,7 @@
 #include "runner/thread_pool.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/pipeline.hh"
 
 namespace mithril::sim
 {
@@ -110,6 +111,15 @@ runEngineExperiment(const ExperimentSpec &spec)
     };
     check_output_path("record", spec.record);
     check_output_path("trace-events", spec.traceEvents);
+    // trace-pipeline=: compose the corpus this run replays, before
+    // the source is first opened. validate() already pinned
+    // source=act-trace + trace=; the pipeline itself guards against
+    // writing onto one of its own inputs.
+    if (!spec.tracePipeline.empty()) {
+        trace::materializePipeline(spec.tracePipeline,
+                                   spec.extras.getString("trace", ""),
+                                   spec.seed);
+    }
     if (!spec.record.empty()) {
         engine::ActTraceWriter writer(spec.record, sys.geometry,
                                       spec.seed, spec.describe());

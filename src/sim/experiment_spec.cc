@@ -54,6 +54,10 @@ coreParams()
         {"record", ParamDesc::Type::String, "", 0, 0,
          "capture the run's ACT stream to this path "
          "(mithril.acttrace.v1; replay with source=act-trace)"},
+        {"trace-pipeline", ParamDesc::Type::String, "", 0, 0,
+         "compose the replay corpus first: trace-op pipeline "
+         "(--list trace-ops) materialized to the trace= path, then "
+         "replayed via source=act-trace"},
         {"telemetry", ParamDesc::Type::Bool, "0", 0, 0,
          "collect the telemetry metric sheet + ACT heatmap "
          "(observation only; never affects outcomes)"},
@@ -215,6 +219,8 @@ ExperimentSpec::parse(const ParamSet &params,
     spec.warmupFromWorkload = params.getBool(
         "warmup-from-workload", spec.warmupFromWorkload);
     spec.record = params.getString("record", spec.record);
+    spec.tracePipeline =
+        params.getString("trace-pipeline", spec.tracePipeline);
     spec.telemetry = params.getBool("telemetry", spec.telemetry);
     spec.traceEvents =
         params.getString("trace-events", spec.traceEvents);
@@ -269,6 +275,18 @@ ExperimentSpec::validate() const
                         "' needs cores >= 2 (one core becomes the "
                         "attacker)");
     }
+    if (!tracePipeline.empty()) {
+        // The pipeline writes the corpus the replay source reads, so
+        // both ends must be declared. (source_entry->name resolves
+        // aliases.)
+        if (!source_entry || source_entry->name != "act-trace" ||
+            !extras.has("trace")) {
+            throw SpecError(
+                "trace-pipeline= needs source=act-trace and "
+                "trace=<path> (the pipeline materializes to the "
+                "trace= path, which the run then replays)");
+        }
+    }
 
     for (const std::string &key : extras.keys()) {
         std::string owner;
@@ -307,6 +325,8 @@ ExperimentSpec::toParams() const
     // appears when set, so existing describe() goldens are stable.
     if (!record.empty())
         params.set("record", record);
+    if (!tracePipeline.empty())
+        params.set("trace-pipeline", tracePipeline);
     // Telemetry knobs follow the same non-default-only discipline.
     if (telemetry)
         params.set("telemetry", "1");

@@ -77,6 +77,12 @@ struct ExperimentSpec
      *  source=act-trace trace=<path>. */
     std::string record;
 
+    /** Compose the replay corpus before the run: a trace-op pipeline
+     *  (see `--list trace-ops` and trace/pipeline.hh) materialized to
+     *  the extras' trace= path, which source=act-trace then replays.
+     *  Empty = replay the trace file as-is. */
+    std::string tracePipeline;
+
     // ---------------------------------------------- telemetry knobs
     /** Collect the telemetry metric sheet + ACT heatmap for this run
      *  (reported in sweep outputs as the per-job `telemetry` map).

@@ -1,0 +1,50 @@
+#include "trace/op_registry.hh"
+
+namespace mithril::trace
+{
+
+std::unique_ptr<RecordStream>
+makeTraceOp(const std::string &name, const ParamSet &params,
+            const TraceOpContext &ctx)
+{
+    const TraceOpRegistry::Entry &entry = traceOpRegistry().at(name);
+    for (const registry::ParamDesc &desc : entry.params)
+        registry::checkParam("trace-op '" + entry.name + "'", desc,
+                             params);
+    return entry.make(params, ctx);
+}
+
+void
+requireHeadStage(const std::string &op, const TraceOpContext &ctx)
+{
+    if (ctx.upstream) {
+        throw registry::SpecError(
+            "trace-op '" + op +
+            "' must be the first stage of a pipeline (it reads "
+            "whole trace files, not an upstream stage)");
+    }
+}
+
+std::unique_ptr<RecordStream>
+takeFilterUpstream(const std::string &op, const TraceOpContext &ctx)
+{
+    if (ctx.upstream) {
+        if (!ctx.inputs.empty()) {
+            throw registry::SpecError(
+                "trace-op '" + op +
+                "' takes either an upstream stage or one input "
+                "trace, not both");
+        }
+        return std::move(ctx.upstream);
+    }
+    if (ctx.inputs.size() != 1) {
+        throw registry::SpecError(
+            "trace-op '" + op +
+            "' needs an upstream stage or exactly one input trace "
+            "(got " +
+            std::to_string(ctx.inputs.size()) + " inputs)");
+    }
+    return std::make_unique<TraceFileStream>(ctx.inputs.front());
+}
+
+} // namespace mithril::trace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The trace-op registry: named, composable transforms over captured
+ * `.acttrace` streams — the same `Registry<Traits>` pattern as
+ * schemes/workloads/attacks/sources, so `--list trace-ops` documents
+ * every op and its tunables, and a new transform is one .cc file.
+ *
+ * An op factory builds a RecordStream from (a) the upstream stage of
+ * a pipeline, moved out of the context by filter ops, and/or (b) the
+ * positional input paths of its stage (trace files). Head ops (merge)
+ * reject an upstream; filter ops (remap/dilate/splice/slice) take the
+ * upstream when present, else exactly one input path. Pipelines wire
+ * stages together (see trace/pipeline.hh).
+ */
+
+#ifndef MITHRIL_TRACE_OP_REGISTRY_HH
+#define MITHRIL_TRACE_OP_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "registry/registry.hh"
+#include "trace/record_stream.hh"
+
+namespace mithril::trace
+{
+
+/** Side inputs every trace-op factory receives. */
+struct TraceOpContext
+{
+    /** Positional input trace paths of this stage. */
+    std::vector<std::string> inputs;
+    /** The previous pipeline stage's stream; filter ops move it out
+     *  (mutable: Registry factories take a const Context&). */
+    mutable std::unique_ptr<RecordStream> upstream;
+    /** Seed for ops that generate records (splice attack bursts). */
+    std::uint64_t seed = 42;
+    /** Timing for generated bursts; nullptr = DDR5-4800 preset. */
+    const dram::Timing *timing = nullptr;
+};
+
+struct TraceOpTraits
+{
+    using Product = RecordStream;
+    using Context = TraceOpContext;
+    static constexpr const char *kCategory = "trace-op";
+    static constexpr const char *kPlural = "trace-ops";
+};
+
+using TraceOpRegistry = registry::Registry<TraceOpTraits>;
+
+/** The process-wide trace-op registry. */
+inline TraceOpRegistry &
+traceOpRegistry()
+{
+    return TraceOpRegistry::instance();
+}
+
+/**
+ * Build a trace op by registry name. Throws registry::SpecError on
+ * unknown names (listing every registered op) and on invalid or
+ * out-of-range parameters.
+ */
+std::unique_ptr<RecordStream>
+makeTraceOp(const std::string &name, const ParamSet &params,
+            const TraceOpContext &ctx);
+
+/**
+ * Shared factory-side checks: a head op must be first in its
+ * pipeline; a filter op needs an upstream or exactly one input.
+ * Both throw SpecError naming the op.
+ */
+void requireHeadStage(const std::string &op, const TraceOpContext &ctx);
+std::unique_ptr<RecordStream>
+takeFilterUpstream(const std::string &op, const TraceOpContext &ctx);
+
+} // namespace mithril::trace
+
+#endif // MITHRIL_TRACE_OP_REGISTRY_HH

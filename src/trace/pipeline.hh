@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace-op pipelines: the one-line composition syntax that turns
+ * captured traces into multi-tenant corpora.
+ *
+ *   merge:t0.acttrace,t1.acttrace|remap:bank-rotate=4|slice:to=1000
+ *
+ * Stages are separated by '|'; a stage is `op[:arg,arg,...]` where an
+ * arg containing '=' is a registered parameter of the op (validated
+ * against its declared type/range) and any other arg is a positional
+ * input trace path. The whole spec is a single shell word with no
+ * whitespace, so it survives ParamSet round-trips (describe() /
+ * fromString()) and can ride in an ExperimentSpec or SweepSpec as
+ * `trace-pipeline=...`.
+ *
+ * Composition is stream-level: stages pass RecordStreams, not
+ * intermediate files; only materializePipeline() touches the disk,
+ * through the crash-safe ActTraceWriter.
+ */
+
+#ifndef MITHRIL_TRACE_PIPELINE_HH
+#define MITHRIL_TRACE_PIPELINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/op_registry.hh"
+
+namespace mithril::trace
+{
+
+/** One parsed pipeline stage. */
+struct PipelineStage
+{
+    std::string op;                  //!< Registered trace-op name.
+    ParamSet params;                 //!< key=value args.
+    std::vector<std::string> inputs; //!< Positional trace paths.
+};
+
+/**
+ * Parse a pipeline spec into stages. Throws registry::SpecError on
+ * syntax errors, unknown ops, undeclared or out-of-range parameters.
+ */
+std::vector<PipelineStage> parsePipeline(const std::string &spec);
+
+/** Parse + wire the stages into one composed stream. */
+std::unique_ptr<RecordStream>
+buildPipeline(const std::string &spec, std::uint64_t seed);
+
+/**
+ * Build the pipeline and write its output to `out_path` as a
+ * `mithril.acttrace.v1` file (meta = "trace-pipeline: <spec>",
+ * written crash-safe). Refuses an output that aliases any stage
+ * input. Returns the finished trace's parsed info.
+ */
+engine::ActTraceInfo
+materializePipeline(const std::string &spec,
+                    const std::string &out_path, std::uint64_t seed);
+
+/** The meta prefix materialized pipelines carry. */
+extern const char kPipelineMetaPrefix[];
+
+} // namespace mithril::trace
+
+#endif // MITHRIL_TRACE_PIPELINE_HH

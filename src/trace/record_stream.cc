@@ -1,0 +1,119 @@
+#include "trace/record_stream.hh"
+
+#include <string>
+
+#include "registry/registry.hh"
+
+namespace mithril::trace
+{
+
+dram::Geometry
+traceGeometry(const engine::ActTraceInfo &info)
+{
+    // The trace header records the bank-space shape; rowBytes /
+    // lineBytes never enter ACT-level replay, so the paper preset's
+    // values complete the struct.
+    dram::Geometry geometry = dram::paperGeometry();
+    geometry.channels = info.channels;
+    geometry.ranksPerChannel = info.ranksPerChannel;
+    geometry.banksPerRank = info.banksPerRank;
+    geometry.rowsPerBank = info.rowsPerBank;
+    return geometry;
+}
+
+namespace
+{
+
+std::string
+geometryLine(const dram::Geometry &g)
+{
+    return std::to_string(g.channels) + "x" +
+           std::to_string(g.ranksPerChannel) + "x" +
+           std::to_string(g.banksPerRank) + " banks, " +
+           std::to_string(g.rowsPerBank) + " rows";
+}
+
+} // namespace
+
+void
+requireSameGeometry(const std::string &what, const dram::Geometry &a,
+                    const dram::Geometry &b)
+{
+    if (a.channels == b.channels &&
+        a.ranksPerChannel == b.ranksPerChannel &&
+        a.banksPerRank == b.banksPerRank &&
+        a.rowsPerBank == b.rowsPerBank)
+        return;
+    throw registry::SpecError(what + ": geometry mismatch — " +
+                              geometryLine(a) + " vs " +
+                              geometryLine(b));
+}
+
+// --------------------------------------------------- TraceFileStream
+
+TraceFileStream::TraceFileStream(const std::string &path)
+    : source_(std::make_unique<engine::ActTraceSource>(
+          path, engine::ActTraceReadOptions{/*mmap=*/true})),
+      geometry_(traceGeometry(source_->info()))
+{
+}
+
+bool
+TraceFileStream::next(TraceRecord &out)
+{
+    if (pos_ == batch_.size()) {
+        if (drained_)
+            return false;
+        batch_.clear();
+        pos_ = 0;
+        if (source_->fill(batch_, engine::ActBatch::kCapacity) == 0) {
+            drained_ = true;
+            return false;
+        }
+    }
+    const engine::ActRecord record = batch_.record(pos_++);
+    out = TraceRecord{record.bank, record.row, record.tick};
+    return true;
+}
+
+// -------------------------------------------------------- BankCursor
+
+BankCursor::BankCursor(engine::ActSource &full, BankId bank)
+    : slice_(full.shardSlice(bank, bank + 1, ~std::uint64_t{0}))
+{
+    // Every source the trace ops slice provides a native seeking
+    // slice; the nullptr fallback path is for engine shards only.
+    if (!slice_)
+        drained_ = true;
+}
+
+bool
+BankCursor::peek(TraceRecord &out)
+{
+    if (pos_ == batch_.size())
+        refill();
+    if (pos_ == batch_.size())
+        return false;
+    const engine::ActRecord record = batch_.record(pos_);
+    out = TraceRecord{record.bank, record.row, record.tick};
+    return true;
+}
+
+void
+BankCursor::pop()
+{
+    ++pos_;
+}
+
+void
+BankCursor::refill()
+{
+    if (drained_)
+        return;
+    batch_.clear();
+    pos_ = 0;
+    if (slice_->fill(batch_, engine::ActBatch::kCapacity) == 0)
+        drained_ = true;
+}
+
+} // namespace mithril::trace

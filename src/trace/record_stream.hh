@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The record-level vocabulary of the trace-algebra subsystem: a pull
+ * stream of (bank, row, tick) records the transform ops compose over.
+ *
+ * A RecordStream differs from engine::ActSource in one way that
+ * matters for composition: it is record-at-a-time and carries the
+ * geometry the records aim at, so every op can validate its inputs
+ * eagerly (geometry equality, range checks) and a pipeline's output
+ * can be written back to a `mithril.acttrace.v1` file — whose writer
+ * enforces per-bank tick monotonicity on every append — without the
+ * ops re-implementing that validation.
+ *
+ * Ordering contract: a RecordStream yields every *per-bank*
+ * subsequence in non-decreasing tick order (what the trace format
+ * requires); the cross-bank interleaving is op-defined (merge emits a
+ * globally tick-ordered dense stream, filters preserve whatever order
+ * their upstream has). Engine outcomes are invariant to cross-bank
+ * order, so any RecordStream materializes to a valid replayable
+ * trace.
+ */
+
+#ifndef MITHRIL_TRACE_RECORD_STREAM_HH
+#define MITHRIL_TRACE_RECORD_STREAM_HH
+
+#include <memory>
+#include <string>
+
+#include "dram/timing.hh"
+#include "engine/act_source.hh"
+#include "engine/act_trace.hh"
+
+namespace mithril::trace
+{
+
+/** One activation record as the trace ops see it. */
+struct TraceRecord
+{
+    BankId bank = 0;
+    RowId row = 0;
+    Tick tick = 0;
+};
+
+/** Pull stream of trace records; the product of every trace op. */
+class RecordStream
+{
+  public:
+    virtual ~RecordStream() = default;
+
+    /** The geometry every record of this stream aims at. */
+    virtual const dram::Geometry &geometry() const = 0;
+
+    /** Yield the next record; false when exhausted. */
+    virtual bool next(TraceRecord &out) = 0;
+};
+
+/**
+ * Leaf stream over one `.acttrace` file in canonical order,
+ * mmap-backed so per-file cost is one mapping, not a buffered handle.
+ */
+class TraceFileStream : public RecordStream
+{
+  public:
+    explicit TraceFileStream(const std::string &path);
+
+    const dram::Geometry &geometry() const override
+    {
+        return geometry_;
+    }
+
+    bool next(TraceRecord &out) override;
+
+    const engine::ActTraceInfo &info() const { return source_->info(); }
+
+    /** The underlying (pristine) source — for per-bank slicing. */
+    engine::ActTraceSource &source() { return *source_; }
+
+  private:
+    std::unique_ptr<engine::ActTraceSource> source_;
+    dram::Geometry geometry_;
+    engine::ActBatch batch_;
+    std::size_t pos_ = 0;
+    bool drained_ = false;
+};
+
+/**
+ * Per-bank lookahead cursor over one bank's subsequence of a trace —
+ * the heap element of the k-way merge and the injection cursor of
+ * splice. Built from a *pristine* full source via shardSlice(), so N
+ * inputs × B banks cost one parse + one mapping per input.
+ */
+class BankCursor
+{
+  public:
+    BankCursor(engine::ActSource &full, BankId bank);
+
+    /** The current head record; false when the bank is exhausted. */
+    bool peek(TraceRecord &out);
+
+    /** Consume the current head. */
+    void pop();
+
+  private:
+    void refill();
+
+    std::unique_ptr<engine::ActSource> slice_;
+    engine::ActBatch batch_;
+    std::size_t pos_ = 0;
+    bool drained_ = false;
+};
+
+/** Geometry an ActTraceInfo header implies (row/line bytes are not
+ *  part of the trace format; the paper preset supplies them). */
+dram::Geometry traceGeometry(const engine::ActTraceInfo &info);
+
+/** Throw registry::SpecError unless the two geometries agree on
+ *  every field the trace format records. */
+void requireSameGeometry(const std::string &what,
+                         const dram::Geometry &a,
+                         const dram::Geometry &b);
+
+} // namespace mithril::trace
+
+#endif // MITHRIL_TRACE_RECORD_STREAM_HH
