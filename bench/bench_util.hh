@@ -9,11 +9,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/simd.hh"
 #include "common/logging.hh"
 #include "common/table_printer.hh"
 #include "registry/registry.hh"
@@ -226,24 +231,123 @@ banner(const std::string &title)
 #define MITHRIL_BUILD_TYPE ""
 #endif
 
+/** Escape a string for embedding inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            c = ' ';
+        out += c;
+    }
+    return out;
+}
+
+/** The host CPU's marketing name (first /proc/cpuinfo "model name"
+ *  line), or "unknown" where that file does not exist. */
+inline std::string
+cpuModelName()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("model name", 0) == 0) {
+            const auto colon = line.find(':');
+            if (colon == std::string::npos)
+                continue;
+            const auto begin =
+                line.find_first_not_of(" \t", colon + 1);
+            if (begin != std::string::npos)
+                return line.substr(begin);
+        }
+    }
+    return "unknown";
+}
+
+/**
+ * Physical core count: distinct (physical id, core id) pairs in
+ * /proc/cpuinfo. Distinguishes real parallel capacity from SMT —
+ * scaling curves flatten past the physical count even on a healthy
+ * build. Falls back to hardware_concurrency() when the file is
+ * missing or unparseable.
+ */
+inline unsigned
+physicalCoreCount()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::set<std::pair<long, long>> cores;
+    long phys = -1, core = -1;
+    auto field_value = [](const std::string &line) {
+        const auto colon = line.find(':');
+        return colon == std::string::npos
+                   ? -1L
+                   : std::strtol(line.c_str() + colon + 1, nullptr,
+                                 10);
+    };
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            if (core >= 0)
+                cores.insert({phys, core});
+            phys = core = -1;
+        } else if (line.rfind("physical id", 0) == 0) {
+            phys = field_value(line);
+        } else if (line.rfind("core id", 0) == 0) {
+            core = field_value(line);
+        }
+    }
+    if (core >= 0)
+        cores.insert({phys, core});
+    return cores.empty()
+               ? std::thread::hardware_concurrency()
+               : static_cast<unsigned>(cores.size());
+}
+
 /**
  * Write the shared "meta" member of a bench JSON artifact: the host's
- * hardware concurrency, the CMake build type, and the bench's
- * thread/shard configuration — the context a perf trajectory needs to
- * tell a regression from a machine change.
+ * CPU model, physical vs logical core counts, the active SIMD
+ * dispatch level, the CMake build type, and the bench's thread/shard
+ * configuration — the context a perf trajectory needs to tell a
+ * regression from a machine change. A thread count beyond the host's
+ * concurrency is recorded in "warnings" (and echoed to stderr): those
+ * scaling points time oversubscription, not the engine.
  */
 inline void
 writeMetaJson(std::FILE *f, const std::vector<unsigned> &threads,
               std::uint32_t shards)
 {
+    const unsigned logical = std::thread::hardware_concurrency();
+    const unsigned physical = physicalCoreCount();
+    unsigned max_threads = 0;
+    for (unsigned t : threads)
+        max_threads = std::max(max_threads, t);
     std::fprintf(f,
                  "  \"meta\": {\"hardware_concurrency\": %u, "
+                 "\"physical_cores\": %u, \"logical_cores\": %u, "
+                 "\"cpu_model\": \"%s\", \"simd\": \"%s\", "
                  "\"build_type\": \"%s\", \"threads\": [",
-                 std::thread::hardware_concurrency(),
-                 MITHRIL_BUILD_TYPE);
+                 logical, physical, logical,
+                 jsonEscape(cpuModelName()).c_str(),
+                 simd::activeLevelName(), MITHRIL_BUILD_TYPE);
     for (std::size_t i = 0; i < threads.size(); ++i)
         std::fprintf(f, "%s%u", i ? ", " : "", threads[i]);
-    std::fprintf(f, "], \"shards\": %u},\n", shards);
+    std::fprintf(f, "], \"shards\": %u, \"warnings\": [", shards);
+    if (logical > 0 && max_threads > logical) {
+        std::fprintf(f,
+                     "\"threads=%u exceeds hardware concurrency %u; "
+                     "those scaling points are oversubscribed\"",
+                     max_threads, logical);
+        std::fprintf(stderr,
+                     "warning: threads=%u exceeds hardware "
+                     "concurrency %u; those scaling points are "
+                     "oversubscribed\n",
+                     max_threads, logical);
+    }
+    std::fprintf(f, "]},\n");
 }
 
 } // namespace mithril::bench

@@ -17,9 +17,10 @@
  * Knobs: acts=N per timed run (default 2M), banks=N (default 16),
  * threads=LIST sharded thread counts (default "1,4"), shards=N shard
  * count override (default 0 = one shard per worker thread),
- * json=FILE writes the BENCH_engine.json artifact (schema v3: adds
- * the host/build "meta" block and the engine's per-point phase
- * breakdown — source-pull, tracker-dispatch, and join seconds).
+ * json=FILE writes the BENCH_engine.json artifact (schema v4: adds
+ * the SIMD dispatch level per point and the cpu-model/core-count
+ * meta fields, on top of v3's host/build "meta" block and per-point
+ * phase breakdown — source-pull, tracker-dispatch, join seconds).
  */
 
 #include <chrono>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/simd.hh"
 #include "engine/act_stream_engine.hh"
 #include "engine/sharded_engine.hh"
 #include "registry/scheme_registry.hh"
@@ -40,7 +42,11 @@ namespace
 {
 
 /** Zero-cost stream: every bank hammers its own double-sided pair,
- *  banks round-robin inside each batch. */
+ *  banks round-robin inside each batch. Strength-reduced — the bank
+ *  cycles and the row toggles 2000/2002 on each round's parity, the
+ *  identical stream to bank = produced % banks,
+ *  row = 2000 + 2*((produced / banks) % 2) with no divide in the
+ *  source, so the measurement times the engine, not the generator. */
 class HammerSource : public engine::ActSource
 {
   public:
@@ -57,13 +63,13 @@ class HammerSource : public engine::ActSource
         std::size_t appended = 0;
         while (produced_ < count_ && appended < limit &&
                !batch.full()) {
-            const auto bank =
-                static_cast<BankId>(produced_ % banks_);
-            const auto row = static_cast<RowId>(
-                2000 + 2 * ((produced_ / banks_) % 2));
-            batch.push(bank, row);
+            batch.push(bank_, row_);
             ++produced_;
             ++appended;
+            if (++bank_ == banks_) {
+                bank_ = 0;
+                row_ ^= 2;  // 2000 <-> 2002 per round.
+            }
         }
         return appended;
     }
@@ -72,6 +78,8 @@ class HammerSource : public engine::ActSource
     std::uint32_t banks_;
     std::uint64_t count_;
     std::uint64_t produced_ = 0;
+    BankId bank_ = 0;
+    RowId row_ = 2000;
 };
 
 /**
@@ -85,7 +93,7 @@ class ShardHammerSource : public engine::ActSource
   public:
     ShardHammerSource(std::uint32_t banks, std::uint64_t count,
                       BankId lo, BankId hi)
-        : banks_(banks), count_(count), lo_(lo), hi_(hi)
+        : banks_(banks), count_(count), lo_(lo), hi_(hi), bank_(lo)
     {
     }
 
@@ -94,34 +102,44 @@ class ShardHammerSource : public engine::ActSource
     std::size_t
     fill(engine::ActBatch &batch, std::size_t limit) override
     {
-        const std::uint32_t width = hi_ - lo_;
+        // Strength-reduced like HammerSource: the bank cycles
+        // [lo, hi), roundBase_ carries round*banks, the row toggles
+        // at each wrap — the same records as the divide form.
         std::size_t appended = 0;
         while (appended < limit && !batch.full()) {
-            const BankId bank =
-                lo_ + static_cast<BankId>(local_ % width);
-            const std::uint64_t round = local_ / width;
             // The global index of bank's round-th record.
-            const std::uint64_t global = round * banks_ + bank;
+            const std::uint64_t global = roundBase_ + bank_;
             if (global >= count_) {
-                if (bank + 1 == hi_)
+                if (bank_ + 1 == hi_)
                     break;  // Last (partial) round finished.
-                ++local_;
+                advance();
                 continue;
             }
-            batch.push(bank,
-                       static_cast<RowId>(2000 + 2 * (round % 2)));
-            ++local_;
+            batch.push(bank_, row_);
+            advance();
             ++appended;
         }
         return appended;
     }
 
   private:
+    void
+    advance()
+    {
+        if (++bank_ == hi_) {
+            bank_ = lo_;
+            roundBase_ += banks_;
+            row_ ^= 2;  // 2000 <-> 2002 per round.
+        }
+    }
+
     std::uint32_t banks_;
     std::uint64_t count_;
     BankId lo_;
     BankId hi_;
-    std::uint64_t local_ = 0;
+    BankId bank_ = 0;
+    std::uint64_t roundBase_ = 0;
+    RowId row_ = 2000;
 };
 
 engine::EngineConfig
@@ -289,7 +307,7 @@ writeJson(const std::string &path, std::uint32_t banks,
     if (!f)
         fatal("cannot write %s", path.c_str());
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"mithril.bench_engine.v3\",\n");
+    std::fprintf(f, "  \"schema\": \"mithril.bench_engine.v4\",\n");
     bench::writeMetaJson(f, threads, shard_override);
     std::fprintf(f, "  \"banks\": %u,\n", banks);
     std::fprintf(f, "  \"acts_per_run\": %llu,\n",
@@ -305,23 +323,27 @@ writeJson(const std::string &path, std::uint32_t banks,
         const SchemeResult &r = results[i];
         std::fprintf(f,
                      "    {\"scheme\": \"%s\", \"display\": \"%s\", "
+                     "\"simd\": \"%s\", "
                      "\"batched_acts_per_sec\": %.0f, "
                      "\"scalar_acts_per_sec\": %.0f, "
                      "\"speedup\": %.3f, \"sharded\": [",
-                     r.name.c_str(), r.display.c_str(), r.batched,
-                     r.scalar, r.speedup());
+                     r.name.c_str(), r.display.c_str(),
+                     simd::activeLevelName(), r.batched, r.scalar,
+                     r.speedup());
         for (std::size_t j = 0; j < r.sharded.size(); ++j) {
             const ShardedPoint &p = r.sharded[j];
             std::fprintf(f,
                          "%s{\"threads\": %u, \"shards\": %u, "
+                         "\"simd\": \"%s\", "
                          "\"acts_per_sec\": %.0f, "
                          "\"scaling\": %.3f, "
                          "\"source_sec\": %.4f, "
                          "\"dispatch_sec\": %.4f, "
                          "\"join_sec\": %.4f}",
                          j ? ", " : "", p.threads, p.shards,
-                         p.actsPerSec, r.scalingAt(j), p.sourceSec,
-                         p.dispatchSec, p.joinSec);
+                         simd::activeLevelName(), p.actsPerSec,
+                         r.scalingAt(j), p.sourceSec, p.dispatchSec,
+                         p.joinSec);
         }
         std::fprintf(f, "]}%s\n",
                      i + 1 < results.size() ? "," : "");
@@ -359,7 +381,8 @@ main(int argc, char **argv)
     }
 
     bench::banner("ActStream engine throughput (" +
-                  std::to_string(banks) + " banks, oracle off)");
+                  std::to_string(banks) + " banks, oracle off, simd " +
+                  simd::activeLevelName() + ")");
 
     // One reused pool per thread count, shared by every scheme.
     std::vector<std::unique_ptr<runner::ThreadPool>> pools;

@@ -12,20 +12,27 @@
  * that ratio — and, per point, whether the zero-copy mmap decoder
  * beats the buffered fread reader.
  *
- * To make the replay long enough to time, the corpus is replayed
+ * To make the replay long enough to time, each corpus is replayed
  * `loops=` times back to back (each loop is an independent full
- * replay through a fresh engine+tracker). Every point — any thread
- * count, either decoder — must produce the identical outcome; a
- * divergence is fatal.
+ * replay through a fresh engine+tracker); wider corpora scale the
+ * loop count down proportionally so every corpus replays a similar
+ * record volume. Every point of one corpus — any thread count,
+ * either decoder — must produce the identical outcome; a divergence
+ * is fatal.
  *
  * Knobs: cores=N instr=N seed=N (the recorded System run),
  *        scheme=NAME replay tracker (default mithril),
- *        tenants=N merged corpus width (default 16),
- *        loops=N replay repetitions per timing point (default 50),
+ *        tenants=LIST merged corpus widths (default "16,1024" — the
+ *          thousand-tenant point is the consolidation story's scale),
+ *        loops=N replay repetitions per timing point at the first
+ *          corpus width (default 50; wider corpora scale it down),
  *        threads=LIST sharded replay thread counts (default "1,4"),
  *        trace=PATH captured seed trace (default micro_replay.acttrace),
- *        corpus=PATH composed corpus (default micro_replay.corpus.acttrace),
- *        json=FILE write the BENCH_replay.json artifact.
+ *        corpus=PATH composed corpus (default micro_replay.corpus.acttrace;
+ *          reused per corpus width),
+ *        json=FILE write the BENCH_replay.json artifact (schema v4:
+ *          one "corpora" row per tenant width, each with its own
+ *          replay grid and per-point SIMD dispatch level).
  */
 
 #include <chrono>
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/simd.hh"
 #include "engine/act_trace.hh"
 #include "runner/thread_pool.hh"
 #include "trace/pipeline.hh"
@@ -53,6 +61,16 @@ struct ReplayPoint
     std::uint32_t shards = 1;
     bool mmap = true;
     double actsPerSec = 0.0;
+};
+
+/** One composed corpus width and its full replay grid. */
+struct CorpusResult
+{
+    std::uint64_t tenants = 0;
+    engine::ActTraceInfo info;
+    std::uint64_t bytes = 0;
+    std::uint64_t loops = 0;  //!< Scaled per-point repetitions.
+    std::vector<ReplayPoint> points;
 };
 
 double
@@ -78,18 +96,16 @@ void
 writeJson(const std::string &path, const sim::ExperimentSpec &sys_spec,
           std::uint64_t system_acts, double system_acts_per_sec,
           double system_seconds, const engine::ActTraceInfo &info,
-          std::uint64_t trace_bytes, std::uint64_t tenants,
-          const engine::ActTraceInfo &corpus_info,
-          std::uint64_t corpus_bytes, const std::string &scheme,
+          std::uint64_t trace_bytes, const std::string &scheme,
           std::uint64_t loops,
           const std::vector<unsigned> &thread_counts,
-          const std::vector<ReplayPoint> &points)
+          const std::vector<CorpusResult> &corpora)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot write %s", path.c_str());
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"mithril.bench_replay.v3\",\n");
+    std::fprintf(f, "  \"schema\": \"mithril.bench_replay.v4\",\n");
     // Replay points shard one way per thread count (shards ==
     // threads), so the meta shard field is 0 (per-point).
     bench::writeMetaJson(f, thread_counts, 0);
@@ -106,30 +122,39 @@ writeJson(const std::string &path, const sim::ExperimentSpec &sys_spec,
                     "\"bytes\": %llu},\n",
                  static_cast<unsigned long long>(info.records),
                  static_cast<unsigned long long>(trace_bytes));
-    std::fprintf(f, "  \"corpus\": {\"tenants\": %llu, "
-                    "\"records\": %llu, \"bytes\": %llu, "
-                    "\"attack\": \"%s\"},\n",
-                 static_cast<unsigned long long>(tenants),
-                 static_cast<unsigned long long>(corpus_info.records),
-                 static_cast<unsigned long long>(corpus_bytes),
-                 kBurstAttack);
     std::fprintf(f, "  \"replay_scheme\": \"%s\",\n", scheme.c_str());
     std::fprintf(f, "  \"replay_loops\": %llu,\n",
                  static_cast<unsigned long long>(loops));
-    std::fprintf(f, "  \"replay\": [");
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const ReplayPoint &p = points[i];
-        std::fprintf(f,
-                     "%s{\"threads\": %u, \"shards\": %u, "
-                     "\"mmap\": %d, \"acts_per_sec\": %.0f, "
-                     "\"speedup_vs_system\": %.1f}",
-                     i ? ", " : "", p.threads, p.shards,
-                     p.mmap ? 1 : 0, p.actsPerSec,
-                     system_acts_per_sec > 0.0
-                         ? p.actsPerSec / system_acts_per_sec
-                         : 0.0);
+    std::fprintf(f, "  \"corpora\": [\n");
+    for (std::size_t c = 0; c < corpora.size(); ++c) {
+        const CorpusResult &cr = corpora[c];
+        std::fprintf(
+            f,
+            "    {\"tenants\": %llu, \"records\": %llu, "
+            "\"bytes\": %llu, \"attack\": \"%s\", "
+            "\"loops\": %llu, \"replay\": [",
+            static_cast<unsigned long long>(cr.tenants),
+            static_cast<unsigned long long>(cr.info.records),
+            static_cast<unsigned long long>(cr.bytes), kBurstAttack,
+            static_cast<unsigned long long>(cr.loops));
+        for (std::size_t i = 0; i < cr.points.size(); ++i) {
+            const ReplayPoint &p = cr.points[i];
+            std::fprintf(f,
+                         "%s{\"threads\": %u, \"shards\": %u, "
+                         "\"mmap\": %d, \"simd\": \"%s\", "
+                         "\"acts_per_sec\": %.0f, "
+                         "\"speedup_vs_system\": %.1f}",
+                         i ? ", " : "", p.threads, p.shards,
+                         p.mmap ? 1 : 0, simd::activeLevelName(),
+                         p.actsPerSec,
+                         system_acts_per_sec > 0.0
+                             ? p.actsPerSec / system_acts_per_sec
+                             : 0.0);
+        }
+        std::fprintf(f, "]}%s\n",
+                     c + 1 < corpora.size() ? "," : "");
     }
-    std::fprintf(f, "]\n}\n");
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
@@ -147,16 +172,21 @@ main(int argc, char **argv)
     const std::string scheme =
         scale.params.getString("scheme", "mithril");
     const std::uint64_t loops = scale.params.getUint("loops", 50);
-    const std::uint64_t tenants =
-        scale.params.getUint("tenants", 16);
+    const std::vector<std::uint64_t> tenants_list =
+        scale.params.has("tenants")
+            ? scale.params.getUintList("tenants")
+            : std::vector<std::uint64_t>{16, 1024};
     const std::string trace_path =
         scale.params.getString("trace", "micro_replay.acttrace");
     const std::string corpus_path = scale.params.getString(
         "corpus", "micro_replay.corpus.acttrace");
     if (loops == 0)
         fatal("loops= must be positive");
-    if (tenants == 0 || tenants > 256)
-        fatal("tenants= must be in [1, 256]");
+    if (tenants_list.empty())
+        fatal("tenants= must name at least one corpus width");
+    for (std::uint64_t t : tenants_list)
+        if (t == 0 || t > 1024)
+            fatal("tenants= entries must be in [1, 1024]");
 
     bench::banner("ACT-stream capture/compose/replay vs System");
 
@@ -191,44 +221,6 @@ main(int argc, char **argv)
                 sys_seconds, sys_aps,
                 static_cast<unsigned long long>(trace_bytes));
 
-    // ---- compose: remap the capture to `tenants` bank offsets,
-    // merge them, splice one attack burst — the multi-tenant corpus
-    // the replay grid drives.
-    const auto comp_t0 = std::chrono::steady_clock::now();
-    std::vector<std::string> tenant_paths;
-    for (std::uint64_t i = 0; i < tenants; ++i) {
-        const std::string tenant =
-            corpus_path + ".tenant" + std::to_string(i);
-        trace::materializePipeline("remap:" + trace_path +
-                                       ",bank-rotate=" +
-                                       std::to_string(i),
-                                   tenant, scale.seed);
-        tenant_paths.push_back(tenant);
-    }
-    std::string spec = "merge:";
-    for (std::size_t i = 0; i < tenant_paths.size(); ++i) {
-        if (i)
-            spec += ",";
-        spec += tenant_paths[i];
-    }
-    spec += "|splice:attack=" + std::string(kBurstAttack) +
-            ",burst-acts=" + std::to_string(kBurstActs);
-    const engine::ActTraceInfo corpus_info =
-        trace::materializePipeline(spec, corpus_path, scale.seed);
-    for (const std::string &tenant : tenant_paths)
-        std::remove(tenant.c_str());
-    const auto comp_t1 = std::chrono::steady_clock::now();
-    const std::uint64_t corpus_bytes = fileBytes(corpus_path);
-
-    std::printf("corpus: %llu tenants merged + %llu-ACT %s burst = "
-                "%llu records, %llu bytes (composed in %.3f s)\n",
-                static_cast<unsigned long long>(tenants),
-                static_cast<unsigned long long>(kBurstActs),
-                kBurstAttack,
-                static_cast<unsigned long long>(corpus_info.records),
-                static_cast<unsigned long long>(corpus_bytes),
-                seconds(comp_t0, comp_t1));
-
     std::vector<unsigned> thread_counts;
     for (std::uint64_t t : scale.params.has("threads")
                                ? scale.params.getUintList("threads")
@@ -238,88 +230,153 @@ main(int argc, char **argv)
         thread_counts.push_back(static_cast<unsigned>(t));
     }
 
-    // ---- replay: the corpus through `scheme`, repeated, at every
-    // thread count under both decoders.
-    auto replay_spec = [&](unsigned threads, bool mmap) {
-        sim::ExperimentSpec spec;
-        spec.scheme = scheme;
-        spec.source = "act-trace";
-        spec.extras.set("trace", corpus_path);
-        spec.extras.set("mmap", mmap ? "1" : "0");
-        spec.engineActs = corpus_info.records;
-        spec.shards = threads;
-        spec.threads = threads;
-        return spec;
-    };
-
-    std::vector<ReplayPoint> points;
-    sim::RunMetrics reference;
-    bool have_reference = false;
-    for (unsigned threads : thread_counts) {
-        for (bool mmap : {true, false}) {
-            const sim::ExperimentSpec spec =
-                replay_spec(threads, mmap);
-            sim::runExperiment(spec); // Warm-up (page cache).
-            const auto t0 = std::chrono::steady_clock::now();
-            sim::RunMetrics last{};
-            for (std::uint64_t i = 0; i < loops; ++i)
-                last = sim::runExperiment(spec);
-            const auto t1 = std::chrono::steady_clock::now();
-
-            // Determinism canary: every replay — any thread count,
-            // either decoder — is the same outcome.
-            if (!have_reference) {
-                reference = last;
-                have_reference = true;
-            } else if (last.rfmIssued != reference.rfmIssued ||
-                       last.preventiveRefreshes !=
-                           reference.preventiveRefreshes ||
-                       last.simTicks != reference.simTicks) {
-                fatal("replay diverged at threads=%u mmap=%d",
-                      threads, mmap ? 1 : 0);
-            }
-
-            ReplayPoint p;
-            p.threads = threads;
-            p.shards = threads;
-            p.mmap = mmap;
-            p.actsPerSec = static_cast<double>(corpus_info.records) *
-                           static_cast<double>(loops) /
-                           seconds(t0, t1);
-            points.push_back(p);
+    // ---- compose + replay, once per corpus width: remap the capture
+    // to `tenants` bank offsets, merge them, splice one attack burst,
+    // then drive the corpus through `scheme` at every thread count
+    // under both decoders. Wider corpora scale the loop count down so
+    // every width replays a comparable record volume.
+    std::vector<CorpusResult> corpora;
+    for (std::uint64_t tenants : tenants_list) {
+        const auto comp_t0 = std::chrono::steady_clock::now();
+        std::vector<std::string> tenant_paths;
+        for (std::uint64_t i = 0; i < tenants; ++i) {
+            const std::string tenant =
+                corpus_path + ".tenant" + std::to_string(i);
+            trace::materializePipeline("remap:" + trace_path +
+                                           ",bank-rotate=" +
+                                           std::to_string(i),
+                                       tenant, scale.seed);
+            tenant_paths.push_back(tenant);
         }
+        std::string spec = "merge:";
+        for (std::size_t i = 0; i < tenant_paths.size(); ++i) {
+            if (i)
+                spec += ",";
+            spec += tenant_paths[i];
+        }
+        spec += "|splice:attack=" + std::string(kBurstAttack) +
+                ",burst-acts=" + std::to_string(kBurstActs);
+        CorpusResult cr;
+        cr.tenants = tenants;
+        cr.info =
+            trace::materializePipeline(spec, corpus_path, scale.seed);
+        for (const std::string &tenant : tenant_paths)
+            std::remove(tenant.c_str());
+        const auto comp_t1 = std::chrono::steady_clock::now();
+        cr.bytes = fileBytes(corpus_path);
+
+        // Scale the repetitions to the first corpus's record volume
+        // (at least one full replay), so a 64x wider corpus does not
+        // take 64x the wall time.
+        cr.loops =
+            corpora.empty()
+                ? loops
+                : std::max<std::uint64_t>(
+                      1, loops * corpora.front().info.records /
+                             std::max<std::uint64_t>(
+                                 1, cr.info.records));
+
+        std::printf(
+            "corpus: %llu tenants merged + %llu-ACT %s burst = "
+            "%llu records, %llu bytes (composed in %.3f s, "
+            "replayed x%llu)\n",
+            static_cast<unsigned long long>(tenants),
+            static_cast<unsigned long long>(kBurstActs),
+            kBurstAttack,
+            static_cast<unsigned long long>(cr.info.records),
+            static_cast<unsigned long long>(cr.bytes),
+            seconds(comp_t0, comp_t1),
+            static_cast<unsigned long long>(cr.loops));
+
+        auto replay_spec = [&](unsigned threads, bool mmap) {
+            sim::ExperimentSpec spec;
+            spec.scheme = scheme;
+            spec.source = "act-trace";
+            spec.extras.set("trace", corpus_path);
+            spec.extras.set("mmap", mmap ? "1" : "0");
+            spec.engineActs = cr.info.records;
+            spec.shards = threads;
+            spec.threads = threads;
+            return spec;
+        };
+
+        sim::RunMetrics reference;
+        bool have_reference = false;
+        for (unsigned threads : thread_counts) {
+            for (bool mmap : {true, false}) {
+                const sim::ExperimentSpec spec =
+                    replay_spec(threads, mmap);
+                sim::runExperiment(spec); // Warm-up (page cache).
+                const auto t0 = std::chrono::steady_clock::now();
+                sim::RunMetrics last{};
+                for (std::uint64_t i = 0; i < cr.loops; ++i)
+                    last = sim::runExperiment(spec);
+                const auto t1 = std::chrono::steady_clock::now();
+
+                // Determinism canary: every replay of one corpus —
+                // any thread count, either decoder — is the same
+                // outcome.
+                if (!have_reference) {
+                    reference = last;
+                    have_reference = true;
+                } else if (last.rfmIssued != reference.rfmIssued ||
+                           last.preventiveRefreshes !=
+                               reference.preventiveRefreshes ||
+                           last.simTicks != reference.simTicks) {
+                    fatal("replay diverged at tenants=%llu "
+                          "threads=%u mmap=%d",
+                          static_cast<unsigned long long>(tenants),
+                          threads, mmap ? 1 : 0);
+                }
+
+                ReplayPoint p;
+                p.threads = threads;
+                p.shards = threads;
+                p.mmap = mmap;
+                p.actsPerSec =
+                    static_cast<double>(cr.info.records) *
+                    static_cast<double>(cr.loops) / seconds(t0, t1);
+                cr.points.push_back(p);
+            }
+        }
+        corpora.push_back(std::move(cr));
     }
 
-    TablePrinter table(
-        {"mode", "threads", "decoder", "acts/s", "vs System"});
+    TablePrinter table({"mode", "tenants", "threads", "decoder",
+                        "acts/s", "vs System"});
     table.beginRow()
         .cell("System (capture)")
         .cell("-")
         .cell("-")
+        .cell("-")
         .num(sys_aps, 0)
         .cell("1.0x");
-    for (const ReplayPoint &p : points) {
-        table.beginRow()
-            .cell("replay " + scheme)
-            .cell(std::to_string(p.threads))
-            .cell(p.mmap ? "mmap" : "buffered")
-            .num(p.actsPerSec, 0)
-            .cell(formatFixed(p.actsPerSec / sys_aps, 1) + "x");
+    for (const CorpusResult &cr : corpora) {
+        for (const ReplayPoint &p : cr.points) {
+            table.beginRow()
+                .cell("replay " + scheme)
+                .cell(std::to_string(cr.tenants))
+                .cell(std::to_string(p.threads))
+                .cell(p.mmap ? "mmap" : "buffered")
+                .num(p.actsPerSec, 0)
+                .cell(formatFixed(p.actsPerSec / sys_aps, 1) + "x");
+        }
     }
     std::printf("%s", table.str().c_str());
     std::printf(
         "\nReading: the System row is full CPU+LLC+MC+DRAM "
-        "co-simulation; the replay rows\ndrive the composed "
-        "%llu-tenant corpus (same stream, every point) through the\n"
-        "sharded engine + %s tracker alone. The ratio is what "
-        "capture-once-replay-many\nsaves per additional scheme in a "
-        "sweep; mmap vs buffered isolates the decoder.\n",
-        static_cast<unsigned long long>(tenants), scheme.c_str());
+        "co-simulation; the replay rows\ndrive each composed "
+        "multi-tenant corpus (same stream at every point of a "
+        "width)\nthrough the sharded engine + %s tracker alone. The "
+        "ratio is what\ncapture-once-replay-many saves per "
+        "additional scheme in a sweep; mmap vs\nbuffered isolates "
+        "the decoder, and the widest corpus is the consolidation-\n"
+        "scale stress point.\n",
+        scheme.c_str());
 
     if (!scale.jsonOut.empty())
         writeJson(scale.jsonOut, sys_spec, sys_metrics.acts, sys_aps,
-                  sys_seconds, info, trace_bytes, tenants,
-                  corpus_info, corpus_bytes, scheme, loops,
-                  thread_counts, points);
+                  sys_seconds, info, trace_bytes, scheme, loops,
+                  thread_counts, corpora);
     return 0;
 }

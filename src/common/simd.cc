@@ -1,0 +1,451 @@
+#include "simd.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MITHRIL_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace mithril::simd
+{
+
+namespace
+{
+
+Level
+detectMaxLevel()
+{
+#if MITHRIL_SIMD_X86
+    // x86-64 guarantees SSE2; AVX2 needs a runtime check because the
+    // tier is compiled with a per-function target attribute.
+    if (__builtin_cpu_supports("avx2"))
+        return Level::Avx2;
+    return Level::Sse2;
+#else
+    return Level::Scalar;
+#endif
+}
+
+Level
+clampToEnv(Level best)
+{
+    const char *env = std::getenv("MITHRIL_SIMD");
+    if (env == nullptr || *env == '\0')
+        return best;
+    Level want;
+    if (std::strcmp(env, "scalar") == 0) {
+        want = Level::Scalar;
+    } else if (std::strcmp(env, "sse2") == 0) {
+        want = Level::Sse2;
+    } else if (std::strcmp(env, "avx2") == 0) {
+        want = Level::Avx2;
+    } else {
+        std::fprintf(stderr,
+                     "MITHRIL_SIMD=%s unknown (scalar|sse2|avx2); "
+                     "using %s\n",
+                     env, levelName(best));
+        return best;
+    }
+    return want < best ? want : best;
+}
+
+Level &
+levelSlot()
+{
+    static Level level = clampToEnv(detectMaxLevel());
+    return level;
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return "scalar";
+    case Level::Sse2:
+        return "sse2";
+    case Level::Avx2:
+        return "avx2";
+    }
+    return "scalar";
+}
+
+Level
+maxLevel()
+{
+    static const Level max = detectMaxLevel();
+    return max;
+}
+
+Level
+activeLevel()
+{
+    return levelSlot();
+}
+
+const char *
+activeLevelName()
+{
+    return levelName(activeLevel());
+}
+
+Level
+setLevelForTest(Level level)
+{
+    const Level clamped = level < maxLevel() ? level : maxLevel();
+    levelSlot() = clamped;
+    return clamped;
+}
+
+// ------------------------------------------------------------ U64Divisor
+
+U64Divisor::U64Divisor(std::uint64_t divisor) : d(divisor)
+{
+    MITHRIL_ASSERT(divisor >= 1);
+    // floor(2^64 / d); for d == 1 that overflows to 2^64, and ~0ull
+    // (= 2^64 - 1) gives q_hat = x - 1 for x > 0, fixed by the same
+    // conditional correction.
+    m = (d == 1)
+            ? ~0ull
+            : static_cast<std::uint64_t>(
+                  (static_cast<unsigned __int128>(1) << 64) / d);
+}
+
+// ---------------------------------------------------- scalar references
+
+std::size_t
+uniformPrefixScalar(const std::uint32_t *v, std::size_t n,
+                    std::uint32_t x)
+{
+    std::size_t i = 0;
+    while (i < n && v[i] == x)
+        ++i;
+    return i;
+}
+
+std::size_t
+pairMatchPrefixScalar(const std::uint32_t *v, std::size_t n,
+                      std::uint32_t a, std::uint32_t b)
+{
+    std::size_t i = 0;
+    while (i < n && (v[i] == a || v[i] == b))
+        ++i;
+    return i;
+}
+
+std::size_t
+countMatchesScalar(const std::uint32_t *v, std::size_t n,
+                   std::uint32_t x)
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        count += (v[i] == x) ? 1 : 0;
+    return count;
+}
+
+void
+bloomHashRowsScalar(const RowId *rows, std::size_t n, std::uint64_t seed,
+                    std::uint32_t hashes, const U64Divisor &size,
+                    std::uint32_t *slots)
+{
+    constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(rows[i]) + seed;
+        for (std::uint32_t h = 0; h < hashes; ++h) {
+            slots[i * hashes + h] = static_cast<std::uint32_t>(
+                size.mod(mix64(base + kGolden * (h + 1))));
+        }
+    }
+}
+
+// ----------------------------------------------------------- SSE2 tier
+
+#if MITHRIL_SIMD_X86
+
+namespace
+{
+
+std::size_t
+uniformPrefixSse2(const std::uint32_t *v, std::size_t n, std::uint32_t x)
+{
+    std::size_t i = 0;
+    const __m128i target = _mm_set1_epi32(static_cast<int>(x));
+    while (i + 4 <= n) {
+        const __m128i chunk = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(v + i));
+        const int mask =
+            _mm_movemask_epi8(_mm_cmpeq_epi32(chunk, target));
+        if (mask != 0xffff) {
+            return i + static_cast<std::size_t>(
+                           __builtin_ctz(~static_cast<unsigned>(mask)) /
+                           4);
+        }
+        i += 4;
+    }
+    while (i < n && v[i] == x)
+        ++i;
+    return i;
+}
+
+std::size_t
+pairMatchPrefixSse2(const std::uint32_t *v, std::size_t n,
+                    std::uint32_t a, std::uint32_t b)
+{
+    std::size_t i = 0;
+    const __m128i ta = _mm_set1_epi32(static_cast<int>(a));
+    const __m128i tb = _mm_set1_epi32(static_cast<int>(b));
+    while (i + 4 <= n) {
+        const __m128i chunk = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(v + i));
+        const __m128i hit =
+            _mm_or_si128(_mm_cmpeq_epi32(chunk, ta),
+                         _mm_cmpeq_epi32(chunk, tb));
+        const int mask = _mm_movemask_epi8(hit);
+        if (mask != 0xffff) {
+            return i + static_cast<std::size_t>(
+                           __builtin_ctz(~static_cast<unsigned>(mask)) /
+                           4);
+        }
+        i += 4;
+    }
+    while (i < n && (v[i] == a || v[i] == b))
+        ++i;
+    return i;
+}
+
+std::size_t
+countMatchesSse2(const std::uint32_t *v, std::size_t n, std::uint32_t x)
+{
+    std::size_t i = 0;
+    std::size_t count = 0;
+    const __m128i target = _mm_set1_epi32(static_cast<int>(x));
+    // Each matching lane contributes -1; accumulate and negate.
+    __m128i acc = _mm_setzero_si128();
+    while (i + 4 <= n) {
+        const __m128i chunk = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(v + i));
+        acc = _mm_add_epi32(acc, _mm_cmpeq_epi32(chunk, target));
+        i += 4;
+    }
+    alignas(16) std::int32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i *>(lanes), acc);
+    count = static_cast<std::size_t>(
+        -(static_cast<std::int64_t>(lanes[0]) + lanes[1] + lanes[2] +
+          lanes[3]));
+    for (; i < n; ++i)
+        count += (v[i] == x) ? 1 : 0;
+    return count;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- AVX2 tier
+//
+// Compiled with a per-function target attribute so the one binary runs
+// on pre-AVX2 parts; only reached behind the cpuid check in
+// detectMaxLevel().
+
+namespace
+{
+
+__attribute__((target("avx2"))) std::size_t
+uniformPrefixAvx2(const std::uint32_t *v, std::size_t n, std::uint32_t x)
+{
+    std::size_t i = 0;
+    const __m256i target = _mm256_set1_epi32(static_cast<int>(x));
+    while (i + 8 <= n) {
+        const __m256i chunk = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        const auto mask = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi32(chunk, target)));
+        if (mask != 0xffffffffu)
+            return i + static_cast<std::size_t>(
+                           __builtin_ctz(~mask) / 4);
+        i += 8;
+    }
+    while (i < n && v[i] == x)
+        ++i;
+    return i;
+}
+
+__attribute__((target("avx2"))) std::size_t
+pairMatchPrefixAvx2(const std::uint32_t *v, std::size_t n,
+                    std::uint32_t a, std::uint32_t b)
+{
+    std::size_t i = 0;
+    const __m256i ta = _mm256_set1_epi32(static_cast<int>(a));
+    const __m256i tb = _mm256_set1_epi32(static_cast<int>(b));
+    while (i + 8 <= n) {
+        const __m256i chunk = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        const __m256i hit =
+            _mm256_or_si256(_mm256_cmpeq_epi32(chunk, ta),
+                            _mm256_cmpeq_epi32(chunk, tb));
+        const auto mask =
+            static_cast<unsigned>(_mm256_movemask_epi8(hit));
+        if (mask != 0xffffffffu)
+            return i + static_cast<std::size_t>(
+                           __builtin_ctz(~mask) / 4);
+        i += 8;
+    }
+    while (i < n && (v[i] == a || v[i] == b))
+        ++i;
+    return i;
+}
+
+__attribute__((target("avx2"))) std::size_t
+countMatchesAvx2(const std::uint32_t *v, std::size_t n, std::uint32_t x)
+{
+    std::size_t i = 0;
+    std::size_t count = 0;
+    const __m256i target = _mm256_set1_epi32(static_cast<int>(x));
+    __m256i acc = _mm256_setzero_si256();
+    while (i + 8 <= n) {
+        const __m256i chunk = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        acc = _mm256_add_epi32(acc, _mm256_cmpeq_epi32(chunk, target));
+        i += 8;
+    }
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::int64_t sum = 0;
+    for (int lane = 0; lane < 8; ++lane)
+        sum += lanes[lane];
+    count = static_cast<std::size_t>(-sum);
+    for (; i < n; ++i)
+        count += (v[i] == x) ? 1 : 0;
+    return count;
+}
+
+/** 64-bit lane-wise a * c (low 64) via 32x32 partial products — AVX2
+ *  has no vpmullq, so synthesize it from vpmuludq. */
+__attribute__((target("avx2"))) inline __m256i
+mullo64Avx2(__m256i a, __m256i c_full, __m256i c_hi)
+{
+    const __m256i lo = _mm256_mul_epu32(a, c_full);
+    const __m256i a_hi = _mm256_srli_epi64(a, 32);
+    const __m256i cross = _mm256_add_epi64(
+        _mm256_mul_epu32(a_hi, c_full), _mm256_mul_epu32(a, c_hi));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) void
+bloomHashRowsAvx2(const RowId *rows, std::size_t n, std::uint64_t seed,
+                  const U64Divisor &size, std::uint32_t *slots)
+{
+    // hashes == 4: the four hash lanes of one row fill one vector.
+    constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+    constexpr std::uint64_t kMix1 = 0xbf58476d1ce4e5b9ull;
+    constexpr std::uint64_t kMix2 = 0x94d049bb133111ebull;
+    const __m256i lane_add = _mm256_set_epi64x(
+        static_cast<long long>(kGolden * 4),
+        static_cast<long long>(kGolden * 3),
+        static_cast<long long>(kGolden * 2),
+        static_cast<long long>(kGolden * 1));
+    const __m256i m1 = _mm256_set1_epi64x(static_cast<long long>(kMix1));
+    const __m256i m1_hi =
+        _mm256_set1_epi64x(static_cast<long long>(kMix1 >> 32));
+    const __m256i m2 = _mm256_set1_epi64x(static_cast<long long>(kMix2));
+    const __m256i m2_hi =
+        _mm256_set1_epi64x(static_cast<long long>(kMix2 >> 32));
+
+    alignas(32) std::uint64_t h[4];
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(rows[i]) + seed;
+        __m256i x = _mm256_add_epi64(
+            _mm256_set1_epi64x(static_cast<long long>(base)), lane_add);
+        x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+        x = mullo64Avx2(x, m1, m1_hi);
+        x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+        x = mullo64Avx2(x, m2, m2_hi);
+        x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+        _mm256_store_si256(reinterpret_cast<__m256i *>(h), x);
+        slots[i * 4 + 0] = static_cast<std::uint32_t>(size.mod(h[0]));
+        slots[i * 4 + 1] = static_cast<std::uint32_t>(size.mod(h[1]));
+        slots[i * 4 + 2] = static_cast<std::uint32_t>(size.mod(h[2]));
+        slots[i * 4 + 3] = static_cast<std::uint32_t>(size.mod(h[3]));
+    }
+}
+
+} // namespace
+
+#endif // MITHRIL_SIMD_X86
+
+// ------------------------------------------------------------- dispatch
+
+std::size_t
+uniformPrefix(const std::uint32_t *v, std::size_t n, std::uint32_t x)
+{
+#if MITHRIL_SIMD_X86
+    switch (activeLevel()) {
+    case Level::Avx2:
+        return uniformPrefixAvx2(v, n, x);
+    case Level::Sse2:
+        return uniformPrefixSse2(v, n, x);
+    case Level::Scalar:
+        break;
+    }
+#endif
+    return uniformPrefixScalar(v, n, x);
+}
+
+std::size_t
+pairMatchPrefix(const std::uint32_t *v, std::size_t n, std::uint32_t a,
+                std::uint32_t b)
+{
+#if MITHRIL_SIMD_X86
+    switch (activeLevel()) {
+    case Level::Avx2:
+        return pairMatchPrefixAvx2(v, n, a, b);
+    case Level::Sse2:
+        return pairMatchPrefixSse2(v, n, a, b);
+    case Level::Scalar:
+        break;
+    }
+#endif
+    return pairMatchPrefixScalar(v, n, a, b);
+}
+
+std::size_t
+countMatches(const std::uint32_t *v, std::size_t n, std::uint32_t x)
+{
+#if MITHRIL_SIMD_X86
+    switch (activeLevel()) {
+    case Level::Avx2:
+        return countMatchesAvx2(v, n, x);
+    case Level::Sse2:
+        return countMatchesSse2(v, n, x);
+    case Level::Scalar:
+        break;
+    }
+#endif
+    return countMatchesScalar(v, n, x);
+}
+
+void
+bloomHashRows(const RowId *rows, std::size_t n, std::uint64_t seed,
+              std::uint32_t hashes, const U64Divisor &size,
+              std::uint32_t *slots)
+{
+#if MITHRIL_SIMD_X86
+    // The vector tier covers the canonical 4-hash configuration; the
+    // SSE2 tier has no 64-bit multiply worth emulating, so it shares
+    // the scalar body (which already avoids the hardware divide).
+    if (hashes == 4 && activeLevel() == Level::Avx2) {
+        bloomHashRowsAvx2(rows, n, seed, size, slots);
+        return;
+    }
+#endif
+    bloomHashRowsScalar(rows, n, seed, hashes, size, slots);
+}
+
+} // namespace mithril::simd

@@ -1,8 +1,10 @@
 #include "cbs_table.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mithril::core
 {
@@ -12,29 +14,147 @@ CbsTable::CbsTable(std::uint32_t n_entry, std::uint32_t counter_bits)
 {
     MITHRIL_ASSERT(capacity_ > 0);
     MITHRIL_ASSERT(counter_bits >= 2 && counter_bits <= 64);
+    layoutArena();
+    resetState();
+}
 
-    rows_.assign(capacity_, kInvalidRow);
-    counts_.assign(capacity_, 0);
-    entryBucket_.assign(capacity_, 0);
-    entryPrev_.assign(capacity_, kNone);
-    entryNext_.assign(capacity_, kNone);
+void
+CbsTable::layoutArena()
+{
+    bucketCap_ = capacity_ + 2;
+    // Index sized to a power of two >= 2x capacity: load factor <= 1/2
+    // keeps linear-probe chains short and guarantees empty slots.
+    std::uint32_t slots = 16;
+    while (slots < 2 * capacity_)
+        slots <<= 1;
+    indexMask_ = slots - 1;
 
+    const auto align64 = [](std::size_t x) {
+        return (x + 63) & ~static_cast<std::size_t>(63);
+    };
+    std::size_t off = 0;
+    const auto carve = [&](std::size_t bytes) {
+        const std::size_t at = off;
+        off += align64(bytes);
+        return at;
+    };
+    const std::size_t cap = capacity_;
+    const std::size_t o_rows = carve(cap * sizeof(RowId));
+    const std::size_t o_counts = carve(cap * sizeof(std::uint64_t));
+    const std::size_t o_eb = carve(cap * sizeof(std::uint32_t));
+    const std::size_t o_ep = carve(cap * sizeof(std::uint32_t));
+    const std::size_t o_en = carve(cap * sizeof(std::uint32_t));
+    const std::size_t o_bc = carve(bucketCap_ * sizeof(std::uint64_t));
+    const std::size_t o_bh = carve(bucketCap_ * sizeof(std::uint32_t));
+    const std::size_t o_bp = carve(bucketCap_ * sizeof(std::uint32_t));
+    const std::size_t o_bn = carve(bucketCap_ * sizeof(std::uint32_t));
+    const std::size_t o_bs = carve(bucketCap_ * sizeof(std::uint32_t));
+    const std::size_t o_ix =
+        carve(static_cast<std::size_t>(slots) * sizeof(IndexSlot));
+
+    arena_ = std::make_unique<std::byte[]>(off + 63);
+    auto *base = reinterpret_cast<std::byte *>(
+        (reinterpret_cast<std::uintptr_t>(arena_.get()) + 63) &
+        ~static_cast<std::uintptr_t>(63));
+    rows_ = reinterpret_cast<RowId *>(base + o_rows);
+    counts_ = reinterpret_cast<std::uint64_t *>(base + o_counts);
+    entryBucket_ = reinterpret_cast<std::uint32_t *>(base + o_eb);
+    entryPrev_ = reinterpret_cast<std::uint32_t *>(base + o_ep);
+    entryNext_ = reinterpret_cast<std::uint32_t *>(base + o_en);
+    bucketCount_ = reinterpret_cast<std::uint64_t *>(base + o_bc);
+    bucketHead_ = reinterpret_cast<std::uint32_t *>(base + o_bh);
+    bucketPrev_ = reinterpret_cast<std::uint32_t *>(base + o_bp);
+    bucketNext_ = reinterpret_cast<std::uint32_t *>(base + o_bn);
+    bucketSize_ = reinterpret_cast<std::uint32_t *>(base + o_bs);
+    index_ = reinterpret_cast<IndexSlot *>(base + o_ix);
+}
+
+void
+CbsTable::resetState()
+{
     // Like the hardware, the table is always "full": every entry exists
     // from the start with counter 0 and an invalid row address. One
     // bucket (count 0) initially holds all entries.
-    bucketCount_.assign(1, 0);
-    bucketHead_.assign(1, 0);
-    bucketPrev_.assign(1, kNone);
-    bucketNext_.assign(1, kNone);
-    bucketSize_.assign(1, capacity_);
-
     for (std::uint32_t e = 0; e < capacity_; ++e) {
+        rows_[e] = kInvalidRow;
+        counts_[e] = 0;
+        entryBucket_[e] = 0;
         entryPrev_[e] = (e == 0) ? kNone : e - 1;
         entryNext_[e] = (e + 1 == capacity_) ? kNone : e + 1;
     }
+    bucketCount_[0] = 0;
+    bucketHead_[0] = 0;
+    bucketPrev_[0] = kNone;
+    bucketNext_[0] = kNone;
+    bucketSize_[0] = capacity_;
+    bucketUsed_ = 1;
+    bucketFree_ = kNone;
     minBucket_ = 0;
     maxBucket_ = 0;
+
+    for (std::uint32_t i = 0; i <= indexMask_; ++i)
+        index_[i] = IndexSlot{kInvalidRow, 0};
+    indexCount_ = 0;
+
+    size_ = 0;
+    touches_ = 0;
+    inserts_ = 0;
+    evictions_ = 0;
+    cacheRow_[0] = kInvalidRow;
+    cacheRow_[1] = kInvalidRow;
+    cacheEntry_[0] = 0;
+    cacheEntry_[1] = 0;
 }
+
+// ------------------------------------------------------------ flat index
+
+std::uint32_t
+CbsTable::indexFind(RowId row) const
+{
+    std::uint32_t i = hashRow(row) & indexMask_;
+    while (index_[i].row != kInvalidRow) {
+        if (index_[i].row == row)
+            return i;
+        i = (i + 1) & indexMask_;
+    }
+    return kNone;
+}
+
+void
+CbsTable::indexInsert(RowId row, std::uint32_t entry)
+{
+    std::uint32_t i = hashRow(row) & indexMask_;
+    while (index_[i].row != kInvalidRow)
+        i = (i + 1) & indexMask_;
+    index_[i] = IndexSlot{row, entry};
+    ++indexCount_;
+}
+
+void
+CbsTable::indexErase(RowId row)
+{
+    std::uint32_t i = indexFind(row);
+    MITHRIL_ASSERT(i != kNone);
+    --indexCount_;
+    // Backward-shift deletion: pull every displaced element of the
+    // probe chain over the hole so no tombstones accumulate.
+    std::uint32_t j = i;
+    for (;;) {
+        j = (j + 1) & indexMask_;
+        if (index_[j].row == kInvalidRow)
+            break;
+        const std::uint32_t home = hashRow(index_[j].row) & indexMask_;
+        // j's element may fill the hole at i iff its probe path
+        // covers i: dist(home -> j) >= dist(i -> j), cyclically.
+        if (((j - home) & indexMask_) >= ((j - i) & indexMask_)) {
+            index_[i] = index_[j];
+            i = j;
+        }
+    }
+    index_[i].row = kInvalidRow;
+}
+
+// ---------------------------------------------------------------- buckets
 
 std::uint32_t
 CbsTable::allocBucket(std::uint64_t count)
@@ -44,12 +164,8 @@ CbsTable::allocBucket(std::uint64_t count)
         b = bucketFree_;
         bucketFree_ = bucketNext_[b];
     } else {
-        b = static_cast<std::uint32_t>(bucketCount_.size());
-        bucketCount_.push_back(0);
-        bucketHead_.push_back(kNone);
-        bucketPrev_.push_back(kNone);
-        bucketNext_.push_back(kNone);
-        bucketSize_.push_back(0);
+        MITHRIL_ASSERT(bucketUsed_ < bucketCap_);
+        b = bucketUsed_++;
     }
     bucketCount_[b] = count;
     bucketHead_[b] = kNone;
@@ -146,20 +262,21 @@ CbsTable::attachWithCount(std::uint32_t e, std::uint64_t count,
 std::uint32_t
 CbsTable::lookupOrEvict(RowId row)
 {
-    auto it = index_.find(row);
-    if (it != index_.end())
-        return it->second;
+    MITHRIL_ASSERT(row != kInvalidRow);
+    const std::uint32_t slot = indexFind(row);
+    if (slot != kNone)
+        return index_[slot].entry;
     // Miss: evict the head of the minimum bucket and rename it.
     const std::uint32_t e = bucketHead_[minBucket_];
     if (rows_[e] != kInvalidRow) {
-        index_.erase(rows_[e]);
+        indexErase(rows_[e]);
         ++evictions_;
     } else {
         ++size_;
     }
     ++inserts_;
     rows_[e] = row;
-    index_[row] = e;
+    indexInsert(row, e);
     return e;
 }
 
@@ -208,28 +325,101 @@ CbsTable::touchRun(const RowId *rows, std::size_t n,
     std::uint32_t ce0 = cacheEntry_[0], ce1 = cacheEntry_[1];
     std::size_t i = 0;
     while (i < n) {
-        const RowId row = rows[i];
-        ++i;
-        std::uint32_t e;
-        if (cr0 == row && rows_[ce0] == row) {
-            e = ce0;
-        } else {
-            if (cr1 == row && rows_[ce1] == row) {
-                e = ce1;
-            } else {
-                e = lookupOrEvict(row);
-            }
+        const RowId first = rows[i];
+        const bool hit0 = (cr0 == first && rows_[ce0] == first);
+        const bool hit1 = (cr1 == first && rows_[ce1] == first);
+        if (!hit0 && !hit1) {
+            // Miss (or cold way): the faithful scalar step.
+            const std::uint32_t e = lookupOrEvict(first);
             cr1 = cr0;
             ce1 = ce0;
-            cr0 = row;
+            cr0 = first;
             ce0 = e;
+            const std::uint64_t est = incrementEntry(e);
+            ++i;
+            if (divisor == 1 || (check && est * magic <= magic - 1)) {
+                if (hit)
+                    *hit = true;
+                break;
+            }
+            continue;
         }
-        const std::uint64_t est = incrementEntry(e);
-        if (divisor == 1 || (check && est * magic <= magic - 1)) {
-            if (hit)
-                *hit = true;
+
+        // A run of cache hits performs no eviction, so neither way
+        // can be renamed inside it: classify its full length in one
+        // SIMD sweep, then increment without re-validating. A way is
+        // usable for the run only while it is currently valid.
+        const bool ok0 = (rows_[ce0] == cr0);
+        const bool ok1 = (rows_[ce1] == cr1);
+        std::size_t seg;
+        std::size_t k0;
+        if (ok0 && ok1) {
+            seg = simd::pairMatchPrefix(rows + i, n - i, cr0, cr1);
+            k0 = simd::countMatches(rows + i, seg, cr0);
+        } else if (ok0) {
+            seg = simd::uniformPrefix(rows + i, n - i, cr0);
+            k0 = seg;
+        } else {
+            seg = simd::uniformPrefix(rows + i, n - i, cr1);
+            k0 = 0;
+        }
+        const std::size_t k1 = seg - k0;
+
+        // Bulk-apply the whole segment when no touch inside it can
+        // trip the divisor stop: each way then moves buckets once
+        // instead of once per ACT, and the result is identical (an
+        // entry's resting place depends only on its final count). A
+        // stop exists iff (c, c+k] holds a multiple of d, i.e.
+        // c/d != (c+k)/d; divisor == 1 stops on the first touch, so
+        // only the per-element loop below handles it.
+        bool bulk = (divisor == 0);
+        if (check) {
+            const std::uint64_t c0 = counts_[ce0];
+            const std::uint64_t c1 = counts_[ce1];
+            bulk = (c0 / divisor == (c0 + k0) / divisor) &&
+                   (c1 / divisor == (c1 + k1) / divisor);
+        }
+        if (bulk) {
+            // Head order in a shared final bucket mirrors recency of
+            // the *last* touch, so the last row's entry is applied
+            // second (most recent attach lands at the bucket head).
+            if (rows[i + seg - 1] == cr0) {
+                addToEntry(ce1, k1);
+                addToEntry(ce0, k0);
+            } else {
+                addToEntry(ce0, k0);
+                addToEntry(ce1, k1);
+                std::swap(cr0, cr1);
+                std::swap(ce0, ce1);
+            }
+            i += seg;
+            continue;
+        }
+
+        std::size_t k = 0;
+        bool stop = false;
+        while (k < seg) {
+            const RowId row = rows[i + k];
+            const std::uint32_t e = (row == cr0) ? ce0 : ce1;
+            const std::uint64_t est = incrementEntry(e);
+            ++k;
+            if (divisor == 1 || (check && est * magic <= magic - 1)) {
+                if (hit)
+                    *hit = true;
+                stop = true;
+                break;
+            }
+        }
+        // Ways only ever swap inside a hit run (the row set is
+        // invariant), so the final cache order is decided by the last
+        // row touched: way 0 holds it, way 1 the other pair.
+        if (rows[i + k - 1] != cr0) {
+            std::swap(cr0, cr1);
+            std::swap(ce0, ce1);
+        }
+        i += k;
+        if (stop)
             break;
-        }
     }
     touches_ += i;
     cacheRow_[0] = cr0;
@@ -237,6 +427,31 @@ CbsTable::touchRun(const RowId *rows, std::size_t n,
     cacheEntry_[0] = ce0;
     cacheEntry_[1] = ce1;
     return i;
+}
+
+void
+CbsTable::addToEntry(std::uint32_t e, std::uint64_t k)
+{
+    if (k == 0)
+        return;
+    const std::uint32_t b = entryBucket_[e];
+    const std::uint64_t target = counts_[e] + k;
+    const std::uint32_t next = bucketNext_[b];
+
+    if (bucketSize_[b] == 1 &&
+        (next == kNone || bucketCount_[next] > target)) {
+        // Singleton bucket, no bucket in (count, target]: bump in
+        // place, exactly like k in-place single increments.
+        bucketCount_[b] = target;
+        counts_[e] = target;
+        return;
+    }
+    // The walk hint must survive e's detach: b itself while it keeps
+    // other entries, else its predecessor (detach frees an emptied b).
+    const std::uint32_t hint =
+        (bucketSize_[b] > 1) ? b : bucketPrev_[b];
+    detachEntry(e);
+    attachWithCount(e, target, hint);
 }
 
 std::uint64_t
@@ -275,15 +490,15 @@ CbsTable::incrementEntry(std::uint32_t e)
 bool
 CbsTable::contains(RowId row) const
 {
-    return index_.count(row) > 0;
+    return indexFind(row) != kNone;
 }
 
 std::uint64_t
 CbsTable::estimate(RowId row) const
 {
-    auto it = index_.find(row);
-    if (it != index_.end())
-        return counts_[it->second];
+    const std::uint32_t slot = indexFind(row);
+    if (slot != kNone)
+        return counts_[index_[slot].entry];
     return minValue();
 }
 
@@ -325,10 +540,10 @@ CbsTable::resetMaxToMin()
 bool
 CbsTable::resetRowToMin(RowId row)
 {
-    auto it = index_.find(row);
-    if (it == index_.end())
+    const std::uint32_t slot = indexFind(row);
+    if (slot == kNone)
         return false;
-    const std::uint32_t e = it->second;
+    const std::uint32_t e = index_[slot].entry;
     if (entryBucket_[e] == minBucket_)
         return true;
     const std::uint64_t target = bucketCount_[minBucket_];
@@ -340,9 +555,7 @@ CbsTable::resetRowToMin(RowId row)
 void
 CbsTable::clear()
 {
-    const std::uint32_t cap = capacity_;
-    const std::uint32_t bits = counterBits_;
-    *this = CbsTable(cap, bits);
+    resetState();
 }
 
 std::vector<CbsTable::Entry>
@@ -374,6 +587,19 @@ CbsTable::wrappedLess(std::uint64_t a, std::uint64_t b, std::uint32_t bits)
     const std::uint64_t diff = (a - b) & mask;
     const std::uint64_t half = 1ull << (bits - 1);
     return diff != 0 && diff >= half;
+}
+
+bool
+CbsTable::hotStateCacheAligned() const
+{
+    const auto aligned = [](const void *p) {
+        return (reinterpret_cast<std::uintptr_t>(p) & 63u) == 0;
+    };
+    return aligned(rows_) && aligned(counts_) && aligned(entryBucket_) &&
+           aligned(entryPrev_) && aligned(entryNext_) &&
+           aligned(bucketCount_) && aligned(bucketHead_) &&
+           aligned(bucketPrev_) && aligned(bucketNext_) &&
+           aligned(bucketSize_) && aligned(index_);
 }
 
 bool
@@ -418,20 +644,38 @@ CbsTable::checkInvariants() const
     if (seen_entries != capacity_)
         return false;
 
-    // Index consistency.
-    for (const auto &[row, e] : index_) {
+    // Index consistency: every occupied slot maps to a live entry AND
+    // is reachable by its probe chain (no break left by a bad
+    // backward-shift delete).
+    std::uint32_t occupied = 0;
+    for (std::uint32_t i = 0; i <= indexMask_; ++i) {
+        const RowId row = index_[i].row;
+        if (row == kInvalidRow)
+            continue;
+        ++occupied;
+        const std::uint32_t e = index_[i].entry;
         if (e >= capacity_ || rows_[e] != row)
             return false;
+        for (std::uint32_t p = hashRow(row) & indexMask_;;
+             p = (p + 1) & indexMask_) {
+            if (p == i)
+                break;
+            if (index_[p].row == kInvalidRow)
+                return false;
+        }
     }
+    if (occupied != indexCount_)
+        return false;
+
     std::uint32_t valid = 0;
     for (std::uint32_t e = 0; e < capacity_; ++e) {
         if (rows_[e] != kInvalidRow) {
             ++valid;
-            if (!index_.count(rows_[e]))
+            if (indexFind(rows_[e]) == kNone)
                 return false;
         }
     }
-    return valid == size_ && valid == index_.size();
+    return valid == size_ && valid == indexCount_;
 }
 
 } // namespace mithril::core

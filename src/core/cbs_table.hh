@@ -22,6 +22,15 @@
  * reset-max-to-min operations. MinPtr/MaxPtr of the paper's hardware are
  * the first/last buckets of the list.
  *
+ * Memory layout: every array (entries, buckets, and the row->entry
+ * index) lives in ONE cache-line-aligned arena sized at construction,
+ * and the index is a fixed-capacity open-addressing table (linear
+ * probing, backward-shift deletion) instead of a node-based hash map.
+ * Consequences the sharded engine depends on: steady-state operation —
+ * including every eviction and clear() — performs zero heap
+ * allocations (no cross-shard allocator contention), and no hot
+ * CbsTable state shares a cache line with another shard's.
+ *
  * Counters are kept as absolute 64-bit values internally; the hardware's
  * *wrapping* counters (Section IV-E) are equivalent as long as the
  * max-min spread stays below half the counter range, which Theorem 1
@@ -32,8 +41,9 @@
 #ifndef MITHRIL_CORE_CBS_TABLE_HH
 #define MITHRIL_CORE_CBS_TABLE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
@@ -58,6 +68,11 @@ class CbsTable
      *                     only by the wrapped-view helpers.
      */
     explicit CbsTable(std::uint32_t n_entry, std::uint32_t counter_bits = 32);
+
+    CbsTable(CbsTable &&) noexcept = default;
+    CbsTable &operator=(CbsTable &&) noexcept = default;
+    CbsTable(const CbsTable &) = delete;
+    CbsTable &operator=(const CbsTable &) = delete;
 
     std::uint32_t capacity() const { return capacity_; }
     std::uint32_t size() const { return size_; }
@@ -85,6 +100,9 @@ class CbsTable
      * first touch whose new estimate is a multiple of `divisor` —
      * the Graphene-family ARR/buffer trigger, evaluated without a
      * per-touch division (Lemire divisibility) — and set *hit.
+     * Runs of cache hits are classified in one SIMD sweep
+     * (simd::pairMatchPrefix): no eviction can rename an entry inside
+     * a hit run, so the two ways stay valid for its whole length.
      * Returns the number of rows touched; value-identical to calling
      * touch() that many times.
      */
@@ -124,7 +142,8 @@ class CbsTable
     /** Reset the given on-table row's counter to the table minimum. */
     bool resetRowToMin(RowId row);
 
-    /** Remove every entry (used only by baselines with table resets). */
+    /** Remove every entry (used only by baselines with table resets).
+     *  Resets in place — never touches the allocator. */
     void clear();
 
     /** Snapshot of all entries (unspecified order). */
@@ -146,6 +165,10 @@ class CbsTable
      */
     bool checkInvariants() const;
 
+    /** True when every hot arena array starts on its own cache line
+     *  (the padding guarantee the sharded engine relies on). */
+    bool hotStateCacheAligned() const;
+
     /** Total touch operations processed. */
     std::uint64_t touches() const { return touches_; }
 
@@ -158,6 +181,38 @@ class CbsTable
   private:
     static constexpr std::uint32_t kNone = 0xffffffffu;
 
+    /** Open-addressing index slot; row == kInvalidRow marks empty. */
+    struct IndexSlot
+    {
+        RowId row;
+        std::uint32_t entry;
+    };
+
+    /** 32-bit finalizer (murmur3 fmix32) for the index hash. */
+    static std::uint32_t hashRow(RowId row)
+    {
+        std::uint32_t h = row;
+        h ^= h >> 16;
+        h *= 0x85ebca6bu;
+        h ^= h >> 13;
+        h *= 0xc2b2ae35u;
+        h ^= h >> 16;
+        return h;
+    }
+
+    /** Carve every array out of one 64-byte-aligned arena. */
+    void layoutArena();
+
+    /** Reset all arrays to the freshly-constructed state (no
+     *  allocation; shared by the constructor and clear()). */
+    void resetState();
+
+    // Flat-index primitives (load factor <= 1/2 by construction, so
+    // linear probing always terminates at an empty slot).
+    std::uint32_t indexFind(RowId row) const;
+    void indexInsert(RowId row, std::uint32_t entry);
+    void indexErase(RowId row);
+
     /** Hit-or-evict lookup shared by touch()/touchFast(): the entry
      *  now holding `row` (index updated on eviction). */
     std::uint32_t lookupOrEvict(RowId row);
@@ -165,6 +220,16 @@ class CbsTable
     /** The counter-increment bucket dance for entry e; returns the
      *  new count. */
     std::uint64_t incrementEntry(std::uint32_t e);
+
+    /**
+     * Add k to entry e in one bucket move — the bulk form of k
+     * incrementEntry() calls. Final-state-identical to the sequential
+     * increments: an entry's resting place depends only on its final
+     * count (transits through intermediate buckets leave no trace),
+     * and the caller orders the per-entry bulk adds so head order in
+     * a shared final bucket matches the sequential interleaving.
+     */
+    void addToEntry(std::uint32_t e, std::uint64_t k);
 
     /** Detach entry e from its bucket (bucket freed if emptied). */
     void detachEntry(std::uint32_t e);
@@ -184,20 +249,32 @@ class CbsTable
     std::uint64_t inserts_ = 0;
     std::uint64_t evictions_ = 0;
 
-    // Entry arrays (index = entry id).
-    std::vector<RowId> rows_;
-    std::vector<std::uint64_t> counts_;
-    std::vector<std::uint32_t> entryBucket_;
-    std::vector<std::uint32_t> entryPrev_;
-    std::vector<std::uint32_t> entryNext_;
+    /** Backing storage for every array below (single allocation). */
+    std::unique_ptr<std::byte[]> arena_;
 
-    // Bucket arrays (index = bucket id), free-listed.
-    std::vector<std::uint64_t> bucketCount_;
-    std::vector<std::uint32_t> bucketHead_;
-    std::vector<std::uint32_t> bucketPrev_;
-    std::vector<std::uint32_t> bucketNext_;
-    std::vector<std::uint32_t> bucketSize_;
+    // Entry arrays (index = entry id), in the arena.
+    RowId *rows_ = nullptr;
+    std::uint64_t *counts_ = nullptr;
+    std::uint32_t *entryBucket_ = nullptr;
+    std::uint32_t *entryPrev_ = nullptr;
+    std::uint32_t *entryNext_ = nullptr;
+
+    // Bucket arrays (index = bucket id), free-listed, in the arena.
+    // At most capacity buckets are live (plus one in flight), so
+    // bucketCap_ = capacity + 2 never overflows.
+    std::uint64_t *bucketCount_ = nullptr;
+    std::uint32_t *bucketHead_ = nullptr;
+    std::uint32_t *bucketPrev_ = nullptr;
+    std::uint32_t *bucketNext_ = nullptr;
+    std::uint32_t *bucketSize_ = nullptr;
+    std::uint32_t bucketCap_ = 0;
+    std::uint32_t bucketUsed_ = 0;  //!< High-water of allocated ids.
     std::uint32_t bucketFree_ = kNone;
+
+    // Open-addressing row->entry index, in the arena.
+    IndexSlot *index_ = nullptr;
+    std::uint32_t indexMask_ = 0;
+    std::uint32_t indexCount_ = 0;
 
     std::uint32_t minBucket_ = kNone;  //!< MinPtr.
     std::uint32_t maxBucket_ = kNone;  //!< MaxPtr.
@@ -206,8 +283,6 @@ class CbsTable
      *  most recent. Validated against rows_ before use. */
     RowId cacheRow_[2] = {kInvalidRow, kInvalidRow};
     std::uint32_t cacheEntry_[2] = {0, 0};
-
-    std::unordered_map<RowId, std::uint32_t> index_;
 };
 
 } // namespace mithril::core

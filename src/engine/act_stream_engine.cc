@@ -37,6 +37,14 @@ ActStreamEngine::ActStreamEngine(const EngineConfig &config,
 {
     MITHRIL_ASSERT(config_.geometry.totalBanks() > 0);
     MITHRIL_ASSERT(config_.timing.tRC > 0);
+    tRcDiv_ = simd::U64Divisor(
+        static_cast<std::uint64_t>(config_.timing.tRC));
+    const auto num_banks =
+        static_cast<std::uint32_t>(banks_.size());
+    partCount_.assign(num_banks, 0);
+    partOffset_.assign(num_banks, 0);
+    partCursor_.assign(num_banks, 0);
+    partRows_.resize(ActBatch::kCapacity);
     for (BankState &bs : banks_)
         bs.nextRef = config_.timing.tREFI;
     if (tracker_) {
@@ -181,9 +189,11 @@ ActStreamEngine::processRun(BankState &bs, BankId bank,
 
         // Cut the run at the next REF boundary and RFM epoch so the
         // span's ticks are exact under the uniform tRC stride.
+        // until_ref > 0 after maybeRefresh(), so the prepared-divisor
+        // ceil equals the signed expression it replaced.
         const Tick until_ref = bs.nextRef - bs.now;
-        std::uint64_t cap = static_cast<std::uint64_t>(
-            (until_ref + t_rc - 1) / t_rc);
+        std::uint64_t cap = tRcDiv_.div(
+            static_cast<std::uint64_t>(until_ref + t_rc - 1));
         if (usesRfm_)
             cap = std::min<std::uint64_t>(cap, rfmTh_ - bs.raa);
         cap = std::min<std::uint64_t>(cap, n);
@@ -235,31 +245,60 @@ ActStreamEngine::processRun(BankState &bs, BankId bank,
 void
 ActStreamEngine::dispatchBatch(const ActBatch &batch, std::size_t n)
 {
-    // Partition per bank (buffers reused; clear() keeps capacity).
-    // Both dispatch modes traverse the partition in ascending bank
-    // order so they agree on the interleaving seen by process-wide
-    // tracker state (shared RNGs, logic-op counters).
-    for (BankState &bs : banks_)
-        bs.rows.clear();
+    if (n == 0)
+        return;
     const BankId *bank_col = batch.banks();
     const RowId *row_col = batch.rows();
-    for (std::size_t i = 0; i < n; ++i) {
-        MITHRIL_ASSERT(bank_col[i] < banks_.size());
-        banks_[bank_col[i]].rows.push_back(row_col[i]);
-    }
-
+    const auto num_banks = static_cast<std::uint32_t>(banks_.size());
     const bool scalar =
         config_.dispatch == EngineConfig::Dispatch::Scalar ||
         config_.honorThrottle;
-    for (BankId bank = 0; bank < banks_.size(); ++bank) {
-        BankState &bs = banks_[bank];
-        if (bs.rows.empty())
-            continue;
+
+    // Uniform-bank fast path: sharded runs and single-bank workloads
+    // deliver whole batches on one bank; one SIMD sweep detects that
+    // and skips the partition entirely. Dispatch order is trivially
+    // identical (one bank, stream order).
+    if (simd::uniformPrefix(bank_col, n, bank_col[0]) == n) {
+        const BankId bank = bank_col[0];
+        MITHRIL_ASSERT(bank < num_banks);
         if (scalar) {
-            for (RowId row : bs.rows)
-                activate(bank, row);
+            for (std::size_t i = 0; i < n; ++i)
+                activate(bank, row_col[i]);
         } else {
-            processRun(bs, bank, bs.rows.data(), bs.rows.size());
+            processRun(banks_[bank], bank, row_col, n);
+        }
+        return;
+    }
+
+    // Counting-sort partition into one flat reused buffer (stable, so
+    // each bank's slice keeps stream order). Both dispatch modes
+    // traverse the partition in ascending bank order so they agree on
+    // the interleaving seen by process-wide tracker state (shared
+    // RNGs, logic-op counters).
+    std::fill(partCount_.begin(), partCount_.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+        MITHRIL_ASSERT(bank_col[i] < num_banks);
+        ++partCount_[bank_col[i]];
+    }
+    std::uint32_t off = 0;
+    for (std::uint32_t b = 0; b < num_banks; ++b) {
+        partOffset_[b] = off;
+        partCursor_[b] = off;
+        off += partCount_[b];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        partRows_[partCursor_[bank_col[i]]++] = row_col[i];
+
+    for (BankId bank = 0; bank < num_banks; ++bank) {
+        const std::uint32_t count = partCount_[bank];
+        if (count == 0)
+            continue;
+        const RowId *rows = partRows_.data() + partOffset_[bank];
+        if (scalar) {
+            for (std::uint32_t i = 0; i < count; ++i)
+                activate(bank, rows[i]);
+        } else {
+            processRun(banks_[bank], bank, rows, count);
         }
     }
 }

@@ -25,9 +25,13 @@
  *    the bank clock), which keeps both modes byte-identical at any
  *    batch size — pinned by the engine equivalence golden test.
  *
- * Every buffer (batch, per-bank partitions, ARR scratch) is reused
+ * Every buffer (batch, partition scratch, ARR scratch) is reused
  * across the run, so the steady-state loop performs zero heap
- * allocations.
+ * allocations. Per-bank hot state is cache-line-aligned (one
+ * `BankState` per line) so engines running on different shard threads
+ * never false-share, and the batch partition is a flat counting sort
+ * into one reused buffer — with a SIMD uniform-bank fast path that
+ * skips it entirely for the single-bank batches sharded runs produce.
  */
 
 #ifndef MITHRIL_ENGINE_ACT_STREAM_ENGINE_HH
@@ -36,6 +40,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hh"
 #include "dram/rh_oracle.hh"
 #include "dram/timing.hh"
 #include "engine/act_source.hh"
@@ -163,8 +168,10 @@ class ActStreamEngine
     void exportTelemetry();
 
   private:
-    /** Per-bank interleaving state. */
-    struct BankState
+    /** Per-bank interleaving state, padded to exactly one cache line
+     *  so adjacent banks — and engines on different shard threads —
+     *  never false-share. */
+    struct alignas(64) BankState
     {
         Tick now = 0;
         Tick nextRef = 0;
@@ -173,9 +180,11 @@ class ActStreamEngine
         std::uint64_t refs = 0;
         std::uint64_t rfms = 0;
         std::uint64_t preventive = 0;
-        /** Partition buffer: this bank's rows of the current batch. */
-        std::vector<RowId> rows;
     };
+    static_assert(sizeof(BankState) == 64,
+                  "BankState must fill exactly one cache line");
+    static_assert(alignof(BankState) == 64,
+                  "BankState must start on a cache-line boundary");
 
     /** Catch the bank up on every REF due at or before its clock. */
     void maybeRefresh(BankState &bs, BankId bank);
@@ -210,6 +219,18 @@ class ActStreamEngine
     std::vector<BankState> banks_;
     trackers::ActScratch scratch_;
     ActBatch batch_;
+
+    /** REF-boundary division by tRC without a hardware divide. */
+    simd::U64Divisor tRcDiv_;
+
+    // Flat counting-sort partition scratch (reused; see
+    // dispatchBatch()). partRows_ holds the batch's rows grouped by
+    // bank: bank b's slice is [partOffset_[b], partOffset_[b] +
+    // partCount_[b]).
+    std::vector<std::uint32_t> partCount_;
+    std::vector<std::uint32_t> partOffset_;
+    std::vector<std::uint32_t> partCursor_;
+    std::vector<RowId> partRows_;
 
     std::uint64_t acts_ = 0;
     std::uint64_t refs_ = 0;

@@ -78,7 +78,17 @@ ShardedActStreamEngine::ShardedActStreamEngine(
             engine_config, shard.tracker.get());
         shards_.push_back(std::move(shard));
     }
-    shardWallSec_.assign(shards_.size(), 0.0);
+    slots_.assign(shards_.size(), ShardSlot{});
+}
+
+bool
+ShardedActStreamEngine::shardSlotsCacheAligned() const
+{
+    for (const ShardSlot &slot : slots_) {
+        if ((reinterpret_cast<std::uintptr_t>(&slot) & 63u) != 0)
+            return false;
+    }
+    return true;
 }
 
 std::uint32_t
@@ -149,15 +159,17 @@ ShardedActStreamEngine::runShards(
     std::vector<std::unique_ptr<ActSource>> &sources)
 {
     MITHRIL_ASSERT(sources.size() == shards_.size());
-    // Each shard writes only its own slot: the merged result below is
+    // Each shard writes only its own cache-line-padded slot: no
+    // false sharing between workers, and the merged result below is
     // deterministic regardless of scheduling or completion order.
     const bool phases = config_.telemetry.phases;
-    std::vector<std::uint64_t> done(shards_.size(), 0);
+    for (ShardSlot &slot : slots_)
+        slot.done = 0;
     auto body = [&](std::size_t s) {
         telemetry::PhaseTimer timer;
-        done[s] = shards_[s].engine->run(*sources[s]);
+        slots_[s].done = shards_[s].engine->run(*sources[s]);
         if (phases)
-            shardWallSec_[s] += timer.lap();
+            slots_[s].wallSec += timer.lap();
     };
 
     telemetry::PhaseTimer total_timer;
@@ -174,14 +186,14 @@ ShardedActStreamEngine::runShards(
         // slowest shard (scheduling + merge barrier).
         const double wall = total_timer.lap();
         double slowest = 0.0;
-        for (double w : shardWallSec_)
-            slowest = std::max(slowest, w);
+        for (const ShardSlot &slot : slots_)
+            slowest = std::max(slowest, slot.wallSec);
         joinSec_ += std::max(0.0, wall - slowest);
     }
 
     std::uint64_t total = 0;
-    for (std::uint64_t d : done)
-        total += d;
+    for (const ShardSlot &slot : slots_)
+        total += slot.done;
     return total;
 }
 

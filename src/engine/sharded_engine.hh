@@ -251,8 +251,12 @@ class ShardedActStreamEngine
      *  profiling only; 0 otherwise). */
     double shardWallSec(std::uint32_t shard) const
     {
-        return shardWallSec_.at(shard);
+        return slots_.at(shard).wallSec;
     }
+
+    /** True when every per-shard result slot starts on its own cache
+     *  line (the padding guarantee runShards() relies on). */
+    bool shardSlotsCacheAligned() const;
 
     /** Wall seconds of join overhead: total runShards wall minus the
      *  slowest shard (phase profiling only). */
@@ -268,6 +272,20 @@ class ShardedActStreamEngine
         std::unique_ptr<ActStreamEngine> engine;
     };
 
+    /** Per-shard result slot written by that shard's pool worker
+     *  during runShards(). Padded to one cache line: every worker
+     *  stores into its own line, so the hot loop never false-shares
+     *  the result array. */
+    struct alignas(64) ShardSlot
+    {
+        std::uint64_t done = 0;
+        double wallSec = 0.0;
+    };
+    static_assert(sizeof(ShardSlot) == 64,
+                  "ShardSlot must fill exactly one cache line");
+    static_assert(alignof(ShardSlot) == 64,
+                  "ShardSlot must start on a cache-line boundary");
+
     const ActStreamEngine &engineFor(BankId bank) const
     {
         return *shards_.at(shardFor(bank)).engine;
@@ -281,7 +299,7 @@ class ShardedActStreamEngine
     ShardedEngineConfig config_;
     std::uint32_t numBanks_;
     std::vector<Shard> shards_;
-    std::vector<double> shardWallSec_;
+    std::vector<ShardSlot> slots_;
     double joinSec_ = 0.0;
 };
 

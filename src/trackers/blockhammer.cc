@@ -13,13 +13,8 @@ namespace mithril::trackers
 namespace
 {
 
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
+/** Rows hashed per simd::bloomHashRows call in the batched path. */
+constexpr std::size_t kHashBlock = 256;
 
 } // namespace
 
@@ -37,7 +32,8 @@ BlockHammer::BlockHammer(std::uint32_t num_banks,
                static_cast<Tick>(params_.nbl) * params_.tRc) /
               static_cast<Tick>(params_.flipTh - params_.nbl);
     MITHRIL_ASSERT(tDelay_ > 0);
-    slotScratch_.resize(params_.hashes);
+    cbfMod_ = simd::U64Divisor(params_.cbfSize);
+    slotScratch_.resize(kHashBlock * params_.hashes);
 
     for (auto &bank : banks_) {
         bank.filters[0].counts.assign(params_.cbfSize, 0);
@@ -53,9 +49,9 @@ std::size_t
 BlockHammer::hashSlot(RowId row, std::uint32_t i) const
 {
     const std::uint64_t h =
-        mix64(static_cast<std::uint64_t>(row) + params_.seed +
-              0x9e3779b97f4a7c15ull * (i + 1));
-    return static_cast<std::size_t>(h % params_.cbfSize);
+        simd::mix64(static_cast<std::uint64_t>(row) + params_.seed +
+                    0x9e3779b97f4a7c15ull * (i + 1));
+    return static_cast<std::size_t>(cbfMod_.mod(h));
 }
 
 void
@@ -122,33 +118,40 @@ BlockHammer::onActivateBatch(const ActSpan &span,
         return RhProtection::onActivateBatch(span, arr_aggressors);
 
     const std::uint32_t cap = (1u << params_.counterBits) - 1;
-    std::size_t *slots = slotScratch_.data();
+    const std::uint32_t hashes = params_.hashes;
     Cbf &f0 = state.filters[0];
     Cbf &f1 = state.filters[1];
-    for (std::size_t i = 0; i < span.size; ++i) {
-        const RowId row = span.rows[i];
-        countOp(2 * params_.hashes);
-        for (std::uint32_t h = 0; h < params_.hashes; ++h)
-            slots[h] = hashSlot(row, h);
-        for (std::uint32_t h = 0; h < params_.hashes; ++h) {
-            auto &slot = f0.counts[slots[h]];
-            if (slot < cap)
-                ++slot;
+    for (std::size_t block = 0; block < span.size; block += kHashBlock) {
+        const std::size_t m = std::min(kHashBlock, span.size - block);
+        // All hash work for the block in one lane-parallel sweep; the
+        // insert/estimate walk below only chases the slot indices.
+        simd::bloomHashRows(span.rows + block, m, params_.seed, hashes,
+                            cbfMod_, slotScratch_.data());
+        countOp(2ull * hashes * m);
+        const std::uint32_t *slots = slotScratch_.data();
+        for (std::size_t i = 0; i < m; ++i, slots += hashes) {
+            for (std::uint32_t h = 0; h < hashes; ++h) {
+                auto &slot = f0.counts[slots[h]];
+                if (slot < cap)
+                    ++slot;
+            }
+            for (std::uint32_t h = 0; h < hashes; ++h) {
+                auto &slot = f1.counts[slots[h]];
+                if (slot < cap)
+                    ++slot;
+            }
+            // estimate() over the post-insert counts, reusing the
+            // slots.
+            std::uint32_t min0 = ~0u;
+            std::uint32_t min1 = ~0u;
+            for (std::uint32_t h = 0; h < hashes; ++h) {
+                min0 = std::min(min0, f0.counts[slots[h]]);
+                min1 = std::min(min1, f1.counts[slots[h]]);
+            }
+            if (std::max(min0, min1) >= params_.nbl)
+                state.lastBlacklistedAct[span.rows[block + i]] =
+                    span.tickAt(block + i);
         }
-        for (std::uint32_t h = 0; h < params_.hashes; ++h) {
-            auto &slot = f1.counts[slots[h]];
-            if (slot < cap)
-                ++slot;
-        }
-        // estimate() over the post-insert counts, reusing the slots.
-        std::uint32_t min0 = ~0u;
-        std::uint32_t min1 = ~0u;
-        for (std::uint32_t h = 0; h < params_.hashes; ++h) {
-            min0 = std::min(min0, f0.counts[slots[h]]);
-            min1 = std::min(min1, f1.counts[slots[h]]);
-        }
-        if (std::max(min0, min1) >= params_.nbl)
-            state.lastBlacklistedAct[row] = span.tickAt(i);
     }
     return span.size;
 }

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/simd.hh"
 #include "trackers/rh_protection.hh"
 
 namespace mithril::trackers
@@ -54,7 +55,9 @@ class BlockHammer : public RhProtection
     void onActivate(BankId bank, RowId row, Tick now,
                     std::vector<RowId> &arr_aggressors) override;
 
-    /** Batched hot path: each row's CBF slots are hashed once and
+    /** Batched hot path: the span's rows are hashed block-at-a-time
+     *  through simd::bloomHashRows (lane-parallel mix64 + exact
+     *  Barrett modulo — no hardware divide), and each row's slots are
      *  reused for both filters' inserts *and* the blacklist estimate
      *  (the scalar path hashes 4x per ACT: two filter inserts plus
      *  estimate()), with the epoch-rotation check hoisted to the span
@@ -102,11 +105,14 @@ class BlockHammer : public RhProtection
 
     BlockHammerParams params_;
     Tick tDelay_;
+    /** Prepared exact divisor for `% cbfSize` (Barrett reduction). */
+    simd::U64Divisor cbfMod_;
     std::vector<BankState> banks_;
     std::uint64_t throttles_ = 0;
-    /** Reusable per-row slot indices for the batched path (one hash
-     *  evaluation per row instead of four). */
-    std::vector<std::size_t> slotScratch_;
+    /** Reusable slot-index block for the batched path (one hash
+     *  evaluation per row instead of four, a block of rows at a
+     *  time). */
+    std::vector<std::uint32_t> slotScratch_;
 };
 
 } // namespace mithril::trackers

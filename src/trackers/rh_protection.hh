@@ -77,8 +77,15 @@ struct ActScratch
     void reset() { arr.clear(); }
 };
 
-/** Base class for all protection schemes. */
-class RhProtection
+/**
+ * Base class for all protection schemes.
+ *
+ * The base is cache-line-aligned: the sharded engine allocates one
+ * tracker per shard back-to-back on the main thread, and every shard
+ * worker bumps its own tracker's logic-op counter from the hot loop —
+ * the alignment keeps two shards' tracker headers off one line.
+ */
+class alignas(64) RhProtection
 {
   public:
     virtual ~RhProtection() = default;

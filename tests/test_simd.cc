@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Differential suite pinning every SIMD kernel byte-identical to its
+ * scalar reference, at every dispatch tier this build and CPU support.
+ *
+ * The contract under test (common/simd.hh): vector code only ever
+ * changes how a result is computed, never what it is. Each section
+ * iterates setLevelForTest() over scalar/sse2/avx2 and compares the
+ * dispatching kernel against the pinned `*Scalar` reference across
+ * sizes 0..130 and 4096, misaligned heads/tails, and adversarial
+ * mismatch positions. On top of the raw kernels, the suite pins the
+ * structures built from them: CbsTable::touchRun (including the
+ * segment-bulk path) against a touch() loop, and whole-engine
+ * outcomes across SIMD tiers at shard counts {1, 2, 4, 16}. The
+ * cache-line padding guarantees the sharded engine relies on are
+ * checked here too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/simd.hh"
+#include "core/cbs_table.hh"
+#include "engine/act_stream_engine.hh"
+#include "engine/sharded_engine.hh"
+#include "registry/scheme_registry.hh"
+#include "registry/source_registry.hh"
+
+namespace mithril
+{
+namespace
+{
+
+/** Every tier the running CPU supports (always includes Scalar). */
+std::vector<simd::Level>
+supportedLevels()
+{
+    std::vector<simd::Level> levels = {simd::Level::Scalar};
+    if (simd::maxLevel() >= simd::Level::Sse2)
+        levels.push_back(simd::Level::Sse2);
+    if (simd::maxLevel() >= simd::Level::Avx2)
+        levels.push_back(simd::Level::Avx2);
+    return levels;
+}
+
+/** Restore the dispatch tier when a test scope ends. */
+struct ScopedLevel
+{
+    simd::Level saved;
+
+    explicit ScopedLevel(simd::Level level)
+        : saved(simd::activeLevel())
+    {
+        simd::setLevelForTest(level);
+    }
+
+    ~ScopedLevel() { simd::setLevelForTest(saved); }
+};
+
+// ------------------------------------------------------------ U64Divisor
+
+TEST(U64Divisor, MatchesHardwareDivModEverywhere)
+{
+    std::vector<std::uint64_t> divisors;
+    for (std::uint64_t d = 1; d <= 4096; ++d)
+        divisors.push_back(d);
+    for (std::uint32_t k = 1; k < 64; ++k) {
+        const std::uint64_t p = 1ull << k;
+        divisors.push_back(p);
+        divisors.push_back(p - 1);
+        divisors.push_back(p + 1);
+    }
+    Rng rng(0xd1b1d3ull);
+    for (int i = 0; i < 64; ++i)
+        divisors.push_back(rng.next() | 1);
+
+    for (const std::uint64_t d : divisors) {
+        const simd::U64Divisor div(d);
+        std::vector<std::uint64_t> xs = {0,     1,      d - 1, d,
+                                         d + 1, 2 * d, ~0ull, ~0ull - 1};
+        for (int i = 0; i < 64; ++i)
+            xs.push_back(rng.next());
+        for (const std::uint64_t x : xs) {
+            ASSERT_EQ(div.div(x), x / d) << "x=" << x << " d=" << d;
+            ASSERT_EQ(div.mod(x), x % d) << "x=" << x << " d=" << d;
+        }
+    }
+}
+
+// --------------------------------------------------- prefix/count kernels
+
+/** Sizes exercising every head/body/tail split of the vector loops. */
+std::vector<std::size_t>
+kernelSizes()
+{
+    std::vector<std::size_t> sizes;
+    for (std::size_t n = 0; n <= 130; ++n)
+        sizes.push_back(n);
+    sizes.push_back(4096);
+    return sizes;
+}
+
+TEST(SimdKernels, UniformPrefixMatchesScalarAtEveryLevel)
+{
+    constexpr std::uint32_t kX = 0xabcd1234u;
+    for (const simd::Level level : supportedLevels()) {
+        ScopedLevel scoped(level);
+        for (const std::size_t n : kernelSizes()) {
+            // Misaligned heads: offset the window into the buffer.
+            for (std::size_t off = 0; off < 4; ++off) {
+                std::vector<std::uint32_t> buf(off + n + 8, kX);
+                const std::uint32_t *v = buf.data() + off;
+                ASSERT_EQ(simd::uniformPrefix(v, n, kX),
+                          simd::uniformPrefixScalar(v, n, kX))
+                    << "all-match n=" << n << " off=" << off;
+                // A mismatch at every possible position.
+                for (std::size_t miss = 0; miss < n;
+                     miss += (n > 40 ? 7 : 1)) {
+                    buf[off + miss] = kX + 1;
+                    ASSERT_EQ(simd::uniformPrefix(v, n, kX),
+                              simd::uniformPrefixScalar(v, n, kX))
+                        << "miss=" << miss << " n=" << n;
+                    ASSERT_EQ(simd::uniformPrefix(v, n, kX), miss);
+                    buf[off + miss] = kX;
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, PairMatchPrefixMatchesScalarAtEveryLevel)
+{
+    constexpr std::uint32_t kA = 7u, kB = 0xffff0000u;
+    Rng rng(0x9a12);
+    for (const simd::Level level : supportedLevels()) {
+        ScopedLevel scoped(level);
+        for (const std::size_t n : kernelSizes()) {
+            for (std::size_t off = 0; off < 4; ++off) {
+                std::vector<std::uint32_t> buf(off + n + 8);
+                for (auto &x : buf)
+                    x = (rng.next() & 1) ? kA : kB;
+                const std::uint32_t *v = buf.data() + off;
+                ASSERT_EQ(simd::pairMatchPrefix(v, n, kA, kB),
+                          simd::pairMatchPrefixScalar(v, n, kA, kB));
+                ASSERT_EQ(simd::pairMatchPrefix(v, n, kA, kB), n);
+                for (std::size_t miss = 0; miss < n;
+                     miss += (n > 40 ? 7 : 1)) {
+                    const std::uint32_t old = buf[off + miss];
+                    buf[off + miss] = kA ^ kB;  // neither way
+                    ASSERT_EQ(
+                        simd::pairMatchPrefix(v, n, kA, kB),
+                        simd::pairMatchPrefixScalar(v, n, kA, kB));
+                    ASSERT_EQ(simd::pairMatchPrefix(v, n, kA, kB),
+                              miss);
+                    buf[off + miss] = old;
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, CountMatchesMatchesScalarAtEveryLevel)
+{
+    constexpr std::uint32_t kX = 42u;
+    Rng rng(0xc0de);
+    for (const simd::Level level : supportedLevels()) {
+        ScopedLevel scoped(level);
+        for (const std::size_t n : kernelSizes()) {
+            for (std::size_t off = 0; off < 4; ++off) {
+                std::vector<std::uint32_t> buf(off + n + 8);
+                std::size_t expected = 0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const bool match = rng.next() & 1;
+                    buf[off + i] = match ? kX : kX + 1 + (i & 7);
+                    expected += match;
+                }
+                const std::uint32_t *v = buf.data() + off;
+                ASSERT_EQ(simd::countMatches(v, n, kX),
+                          simd::countMatchesScalar(v, n, kX));
+                ASSERT_EQ(simd::countMatches(v, n, kX), expected)
+                    << "n=" << n << " off=" << off;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- bloom hash
+
+TEST(SimdKernels, BloomHashRowsMatchesScalarAndFormula)
+{
+    constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+    const std::uint64_t seed = 0xfeedface;
+    Rng rng(0xb100f);
+    for (const std::uint32_t hashes : {1u, 2u, 4u, 5u}) {
+        for (const std::uint64_t size : {17ull, 1024ull, 16384ull}) {
+            const simd::U64Divisor div(size);
+            for (const std::size_t n :
+                 {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                  std::size_t{64}, std::size_t{257}}) {
+                std::vector<RowId> rows(n);
+                for (auto &r : rows)
+                    r = static_cast<RowId>(rng.next());
+
+                std::vector<std::uint32_t> ref(n * hashes + 1,
+                                               0xdeadu);
+                simd::bloomHashRowsScalar(rows.data(), n, seed,
+                                          hashes, div, ref.data());
+                // The scalar reference IS the historical formula.
+                for (std::size_t i = 0; i < n; ++i)
+                    for (std::uint32_t h = 0; h < hashes; ++h)
+                        ASSERT_EQ(
+                            ref[i * hashes + h],
+                            simd::mix64(rows[i] + seed +
+                                        kGolden * (h + 1)) %
+                                size);
+
+                for (const simd::Level level : supportedLevels()) {
+                    ScopedLevel scoped(level);
+                    std::vector<std::uint32_t> out(n * hashes + 1,
+                                                   0xbeefu);
+                    simd::bloomHashRows(rows.data(), n, seed, hashes,
+                                        div, out.data());
+                    out.back() = ref.back() = 0;
+                    ASSERT_EQ(out, ref)
+                        << "level=" << simd::levelName(level)
+                        << " hashes=" << hashes << " size=" << size;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- CbsTable::touchRun
+
+/** Reference semantics: touch() one row at a time, honouring the
+ *  divisor stop exactly as documented on touchRun(). */
+std::size_t
+touchLoopReference(core::CbsTable &t, const RowId *rows, std::size_t n,
+                   std::uint64_t divisor, bool *hit)
+{
+    *hit = false;
+    std::size_t i = 0;
+    while (i < n) {
+        const std::uint64_t est = t.touch(rows[i]);
+        ++i;
+        if (divisor != 0 && est % divisor == 0) {
+            *hit = true;
+            break;
+        }
+    }
+    return i;
+}
+
+/** Full observable state, including intra-bucket head order: drain
+ *  the table with resetMaxToMin(), which reads each bucket's head. */
+struct TableFingerprint
+{
+    std::vector<core::CbsTable::Entry> entries;
+    std::vector<RowId> drainOrder;
+    std::uint64_t touches, inserts, evictions;
+
+    bool
+    operator==(const TableFingerprint &o) const
+    {
+        auto same = [](const core::CbsTable::Entry &a,
+                       const core::CbsTable::Entry &b) {
+            return a.row == b.row && a.count == b.count;
+        };
+        return touches == o.touches && inserts == o.inserts &&
+               evictions == o.evictions &&
+               drainOrder == o.drainOrder &&
+               std::equal(entries.begin(), entries.end(),
+                          o.entries.begin(), o.entries.end(), same);
+    }
+};
+
+TableFingerprint
+fingerprint(core::CbsTable &t)
+{
+    TableFingerprint fp;
+    fp.entries = t.entries();
+    std::sort(fp.entries.begin(), fp.entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.row < b.row;
+              });
+    fp.touches = t.touches();
+    fp.inserts = t.inserts();
+    fp.evictions = t.evictions();
+    // maxRow() is the head of the max bucket; resetMaxToMin() then
+    // reshuffles it downward. Interleaving the two while counts drain
+    // observes the head order of every bucket the walk passes.
+    for (int i = 0; i < 64; ++i) {
+        fp.drainOrder.push_back(t.maxRow());
+        if (t.resetMaxToMin() == kInvalidRow)
+            break;
+    }
+    return fp;
+}
+
+TEST(CbsTouchRun, MatchesTouchLoopAtEveryLevelAndDivisor)
+{
+    // Streams chosen to exercise every touchRun path: long uniform
+    // and alternating-pair runs (the bulk path), way misses and
+    // evictions (capacity pressure), and short segments.
+    Rng rng(0x7ab1e);
+    std::vector<std::vector<RowId>> streams;
+    {
+        std::vector<RowId> s;  // double-sided hammer, bulk heavy
+        for (int i = 0; i < 3000; ++i)
+            s.push_back(2000 + 2 * (i & 1));
+        streams.push_back(s);
+    }
+    {
+        std::vector<RowId> s;  // long uniform runs with row changes
+        for (int r = 0; r < 24; ++r)
+            for (int i = 0; i < 100 + r; ++i)
+                s.push_back(100 + r);
+        streams.push_back(s);
+    }
+    {
+        std::vector<RowId> s;  // eviction churn: universe >> capacity
+        for (int i = 0; i < 4000; ++i)
+            s.push_back(static_cast<RowId>(rng.nextBounded(40)));
+        streams.push_back(s);
+    }
+    {
+        std::vector<RowId> s;  // mixed: bursts of pairs, then churn
+        for (int b = 0; b < 40; ++b) {
+            const RowId r0 = static_cast<RowId>(rng.nextBounded(64));
+            const RowId r1 = static_cast<RowId>(rng.nextBounded(64));
+            for (int i = 0; i < 1 + static_cast<int>(
+                                    rng.nextBounded(70));
+                 ++i)
+                s.push_back((i & 1) ? r1 : r0);
+        }
+        streams.push_back(s);
+    }
+
+    for (const std::uint64_t divisor : {0ull, 1ull, 3ull, 7ull}) {
+        for (std::size_t si = 0; si < streams.size(); ++si) {
+            const auto &stream = streams[si];
+            core::CbsTable ref(16);
+            std::vector<std::pair<std::size_t, bool>> refStops;
+            {
+                std::size_t pos = 0;
+                while (pos < stream.size()) {
+                    bool hit = false;
+                    pos += touchLoopReference(
+                        ref, stream.data() + pos,
+                        stream.size() - pos, divisor, &hit);
+                    refStops.emplace_back(pos, hit);
+                }
+            }
+            const TableFingerprint want = fingerprint(ref);
+
+            for (const simd::Level level : supportedLevels()) {
+                ScopedLevel scoped(level);
+                core::CbsTable t(16);
+                std::vector<std::pair<std::size_t, bool>> stops;
+                std::size_t pos = 0;
+                while (pos < stream.size()) {
+                    bool hit = false;
+                    pos += t.touchRun(stream.data() + pos,
+                                      stream.size() - pos, divisor,
+                                      &hit);
+                    stops.emplace_back(pos, hit);
+                    ASSERT_TRUE(t.checkInvariants())
+                        << "level=" << simd::levelName(level)
+                        << " divisor=" << divisor << " pos=" << pos;
+                }
+                ASSERT_EQ(stops, refStops)
+                    << "stream=" << si << " divisor=" << divisor
+                    << " level=" << simd::levelName(level);
+                ASSERT_TRUE(fingerprint(t) == want)
+                    << "stream=" << si << " divisor=" << divisor
+                    << " level=" << simd::levelName(level);
+            }
+        }
+    }
+}
+
+// -------------------------------------------- engine-level equivalence
+
+constexpr std::uint32_t kBanks = 16;
+constexpr std::uint32_t kFlipTh = 3125;
+constexpr std::uint64_t kActs = 60000;
+
+engine::EngineConfig
+testEngineConfig()
+{
+    dram::Geometry geom = dram::paperGeometry();
+    geom.channels = 1;
+    geom.ranksPerChannel = 1;
+    geom.banksPerRank = kBanks;
+    engine::EngineConfig cfg;
+    cfg.timing = dram::ddr5_4800();
+    cfg.geometry = geom;
+    cfg.flipTh = kFlipTh;
+    return cfg;
+}
+
+struct EngineOutcome
+{
+    std::uint64_t acts = 0, refs = 0, preventive = 0, logicOps = 0,
+                  flips = 0;
+    std::vector<std::uint64_t> bankActs;
+
+    bool
+    operator==(const EngineOutcome &o) const
+    {
+        return acts == o.acts && refs == o.refs &&
+               preventive == o.preventive &&
+               logicOps == o.logicOps && flips == o.flips &&
+               bankActs == o.bankActs;
+    }
+};
+
+EngineOutcome
+runScheme(const std::string &scheme, std::uint32_t shards)
+{
+    const engine::EngineConfig ecfg = testEngineConfig();
+    auto makeTracker = [&] {
+        registry::SchemeKnobs knobs;
+        knobs.flipTh = kFlipTh;
+        return registry::makeScheme(scheme, knobs.toParams(),
+                                    {ecfg.timing, ecfg.geometry});
+    };
+    auto makeSource = [&] {
+        ParamSet params;
+        params.set("attack", "multi-sided");
+        return registry::makeActSource(
+            "attack", params,
+            {ecfg.timing, ecfg.geometry, kFlipTh, /*seed=*/7});
+    };
+
+    engine::ShardedEngineConfig cfg;
+    cfg.engine = ecfg;
+    cfg.shards = shards;
+    engine::ShardedActStreamEngine eng(cfg, makeTracker);
+    eng.run(makeSource, kActs);
+
+    EngineOutcome o;
+    o.acts = eng.acts();
+    o.refs = eng.refs();
+    o.preventive = eng.preventiveRefreshes();
+    o.logicOps = eng.logicOps();
+    o.flips = eng.bitFlips();
+    for (BankId b = 0; b < kBanks; ++b)
+        o.bankActs.push_back(eng.actsAt(b));
+    return o;
+}
+
+TEST(SimdEngine, OutcomeIdenticalAcrossLevelsAndShards)
+{
+    // The schemes whose batch paths dispatch on the SIMD level.
+    for (const std::string scheme :
+         {"mithril", "graphene", "rfm-graphene", "blockhammer",
+          "cbt"}) {
+        for (const std::uint32_t shards : {1u, 2u, 4u, kBanks}) {
+            EngineOutcome scalarOutcome;
+            {
+                ScopedLevel scoped(simd::Level::Scalar);
+                scalarOutcome = runScheme(scheme, shards);
+            }
+            EXPECT_EQ(scalarOutcome.acts, kActs) << scheme;
+            for (const simd::Level level : supportedLevels()) {
+                if (level == simd::Level::Scalar)
+                    continue;
+                ScopedLevel scoped(level);
+                const EngineOutcome o = runScheme(scheme, shards);
+                EXPECT_TRUE(o == scalarOutcome)
+                    << scheme << " shards=" << shards
+                    << " level=" << simd::levelName(level);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------- padding checks
+
+TEST(Padding, CbsTableHotStateIsCacheLineAligned)
+{
+    for (const std::uint32_t n : {1u, 4u, 32u, 512u, 1000u}) {
+        core::CbsTable t(n);
+        EXPECT_TRUE(t.hotStateCacheAligned()) << "entries=" << n;
+    }
+}
+
+TEST(Padding, ShardSlotsNeverShareACacheLine)
+{
+    const engine::EngineConfig ecfg = testEngineConfig();
+    for (const std::uint32_t shards : {1u, 2u, 4u, kBanks}) {
+        engine::ShardedEngineConfig cfg;
+        cfg.engine = ecfg;
+        cfg.shards = shards;
+        engine::ShardedActStreamEngine eng(cfg, [&] {
+            registry::SchemeKnobs knobs;
+            knobs.flipTh = kFlipTh;
+            return registry::makeScheme(
+                "mithril", knobs.toParams(),
+                {ecfg.timing, ecfg.geometry});
+        });
+        EXPECT_TRUE(eng.shardSlotsCacheAligned())
+            << "shards=" << shards;
+    }
+}
+
+} // namespace
+} // namespace mithril
