@@ -99,6 +99,10 @@ main(int argc, char **argv)
         printPipelineSummary(info.meta);
     } catch (const registry::SpecError &err) {
         fatal("%s", err.what());
+    } catch (const std::exception &err) {
+        // Same one-line contract for non-SpecError failures (mmap
+        // errors, allocation) — never a raw terminate().
+        fatal("%s", err.what());
     }
     return 0;
 }

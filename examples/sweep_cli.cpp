@@ -48,6 +48,20 @@
  *        plus any parameter a selected registry entry declares
  *        (e.g. victims= with attacks=multi-sided, trace= with
  *        sources=act-trace).
+ *
+ * Resilience (see README "Resilience"):
+ *        journal=PATH (crash-safe per-job checkpoint journal)
+ *        resume=0/1 (skip journaled jobs; artifacts stay
+ *        byte-identical to an uninterrupted run)
+ *        job-timeout=SECONDS (per-job watchdog; hung jobs become
+ *        TIMEOUT rows) retries=N (deterministic re-attempts with
+ *        exponential backoff) strict=0/1 or --strict (fail fast:
+ *        skip everything after the first non-OK job)
+ *        failpoints=SPEC (fault injection; --list failpoints)
+ *
+ * Exit status: 0 only when every job ended OK; 1 when any job
+ * FAILED, timed out, or was skipped, with a per-status summary line
+ * on stderr either way.
  */
 
 #include <cstdio>
@@ -69,6 +83,7 @@ main(int argc, char **argv)
 {
     const ParamSet params = ParamSet::fromArgs(argc, argv);
 
+    bool strict_flag = false;
     if (!params.positional().empty() &&
         params.positional().front() == "--list") {
         const std::string what = params.positional().size() > 1
@@ -81,19 +96,32 @@ main(int argc, char **argv)
         }
         return 0;
     }
-    if (!params.positional().empty())
+    for (const std::string &arg : params.positional()) {
+        if (arg == "--strict") {
+            strict_flag = true;
+            continue;
+        }
         fatal("unexpected argument '%s': all knobs are key=value "
               "(or --list [schemes|workloads|attacks|sources|"
-              "trace-ops])",
-              params.positional().front().c_str());
+              "trace-ops|failpoints], or --strict)",
+              arg.c_str());
+    }
 
     const runner::SweepSpec spec = runner::SweepSpec::fromParams(
-        params, {"jobs", "progress", "table", "json", "csv"});
+        params, {"jobs", "progress", "table", "json", "csv",
+                 "journal", "resume", "strict", "job-timeout",
+                 "retries"});
 
     runner::RunnerOptions options;
     options.jobs = static_cast<unsigned>(
         params.getUint("jobs", runner::defaultThreadCount()));
     options.progress = params.getBool("progress", true);
+    options.journal = params.getString("journal", "");
+    options.resume = params.getBool("resume", false);
+    options.strict = strict_flag || params.getBool("strict", false);
+    options.jobTimeout = params.getDouble("job-timeout", 0.0);
+    options.retries = static_cast<unsigned>(
+        params.getUint("retries", 0));
 
     std::fprintf(stderr, "sweep: %zu jobs on %u workers\n",
                  spec.jobCount(),
@@ -101,7 +129,14 @@ main(int argc, char **argv)
                                    : options.jobs);
 
     const runner::SweepRunner run(options);
-    const runner::SweepResult result = run.run(spec);
+    runner::SweepResult result;
+    try {
+        result = run.run(spec);
+    } catch (const registry::SpecError &err) {
+        // Config-level resilience errors: resume without a journal,
+        // a journal from a different sweep, an unknown failpoint.
+        fatal("%s", err.what());
+    }
 
     if (params.getBool("table", true))
         runner::TableSink().write(result, std::cout);
@@ -109,10 +144,7 @@ main(int argc, char **argv)
     bench::writeArtifacts(params.getString("json", ""),
                           params.getString("csv", ""), result);
 
-    if (const std::size_t failed = result.failedCount()) {
-        std::fprintf(stderr, "%zu of %zu jobs failed\n", failed,
-                     result.results.size());
-        return 1;
-    }
-    return 0;
+    std::fprintf(stderr, "sweep: %s\n",
+                 result.statusSummary().c_str());
+    return result.failedCount() ? 1 : 0;
 }

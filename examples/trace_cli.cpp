@@ -65,6 +65,10 @@ main(int argc, char **argv)
         std::cout << info.describe();
     } catch (const registry::SpecError &err) {
         fatal("%s", err.what());
+    } catch (const std::exception &err) {
+        // Anything else (I/O, bad_alloc) still dies with one line
+        // and a nonzero exit, never a raw terminate().
+        fatal("%s", err.what());
     }
     return 0;
 }

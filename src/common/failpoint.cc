@@ -1,0 +1,319 @@
+#include "common/failpoint.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "registry/registry.hh"
+
+namespace mithril::failpoint
+{
+
+// -1 = MITHRIL_FAILPOINTS not consulted yet: anyArmed() stays true
+// until the first evaluation (or an explicit arm/disarm) resolves it,
+// after which an unarmed process pays one relaxed load per site.
+std::atomic<int> g_armedCount{-1};
+
+namespace
+{
+
+using registry::SpecError;
+
+struct Armed
+{
+    enum class Action
+    {
+        Error,
+        Eio,
+        Stall,
+    };
+
+    Action action = Action::Error;
+    std::uint64_t after = 0;  //!< Evaluations that pass first.
+    std::uint64_t times = 0;  //!< Max fires; 0 = unlimited.
+    double prob = 1.0;        //!< Fire probability per eligible hit.
+    std::uint64_t seed = 42;  //!< Seed for the prob= decision.
+    std::uint64_t stallMs = 100;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+};
+
+struct State
+{
+    std::mutex mutex;
+    std::map<std::string, std::string> sites; //!< name -> description
+    std::map<std::string, Armed> armed;
+    bool envConsulted = false;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+std::vector<std::string>
+siteNames(const State &s)
+{
+    std::vector<std::string> names;
+    names.reserve(s.sites.size());
+    for (const auto &[name, desc] : s.sites)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t end = text.find(sep, begin);
+        if (end == std::string::npos) {
+            out.push_back(text.substr(begin));
+            break;
+        }
+        out.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return out;
+}
+
+std::uint64_t
+parseUint(const std::string &entry, const std::string &key,
+          const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const unsigned long long v = std::stoull(value, &used);
+        if (used == value.size())
+            return v;
+    } catch (...) {
+    }
+    throw SpecError("failpoint entry '" + entry + "': modifier " +
+                    key + "=" + value + " is not an unsigned integer");
+}
+
+/** Parse one `site:action[:key=value]...` entry into the armed map. */
+void
+armEntryLocked(State &s, const std::string &entry)
+{
+    const std::vector<std::string> tokens = split(entry, ':');
+    if (tokens.empty() || tokens[0].empty())
+        throw SpecError("failpoint entry '" + entry +
+                        "' names no site (want site:action[:k=v]...)");
+    const std::string &site = tokens[0];
+    if (!s.sites.count(site)) {
+        throw SpecError("unknown failpoint '" + site +
+                        "'; registered failpoints: " +
+                        registry::joinSorted(siteNames(s)));
+    }
+    if (tokens.size() < 2 || tokens[1].empty())
+        throw SpecError("failpoint entry '" + entry +
+                        "' names no action (want error|eio|stall)");
+
+    Armed armed;
+    const std::string &action = tokens[1];
+    if (action == "error")
+        armed.action = Armed::Action::Error;
+    else if (action == "eio")
+        armed.action = Armed::Action::Eio;
+    else if (action == "stall")
+        armed.action = Armed::Action::Stall;
+    else
+        throw SpecError("failpoint entry '" + entry +
+                        "': unknown action '" + action +
+                        "' (want error|eio|stall)");
+
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const std::size_t eq = tokens[i].find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw SpecError("failpoint entry '" + entry +
+                            "': malformed modifier '" + tokens[i] +
+                            "' (want key=value)");
+        const std::string key = tokens[i].substr(0, eq);
+        const std::string value = tokens[i].substr(eq + 1);
+        if (key == "after") {
+            armed.after = parseUint(entry, key, value);
+        } else if (key == "times") {
+            armed.times = parseUint(entry, key, value);
+        } else if (key == "seed") {
+            armed.seed = parseUint(entry, key, value);
+        } else if (key == "ms") {
+            armed.stallMs = parseUint(entry, key, value);
+        } else if (key == "prob") {
+            try {
+                armed.prob = std::stod(value);
+            } catch (...) {
+                armed.prob = -1.0;
+            }
+            if (armed.prob < 0.0 || armed.prob > 1.0)
+                throw SpecError("failpoint entry '" + entry +
+                                "': prob=" + value +
+                                " is not in [0, 1]");
+        } else {
+            throw SpecError("failpoint entry '" + entry +
+                            "': unknown modifier '" + key +
+                            "' (want after|times|prob|seed|ms)");
+        }
+    }
+    s.armed[site] = armed;
+}
+
+void
+armSpecLocked(State &s, const std::string &spec)
+{
+    for (const std::string &entry : split(spec, ',')) {
+        if (!entry.empty())
+            armEntryLocked(s, entry);
+    }
+    g_armedCount.store(static_cast<int>(s.armed.size()),
+                       std::memory_order_relaxed);
+}
+
+/** Consume MITHRIL_FAILPOINTS exactly once, lazily — after static
+ *  init, so every SiteRegistrar has run and unknown names report the
+ *  full candidate list. A malformed env spec is fatal (it can only
+ *  come from the user). */
+void
+ensureEnvLocked(State &s)
+{
+    if (s.envConsulted)
+        return;
+    s.envConsulted = true;
+    const char *env = std::getenv("MITHRIL_FAILPOINTS");
+    if (env != nullptr && *env != '\0') {
+        try {
+            armSpecLocked(s, env);
+        } catch (const SpecError &err) {
+            fatal("MITHRIL_FAILPOINTS: %s", err.what());
+        }
+    }
+    g_armedCount.store(static_cast<int>(s.armed.size()),
+                       std::memory_order_relaxed);
+}
+
+/** Deterministic [0, 1) draw for hit `hit` of a site armed with
+ *  `seed` — independent of thread schedule and host. */
+double
+probDraw(std::uint64_t seed, std::uint64_t hit)
+{
+    return static_cast<double>(deriveSeed(seed, hit) >> 11) *
+           (1.0 / 9007199254740992.0); // 2^-53
+}
+
+} // namespace
+
+SiteRegistrar::SiteRegistrar(const char *name, const char *description)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.sites.emplace(name, description).second)
+        fatal("duplicate failpoint registration: %s", name);
+}
+
+void
+evaluate(const char *site)
+{
+    Armed::Action action;
+    std::uint64_t stall_ms = 0;
+    {
+        State &s = state();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        ensureEnvLocked(s);
+        MITHRIL_ASSERT_MSG(s.sites.count(site) != 0,
+                           "failpoint '%s' evaluated but never "
+                           "registered", site);
+        auto it = s.armed.find(site);
+        if (it == s.armed.end())
+            return;
+        Armed &armed = it->second;
+        const std::uint64_t hit = armed.hits++;
+        if (hit < armed.after)
+            return;
+        if (armed.times != 0 && armed.fired >= armed.times)
+            return;
+        if (armed.prob < 1.0 &&
+            probDraw(armed.seed, hit) >= armed.prob)
+            return;
+        ++armed.fired;
+        action = armed.action;
+        stall_ms = armed.stallMs;
+    }
+    // The action runs outside the lock: a stall must not serialize
+    // every other site, and a throw must not leave the mutex held.
+    switch (action) {
+      case Armed::Action::Error:
+        throw SpecError(std::string("failpoint '") + site +
+                        "' injected failure");
+      case Armed::Action::Eio:
+        throw SpecError(std::string("failpoint '") + site +
+                        "' injected I/O error (EIO)");
+      case Armed::Action::Stall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stall_ms));
+        break;
+    }
+}
+
+void
+armFromSpec(const std::string &spec)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    ensureEnvLocked(s);
+    armSpecLocked(s, spec);
+}
+
+void
+disarmAll()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.envConsulted = true; // Tests own the registry from here on.
+    s.armed.clear();
+    g_armedCount.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+firedCount(const std::string &site)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.armed.find(site);
+    return it == s.armed.end() ? 0 : it->second.fired;
+}
+
+std::vector<Site>
+sites()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::vector<Site> out;
+    out.reserve(s.sites.size());
+    for (const auto &[name, description] : s.sites)
+        out.push_back({name, description}); // std::map: sorted.
+    return out;
+}
+
+void
+listSites(std::ostream &os)
+{
+    const std::vector<Site> all = sites();
+    os << "failpoints (" << all.size() << " registered):\n";
+    for (const Site &site : all) {
+        os << "  ";
+        os.width(24);
+        os.setf(std::ios::left, std::ios::adjustfield);
+        os << site.name;
+        os.width(0);
+        os << site.description << "\n";
+    }
+}
+
+} // namespace mithril::failpoint

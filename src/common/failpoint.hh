@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic fault-injection layer ("failpoints") for testing the
+ * resilience machinery — retries, resume, degradation — under
+ * injected truncations, EIO, and stalls, without patching any code.
+ *
+ * Every interesting I/O or dispatch site in the codebase declares a
+ * named failpoint with a file-scope `SiteRegistrar` (the same
+ * string-keyed self-registration pattern as the scheme/workload/
+ * attack/trace-op registries: one self-contained declaration next to
+ * the site, duplicate names fatal at startup, unknown names raise a
+ * SpecError listing every registered candidate) and evaluates it with
+ * `MITHRIL_FAILPOINT("name")`.
+ *
+ * Arming is explicit and process-global: the `MITHRIL_FAILPOINTS`
+ * environment variable (read lazily on the first evaluation anywhere)
+ * or `armFromSpec()` (the sweep spec's `failpoints=` knob). The spec
+ * grammar is comma-separated entries
+ *
+ *   site:action[:key=value]...
+ *
+ * with actions
+ *
+ *   error       throw registry::SpecError (a rejected-input failure)
+ *   eio         throw registry::SpecError flavored as an I/O error
+ *   stall       sleep `ms=` milliseconds (default 100) and continue —
+ *               what a hung disk or stuck shard looks like to the
+ *               job watchdog
+ *
+ * and modifiers
+ *
+ *   after=N     let the first N evaluations pass, then start firing
+ *   times=N     fire at most N times (default: unlimited)
+ *   prob=P      fire each eligible hit with probability P, decided by
+ *               a deterministic splitmix64 hash of (seed, hit index)
+ *   seed=S      the seed for prob= (default 42)
+ *
+ * Example: MITHRIL_FAILPOINTS='act-trace.decode:error:after=100'
+ * fails the 101st trace-block decode in the process with a SpecError,
+ * exactly reproducibly.
+ *
+ * Cost when unset: one relaxed atomic load per evaluation (the
+ * counter of armed sites), so failpoints are compiled in always and
+ * byte-invariant when disarmed. Sites fire on every thread; hit
+ * counters are process-global and atomic under the registry lock.
+ */
+
+#ifndef MITHRIL_COMMON_FAILPOINT_HH
+#define MITHRIL_COMMON_FAILPOINT_HH
+
+#include <atomic>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mithril::failpoint
+{
+
+/** One registered injection site (name + what failing here means). */
+struct Site
+{
+    std::string name;
+    std::string description;
+};
+
+/** File-scope self-registration of one site, next to the code that
+ *  evaluates it. Duplicate names are fatal at startup. */
+class SiteRegistrar
+{
+  public:
+    SiteRegistrar(const char *name, const char *description);
+};
+
+/** Number of currently armed sites; -1 before the lazy
+ *  MITHRIL_FAILPOINTS env read. Internal — use anyArmed(). */
+extern std::atomic<int> g_armedCount;
+
+/** Fast gate for MITHRIL_FAILPOINT: true when any site might be
+ *  armed (or the env var has not been consulted yet). */
+inline bool
+anyArmed()
+{
+    return g_armedCount.load(std::memory_order_relaxed) != 0;
+}
+
+/**
+ * Evaluate the named site: no-op unless an armed entry matches, in
+ * which case the entry's action runs (throwing registry::SpecError
+ * for error/eio, sleeping for stall). Unregistered names are a
+ * programming error (fatal), not a SpecError — the macro should only
+ * name sites a SiteRegistrar declared.
+ */
+void evaluate(const char *site);
+
+/**
+ * Arm sites from a spec string (grammar above). Unknown site names,
+ * unknown actions, and malformed modifiers throw registry::SpecError
+ * listing the registered candidates. An empty spec is a no-op.
+ * Re-arming a site replaces its previous entry and resets counters.
+ */
+void armFromSpec(const std::string &spec);
+
+/** Disarm every site and reset all hit counters. Also suppresses a
+ *  pending MITHRIL_FAILPOINTS env read (tests own the registry). */
+void disarmAll();
+
+/** Times the named site's action has fired since it was armed. */
+std::uint64_t firedCount(const std::string &site);
+
+/** Every registered site, sorted by name. */
+std::vector<Site> sites();
+
+/** Deterministic "--list failpoints" dump (name + description per
+ *  line), same shape as the other registry listings. */
+void listSites(std::ostream &os);
+
+} // namespace mithril::failpoint
+
+/** Evaluate a failpoint site; one relaxed load when nothing is
+ *  armed. Place at the top of the fallible operation. */
+#define MITHRIL_FAILPOINT(site)                                        \
+    do {                                                               \
+        if (::mithril::failpoint::anyArmed())                          \
+            ::mithril::failpoint::evaluate(site);                      \
+    } while (0)
+
+#endif // MITHRIL_COMMON_FAILPOINT_HH

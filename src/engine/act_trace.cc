@@ -1,14 +1,17 @@
 #include "act_trace.hh"
 
 #include <sys/mman.h>
+#include <sys/stat.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstring>
 #include <limits>
 #include <sstream>
 #include <utility>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "registry/registry.hh"
 #include "registry/source_registry.hh"
@@ -245,7 +248,7 @@ ActTraceWriter::ActTraceWriter(const std::string &path,
     if (!file_)
         throw SpecError("act-trace '" + path +
                         "': cannot open '" + tmpPath_ +
-                        "' for writing");
+                        "' for writing: " + std::strerror(errno));
     buffers_.resize(totalBanks_);
     lastTick_.assign(totalBanks_, std::numeric_limits<Tick>::min());
 
@@ -399,6 +402,10 @@ ActTraceWriter::finalize()
 {
     if (finalized_)
         return;
+    // Before any footer byte lands: an injected failure here must
+    // leave only the temporary (which the destructor removes), never
+    // a published half-trace.
+    MITHRIL_FAILPOINT("act-trace.finalize");
     flushChunk();
 
     const std::uint64_t index_offset = fileOffset_;
@@ -441,13 +448,35 @@ ActTraceWriter::finalize()
 namespace
 {
 
+/** Injection sites for the resilience machinery (see --list
+ *  failpoints and README "Resilience"). */
+const failpoint::SiteRegistrar kFpDecode{
+    "act-trace.decode",
+    "fail a trace block decode (ActTraceSource::loadBlock) — what a "
+    "truncated or bit-rotted replay corpus looks like to a sweep job"};
+const failpoint::SiteRegistrar kFpFinalize{
+    "act-trace.finalize",
+    "fail ActTraceWriter::finalize before the tmp+rename publish — "
+    "the capture/compose is lost but no torn file appears"};
+
 std::FILE *
 openTrace(const std::string &path)
 {
+    // Diagnose the path before fopen: on Linux fopen("rb") happily
+    // opens a directory and the failure would otherwise surface as a
+    // misleading "header is truncated" mid-parse.
+    struct ::stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+        throw SpecError("act-trace '" + path +
+                        "': " + std::strerror(errno));
+    }
+    if (S_ISDIR(st.st_mode))
+        throw SpecError("act-trace '" + path +
+                        "': is a directory, not a trace file");
     std::FILE *file = std::fopen(path.c_str(), "rb");
     if (!file)
-        throw SpecError("act-trace '" + path +
-                        "': cannot open for reading");
+        throw SpecError("act-trace '" + path + "': cannot open for "
+                        "reading: " + std::strerror(errno));
     return file;
 }
 
@@ -764,6 +793,7 @@ ActTraceSource::shardSlice(BankId lo, BankId hi, std::uint64_t budget)
 void
 ActTraceSource::loadBlock(const IndexBlock &block)
 {
+    MITHRIL_FAILPOINT("act-trace.decode");
     // Cross-check the in-band block header against the index before
     // trusting the payload (catches spliced/overwritten data that a
     // consistent index would otherwise hide).

@@ -2,10 +2,24 @@
 
 #include <algorithm>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 
 namespace mithril::engine
 {
+
+namespace
+{
+
+/** Resilience injection site: a shard body that throws or stalls —
+ *  what a wedged worker looks like to the sweep watchdog. */
+const failpoint::SiteRegistrar kFpShardDispatch{
+    "engine.shard-dispatch",
+    "fail or stall a shard body at dispatch "
+    "(ShardedActStreamEngine::runShards) — exercises exception "
+    "propagation through parallelFor and the job watchdog"};
+
+} // namespace
 
 // ------------------------------------------------ BankFilterSource
 
@@ -166,6 +180,7 @@ ShardedActStreamEngine::runShards(
     for (ShardSlot &slot : slots_)
         slot.done = 0;
     auto body = [&](std::size_t s) {
+        MITHRIL_FAILPOINT("engine.shard-dispatch");
         telemetry::PhaseTimer timer;
         slots_[s].done = shards_[s].engine->run(*sources[s]);
         if (phases)

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/failpoint.hh"
 #include "registry/attack_registry.hh"
 #include "registry/scheme_registry.hh"
 #include "registry/source_registry.hh"
@@ -45,10 +46,16 @@ listRegistries(std::ostream &os, const std::string &what)
         listRegistry(trace::traceOpRegistry(), os);
         matched = true;
     }
+    if (all || what == "failpoints") {
+        if (matched)
+            os << "\n";
+        failpoint::listSites(os);
+        matched = true;
+    }
     if (!matched) {
         throw SpecError("unknown --list category '" + what +
                         "' (want schemes|workloads|attacks|sources|"
-                        "trace-ops|all)");
+                        "trace-ops|failpoints|all)");
     }
 }
 

@@ -1,0 +1,595 @@
+#include "runner/journal.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/failpoint.hh"
+#include "common/logging.hh"
+#include "registry/registry.hh"
+
+namespace mithril::runner
+{
+
+namespace
+{
+
+/** Resilience injection site: journal record append I/O failure. */
+const failpoint::SiteRegistrar kFpJournalAppend{
+    "journal.append",
+    "fail a checkpoint-journal record append "
+    "(SweepJournal::append) — exercises journal I/O error "
+    "surfacing without damaging the file"};
+
+// ------------------------------------------------------------ FNV-1a
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &s)
+{
+    return fnv1a(h, s.data(), s.size());
+}
+
+// --------------------------------------------------------- escaping
+
+/**
+ * Journal fields live one record per line, tab-separated, so the
+ * three structural bytes are escaped: backslash, tab, newline.
+ * Telemetry metric names additionally escape space and '=' (they are
+ * embedded in space-separated k=v tokens inside one field).
+ */
+std::string
+escapeField(const std::string &s, bool token = false)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case ' ':
+            if (token) {
+                out += "\\s";
+                break;
+            }
+            out += c;
+            break;
+        case '=':
+            if (token) {
+                out += "\\e";
+                break;
+            }
+            out += c;
+            break;
+        default:
+            out += c;
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 == s.size()) {
+            out += s[i];
+            continue;
+        }
+        switch (s[++i]) {
+        case 't':
+            out += '\t';
+            break;
+        case 'n':
+            out += '\n';
+            break;
+        case 's':
+            out += ' ';
+            break;
+        case 'e':
+            out += '=';
+            break;
+        default:
+            out += s[i];
+            break;
+        }
+    }
+    return out;
+}
+
+// ------------------------------------------------- number rendering
+
+/** %.17g: the shortest printf precision that round-trips every IEEE
+ *  double exactly, so a restored metric re-formats (at the sinks'
+ *  %.10g) byte-identically to the original run's. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return errno == 0 && end && *end == '\0';
+}
+
+bool
+parseU64Hex(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 16);
+    return errno == 0 && end && *end == '\0';
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return errno == 0 && end && *end == '\0';
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        // A split that honors escaping: a separator preceded by an
+        // odd run of backslashes is literal content.
+        std::size_t pos = start;
+        while (pos < s.size()) {
+            if (s[pos] == '\\') {
+                pos += 2;
+                continue;
+            }
+            if (s[pos] == sep)
+                break;
+            ++pos;
+        }
+        if (pos >= s.size()) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+// ------------------------------------------------ metric field codec
+
+/** Fixed-order scalar metrics; names are part of the journal format
+ *  (a record with unknown or missing names fails its parse and ends
+ *  the restorable prefix, exactly like a torn line). */
+struct ScalarField
+{
+    const char *name;
+    bool isDouble;
+};
+
+constexpr ScalarField kScalars[] = {
+    {"ipc", true},       {"energy", true},   {"ticks", false},
+    {"acts", false},     {"reads", false},   {"writes", false},
+    {"rfm", false},      {"rfmskip", false}, {"arr", false},
+    {"prev", false},     {"stalls", false},  {"maxdist", true},
+    {"flips", false},    {"avglat", true},   {"p95lat", true},
+    {"trkbytes", true},
+};
+
+double *
+doubleSlot(sim::RunMetrics &m, std::size_t i)
+{
+    switch (i) {
+    case 0:
+        return &m.aggIpc;
+    case 1:
+        return &m.energyPj;
+    case 11:
+        return &m.maxDisturbance;
+    case 13:
+        return &m.avgReadLatencyNs;
+    case 14:
+        return &m.p95ReadLatencyNs;
+    case 15:
+        return &m.trackerBytesPerBank;
+    default:
+        return nullptr;
+    }
+}
+
+/** simTicks is a (signed) Tick; it round-trips through uint64 via
+ *  value casts here, so the slot helpers stay pointer-free for it. */
+std::uint64_t *
+u64Slot(sim::RunMetrics &m, std::size_t i)
+{
+    switch (i) {
+    case 3:
+        return &m.acts;
+    case 4:
+        return &m.reads;
+    case 5:
+        return &m.writes;
+    case 6:
+        return &m.rfmIssued;
+    case 7:
+        return &m.rfmSkippedMrr;
+    case 8:
+        return &m.arrExecuted;
+    case 9:
+        return &m.preventiveRefreshes;
+    case 10:
+        return &m.throttleStalls;
+    case 12:
+        return &m.bitFlips;
+    default:
+        return nullptr;
+    }
+}
+
+std::string
+encodeMetrics(const sim::RunMetrics &metrics)
+{
+    // const_cast only to reuse the slot tables; nothing is written.
+    auto &m = const_cast<sim::RunMetrics &>(metrics);
+    std::string out;
+    for (std::size_t i = 0; i < std::size(kScalars); ++i) {
+        if (i)
+            out += ' ';
+        out += kScalars[i].name;
+        out += '=';
+        if (kScalars[i].isDouble) {
+            out += fmtDouble(*doubleSlot(m, i));
+        } else {
+            const std::uint64_t v =
+                i == 2 ? static_cast<std::uint64_t>(m.simTicks)
+                       : *u64Slot(m, i);
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+            out += buf;
+        }
+    }
+    for (const auto &[name, value] : metrics.telemetry) {
+        out += " t:";
+        out += escapeField(name, /*token=*/true);
+        out += '=';
+        out += fmtDouble(value);
+    }
+    return out;
+}
+
+bool
+decodeMetrics(const std::string &field, sim::RunMetrics &m)
+{
+    const std::vector<std::string> tokens = split(field, ' ');
+    if (tokens.size() < std::size(kScalars))
+        return false;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        const std::size_t eq = [&] {
+            // First unescaped '=' splits key from value.
+            std::size_t pos = 0;
+            while (pos < tok.size()) {
+                if (tok[pos] == '\\') {
+                    pos += 2;
+                    continue;
+                }
+                if (tok[pos] == '=')
+                    break;
+                ++pos;
+            }
+            return pos;
+        }();
+        if (eq >= tok.size())
+            return false;
+        const std::string key = tok.substr(0, eq);
+        const std::string value = tok.substr(eq + 1);
+        if (i < std::size(kScalars)) {
+            if (key != kScalars[i].name)
+                return false;
+            if (kScalars[i].isDouble) {
+                if (!parseDouble(value, *doubleSlot(m, i)))
+                    return false;
+            } else {
+                std::uint64_t u = 0;
+                if (!parseU64(value, u))
+                    return false;
+                if (i == 2)
+                    m.simTicks = static_cast<Tick>(u);
+                else
+                    *u64Slot(m, i) = u;
+            }
+        } else {
+            if (key.rfind("t:", 0) != 0)
+                return false;
+            double d = 0.0;
+            if (!parseDouble(value, d))
+                return false;
+            m.telemetry[unescapeField(key.substr(2))] = d;
+        }
+    }
+    return true;
+}
+
+// --------------------------------------------------- record codec
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+std::string
+encodeRecord(const JobResult &result)
+{
+    char num[32];
+    std::string line = "job\t";
+    std::snprintf(num, sizeof(num), "%zu", result.job.index);
+    line += num;
+    line += '\t';
+    std::snprintf(num, sizeof(num), "%" PRIu64, result.job.spec.seed);
+    line += num;
+    line += '\t';
+    line += jobStatusName(result.status);
+    line += '\t';
+    line += escapeField(result.job.label);
+    line += '\t';
+    line += escapeField(result.error);
+    line += '\t';
+    line += encodeMetrics(result.metrics);
+    const std::uint64_t crc = fnv1a(kFnvOffset, line);
+    line += "\tcrc=";
+    line += hex16(crc);
+    line += '\n';
+    return line;
+}
+
+std::string
+headerLine(std::uint64_t fingerprint, std::size_t job_count)
+{
+    std::string line = kJournalMagic;
+    line += " fingerprint=";
+    line += hex16(fingerprint);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " jobs=%zu", job_count);
+    line += buf;
+    line += '\n';
+    return line;
+}
+
+} // namespace
+
+// ------------------------------------------------- sweepFingerprint
+
+std::uint64_t
+sweepFingerprint(const std::vector<Job> &jobs)
+{
+    std::uint64_t h = kFnvOffset;
+    const std::uint64_t n = jobs.size();
+    h = fnv1a(h, &n, sizeof(n));
+    for (const Job &job : jobs) {
+        h = fnv1a(h, job.label);
+        h = fnv1a(h, "\x1f", 1);
+        h = fnv1a(h, job.spec.describe());
+        h = fnv1a(h, "\x1e", 1);
+    }
+    return h;
+}
+
+// ------------------------------------------------------ SweepJournal
+
+SweepJournal::SweepJournal(const std::string &path,
+                           std::uint64_t fingerprint,
+                           std::size_t job_count, bool resume)
+    : path_(path)
+{
+    MITHRIL_ASSERT(!path.empty());
+    bool append = false;
+    if (resume) {
+        // load() already vetted compatibility; append only when the
+        // file genuinely exists, else fall through to fresh create.
+        if (std::FILE *probe = std::fopen(path.c_str(), "rb")) {
+            std::fclose(probe);
+            append = true;
+        }
+    }
+    if (append) {
+        file_ = std::fopen(path.c_str(), "ab");
+        if (!file_)
+            throw registry::SpecError(
+                "cannot append to sweep journal '" + path +
+                "': " + std::strerror(errno));
+        return;
+    }
+    // Fresh journal: publish the header atomically (tmp + rename) so
+    // a kill during creation never leaves a half-written header, then
+    // reopen for appends.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw registry::SpecError("cannot create sweep journal '" +
+                                  tmp +
+                                  "': " + std::strerror(errno));
+    const std::string header = headerLine(fingerprint, job_count);
+    const bool ok =
+        std::fwrite(header.data(), 1, header.size(), f) ==
+            header.size() &&
+        std::fflush(f) == 0;
+    std::fclose(f);
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw registry::SpecError("cannot publish sweep journal '" +
+                                  path +
+                                  "': " + std::strerror(errno));
+    }
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_)
+        throw registry::SpecError(
+            "cannot reopen sweep journal '" + path +
+            "': " + std::strerror(errno));
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+SweepJournal::append(const JobResult &result)
+{
+    MITHRIL_FAILPOINT("journal.append");
+    const std::string line = encodeRecord(result);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fflush(file_) != 0) {
+        throw registry::SpecError(
+            "sweep journal append failed on '" + path_ +
+            "': " + std::strerror(errno));
+    }
+}
+
+std::map<std::size_t, JobResult>
+SweepJournal::load(const std::string &path, std::uint64_t fingerprint,
+                   const std::vector<Job> &jobs)
+{
+    std::map<std::size_t, JobResult> restored;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (errno == ENOENT)
+            return restored; // First run: nothing to resume.
+        throw registry::SpecError("cannot read sweep journal '" +
+                                  path +
+                                  "': " + std::strerror(errno));
+    }
+    std::string content;
+    char buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, got);
+    std::fclose(f);
+
+    // Header: magic, fingerprint, job count — all must match this
+    // exact expanded sweep or the journal belongs to a different run.
+    const std::size_t eol = content.find('\n');
+    if (eol == std::string::npos)
+        throw registry::SpecError("sweep journal '" + path +
+                                  "' has no header line");
+    const std::string expect = headerLine(fingerprint, jobs.size());
+    if (content.substr(0, eol + 1) != expect) {
+        if (content.compare(0, std::strlen(kJournalMagic),
+                            kJournalMagic) != 0)
+            throw registry::SpecError(
+                "'" + path + "' is not a sweep journal (bad magic)");
+        throw registry::SpecError(
+            "sweep journal '" + path +
+            "' was written by a different sweep "
+            "(fingerprint/job-count mismatch) — refusing to resume; "
+            "delete it or point journal= elsewhere");
+    }
+
+    std::size_t pos = eol + 1;
+    std::size_t lineNo = 1;
+    while (pos < content.size()) {
+        ++lineNo;
+        std::size_t end = content.find('\n', pos);
+        const bool torn = end == std::string::npos;
+        if (torn)
+            end = content.size();
+        const std::string line = content.substr(pos, end - pos);
+        pos = end + 1;
+
+        // A record is valid only if its trailing crc= matches the
+        // FNV of everything before it; a torn tail or flipped byte
+        // fails here and ends the restorable prefix.
+        const std::size_t crcAt = line.rfind("\tcrc=");
+        bool ok = !torn && crcAt != std::string::npos &&
+                  line.size() == crcAt + 5 + 16;
+        if (ok) {
+            std::uint64_t want = 0;
+            ok = parseU64Hex(line.substr(crcAt + 5), want) &&
+                 fnv1a(kFnvOffset, line.substr(0, crcAt)) == want;
+        }
+        JobResult result;
+        if (ok) {
+            const std::vector<std::string> fields =
+                split(line.substr(0, crcAt), '\t');
+            ok = fields.size() == 7 && fields[0] == "job";
+            std::uint64_t index = 0, seed = 0;
+            ok = ok && parseU64(fields[1], index) &&
+                 parseU64(fields[2], seed) && index < jobs.size();
+            if (ok) {
+                try {
+                    result.status = jobStatusFromName(fields[3]);
+                } catch (const registry::SpecError &) {
+                    ok = false;
+                }
+            }
+            // The journaled label and seed must match the job at
+            // that index — a second line of defense (beyond the
+            // fingerprint) against resuming the wrong sweep.
+            ok = ok &&
+                 unescapeField(fields[4]) == jobs[index].label &&
+                 seed == jobs[index].spec.seed &&
+                 decodeMetrics(fields[6], result.metrics);
+            if (ok) {
+                result.job = jobs[index];
+                result.error = unescapeField(fields[5]);
+                result.restored = true;
+                restored[static_cast<std::size_t>(index)] =
+                    std::move(result);
+                continue;
+            }
+        }
+        warn("sweep journal '%s': %s at line %zu; "
+                     "restoring the %zu intact record(s) before it",
+                     path.c_str(),
+                     torn ? "torn record (interrupted write)"
+                          : "corrupt record",
+                     lineNo, restored.size());
+        break;
+    }
+    return restored;
+}
+
+} // namespace mithril::runner

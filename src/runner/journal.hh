@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Crash-safe checkpoint journal for the sweep runner.
+ *
+ * A journal is an append-only text file next to the sweep's output
+ * artifacts. The header line ties it to one exact expanded sweep via
+ * a fingerprint of every job's label and canonical spec line; each
+ * record line stores one completed JobResult — index, seed, status,
+ * error, and the full metric set (doubles as %.17g so the restored
+ * value is bit-identical) — terminated by a per-record FNV-1a
+ * checksum:
+ *
+ *   mithril.sweep.journal.v1 fingerprint=<hex16> jobs=<N>
+ *   job <TAB> index <TAB> seed <TAB> status <TAB> label <TAB>
+ *       error <TAB> metrics <TAB> crc=<hex16>
+ *
+ * (one line per record; label/error/metric names are \\, \t, \n
+ * escaped; records land in completion order, which is irrelevant —
+ * they are keyed by job index.)
+ *
+ * Append discipline: a fresh journal publishes its header via the
+ * same tmp+rename pattern the trace writer uses, then records are
+ * appended and flushed one fwrite+fflush at a time, so a SIGKILL at
+ * any instant leaves at worst one torn tail line. load() verifies
+ * the fingerprint (a journal from a *different* sweep is a
+ * SpecError, never silently mixed in), checks every record's
+ * checksum, label, and seed against the expanded jobs, and stops at
+ * the first damaged line — everything before it is restorable,
+ * everything after is rerun.
+ */
+
+#ifndef MITHRIL_RUNNER_JOURNAL_HH
+#define MITHRIL_RUNNER_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+
+namespace mithril::runner
+{
+
+/** Version tag in the journal header line. */
+inline constexpr const char *kJournalMagic =
+    "mithril.sweep.journal.v1";
+
+/**
+ * Fingerprint tying a journal to one expanded sweep: FNV-1a over the
+ * job count and every job's label + canonical spec describe() line
+ * (which covers scheme/axes/tunables/seeds — anything that changes a
+ * job's meaning changes the fingerprint).
+ */
+std::uint64_t sweepFingerprint(const std::vector<Job> &jobs);
+
+/**
+ * The append side. Constructing with resume=false publishes a fresh
+ * header (tmp+rename) and truncates any previous journal; with
+ * resume=true an existing compatible journal is appended to (load()
+ * validated it first) and a missing one is created fresh. All I/O
+ * errors throw registry::SpecError.
+ */
+class SweepJournal
+{
+  public:
+    SweepJournal(const std::string &path, std::uint64_t fingerprint,
+                 std::size_t job_count, bool resume);
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /** Append one completed result (thread-safe; one flushed line
+     *  per call). Skipped jobs are deliberately not journaled — they
+     *  never ran, so a resume must run them. */
+    void append(const JobResult &result);
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Read back every intact record compatible with this exact
+     * expanded sweep. Returns completed results keyed by job index;
+     * an absent file yields an empty map. Throws registry::SpecError
+     * on a fingerprint/job-count mismatch or an unreadable file; a
+     * torn or corrupt record ends the scan (with a warn()) instead.
+     */
+    static std::map<std::size_t, JobResult>
+    load(const std::string &path, std::uint64_t fingerprint,
+         const std::vector<Job> &jobs);
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::mutex mutex_;
+};
+
+} // namespace mithril::runner
+
+#endif // MITHRIL_RUNNER_JOURNAL_HH

@@ -18,22 +18,51 @@
 namespace mithril::runner
 {
 
+/** How one job ended. */
+enum class JobStatus
+{
+    /** Ran to completion; metrics are valid. */
+    Ok,
+    /** Threw — a rejected configuration (registry::SpecError) or any
+     *  other exception; the sweep keeps running and the sinks
+     *  surface the message per job. */
+    Failed,
+    /** Exceeded the job-timeout= watchdog budget; the runaway body
+     *  was abandoned and its late result (if any) discarded. */
+    Timeout,
+    /** Never ran: an earlier job failed under strict (fail-fast)
+     *  mode. */
+    Skipped,
+};
+
+/** Lowercase status name ("ok", "failed", "timeout", "skipped"). */
+const char *jobStatusName(JobStatus status);
+
+/** Parse a status name back; throws registry::SpecError. */
+JobStatus jobStatusFromName(const std::string &name);
+
 /** One job's outcome. */
 struct JobResult
 {
     Job job;
     sim::RunMetrics metrics;
-    /** Non-empty when the job's configuration was rejected
-     *  (registry::SpecError): the sweep keeps running and the sinks
-     *  surface the message per job. */
+    JobStatus status = JobStatus::Ok;
+    /** Non-empty exactly when status != Ok: the exception message,
+     *  the watchdog verdict, or the strict-mode skip note. */
     std::string error;
     /** Wall-clock runtime; nondeterministic, never written by sinks. */
     double wallSeconds = 0.0;
+    /** Attempts consumed (1 + retries actually taken);
+     *  nondeterministic under timeouts, never written by sinks. */
+    unsigned attempts = 0;
+    /** True when the result was restored from a resume journal
+     *  instead of running; never written by sinks. */
+    bool restored = false;
 
     bool
     failed() const
     {
-        return !error.empty();
+        return status != JobStatus::Ok;
     }
 };
 
@@ -60,8 +89,20 @@ struct SweepResult
                               const std::string &attack =
                                   "none") const;
 
-    /** Number of jobs whose configuration was rejected. */
+    /** Number of jobs that did not end Ok (failed, timed out, or
+     *  were skipped by strict mode). */
     std::size_t failedCount() const;
+
+    /** Number of jobs with the given status. */
+    std::size_t countByStatus(JobStatus status) const;
+
+    /** Number of results restored from a resume journal. */
+    std::size_t restoredCount() const;
+
+    /** One-line per-status accounting, e.g.
+     *  "12 ok, 1 failed, 1 timeout, 3 skipped (17 jobs, 4 resumed)".
+     *  Statuses with zero jobs are elided (except ok). */
+    std::string statusSummary() const;
 };
 
 /** Execution knobs, orthogonal to the sweep grid itself. */
@@ -71,6 +112,33 @@ struct RunnerOptions
     unsigned jobs = 0;
     /** Emit the stderr progress/ETA line. */
     bool progress = true;
+
+    /** Per-job watchdog budget in seconds; 0 = no watchdog. A job
+     *  that exceeds it is reported TIMEOUT (the runaway body is
+     *  abandoned, the pool survives). With the watchdog armed each
+     *  job body runs on its own helper thread, so only enable it
+     *  when jobs can genuinely hang. */
+    double jobTimeout = 0.0;
+    /** Extra attempts after a failed or timed-out job, with
+     *  exponential backoff between attempts. The retried job reruns
+     *  with an identical spec and seed, so a success on any attempt
+     *  yields the byte-identical result an untroubled run would
+     *  have produced. */
+    unsigned retries = 0;
+    /** Base backoff before the first retry, doubling per attempt
+     *  (10ms, 20ms, 40ms, ...). Exposed for tests. */
+    double retryBackoffMs = 10.0;
+    /** Fail fast: after the first non-Ok job, remaining jobs are
+     *  SKIPPED instead of started. */
+    bool strict = false;
+
+    /** Append every completed JobResult to this crash-safe journal
+     *  file ("" = no journal). */
+    std::string journal;
+    /** Skip jobs already present in the journal, restoring their
+     *  results — the sinks re-emit byte-identical artifacts to an
+     *  uninterrupted run. Requires journal=. */
+    bool resume = false;
 };
 
 /**

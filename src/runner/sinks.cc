@@ -1,10 +1,12 @@
 #include "runner/sinks.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "common/table_printer.hh"
 #include "registry/scheme_registry.hh"
@@ -14,6 +16,24 @@ namespace mithril::runner
 
 namespace
 {
+
+/** Resilience injection site: sink output file write failure. */
+const failpoint::SiteRegistrar kFpSinkFlush{
+    "sink.flush",
+    "fail a result-sink file write (ResultSink::writeFile) — "
+    "exercises artifact-emission error paths after a sweep "
+    "completed"};
+
+/** "timeout" -> "TIMEOUT" for the table's per-job trailer lines. */
+std::string
+upperStatus(JobStatus status)
+{
+    std::string name = jobStatusName(status);
+    for (char &c : name)
+        c = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+    return name;
+}
 
 /** Shortest round-trippable-enough formatting, deterministic for a
  *  given double value. */
@@ -152,6 +172,7 @@ void
 ResultSink::writeFile(const SweepResult &result,
                       const std::string &path) const
 {
+    MITHRIL_FAILPOINT("sink.flush");
     std::ofstream os(path);
     if (!os)
         fatal("cannot open sink output file: %s", path.c_str());
@@ -194,7 +215,8 @@ TableSink::write(const SweepResult &result, std::ostream &os) const
     for (const JobResult &r : result.results) {
         if (r.failed())
             os << "job " << r.job.index << " (" << r.job.label
-               << ") FAILED: " << r.error << "\n";
+               << ") " << upperStatus(r.status) << ": " << r.error
+               << "\n";
     }
 }
 
@@ -244,6 +266,11 @@ JsonSink::write(const SweepResult &result, std::ostream &os) const
            << ",\n";
         os << "      \"seed\": " << r.job.spec.seed << ",\n";
         if (r.failed()) {
+            // Non-Ok jobs carry their status + message; Ok jobs stay
+            // exactly the historical shape so clean-sweep artifacts
+            // (and the sweep_v3 golden) are byte-identical.
+            os << "      \"status\": \""
+               << jobStatusName(r.status) << "\",\n";
             os << "      \"error\": \"" << jsonEscape(r.error)
                << "\"\n";
         } else {

@@ -151,6 +151,7 @@ SweepSpec::fromParams(const ParamSet &params,
         "seed-policy",  "sources", "shards",   "acts",
         "record",       "telemetry", "trace-events",
         "heatmap-regions", "trace-capacity", "trace-pipeline",
+        "failpoints",
     };
     std::vector<std::string> case_workloads;
     std::vector<std::string> case_attacks;
@@ -227,6 +228,8 @@ SweepSpec::fromParams(const ParamSet &params,
               "expands to %zu jobs; narrow the grid to a single job",
               spec.traceEvents.c_str(), spec.jobCount());
     }
+    spec.failpoints =
+        params.getString("failpoints", spec.failpoints);
     spec.tracePipeline =
         params.getString("trace-pipeline", spec.tracePipeline);
     if (!spec.tracePipeline.empty() && !spec.tunables.has("trace")) {

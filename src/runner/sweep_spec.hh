@@ -115,6 +115,13 @@ struct SweepSpec
      *  normalizing relative performance and energy. */
     bool includeBaseline = false;
 
+    /** Failpoint arming spec for fault-injection runs, same grammar
+     *  as MITHRIL_FAILPOINTS ("site:action:k=v,..."; see
+     *  common/failpoint.hh and `--list failpoints`). Armed
+     *  process-wide at run start, disarmed when the sweep returns.
+     *  Empty = no injection and zero overhead. */
+    std::string failpoints;
+
     /** Registry-entry tunables forwarded to every job (each job keeps
      *  the keys its own scheme/workload/attack declares). */
     ParamSet tunables;
@@ -132,7 +139,8 @@ struct SweepSpec
      * `seed=`, `ad=`, `warmup=`, `baseline=`,
      * `seed-policy=shared|per-job`, and the telemetry knobs
      * `telemetry=`, `trace-events=` (single-job grids only),
-     * `heatmap-regions=`, `trace-capacity=`. Axis names resolve through the
+     * `heatmap-regions=`, `trace-capacity=`, and the fault-injection
+     * knob `failpoints=`. Axis names resolve through the
      * registries — an unknown name is fatal and lists every
      * registered candidate. Keys declared by a selected registry
      * entry (e.g. `victims=` with a multi-sided attack) are forwarded

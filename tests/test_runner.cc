@@ -72,6 +72,53 @@ TEST(ThreadPool, PropagatesTaskExceptions)
     EXPECT_EQ(ran.load(), 64);
 }
 
+TEST(ThreadPool, SurvivesAThrowingParallelForAndRunsAgain)
+{
+    // The exception costs one parallelFor call, never the pool: the
+    // same workers must keep serving later parallelFors at full
+    // strength (what keeps one bad sweep job from wedging the rest).
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(pool.parallelFor(32,
+                                      [&](std::size_t i) {
+                                          if (i % 7 == 3)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                     std::runtime_error);
+        std::atomic<int> ran{0};
+        pool.parallelFor(64,
+                         [&](std::size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 64) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerExceptions)
+{
+    // A throw inside a re-entrant (nested) parallelFor — a shard
+    // body failing inside a sweep job — must surface through both
+    // levels and still leave the pool serviceable.
+    for (unsigned workers : {1u, 4u}) {
+        ThreadPool pool(workers);
+        EXPECT_THROW(
+            pool.parallelFor(3,
+                             [&](std::size_t) {
+                                 pool.parallelFor(
+                                     5, [&](std::size_t j) {
+                                         if (j == 2)
+                                             throw std::
+                                                 runtime_error(
+                                                     "inner");
+                                     });
+                             }),
+            std::runtime_error);
+        std::atomic<int> ran{0};
+        pool.parallelFor(16,
+                         [&](std::size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 16) << workers << " workers";
+    }
+}
+
 TEST(ThreadPool, SubmittedTasksDrainBeforeDestruction)
 {
     std::atomic<int> ran{0};
