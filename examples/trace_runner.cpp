@@ -65,15 +65,20 @@ main(int argc, char **argv)
 
     sim::SystemConfig cfg;
     cfg.flipTh = flip_th;
-    std::unique_ptr<trackers::RhProtection> tracker;
+    const std::string scheme = params.getString("scheme", "mithril");
+    const ParamSet scheme_params = knobs.toParams();
     try {
-        tracker = registry::makeScheme(
-            params.getString("scheme", "mithril"), knobs.toParams(),
-            {cfg.timing, cfg.geometry});
+        // Probe the name once so a typo fails before the System (and
+        // its per-channel tracker instances) is built.
+        registry::makeScheme(scheme, scheme_params,
+                             {cfg.timing, cfg.geometry});
     } catch (const registry::SpecError &err) {
         fatal("%s", err.what());
     }
-    sim::System system(cfg, std::move(tracker));
+    sim::System system(cfg, [&] {
+        return registry::makeScheme(scheme, scheme_params,
+                                    {cfg.timing, cfg.geometry});
+    });
 
     for (const auto &file : files) {
         cpu::CoreParams cp;
@@ -85,7 +90,7 @@ main(int argc, char **argv)
 
     system.run();
 
-    const auto &stats = system.controller().stats();
+    const mc::ControllerStats stats = system.stats();
     TablePrinter table({"metric", "value"});
     table.beginRow().cell("simulated time (us)").num(
         tickToNs(system.now()) / 1000.0, 1);
@@ -107,14 +112,14 @@ main(int argc, char **argv)
     table.beginRow().cell("RFM commands").intCell(
         static_cast<long long>(stats.rfmIssued));
     table.beginRow().cell("preventive refreshes").intCell(
-        static_cast<long long>(system.device().preventiveCount() +
+        static_cast<long long>(system.preventiveCount() +
                                stats.arrExecuted));
     table.beginRow().cell("dynamic energy (uJ)").num(
         system.totalEnergyPj() / 1e6, 2);
     table.beginRow().cell("max victim disturbance").num(
-        system.device().oracle().maxDisturbanceEver(), 0);
-    table.beginRow().cell("bit flips").intCell(static_cast<long long>(
-        system.device().oracle().bitFlips()));
+        system.maxDisturbanceEver(), 0);
+    table.beginRow().cell("bit flips").intCell(
+        static_cast<long long>(system.bitFlips()));
     std::printf("\n%s", table.str().c_str());
 
     if (params.getBool("dump_stats", false)) {
@@ -123,5 +128,5 @@ main(int argc, char **argv)
         std::printf("\n--- full stats ---\n%s",
                     registry.dump().c_str());
     }
-    return system.device().oracle().bitFlips() == 0 ? 0 : 1;
+    return system.bitFlips() == 0 ? 0 : 1;
 }

@@ -65,6 +65,40 @@ Cache::access(Addr addr, bool is_write)
     return result;
 }
 
+Cache::VictimInfo
+Cache::peekVictim(Addr addr) const
+{
+    const std::uint64_t line_addr = addr >> lineShift_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr & (sets_ - 1));
+    const std::uint64_t tag = line_addr;
+    const Line *base =
+        &lines_[static_cast<std::size_t>(set) * params_.ways];
+
+    VictimInfo info;
+    // Mirrors access()'s victim selection exactly (including its
+    // preference order between invalid ways) so the preview and the
+    // committed access always agree.
+    const Line *victim = base;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        const Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            info.hit = true;
+            return info;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    if (victim->valid && victim->dirty) {
+        info.writeback = true;
+        info.writebackAddr = victim->tag << lineShift_;
+    }
+    return info;
+}
+
 void
 Cache::flush()
 {

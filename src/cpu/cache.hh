@@ -37,10 +37,27 @@ class Cache
         Addr writebackAddr = 0;
     };
 
+    /** What a miss on addr would evict, computed without mutation. */
+    struct VictimInfo
+    {
+        bool hit = false;        //!< The line is present: no victim.
+        bool writeback = false;  //!< The victim would be dirty.
+        Addr writebackAddr = 0;
+    };
+
     explicit Cache(const CacheParams &params);
 
     /** Look up (and on miss, fill) the line holding addr. */
     AccessResult access(Addr addr, bool is_write);
+
+    /**
+     * Preview the eviction decision access(addr, *) would make right
+     * now, without touching LRU or fill state. Lets the caller reserve
+     * downstream resources (e.g. a slot in the writeback's memory
+     * channel queue) before committing the access, and retry later
+     * with identical cache state if reservation fails.
+     */
+    VictimInfo peekVictim(Addr addr) const;
 
     /** Drop every line (used between experiment phases). */
     void flush();

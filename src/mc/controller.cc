@@ -8,50 +8,74 @@
 namespace mithril::mc
 {
 
+void
+ControllerStats::mergeFrom(const ControllerStats &other)
+{
+    reads += other.reads;
+    writes += other.writes;
+    rowHits += other.rowHits;
+    rowMisses += other.rowMisses;
+    activates += other.activates;
+    precharges += other.precharges;
+    refreshes += other.refreshes;
+    rfmIssued += other.rfmIssued;
+    rfmSkippedByMrr += other.rfmSkippedByMrr;
+    arrExecuted += other.arrExecuted;
+    throttleStalls += other.throttleStalls;
+    totalReadLatencyNs += other.totalReadLatencyNs;
+    readLatencyNs.mergeFrom(other.readLatencyNs);
+}
+
 Controller::Controller(dram::Device &device, const AddressMap &map,
-                       const ControllerParams &params)
-    : device_(device), map_(map), params_(params)
+                       const ControllerParams &params,
+                       std::uint32_t channel)
+    : device_(device), map_(map), params_(params), channel_(channel)
 {
     const auto &geom = device_.geometry();
-    queues_.resize(geom.channels);
-    busFree_.assign(geom.channels, 0);
-    bliss_.resize(geom.channels);
-    banks_.resize(geom.totalBanks());
+    MITHRIL_ASSERT(channel_ < geom.channels);
+    firstRank_ = channel_ * geom.ranksPerChannel;
+    firstBank_ = firstRank_ * geom.banksPerRank;
+    banks_.resize(geom.ranksPerChannel * geom.banksPerRank);
 
     const std::uint32_t total_ranks =
         geom.channels * geom.ranksPerChannel;
-    refreshDue_.resize(total_ranks);
-    refreshBankPtr_.assign(total_ranks, 0);
+    refreshDue_.resize(geom.ranksPerChannel);
+    refreshBankPtr_.assign(geom.ranksPerChannel, 0);
+    refsbCarry_.assign(geom.ranksPerChannel, 0);
     const Tick interval =
         params_.perBankRefresh
             ? device_.timing().tREFI / geom.banksPerRank
             : device_.timing().tREFI;
-    for (std::uint32_t r = 0; r < total_ranks; ++r) {
-        // Stagger ranks so refreshes do not collide.
-        refreshDue_[r] =
-            interval + static_cast<Tick>(r) * (interval / total_ranks);
+    for (std::uint32_t r = 0; r < geom.ranksPerChannel; ++r) {
+        // Stagger by the *global* rank index so the system-wide
+        // refresh phases match the historical single-frontend layout
+        // and refreshes never collide across channels.
+        const auto g = static_cast<Tick>(firstRank_ + r);
+        refreshDue_[r] = interval + g * (interval / total_ranks);
     }
 }
 
 bool
 Controller::enqueue(const Request &req, Tick now)
 {
-    auto &queue = queues_.at(req.channel);
-    if (queue.size() >= params_.queueCapacity)
+    MITHRIL_ASSERT_MSG(req.channel == channel_,
+                       "request for channel %u enqueued on the "
+                       "channel-%u controller",
+                       req.channel, channel_);
+    if (queue_.size() >= params_.queueCapacity)
         return false;
     Request stored = req;
     stored.arrival = now;
     stored.seq = seq_++;
-    queue.push_back(stored);
+    queue_.push_back(stored);
     return true;
 }
 
 bool
 Controller::idle() const
 {
-    for (const auto &queue : queues_)
-        if (!queue.empty())
-            return false;
+    if (!queue_.empty())
+        return false;
     for (const auto &bank : banks_)
         if (bank.rfmRequired || !bank.pendingArr.empty())
             return false;
@@ -59,28 +83,25 @@ Controller::idle() const
 }
 
 bool
-Controller::blacklisted(std::uint32_t channel, std::uint32_t core,
-                        Tick t) const
+Controller::blacklisted(std::uint32_t core, Tick t) const
 {
     if (!params_.useBliss)
         return false;
-    const auto &state = bliss_.at(channel);
-    auto it = state.blacklistUntil.find(core);
-    return it != state.blacklistUntil.end() && it->second > t;
+    auto it = bliss_.blacklistUntil.find(core);
+    return it != bliss_.blacklistUntil.end() && it->second > t;
 }
 
 void
-Controller::noteServed(std::uint32_t channel, std::uint32_t core, Tick t)
+Controller::noteServed(std::uint32_t core, Tick t)
 {
     if (!params_.useBliss)
         return;
-    auto &state = bliss_.at(channel);
-    if (state.lastCore == core) {
-        if (++state.streak > params_.blissStreak)
-            state.blacklistUntil[core] = t + params_.blissDuration;
+    if (bliss_.lastCore == core) {
+        if (++bliss_.streak > params_.blissStreak)
+            bliss_.blacklistUntil[core] = t + params_.blissDuration;
     } else {
-        state.lastCore = core;
-        state.streak = 1;
+        bliss_.lastCore = core;
+        bliss_.streak = 1;
     }
 }
 
@@ -88,14 +109,15 @@ bool
 Controller::refreshPressing(std::uint32_t rank, BankId bank,
                             Tick t) const
 {
-    if (t < refreshDue_.at(rank) - 2 * device_.timing().tRC)
+    if (t < refreshDue_.at(rank - firstRank_) -
+                2 * device_.timing().tRC)
         return false;
     if (!params_.perBankRefresh)
         return true;  // All-bank REF drains the whole rank.
     // Same-bank REF only fences the rotation's current target.
     const BankId target =
         rank * device_.geometry().banksPerRank +
-        refreshBankPtr_.at(rank);
+        refreshBankPtr_.at(rank - firstRank_);
     return bank == target;
 }
 
@@ -104,7 +126,7 @@ Controller::decrementRaa(BankId bank)
 {
     if (params_.raaRefDecrement == 0)
         return;
-    BankCtl &ctl = banks_.at(bank);
+    BankCtl &ctl = bankCtl(bank);
     if (ctl.rfmRequired)
         return;  // An owed RFM is not cancelled by a REF.
     ctl.raa = ctl.raa > params_.raaRefDecrement
@@ -117,7 +139,7 @@ Controller::handleActSideEffects(BankId bank, Tick t,
                                  std::vector<RowId> &arr_out)
 {
     (void)t;
-    BankCtl &ctl = banks_.at(bank);
+    BankCtl &ctl = bankCtl(bank);
     auto *tracker = device_.tracker();
     if (tracker && tracker->usesRfm()) {
         if (++ctl.raa >= tracker->rfmTh())
@@ -129,11 +151,9 @@ Controller::handleActSideEffects(BankId bank, Tick t,
 }
 
 Controller::Decision
-Controller::choose(std::uint32_t channel, Tick t0)
+Controller::choose(Tick t0)
 {
     const auto &geom = device_.geometry();
-    const std::uint32_t first_rank = channel * geom.ranksPerChannel;
-    const BankId first_bank = first_rank * geom.banksPerRank;
     const std::uint32_t banks_per_channel =
         geom.ranksPerChannel * geom.banksPerRank;
 
@@ -145,13 +165,13 @@ Controller::choose(std::uint32_t channel, Tick t0)
 
     // Priority 1: overdue auto-refresh (all-bank REF or DDR5 REFsb).
     for (std::uint32_t r = 0; r < geom.ranksPerChannel; ++r) {
-        const std::uint32_t rank = first_rank + r;
-        if (t0 < refreshDue_[rank])
+        const std::uint32_t rank = firstRank_ + r;
+        if (t0 < refreshDue_[r])
             continue;
         const BankId rank_first = rank * geom.banksPerRank;
         Decision d;
         if (params_.perBankRefresh) {
-            const BankId b = rank_first + refreshBankPtr_[rank];
+            const BankId b = rank_first + refreshBankPtr_[r];
             const auto &bank = device_.bank(b);
             d.bank = b;
             d.rank = rank;
@@ -198,8 +218,8 @@ Controller::choose(std::uint32_t channel, Tick t0)
     Decision best;
     auto *tracker = device_.tracker();
     for (std::uint32_t i = 0; i < banks_per_channel; ++i) {
-        const BankId b = first_bank + i;
-        BankCtl &ctl = banks_[b];
+        const BankId b = firstBank_ + i;
+        BankCtl &ctl = banks_[i];
         if (!ctl.rfmRequired && ctl.pendingArr.empty())
             continue;
         const auto &bank = device_.bank(b);
@@ -232,25 +252,24 @@ Controller::choose(std::uint32_t channel, Tick t0)
     }
 
     // Priority 3: demand requests, BLISS + FR-FCFS + minimalist-open.
-    auto &queue = queues_[channel];
     int best_class = 4;
     std::uint64_t best_seq = ~0ull;
     // Blacklist lookups are hash probes; memoize per core for this
     // scheduling pass (core ids are small).
     std::uint64_t bl_known = 0;
     std::uint64_t bl_set = 0;
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        const Request &req = queue[i];
-        BankCtl &ctl = banks_[req.bank];
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const Request &req = queue_[i];
+        BankCtl &ctl = bankCtl(req.bank);
         if (ctl.rfmRequired || !ctl.pendingArr.empty())
             continue;  // Bank fenced for protection work.
-        if (refreshPressing(req.rank + first_rank, req.bank, t0))
+        if (refreshPressing(firstRank_ + req.rank, req.bank, t0))
             continue;  // Bank/rank draining for REF.
 
         const std::uint64_t bl_bit = 1ull << (req.coreId & 63);
         if (!(bl_known & bl_bit)) {
             bl_known |= bl_bit;
-            if (blacklisted(channel, req.coreId, t0))
+            if (blacklisted(req.coreId, t0))
                 bl_set |= bl_bit;
         }
         const auto &bank = device_.bank(req.bank);
@@ -314,40 +333,39 @@ Controller::choose(std::uint32_t channel, Tick t0)
     // Fully idle; the next auto-refresh still needs a wakeup.
     Decision d;
     for (std::uint32_t r = 0; r < geom.ranksPerChannel; ++r)
-        d.issue = std::min(d.issue, refreshDue_[first_rank + r]);
+        d.issue = std::min(d.issue, refreshDue_[r]);
     d.kind = Decision::Kind::None;
     return d;
 }
 
 Tick
-Controller::execute(std::uint32_t channel, const Decision &d)
+Controller::execute(const Decision &d)
 {
-    auto &queue = queues_[channel];
     const auto &timing = device_.timing();
     Tick bus_done = d.issue + params_.commandSlot;
 
     switch (d.kind) {
       case Decision::Kind::Pre: {
         device_.precharge(d.bank, d.issue);
-        banks_[d.bank].rowHitStreak = 0;
+        bankCtl(d.bank).rowHitStreak = 0;
         ++stats_.precharges;
         break;
       }
       case Decision::Kind::Act: {
-        const Request &req = queue[d.reqIndex];
+        const Request &req = queue_[d.reqIndex];
         scratch_.reset();
         device_.activate(d.bank, req.row, d.issue, scratch_.arr);
         handleActSideEffects(d.bank, d.issue, scratch_.arr);
-        banks_[d.bank].rowHitStreak = 0;
+        bankCtl(d.bank).rowHitStreak = 0;
         ++stats_.activates;
         ++stats_.rowMisses;
         break;
       }
       case Decision::Kind::Rd:
       case Decision::Kind::Wr: {
-        Request req = queue[d.reqIndex];
-        queue[d.reqIndex] = queue.back();
-        queue.pop_back();
+        Request req = queue_[d.reqIndex];
+        queue_[d.reqIndex] = queue_.back();
+        queue_.pop_back();
         Tick data;
         if (d.kind == Decision::Kind::Rd) {
             data = device_.read(d.bank, d.issue);
@@ -360,15 +378,15 @@ Controller::execute(std::uint32_t channel, const Decision &d)
             ++stats_.writes;
         }
         ++stats_.rowHits;
-        ++banks_[d.bank].rowHitStreak;
-        noteServed(channel, req.coreId, d.issue);
+        ++bankCtl(d.bank).rowHitStreak;
+        noteServed(req.coreId, d.issue);
         if (onComplete_)
             onComplete_(req, data);
         break;
       }
       case Decision::Kind::Ref: {
         device_.autoRefreshRank(d.rank, d.issue);
-        refreshDue_[d.rank] += timing.tREFI;
+        refreshDue_[d.rank - firstRank_] += timing.tREFI;
         ++stats_.refreshes;
         const BankId first =
             d.rank * device_.geometry().banksPerRank;
@@ -380,10 +398,22 @@ Controller::execute(std::uint32_t channel, const Decision &d)
       }
       case Decision::Kind::RefSb: {
         device_.autoRefreshBank(d.bank, d.issue);
-        refreshDue_[d.rank] +=
-            timing.tREFI / device_.geometry().banksPerRank;
-        refreshBankPtr_[d.rank] =
-            (refreshBankPtr_[d.rank] + 1) %
+        // Bresenham remainder carry: banksPerRank REFsb steps must
+        // span exactly tREFI, but the integer step truncates up to
+        // banksPerRank-1 ticks per rotation. Spreading the remainder
+        // keeps the per-bank cadence drift-free over long runs.
+        const std::uint32_t r = d.rank - firstRank_;
+        const auto bpr =
+            static_cast<Tick>(device_.geometry().banksPerRank);
+        Tick step = timing.tREFI / bpr;
+        refsbCarry_[r] += timing.tREFI % bpr;
+        if (refsbCarry_[r] >= bpr) {
+            refsbCarry_[r] -= bpr;
+            ++step;
+        }
+        refreshDue_[r] += step;
+        refreshBankPtr_[r] =
+            (refreshBankPtr_[r] + 1) %
             device_.geometry().banksPerRank;
         ++stats_.refreshes;
         decrementRaa(d.bank);
@@ -391,8 +421,8 @@ Controller::execute(std::uint32_t channel, const Decision &d)
       }
       case Decision::Kind::Rfm: {
         const std::size_t treated = device_.rfm(d.bank, d.issue);
-        banks_[d.bank].raa = 0;
-        banks_[d.bank].rfmRequired = false;
+        bankCtl(d.bank).raa = 0;
+        bankCtl(d.bank).rfmRequired = false;
         ++stats_.rfmIssued;
         if (eventRecorder_) {
             eventRecorder_->record(
@@ -402,8 +432,8 @@ Controller::execute(std::uint32_t channel, const Decision &d)
         break;
       }
       case Decision::Kind::MrrSkip: {
-        banks_[d.bank].raa = 0;
-        banks_[d.bank].rfmRequired = false;
+        bankCtl(d.bank).raa = 0;
+        bankCtl(d.bank).rfmRequired = false;
         ++stats_.rfmSkippedByMrr;
         bus_done = d.issue + params_.mrrLatency;
         if (eventRecorder_) {
@@ -413,7 +443,7 @@ Controller::execute(std::uint32_t channel, const Decision &d)
         break;
       }
       case Decision::Kind::Arr: {
-        BankCtl &ctl = banks_[d.bank];
+        BankCtl &ctl = bankCtl(d.bank);
         MITHRIL_ASSERT(!ctl.pendingArr.empty());
         device_.preventiveRefresh(d.bank, d.arrAggressor, d.issue);
         ctl.pendingArr.pop_front();
@@ -435,26 +465,22 @@ Tick
 Controller::service(Tick now)
 {
     Tick next = kTickMax;
-    const auto &geom = device_.geometry();
-
-    for (std::uint32_t ch = 0; ch < geom.channels; ++ch) {
-        while (true) {
-            const Tick t0 = std::max(now, busFree_[ch]);
-            if (t0 > now) {
-                next = std::min(next, t0);
-                break;
-            }
-            Decision d = choose(ch, t0);
-            if (d.kind == Decision::Kind::None) {
-                next = std::min(next, d.issue);
-                break;
-            }
-            if (d.issue > now) {
-                next = std::min(next, d.issue);
-                break;
-            }
-            busFree_[ch] = execute(ch, d);
+    while (true) {
+        const Tick t0 = std::max(now, busFree_);
+        if (t0 > now) {
+            next = std::min(next, t0);
+            break;
         }
+        Decision d = choose(t0);
+        if (d.kind == Decision::Kind::None) {
+            next = std::min(next, d.issue);
+            break;
+        }
+        if (d.issue > now) {
+            next = std::min(next, d.issue);
+            break;
+        }
+        busFree_ = execute(d);
     }
     return next;
 }

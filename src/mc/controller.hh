@@ -1,13 +1,24 @@
 /**
  * @file
- * The memory controller.
+ * The per-channel memory-controller frontend.
  *
- * Per channel it owns a request queue and a command bus; per bank it
- * tracks the DDR5 RAA (rolling accumulated ACT) counter and issues RFM
- * commands at RFM_TH per Figure 1, executes pending ARR preventive
- * refreshes for the ARR-based baselines, schedules auto-refresh every
- * tREFI, and arbitrates requests with BLISS (FR-FCFS + served-streak
- * blacklisting) under a minimalist-open page policy.
+ * One Controller instance owns exactly one channel of the geometry:
+ * its request queue, its command bus, its BLISS state, and — for the
+ * channel's rank slice — the DDR5 RAA (rolling accumulated ACT)
+ * counters, RFM issue at RFM_TH per Figure 1, pending ARR preventive
+ * refreshes for the ARR-based baselines, and the auto-refresh cadence
+ * (all-bank REF every tREFI, or the REFsb rotation). Requests are
+ * arbitrated with BLISS (FR-FCFS + served-streak blacklisting) under
+ * a minimalist-open page policy.
+ *
+ * A multi-channel System builds one Controller per channel and
+ * interleaves their service() loops deterministically (min-tick, ties
+ * by channel index); because a controller touches only its own
+ * channel's ranks/banks of the Device, the per-channel instances may
+ * also advance in parallel within a causality window. Cross-channel
+ * statistics merge through ControllerStats::mergeFrom() in channel
+ * order — the same partition-and-merge discipline the sharded
+ * ActStream engine uses for banks.
  *
  * The controller is event-driven: service(now) issues every command
  * legal at `now` and returns the next tick it needs servicing.
@@ -56,7 +67,7 @@ struct ControllerParams
                                         //!< (command-bus occupancy).
 };
 
-/** Aggregate controller statistics. */
+/** Aggregate controller statistics (one channel's slice). */
 struct ControllerStats
 {
     std::uint64_t reads = 0;
@@ -79,9 +90,14 @@ struct ControllerStats
         return reads ? totalReadLatencyNs / static_cast<double>(reads)
                      : 0.0;
     }
+
+    /** Fold another channel's statistics into this one (sums; the
+     *  latency histogram merges bucket-wise). Folding in channel
+     *  order makes the merged sheet deterministic at any pool size. */
+    void mergeFrom(const ControllerStats &other);
 };
 
-/** Event-driven DDR5 memory controller with RFM support. */
+/** Event-driven DDR5 memory controller for one channel. */
 class Controller
 {
   public:
@@ -89,22 +105,30 @@ class Controller
     using CompletionFn =
         std::function<void(const Request &, Tick completion)>;
 
+    /**
+     * Build the frontend for `channel` of the device's geometry. The
+     * controller drives only that channel's ranks and banks; the
+     * Device (and AddressMap) may be shared with other channels'
+     * controllers only if the caller serializes their service calls.
+     */
     Controller(dram::Device &device, const AddressMap &map,
-               const ControllerParams &params);
+               const ControllerParams &params,
+               std::uint32_t channel = 0);
 
     void setCompletionCallback(CompletionFn fn)
     {
         onComplete_ = std::move(fn);
     }
 
-    /** Enqueue a decoded request; false when the channel queue is full. */
+    /** Enqueue a decoded request targeting this controller's channel;
+     *  false when the queue is full. */
     bool enqueue(const Request &req, Tick now);
 
-    /** Outstanding requests in a channel queue. */
-    std::size_t queueDepth(std::uint32_t channel) const
-    {
-        return queues_.at(channel).size();
-    }
+    /** Outstanding requests in the channel queue. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** The channel this controller owns. */
+    std::uint32_t channel() const { return channel_; }
 
     /**
      * Issue every command legal at `now`; returns the next tick the
@@ -126,11 +150,11 @@ class Controller
         eventRecorder_ = recorder;
     }
 
-    /** True when every queue and pending-work list is empty. */
+    /** True when the queue and every pending-work list is empty. */
     bool idle() const;
 
   private:
-    /** A scheduling decision for one channel at one instant. */
+    /** A scheduling decision for one instant on this channel. */
     struct Decision
     {
         enum class Kind
@@ -149,8 +173,8 @@ class Controller
 
         Kind kind = Kind::None;
         Tick issue = kTickMax;
-        BankId bank = 0;
-        std::uint32_t rank = 0;
+        BankId bank = 0;            //!< Global (system-flat) bank id.
+        std::uint32_t rank = 0;     //!< Global flat rank id.
         std::size_t reqIndex = 0;   //!< For Rd/Wr/Act/Pre on a request.
         RowId arrAggressor = 0;
     };
@@ -170,17 +194,17 @@ class Controller
         std::unordered_map<std::uint32_t, Tick> blacklistUntil;
     };
 
-    /** Pick the next command for a channel given bus-free tick t0. */
-    Decision choose(std::uint32_t channel, Tick t0);
+    /** Pick the next command given bus-free tick t0. */
+    Decision choose(Tick t0);
 
     /** Commit a decision; returns the tick the bus frees. */
-    Tick execute(std::uint32_t channel, const Decision &d);
+    Tick execute(const Decision &d);
 
-    bool blacklisted(std::uint32_t channel, std::uint32_t core,
-                     Tick t) const;
-    void noteServed(std::uint32_t channel, std::uint32_t core, Tick t);
+    bool blacklisted(std::uint32_t core, Tick t) const;
+    void noteServed(std::uint32_t core, Tick t);
 
-    /** True when the bank must drain for an imminent auto-refresh. */
+    /** True when the bank must drain for an imminent auto-refresh.
+     *  `rank` is the global flat rank id. */
     bool refreshPressing(std::uint32_t rank, BankId bank,
                          Tick t) const;
 
@@ -190,18 +214,30 @@ class Controller
     void handleActSideEffects(BankId bank, Tick t,
                               std::vector<RowId> &arr_out);
 
+    /** Per-bank control state of a global bank id in our channel. */
+    BankCtl &bankCtl(BankId bank) { return banks_[bank - firstBank_]; }
+
     dram::Device &device_;
     const AddressMap &map_;
     ControllerParams params_;
+    std::uint32_t channel_;
+    std::uint32_t firstRank_;     //!< First global flat rank we own.
+    BankId firstBank_;            //!< First global bank id we own.
     CompletionFn onComplete_;
 
-    std::vector<std::vector<Request>> queues_;   //!< Per channel.
-    std::vector<Tick> busFree_;                  //!< Per channel.
-    std::vector<Tick> refreshDue_;               //!< Per flat rank.
-    std::vector<std::uint32_t> refreshBankPtr_;  //!< Per flat rank
+    std::vector<Request> queue_;  //!< The channel's request queue.
+    Tick busFree_ = 0;            //!< The channel's command bus.
+    BlissState bliss_;
+    std::vector<Tick> refreshDue_;               //!< Per owned rank.
+    std::vector<std::uint32_t> refreshBankPtr_;  //!< Per owned rank
                                                  //!< (REFsb rotation).
-    std::vector<BankCtl> banks_;                 //!< Per flat bank.
-    std::vector<BlissState> bliss_;              //!< Per channel.
+    /** REFsb cadence remainder per owned rank: tREFI rarely divides
+     *  by banksPerRank, so the integer step alone would drift the
+     *  rotation early by up to banksPerRank-1 ticks per tREFI. The
+     *  carry spreads the remainder Bresenham-style so banksPerRank
+     *  REFsb commands span exactly tREFI. */
+    std::vector<Tick> refsbCarry_;
+    std::vector<BankCtl> banks_;                 //!< Per owned bank.
 
     std::uint64_t seq_ = 0;
     ControllerStats stats_;

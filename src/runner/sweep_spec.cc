@@ -147,6 +147,7 @@ SweepSpec::fromParams(const ParamSet &params,
     static const std::vector<std::string> kSpecKeys = {
         "schemes",      "flip",    "rfm",      "workloads",
         "attacks",      "cores",   "instr",    "seed",
+        "channels",     "mc-threads",
         "blast-radius", "ad",      "warmup",   "baseline",
         "seed-policy",  "sources", "shards",   "acts",
         "record",       "telemetry", "trace-events",
@@ -200,6 +201,14 @@ SweepSpec::fromParams(const ParamSet &params,
     spec.adTh = params.getUint32("ad", spec.adTh);
     spec.cores = params.getUint32("cores", spec.cores);
     spec.instrPerCore = params.getUint("instr", spec.instrPerCore);
+    spec.channels = params.getUint32("channels", spec.channels);
+    if (spec.channels != 0 &&
+        (spec.channels & (spec.channels - 1)) != 0) {
+        // Die at the CLI like any other malformed axis, not as
+        // per-job FAILED cells.
+        fatal("channels=%u is not a power of two", spec.channels);
+    }
+    spec.mcThreads = params.getUint32("mc-threads", spec.mcThreads);
     spec.engineActs = params.getUint("acts", spec.engineActs);
     spec.seed = params.getUint("seed", spec.seed);
     spec.trackerWarmupActs =
@@ -322,6 +331,8 @@ SweepSpec::expand() const
         spec.seed = seed;
         spec.trackerWarmupActs = trackerWarmupActs;
         spec.warmupFromWorkload = (c.attack == "none");
+        spec.channels = channels;
+        spec.mcThreads = mcThreads;
         spec.record = record;
         spec.telemetry = telemetry;
         spec.traceEvents = traceEvents;

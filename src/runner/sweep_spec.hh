@@ -75,6 +75,14 @@ struct SweepSpec
     std::uint32_t adTh = 200;
     std::uint32_t cores = 8;
     std::uint64_t instrPerCore = 80000;
+    /** DRAM channel-count override for System jobs (power of two);
+     *  0 = the paper geometry. */
+    std::uint32_t channels = 0;
+    /** Worker threads for each System job's channel lanes; 0 = inherit
+     *  the SystemConfig default (inline). Results are byte-identical
+     *  at any value — this knob trades threads between the sweep pool
+     *  and the per-job frontend. */
+    std::uint32_t mcThreads = 0;
     /** ACT budget per engine-only job (sources axis). */
     std::uint64_t engineActs = 1000000;
     std::uint64_t seed = 42;
@@ -136,7 +144,8 @@ struct SweepSpec
      * `schemes=`, `flip=`, `rfm=`, `workloads=`, `attacks=`,
      * `sources=` (engine-only jobs), `shards=` (engine shard counts),
      * scalars `cores=`, `instr=`, `acts=` (engine ACT budget),
-     * `seed=`, `ad=`, `warmup=`, `baseline=`,
+     * `channels=` and `mc-threads=` (System frontend geometry and
+     * lane threading), `seed=`, `ad=`, `warmup=`, `baseline=`,
      * `seed-policy=shared|per-job`, and the telemetry knobs
      * `telemetry=`, `trace-events=` (single-job grids only),
      * `heatmap-regions=`, `trace-capacity=`, and the fault-injection

@@ -44,7 +44,9 @@ sameFile(const std::string &a, const std::string &b)
 RunMetrics
 runEngineExperiment(const ExperimentSpec &spec)
 {
-    const SystemConfig &sys = spec.sys;
+    SystemConfig sys = spec.sys;
+    if (spec.channels != 0)
+        sys.geometry.channels = spec.channels;
     const ParamSet params = spec.toParams();
     const registry::SchemeContext scheme_ctx{sys.timing,
                                              sys.geometry};
@@ -228,6 +230,10 @@ runExperiment(const ExperimentSpec &spec)
     SystemConfig sys = spec.sys;
     sys.flipTh = spec.flipTh;
     sys.blastRadius = spec.blastRadius;
+    if (spec.channels != 0)
+        sys.geometry.channels = spec.channels;
+    if (spec.mcThreads != 0)
+        sys.mcThreads = spec.mcThreads;
 
     const ParamSet params = spec.toParams();
     const registry::SchemeContext scheme_ctx{sys.timing,
@@ -252,11 +258,15 @@ runExperiment(const ExperimentSpec &spec)
         return registry::makeAttack(spec.attack, params, ctx);
     };
 
-    auto tracker = registry::makeScheme(spec.scheme, params,
-                                        scheme_ctx);
-    trackers::RhProtection *tracker_ptr = tracker.get();
+    // One tracker instance per channel lane — the same per-partition
+    // factory discipline the sharded engine applies to bank shards.
+    System system(sys, [&] {
+        return registry::makeScheme(spec.scheme, params, scheme_ctx);
+    });
 
-    if (tracker_ptr && spec.trackerWarmupActs > 0) {
+    // Warm-up feeds each channel's tracker the ACTs that decode to
+    // its banks, mirroring the engine's per-shard warm-up slicing.
+    if (system.tracker(0) && spec.trackerWarmupActs > 0) {
         std::vector<RowId> discard;
         auto feed = [&](workload::TraceGenerator &gen,
                         std::uint64_t count) {
@@ -268,7 +278,8 @@ runExperiment(const ExperimentSpec &spec)
                 req.addr = rec->addr;
                 map.decode(req);
                 discard.clear();
-                tracker_ptr->onActivate(req.bank, req.row, 0, discard);
+                system.tracker(req.channel)
+                    ->onActivate(req.bank, req.row, 0, discard);
             }
         };
         if (spec.warmupFromWorkload) {
@@ -285,7 +296,6 @@ runExperiment(const ExperimentSpec &spec)
         }
     }
 
-    System system(sys, std::move(tracker));
     system.snapshotTrackerOps();
 
     // record=: tap every ACT the controller commits (bank, row,
@@ -303,7 +313,10 @@ runExperiment(const ExperimentSpec &spec)
             sys.geometry.totalBanks(), spec.heatmapRegions);
     }
     if (recorder || heatmap) {
-        system.device().setActObserver(
+        // System delivers ACTs channel-major per service window with
+        // per-bank ticks monotone — the exact order contract of the
+        // acttrace writer, at any mcThreads value.
+        system.setActObserver(
             [&recorder, &heatmap](BankId bank, RowId row, Tick t) {
                 if (recorder)
                     recorder->append(bank, row, t);
@@ -312,18 +325,23 @@ runExperiment(const ExperimentSpec &spec)
             });
     }
 
-    // trace-events=: mitigation events from the controller (RFM
-    // issue/skip, executed ARRs, throttle stalls), the oracle (flips
-    // and near misses), and the tracker (CBS inserts/evictions).
+    // trace-events=: mitigation events from the controllers (RFM
+    // issue/skip, executed ARRs, throttle stalls), the oracles (flips
+    // and near misses), and the trackers (CBS inserts/evictions).
+    // One recorder per channel lane — a shared recorder would race
+    // when lanes run in parallel — merged in channel order on output.
     // Observation only — scheduling and outcomes are unchanged.
-    std::unique_ptr<telemetry::EventRecorder> events;
+    std::vector<std::unique_ptr<telemetry::EventRecorder>> events;
     if (!spec.traceEvents.empty()) {
-        events = std::make_unique<telemetry::EventRecorder>(
-            sys.geometry.totalBanks(), spec.traceCapacity);
-        system.controller().setEventRecorder(events.get());
-        system.device().oracle().setEventRecorder(events.get());
-        if (tracker_ptr)
-            tracker_ptr->setEventRecorder(events.get());
+        for (std::uint32_t ch = 0; ch < system.channels(); ++ch) {
+            auto rec = std::make_unique<telemetry::EventRecorder>(
+                sys.geometry.totalBanks(), spec.traceCapacity);
+            system.controller(ch).setEventRecorder(rec.get());
+            system.device(ch).oracle().setEventRecorder(rec.get());
+            if (system.tracker(ch))
+                system.tracker(ch)->setEventRecorder(rec.get());
+            events.push_back(std::move(rec));
+        }
     }
 
     for (std::uint32_t i = 0; i < benign; ++i) {
@@ -342,7 +360,7 @@ runExperiment(const ExperimentSpec &spec)
     system.run();
 
     if (recorder || heatmap)
-        system.device().setActObserver(nullptr);
+        system.setActObserver(nullptr);
     if (recorder)
         recorder->finalize();
 
@@ -351,7 +369,7 @@ runExperiment(const ExperimentSpec &spec)
     m.energyPj = system.totalEnergyPj();
     m.simTicks = system.now();
 
-    const auto &stats = system.controller().stats();
+    const mc::ControllerStats stats = system.stats();
     m.acts = stats.activates;
     m.reads = stats.reads;
     m.writes = stats.writes;
@@ -362,15 +380,14 @@ runExperiment(const ExperimentSpec &spec)
     m.avgReadLatencyNs = stats.avgReadLatencyNs();
     m.p95ReadLatencyNs = stats.readLatencyNs.percentile(0.95);
     m.preventiveRefreshes =
-        system.device().preventiveCount() + stats.arrExecuted;
+        system.preventiveCount() + stats.arrExecuted;
 
-    const auto &oracle = system.device().oracle();
-    m.maxDisturbance = oracle.maxDisturbanceEver();
-    m.bitFlips = oracle.bitFlips();
-    if (tracker_ptr)
-        m.trackerBytesPerBank = tracker_ptr->tableBytesPerBank();
+    m.maxDisturbance = system.maxDisturbanceEver();
+    m.bitFlips = system.bitFlips();
+    if (system.tracker(0))
+        m.trackerBytesPerBank = system.tracker(0)->tableBytesPerBank();
 
-    if (spec.telemetry || events) {
+    if (spec.telemetry || !events.empty()) {
         telemetry::MetricSheet sheet;
         sheet.setCounter("mc.acts", stats.activates);
         sheet.setCounter("mc.reads", stats.reads);
@@ -382,16 +399,19 @@ runExperiment(const ExperimentSpec &spec)
         sheet.setCounter("mc.rfm_skipped_mrr", stats.rfmSkippedByMrr);
         sheet.setCounter("mc.arr_executed", stats.arrExecuted);
         sheet.setCounter("mc.throttle_stalls", stats.throttleStalls);
-        sheet.setCounter("oracle.bit_flips", oracle.bitFlips());
-        sheet.setCounter("oracle.flipped_rows", oracle.flippedRows());
+        sheet.setCounter("oracle.bit_flips", system.bitFlips());
+        sheet.setCounter("oracle.flipped_rows", system.flippedRows());
         sheet.setGauge("oracle.max_disturbance",
-                       oracle.maxDisturbanceEver());
-        if (events) {
-            std::uint64_t emitted = 0;
-            for (BankId b = 0; b < events->numBanks(); ++b)
-                emitted += events->emitted(b);
+                       system.maxDisturbanceEver());
+        if (!events.empty()) {
+            std::uint64_t emitted = 0, dropped = 0;
+            for (const auto &rec : events) {
+                for (BankId b = 0; b < rec->numBanks(); ++b)
+                    emitted += rec->emitted(b);
+                dropped += rec->dropped();
+            }
             sheet.setCounter("trace.emitted", emitted);
-            sheet.setCounter("trace.dropped", events->dropped());
+            sheet.setCounter("trace.dropped", dropped);
         }
         if (heatmap) {
             sheet.setCounter("heatmap.acts", heatmap->totalActs());
@@ -409,17 +429,29 @@ runExperiment(const ExperimentSpec &spec)
             sheet.setGauge("heatmap.max_granularity_log2",
                            static_cast<double>(max_gran));
         }
-        if (tracker_ptr)
-            tracker_ptr->exportMetrics(sheet);
+        if (system.tracker(0)) {
+            // exportMetrics() *sets* values, so each channel's tracker
+            // exports into its own sheet; mergeFrom then adds counters
+            // across channels (in channel order).
+            for (std::uint32_t ch = 0; ch < system.channels(); ++ch) {
+                telemetry::MetricSheet tracker_sheet;
+                system.tracker(ch)->exportMetrics(tracker_sheet);
+                sheet.mergeFrom(tracker_sheet);
+            }
+        }
         m.telemetry = sheet.exportFlat();
     }
-    if (events) {
-        system.controller().setEventRecorder(nullptr);
-        system.device().oracle().setEventRecorder(nullptr);
-        if (tracker_ptr)
-            tracker_ptr->setEventRecorder(nullptr);
+    if (!events.empty()) {
+        std::vector<const telemetry::EventRecorder *> merged;
+        for (std::uint32_t ch = 0; ch < system.channels(); ++ch) {
+            system.controller(ch).setEventRecorder(nullptr);
+            system.device(ch).oracle().setEventRecorder(nullptr);
+            if (system.tracker(ch))
+                system.tracker(ch)->setEventRecorder(nullptr);
+            merged.push_back(events[ch].get());
+        }
         telemetry::writeChromeTraceFile(
-            spec.traceEvents, telemetry::mergeEvents({events.get()}),
+            spec.traceEvents, telemetry::mergeEvents(merged),
             spec.scheme, sys.geometry.totalBanks());
     }
     return m;

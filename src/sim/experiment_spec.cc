@@ -77,6 +77,12 @@ coreParams()
         {"threads", ParamDesc::Type::Uint, "0", 0, 1024,
          "worker threads for a standalone engine run (0 = ambient "
          "pool / inline)"},
+        {"channels", ParamDesc::Type::Uint, "0", 0, 64,
+         "DRAM channels (0 = geometry preset; must be a power of "
+         "two); System runs build one frontend lane per channel"},
+        {"mc-threads", ParamDesc::Type::Uint, "0", 0, 1024,
+         "worker threads for the System's channel lanes (0/1 = "
+         "inline); never affects results, only wall-clock"},
     };
     return descs;
 }
@@ -231,6 +237,8 @@ ExperimentSpec::parse(const ParamSet &params,
     spec.engineActs = params.getUint("acts", spec.engineActs);
     spec.shards = params.getUint32("shards", spec.shards);
     spec.threads = params.getUint32("threads", spec.threads);
+    spec.channels = params.getUint32("channels", spec.channels);
+    spec.mcThreads = params.getUint32("mc-threads", spec.mcThreads);
     spec.validate();
     return spec;
 }
@@ -270,6 +278,13 @@ ExperimentSpec::validate() const
     checkCoreRange("threads", threads);
     checkCoreRange("heatmap-regions", heatmapRegions);
     checkCoreRange("trace-capacity", traceCapacity);
+    checkCoreRange("channels", channels);
+    checkCoreRange("mc-threads", mcThreads);
+    if (channels != 0 && (channels & (channels - 1)) != 0) {
+        throw SpecError("channels=" + std::to_string(channels) +
+                        " must be a power of two (the address map "
+                        "interleaves by channel bits)");
+    }
     if (attacking() && !engineRun() && cores < 2) {
         throw SpecError("attack '" + attack +
                         "' needs cores >= 2 (one core becomes the "
@@ -336,6 +351,10 @@ ExperimentSpec::toParams() const
         params.set("heatmap-regions", std::to_string(heatmapRegions));
     if (traceCapacity != 4096)
         params.set("trace-capacity", std::to_string(traceCapacity));
+    if (channels != 0)
+        params.set("channels", std::to_string(channels));
+    if (mcThreads != 0)
+        params.set("mc-threads", std::to_string(mcThreads));
     params.set("source", source);
     params.set("acts", std::to_string(engineActs));
     params.set("shards", std::to_string(shards));

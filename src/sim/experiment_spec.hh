@@ -98,6 +98,16 @@ struct ExperimentSpec
     /** Mitigation-event ring capacity per bank (newest retained). */
     std::uint32_t traceCapacity = 4096;
 
+    // ------------------------------------------- geometry/parallelism
+    /** DRAM channels (0 = the geometry preset's count, a power of
+     *  two). A System run builds one frontend lane per channel; an
+     *  engine run shards over the same widened geometry. */
+    std::uint32_t channels = 0;
+    /** Worker threads for the System's channel lanes (0 or 1 =
+     *  inline). Never affects results — lane interleave is
+     *  deterministic at any value — only wall-clock. */
+    std::uint32_t mcThreads = 0;
+
     /** Entry-declared extra tunables (e.g. victims=, mean-gap=),
      *  validated against the selected entries' declarations. */
     ParamSet extras;

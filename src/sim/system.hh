@@ -1,12 +1,27 @@
 /**
  * @file
- * Full-system simulation: cores + shared LLC + memory controller +
- * DRAM device + protection scheme, co-simulated event-driven.
+ * Full-system simulation: cores + shared LLC + per-channel memory
+ * controllers + DRAM + protection scheme, co-simulated event-driven.
+ *
+ * The memory side is partitioned by channel: each channel owns a
+ * frontend lane (Device slice, Controller, tracker instance,
+ * completion/ACT buffers) and the event loop interleaves lane service
+ * ticks deterministically — minimum next-tick first, ties broken by
+ * channel index. Lanes may also advance *in parallel* inside a
+ * causality window bounded by the DRAM data latency: a command issued
+ * at tick t cannot produce a cross-lane effect (a core wakeup, hence a
+ * new request) before t + min(tCL, tCWL) + tBL, so every lane can run
+ * up to that horizon without observing the others. Buffered
+ * completions and ACT-trace records are drained in channel order after
+ * each window, which makes runs byte-identical at any `mcThreads`
+ * value, including 1 — the same partition-and-merge discipline the
+ * sharded ActStream engine applies to banks.
  */
 
 #ifndef MITHRIL_SIM_SYSTEM_HH
 #define MITHRIL_SIM_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,6 +30,7 @@
 #include "cpu/core.hh"
 #include "dram/device.hh"
 #include "mc/controller.hh"
+#include "runner/thread_pool.hh"
 #include "sim/event_queue.hh"
 #include "trackers/rh_protection.hh"
 #include "workload/trace.hh"
@@ -32,14 +48,25 @@ struct SystemConfig
     mc::ControllerParams mcParams;
     cpu::CacheParams cacheParams;
     Tick horizon = msToTick(200.0);   //!< Hard stop for attack-only runs.
+    /** Worker threads for the channel lanes. 0 or 1 services lanes
+     *  inline; >1 runs due lanes on a thread pool (the ambient
+     *  runner::ThreadPool when inside one, else a private pool).
+     *  Results are byte-identical at every value. */
+    std::uint32_t mcThreads = 1;
 };
 
 /** The simulated machine. */
 class System
 {
   public:
-    System(const SystemConfig &config,
-           std::unique_ptr<trackers::RhProtection> tracker);
+    /** Builds one tracker instance per channel lane (a null factory —
+     *  or one returning null — leaves the lanes unprotected). Matches
+     *  the sharded engine's per-shard factory discipline so per-bank
+     *  RNG streams stay structural via RhProtection::bankSeed. */
+    using TrackerFactory =
+        std::function<std::unique_ptr<trackers::RhProtection>()>;
+
+    System(const SystemConfig &config, TrackerFactory make_tracker);
 
     /** Add a core running the given trace. The System owns both. */
     cpu::Core &addCore(const cpu::CoreParams &params,
@@ -51,17 +78,65 @@ class System
     /** Sum of non-excluded cores' IPC (the paper's aggregate metric). */
     double aggregateIpc() const;
 
-    dram::Device &device() { return *device_; }
-    const dram::Device &device() const { return *device_; }
-    mc::Controller &controller() { return *controller_; }
-    const mc::Controller &controller() const { return *controller_; }
+    /** Number of channel lanes (== geometry.channels). */
+    std::uint32_t channels() const
+    {
+        return static_cast<std::uint32_t>(lanes_.size());
+    }
+
+    dram::Device &device(std::uint32_t channel = 0)
+    {
+        return *lanes_.at(channel)->device;
+    }
+    const dram::Device &device(std::uint32_t channel = 0) const
+    {
+        return *lanes_.at(channel)->device;
+    }
+    mc::Controller &controller(std::uint32_t channel = 0)
+    {
+        return *lanes_.at(channel)->controller;
+    }
+    const mc::Controller &controller(std::uint32_t channel = 0) const
+    {
+        return *lanes_.at(channel)->controller;
+    }
+    trackers::RhProtection *tracker(std::uint32_t channel = 0)
+    {
+        return lanes_.at(channel)->tracker.get();
+    }
     cpu::Cache &cache() { return *cache_; }
-    trackers::RhProtection *tracker() { return tracker_.get(); }
     const std::vector<std::unique_ptr<cpu::Core>> &cores() const
     {
         return cores_;
     }
     Tick now() const { return now_; }
+
+    /**
+     * Observe every committed ACT across all channels. Records are
+     * delivered in channel-major batches after each service window
+     * (per-bank tick order is preserved — exactly what the act-trace
+     * capture format requires). Set before run(); null detaches.
+     */
+    void setActObserver(dram::Device::ActObserver observer);
+
+    /** Controller statistics merged across channels (channel order). */
+    mc::ControllerStats stats() const;
+
+    /** Energy counters merged across channels. */
+    dram::EnergyMeter energy() const;
+
+    /** Oracle ground truth merged across channels. */
+    std::uint64_t bitFlips() const;
+    std::uint64_t flippedRows() const;
+    double maxDisturbanceEver() const;
+
+    /** Device mitigation counters summed across channels. */
+    std::uint64_t preventiveCount() const;
+    std::uint64_t rfmCount() const;
+    std::uint64_t rfmSkipped() const;
+
+    /** Tracker logic operations summed across channels. */
+    std::uint64_t trackerLogicOps() const;
 
     /** Total dynamic energy incl. tracker logic ops, in picojoules. */
     double totalEnergyPj() const;
@@ -72,28 +147,73 @@ class System
     /**
      * Export every component's counters into a registry under dotted
      * names (mc.*, dram.*, cache.*, core<N>.*, rh.*) for uniform
-     * reporting and regression diffing.
+     * reporting and regression diffing. Memory-side counters are the
+     * cross-channel merged values.
      */
     void exportStats(StatRegistry &registry) const;
 
   private:
+    /** One channel's frontend: its controller, its Device partition
+     *  (full-geometry instance of which only this channel's banks are
+     *  driven — bank state is per-bank and the oracle is sparse, so
+     *  the unused slice costs nothing), its tracker, and the buffers
+     *  that defer cross-lane effects to the window drain. */
+    struct Lane
+    {
+        struct Completion
+        {
+            Tick tick;
+            std::uint32_t coreId;
+        };
+        struct Act
+        {
+            BankId bank;
+            RowId row;
+            Tick tick;
+        };
+
+        std::unique_ptr<dram::Device> device;
+        std::unique_ptr<trackers::RhProtection> tracker;
+        std::unique_ptr<mc::Controller> controller;
+        std::vector<Completion> completions;
+        std::vector<Act> acts;
+        /** Next tick the lane's controller needs service. On its own
+         *  cache line: the hot word written concurrently per lane. */
+        alignas(64) Tick next = 0;
+        Tick lastServiced = 0;
+    };
+
     /** Core memory-access callback: LLC then MC. */
     cpu::Core::AccessOutcome access(std::uint32_t core_id,
                                     const workload::TraceRecord &rec,
                                     Tick now);
 
+    /** Service `lane` through every tick it owes in [*, window_end]. */
+    void advanceLane(Lane &lane, Tick window_end);
+
     void wakeCore(std::uint32_t core_id, Tick now);
+
+    /** Schedule a wake for `core_id` at `when` unless one is already
+     *  pending at or before it: completions and retry backoffs would
+     *  otherwise each spawn their own polling chain, and a core that
+     *  never blocks (e.g. one being throttled at a full queue)
+     *  accumulates chains until the event queue drowns. */
+    void scheduleWake(std::uint32_t core_id, Tick when);
+
     bool benignDone() const;
 
     SystemConfig config_;
-    std::unique_ptr<trackers::RhProtection> tracker_;
-    std::unique_ptr<dram::Device> device_;
     std::unique_ptr<mc::AddressMap> map_;
-    std::unique_ptr<mc::Controller> controller_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
     std::unique_ptr<cpu::Cache> cache_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::vector<std::unique_ptr<workload::TraceGenerator>> traces_;
     EventQueue evq_;
+    std::vector<Tick> coreWake_;      //!< Pending wake per core.
+    dram::Device::ActObserver actObserver_;
+    std::unique_ptr<runner::ThreadPool> ownPool_;
+    std::vector<Lane *> due_;         //!< Window scratch.
+    Tick lookahead_;                  //!< min(tCL,tCWL)+tBL causality.
     Tick now_ = 0;
     bool started_ = false;
     std::uint64_t trackerOpBaseline_ = 0;

@@ -216,7 +216,7 @@ TEST(SystemIntegration, UnprotectedLongAttackFlipsBits)
                    std::make_unique<workload::DoubleSidedAttack>(
                        target));
     system.run();
-    EXPECT_GT(system.device().oracle().bitFlips(), 0u);
+    EXPECT_GT(system.bitFlips(), 0u);
 }
 
 TEST(SystemIntegration, ExportStatsCoversComponents)
